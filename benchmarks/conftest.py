@@ -1,0 +1,45 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark module regenerates one of the paper's evaluation artifacts
+(see DESIGN.md §4).  The experiments run at a reduced scale by default so
+the whole suite finishes in minutes on a laptop; set the environment
+variable ``REPRO_BENCH_SCALE`` to a float (e.g. ``10``) to multiply the
+database sizes, or ``REPRO_BENCH_FULL=1`` to run at the paper's original
+sizes (hours in pure Python).
+
+The paper-style text reports produced by each benchmark are written to
+``benchmarks/results/`` so they can be compared against the numbers quoted
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Directory where the paper-style reports are written.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def scaled(base: int, full_scale: int) -> int:
+    """Scale a default object count by the user-requested factor."""
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return full_scale
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    return max(int(base * factor), 100)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory for the textual experiment reports."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_report(results_dir: Path, name: str, report: str) -> None:
+    """Persist a paper-style report and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(report + "\n", encoding="utf-8")
+    print(f"\n{report}\n[report written to {path}]")

@@ -1,0 +1,92 @@
+"""A1–A3 — ablation benchmarks for the design choices DESIGN.md calls out.
+
+* A1: the clustering function's division factor ``f``;
+* A2: the reorganization period;
+* A3: sensitivity of the cluster granularity to the disk access cost (the
+  mechanism behind the memory-vs-disk difference in the paper's tables).
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled, write_report
+from repro.evaluation.experiments import (
+    ablation_disk_access_time,
+    ablation_division_factor,
+    ablation_reorganization_period,
+)
+from repro.evaluation.reporting import format_experiment_result
+
+OBJECTS = scaled(8_000, 500_000)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_division_factor(benchmark, results_dir):
+    """A1 — division factor f in {2, 4, 8}."""
+
+    def run():
+        return ablation_division_factor(
+            factors=(2, 4, 8),
+            object_count=OBJECTS,
+            dimensions=16,
+            target_selectivity=5e-3,
+            queries=25,
+            warmup_queries=400,
+            seed=17,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_experiment_result(result)
+    write_report(results_dir, "ablation_division_factor", report)
+    for row in result.rows:
+        assert (
+            row.results["AC"].avg_modeled_time_ms
+            <= row.results["SS"].avg_modeled_time_ms * 1.05
+        )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_reorganization_period(benchmark, results_dir):
+    """A2 — reorganization period in {25, 100, 400} queries."""
+
+    def run():
+        return ablation_reorganization_period(
+            periods=(25, 100, 400),
+            object_count=OBJECTS,
+            dimensions=16,
+            target_selectivity=5e-3,
+            queries=25,
+            warmup_queries=800,
+            seed=19,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_experiment_result(result)
+    write_report(results_dir, "ablation_reorganization_period", report)
+    for row in result.rows:
+        assert (
+            row.results["AC"].avg_modeled_time_ms
+            <= row.results["SS"].avg_modeled_time_ms * 1.05
+        )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_disk_access_time(benchmark, results_dir):
+    """A3 — disk access time in {5, 15, 30} ms shapes the cluster granularity."""
+
+    def run():
+        return ablation_disk_access_time(
+            access_times_ms=(5.0, 15.0, 30.0),
+            object_count=OBJECTS,
+            dimensions=16,
+            target_selectivity=5e-3,
+            queries=25,
+            warmup_queries=400,
+            seed=23,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_experiment_result(result)
+    write_report(results_dir, "ablation_disk_access_time", report)
+    clusters = [row.results["AC"].total_groups for row in result.rows]
+    # A cheaper random access justifies more clusters.
+    assert clusters[0] >= clusters[-1]

@@ -1,0 +1,46 @@
+"""E1b / E1d — Fig. 7 chart B and its Table 2 (disk scenario).
+
+Same uniform 16-dimensional selectivity sweep as Fig. 7-A, but with the
+simulated-disk cost model: cluster exploration pays a 15 ms random access
+and object verification pays the 20 MB/s transfer.  The paper's headline
+observation — the R*-tree is far more expensive than Sequential Scan on
+disk while the adaptive clustering always stays at least as good as the
+scan — is asserted below.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled, write_report
+from repro.evaluation.experiments import PAPER_SELECTIVITIES, selectivity_sweep
+from repro.evaluation.reporting import format_experiment_result
+
+OBJECTS = scaled(12_000, 2_000_000)
+
+
+@pytest.mark.benchmark(group="fig7-disk")
+def test_fig7_disk_sweep(benchmark, results_dir):
+    """Regenerates Fig. 7-B and Fig. 7 Table 2 (disk data access)."""
+
+    def run():
+        return selectivity_sweep(
+            scenario="disk",
+            object_count=OBJECTS,
+            dimensions=16,
+            selectivities=PAPER_SELECTIVITIES,
+            queries_per_point=30,
+            warmup_queries=400,
+            seed=7,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_experiment_result(result)
+    write_report(results_dir, "fig7_disk", report)
+
+    for row in result.rows:
+        ac = row.results["AC"]
+        ss = row.results["SS"]
+        rs = row.results["RS"]
+        # AC never loses to Sequential Scan on modeled time (disk).
+        assert ac.avg_modeled_time_ms <= ss.avg_modeled_time_ms * 1.05
+        # RS pays many random node accesses and loses to the scan on disk.
+        assert rs.avg_modeled_time_ms > ss.avg_modeled_time_ms

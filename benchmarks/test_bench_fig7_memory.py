@@ -1,0 +1,48 @@
+"""E1a / E1c — Fig. 7 chart A and its Table 1 (memory scenario).
+
+Uniform 16-dimensional workload, intersection queries, selectivity swept
+over the paper's seven values (5e-7 … 5e-1), comparing Adaptive Clustering
+(AC), Sequential Scan (SS) and the R*-tree (RS) in the in-memory storage
+scenario.  The paper's dataset has 2,000,000 objects; the benchmark default
+is scaled down (see conftest) but keeps the selectivity sweep intact.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled, write_report
+from repro.evaluation.experiments import PAPER_SELECTIVITIES, selectivity_sweep
+from repro.evaluation.reporting import format_experiment_result
+
+OBJECTS = scaled(12_000, 2_000_000)
+
+
+@pytest.mark.benchmark(group="fig7-memory")
+def test_fig7_memory_sweep(benchmark, results_dir):
+    """Regenerates Fig. 7-A and Fig. 7 Table 1 (memory data access)."""
+
+    def run():
+        return selectivity_sweep(
+            scenario="memory",
+            object_count=OBJECTS,
+            dimensions=16,
+            selectivities=PAPER_SELECTIVITIES,
+            queries_per_point=30,
+            warmup_queries=400,
+            seed=7,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_experiment_result(result)
+    write_report(results_dir, "fig7_memory", report)
+
+    # Sanity checks on the paper's qualitative findings (memory scenario):
+    for row in result.rows:
+        ac = row.results["AC"]
+        ss = row.results["SS"]
+        rs = row.results["RS"]
+        # AC never loses to Sequential Scan on modeled time.
+        assert ac.avg_modeled_time_ms <= ss.avg_modeled_time_ms * 1.05
+        # AC explores a smaller fraction of its groups than RS does.
+        assert ac.explored_fraction <= rs.explored_fraction + 0.05
+    # More selective queries lead to more clusters (paper Table 1).
+    assert result.rows[0].results["AC"].total_groups >= result.rows[-1].results["AC"].total_groups

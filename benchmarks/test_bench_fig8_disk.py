@@ -1,0 +1,45 @@
+"""E2b / E2d — Fig. 8 chart B and its Table 2 (disk scenario).
+
+Same skewed dimensionality sweep as Fig. 8-A under the simulated-disk cost
+model.  The paper reports that the R*-tree fails to outperform Sequential
+Scan (it accesses more than 72 % of its nodes randomly) while the adaptive
+clustering keeps a small number of clusters and stays ahead of the scan.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled, write_report
+from repro.evaluation.experiments import PAPER_DIMENSIONALITIES, dimensionality_sweep
+from repro.evaluation.reporting import format_experiment_result
+
+OBJECTS = scaled(8_000, 1_000_000)
+
+
+@pytest.mark.benchmark(group="fig8-disk")
+def test_fig8_disk_sweep(benchmark, results_dir):
+    """Regenerates Fig. 8-B and Fig. 8 Table 2 (disk data access)."""
+
+    def run():
+        return dimensionality_sweep(
+            scenario="disk",
+            object_count=OBJECTS,
+            dimensionalities=PAPER_DIMENSIONALITIES,
+            target_selectivity=5e-4,
+            queries_per_point=25,
+            warmup_queries=400,
+            seed=11,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_experiment_result(result)
+    write_report(results_dir, "fig8_disk", report)
+
+    for row in result.rows:
+        ac = row.results["AC"]
+        ss = row.results["SS"]
+        rs = row.results["RS"]
+        assert ac.avg_modeled_time_ms <= ss.avg_modeled_time_ms * 1.05
+        assert rs.avg_modeled_time_ms > ss.avg_modeled_time_ms
+        # The disk cost model keeps the cluster count small (paper Table 2:
+        # a few hundred clusters vs tens of thousands of R*-tree nodes).
+        assert ac.total_groups < rs.total_groups

@@ -1,0 +1,49 @@
+"""E2a / E2c — Fig. 8 chart A and its Table 1 (memory scenario).
+
+Skewed workload (a random quarter of each object's dimensions is twice as
+selective), dimensionality swept over the paper's values 16–40, query
+selectivity ≈ 0.05 %.  The paper's dataset has 1,000,000 objects; the
+benchmark default is scaled down but keeps the dimensionality sweep intact.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled, write_report
+from repro.evaluation.experiments import PAPER_DIMENSIONALITIES, dimensionality_sweep
+from repro.evaluation.reporting import format_experiment_result
+
+OBJECTS = scaled(8_000, 1_000_000)
+
+
+@pytest.mark.benchmark(group="fig8-memory")
+def test_fig8_memory_sweep(benchmark, results_dir):
+    """Regenerates Fig. 8-A and Fig. 8 Table 1 (memory data access)."""
+
+    def run():
+        return dimensionality_sweep(
+            scenario="memory",
+            object_count=OBJECTS,
+            dimensionalities=PAPER_DIMENSIONALITIES,
+            target_selectivity=5e-4,
+            queries_per_point=25,
+            warmup_queries=400,
+            seed=11,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_experiment_result(result)
+    write_report(results_dir, "fig8_memory", report)
+
+    ss_times = result.series("SS")
+    ac_times = result.series("AC")
+    # Query time increases with dimensionality (the dataset gets bigger).
+    assert ss_times[-1] > ss_times[0]
+    # AC scales with dimensionality without losing to the scan anywhere.
+    for ac, ss in zip(ac_times, ss_times):
+        assert ac <= ss * 1.05
+    # AC verifies fewer objects than RS on skewed data (paper: 4x fewer).
+    for row in result.rows:
+        assert (
+            row.results["AC"].verified_fraction
+            <= row.results["RS"].verified_fraction + 0.05
+        )

@@ -1,0 +1,136 @@
+"""Micro-benchmarks of the individual operations (query latency, insertion).
+
+These complement the figure-level experiments with wall-clock latencies of
+the three access methods on identical data, measured by pytest-benchmark
+with its usual statistical rounds.  They are the numbers a downstream user
+of the library would care about when sizing a deployment.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.baselines.rtree import RStarTree, RStarTreeConfig
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters
+from repro.core.index import AdaptiveClusteringIndex
+from repro.workloads.queries import generate_point_queries, generate_query_workload
+from repro.workloads.uniform import generate_uniform_dataset
+
+OBJECTS = scaled(15_000, 200_000)
+DIMENSIONS = 16
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_uniform_dataset(OBJECTS, DIMENSIONS, seed=31)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return generate_query_workload(dataset, 25, target_selectivity=5e-3, seed=32)
+
+
+@pytest.fixture(scope="module")
+def point_workload(dataset):
+    return generate_point_queries(25, DIMENSIONS, seed=33)
+
+
+@pytest.fixture(scope="module")
+def adaptive(dataset, workload):
+    cost = CostParameters.memory_defaults(DIMENSIONS)
+    index = AdaptiveClusteringIndex(config=AdaptiveClusteringConfig(cost=cost))
+    dataset.load_into(index)
+    for i in range(500):
+        index.query(workload.queries[i % len(workload.queries)], workload.relation)
+    return index
+
+
+@pytest.fixture(scope="module")
+def scan(dataset):
+    scan = SequentialScan(DIMENSIONS, cost=CostParameters.memory_defaults(DIMENSIONS))
+    dataset.load_into(scan)
+    return scan
+
+
+@pytest.fixture(scope="module")
+def rstar(dataset):
+    tree = RStarTree(config=RStarTreeConfig(dimensions=DIMENSIONS))
+    dataset.load_into(tree)
+    return tree
+
+
+def run_batch(method, workload):
+    total = 0
+    for query in workload.queries:
+        total += method.query(query, workload.relation).size
+    return total
+
+
+@pytest.mark.benchmark(group="intersection-query-latency")
+class TestIntersectionQueryLatency:
+    def test_adaptive_clustering(self, benchmark, adaptive, workload):
+        benchmark(run_batch, adaptive, workload)
+
+    def test_sequential_scan(self, benchmark, scan, workload):
+        benchmark(run_batch, scan, workload)
+
+    def test_rstar_tree(self, benchmark, rstar, workload):
+        benchmark(run_batch, rstar, workload)
+
+
+@pytest.mark.benchmark(group="point-enclosing-query-latency")
+class TestPointEnclosingQueryLatency:
+    def test_adaptive_clustering(self, benchmark, adaptive, point_workload):
+        benchmark(run_batch, adaptive, point_workload)
+
+    def test_sequential_scan(self, benchmark, scan, point_workload):
+        benchmark(run_batch, scan, point_workload)
+
+    def test_rstar_tree(self, benchmark, rstar, point_workload):
+        benchmark(run_batch, rstar, point_workload)
+
+
+@pytest.mark.benchmark(group="insertion-throughput")
+class TestInsertionThroughput:
+    INSERT_BATCH = 2_000
+
+    def _boxes(self, seed):
+        dataset = generate_uniform_dataset(self.INSERT_BATCH, DIMENSIONS, seed=seed)
+        return list(dataset.iter_objects())
+
+    def test_adaptive_clustering_insert(self, benchmark):
+        boxes = self._boxes(seed=41)
+
+        def build():
+            index = AdaptiveClusteringIndex(
+                config=AdaptiveClusteringConfig.for_memory(DIMENSIONS)
+            )
+            for object_id, box in boxes:
+                index.insert(object_id, box)
+            return index.n_objects
+
+        benchmark.pedantic(build, rounds=3, iterations=1)
+
+    def test_sequential_scan_insert(self, benchmark):
+        boxes = self._boxes(seed=42)
+
+        def build():
+            scan = SequentialScan(DIMENSIONS)
+            for object_id, box in boxes:
+                scan.insert(object_id, box)
+            return scan.n_objects
+
+        benchmark.pedantic(build, rounds=3, iterations=1)
+
+    def test_rstar_tree_insert(self, benchmark):
+        boxes = self._boxes(seed=43)
+
+        def build():
+            tree = RStarTree(config=RStarTreeConfig(dimensions=DIMENSIONS))
+            for object_id, box in boxes:
+                tree.insert(object_id, box)
+            return tree.n_objects
+
+        benchmark.pedantic(build, rounds=3, iterations=1)

@@ -1,0 +1,61 @@
+"""E3 — point-enclosing queries (paper Section 7.2).
+
+The paper reports that point-enclosing queries over range subscriptions are
+a best case for the adaptive clustering thanks to their good selectivity:
+up to 16× faster than Sequential Scan in memory and up to 4× on disk.  The
+benchmark regenerates both scenarios and records the measured speedups.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled, write_report
+from repro.evaluation.experiments import point_enclosing_experiment
+from repro.evaluation.reporting import format_experiment_result
+
+OBJECTS = scaled(15_000, 1_000_000)
+
+
+def _speedup(row):
+    return (
+        row.results["SS"].avg_modeled_time_ms / row.results["AC"].avg_modeled_time_ms
+    )
+
+
+@pytest.mark.benchmark(group="point-enclosing")
+def test_point_enclosing_memory(benchmark, results_dir):
+    """Memory scenario: the paper reports speedups of up to 16x over SS."""
+
+    def run():
+        return point_enclosing_experiment(
+            scenario="memory",
+            object_count=OBJECTS,
+            dimensions=16,
+            queries=60,
+            warmup_queries=500,
+            seed=13,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_experiment_result(result)
+    write_report(results_dir, "point_enclosing_memory", report)
+    assert _speedup(result.rows[0]) > 2.0
+
+
+@pytest.mark.benchmark(group="point-enclosing")
+def test_point_enclosing_disk(benchmark, results_dir):
+    """Disk scenario: the paper reports speedups of up to 4x over SS."""
+
+    def run():
+        return point_enclosing_experiment(
+            scenario="disk",
+            object_count=OBJECTS,
+            dimensions=16,
+            queries=60,
+            warmup_queries=500,
+            seed=13,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_experiment_result(result)
+    write_report(results_dir, "point_enclosing_disk", report)
+    assert _speedup(result.rows[0]) >= 1.0

@@ -1,0 +1,76 @@
+"""Quickstart: index extended objects and run the three spatial query types.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AdaptiveClusteringConfig,
+    AdaptiveClusteringIndex,
+    HyperRectangle,
+    SpatialRelation,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    dimensions = 6
+
+    # An index over 6-dimensional extended objects, in-memory cost model.
+    index = AdaptiveClusteringIndex(
+        config=AdaptiveClusteringConfig.for_memory(dimensions)
+    )
+
+    # Insert 5,000 random hyper-rectangles.
+    for object_id in range(5_000):
+        extents = rng.uniform(0.0, 0.3, size=dimensions)
+        lows = rng.uniform(0.0, 1.0, size=dimensions) * (1.0 - extents)
+        index.insert(object_id, HyperRectangle(lows, lows + extents))
+
+    print(f"indexed {index.n_objects} objects in {index.n_clusters} cluster(s)")
+
+    # A query box covering the "lower quadrant" of the space.
+    query = HyperRectangle(np.zeros(dimensions), np.full(dimensions, 0.35))
+
+    intersecting = index.query(query, SpatialRelation.INTERSECTS)
+    contained = index.query(query, SpatialRelation.CONTAINED_BY)
+    point = HyperRectangle.from_point(np.full(dimensions, 0.2))
+    enclosing = index.query(point, SpatialRelation.CONTAINS)
+
+    print(f"objects intersecting the query box : {intersecting.size}")
+    print(f"objects contained in the query box : {contained.size}")
+    print(f"objects enclosing the probe point  : {enclosing.size}")
+
+    # Run a stream of similar queries so the cost-based clustering adapts,
+    # then look at the structure it produced.
+    for _ in range(500):
+        center = rng.uniform(0.1, 0.9, size=dimensions)
+        half_width = rng.uniform(0.05, 0.2, size=dimensions)
+        box = HyperRectangle(
+            np.clip(center - half_width, 0, 1), np.clip(center + half_width, 0, 1)
+        )
+        index.query(box, SpatialRelation.INTERSECTS)
+
+    snapshot = index.snapshot()
+    print(
+        f"after 500 more queries: {snapshot.n_clusters} clusters, "
+        f"max depth {snapshot.max_depth}, "
+        f"average {snapshot.average_cluster_size:.1f} objects per cluster"
+    )
+
+    # Per-query work statistics are available for any query.
+    results, stats = index.query_with_stats(query, SpatialRelation.INTERSECTS)
+    print(
+        f"last query explored {stats.groups_explored}/{index.n_clusters} clusters "
+        f"and verified {stats.objects_verified}/{index.n_objects} objects "
+        f"to return {stats.results} results"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — adaptive cost-based clustering of multidimensional extended objects.
+
+A faithful, pure-Python reproduction of *"Clustering Multidimensional
+Extended Objects to Speed Up Execution of Spatial Queries"* (Saita &
+Llirbat, EDBT 2004), including the paper's competitors (Sequential Scan,
+R*-tree), the simulated disk storage scenario, the workload generators and
+the full evaluation harness.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import AdaptiveClusteringIndex, HyperRectangle, SpatialRelation
+>>> index = AdaptiveClusteringIndex(dimensions=4)
+>>> index.insert(1, HyperRectangle([0.1, 0.1, 0.1, 0.1], [0.3, 0.2, 0.4, 0.2]))
+>>> index.insert(2, HyperRectangle([0.6, 0.5, 0.7, 0.6], [0.9, 0.8, 0.9, 0.9]))
+>>> sorted(index.query(HyperRectangle([0.0, 0.0, 0.0, 0.0],
+...                                   [0.5, 0.5, 0.5, 0.5]),
+...                    SpatialRelation.INTERSECTS).tolist())
+[1]
+"""
+
+from repro.geometry import HyperRectangle, Interval, SpatialRelation
+from repro.core import (
+    AdaptiveClusteringConfig,
+    AdaptiveClusteringIndex,
+    ClusterSignature,
+    ClusteringFunction,
+    CostParameters,
+    QueryExecution,
+    StorageScenario,
+    SystemCostConstants,
+    VariationInterval,
+    load_index,
+    save_index,
+)
+from repro.baselines import RStarTree, RStarTreeConfig, SequentialScan
+from repro.storage import MemoryStorage, SimulatedDisk
+from repro.workloads import (
+    Dataset,
+    QueryWorkload,
+    generate_point_queries,
+    generate_query_workload,
+    generate_skewed_dataset,
+    generate_uniform_dataset,
+)
+from repro.evaluation import (
+    ExperimentHarness,
+    ExperimentResult,
+    MethodResult,
+    format_experiment_result,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # geometry
+    "HyperRectangle",
+    "Interval",
+    "SpatialRelation",
+    # core
+    "AdaptiveClusteringIndex",
+    "AdaptiveClusteringConfig",
+    "ClusterSignature",
+    "ClusteringFunction",
+    "VariationInterval",
+    "CostParameters",
+    "SystemCostConstants",
+    "StorageScenario",
+    "QueryExecution",
+    "save_index",
+    "load_index",
+    # baselines
+    "SequentialScan",
+    "RStarTree",
+    "RStarTreeConfig",
+    # storage
+    "MemoryStorage",
+    "SimulatedDisk",
+    # workloads
+    "Dataset",
+    "QueryWorkload",
+    "generate_uniform_dataset",
+    "generate_skewed_dataset",
+    "generate_query_workload",
+    "generate_point_queries",
+    # evaluation
+    "ExperimentHarness",
+    "ExperimentResult",
+    "MethodResult",
+    "format_experiment_result",
+    "__version__",
+]

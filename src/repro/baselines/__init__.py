@@ -1,0 +1,18 @@
+"""Competitor access methods used by the paper's evaluation (Section 7).
+
+* :class:`~repro.baselines.sequential_scan.SequentialScan` — the reference
+  the paper guarantees to beat on average: a single always-explored cluster.
+* :class:`~repro.baselines.rtree.RStarTree` — the R*-tree of Beckmann et
+  al. (1990), the most successful R-tree variant supporting extended
+  objects, configured with the paper's 16 KB node pages and 70 % storage
+  utilization.
+
+Both expose the same ``insert`` / ``delete`` / ``query_with_stats``
+interface as :class:`~repro.core.index.AdaptiveClusteringIndex` so the
+evaluation harness can drive the three methods identically.
+"""
+
+from repro.baselines.sequential_scan import SequentialScan
+from repro.baselines.rtree import RStarTree, RStarTreeConfig
+
+__all__ = ["SequentialScan", "RStarTree", "RStarTreeConfig"]

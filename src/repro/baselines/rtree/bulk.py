@@ -1,0 +1,87 @@
+"""STR (Sort-Tile-Recursive) bulk loading for the R*-tree.
+
+The paper inserts objects one by one, but building a 10⁵–10⁶ object tree by
+dynamic insertion is far too slow in pure Python for the benchmark harness.
+STR packing [Leutenegger et al. 1997] produces a tree of at least comparable
+quality (better-clustered leaves, ~100 % space utilisation) so using it for
+benchmark set-up is conservative with respect to the paper's conclusion that
+the R*-tree loses to both Sequential Scan and the adaptive clustering in
+high dimensions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.rtree.config import RStarTreeConfig
+from repro.baselines.rtree.node import RTreeNode
+from repro.geometry.box import HyperRectangle
+
+
+def _partition_rows(
+    centers: np.ndarray, rows: np.ndarray, node_capacity: int, dimension: int
+) -> List[np.ndarray]:
+    """Recursively tile *rows* into groups of at most *node_capacity*."""
+    if rows.shape[0] <= node_capacity:
+        return [rows]
+    dimensions = centers.shape[1]
+    # Number of vertical "slabs" along the current dimension.
+    leaves_needed = math.ceil(rows.shape[0] / node_capacity)
+    remaining_dims = max(dimensions - dimension, 1)
+    slabs = max(1, math.ceil(leaves_needed ** (1.0 / remaining_dims)))
+    slab_size = math.ceil(rows.shape[0] / slabs)
+
+    order = rows[np.argsort(centers[rows, dimension % dimensions], kind="stable")]
+    groups: List[np.ndarray] = []
+    for start in range(0, order.shape[0], slab_size):
+        slab = order[start : start + slab_size]
+        groups.extend(
+            _partition_rows(centers, slab, node_capacity, dimension + 1)
+        )
+    return groups
+
+
+def str_pack(
+    objects: Sequence[Tuple[int, HyperRectangle]], config: RStarTreeConfig
+) -> RTreeNode:
+    """Pack *objects* into an R-tree and return its root node."""
+    if not objects:
+        raise ValueError("cannot bulk-load an empty collection")
+    fill = max(2, int(config.max_entries * config.storage_utilization))
+
+    ids = np.array([object_id for object_id, _ in objects], dtype=np.int64)
+    lows = np.vstack([obj.lows for _, obj in objects])
+    highs = np.vstack([obj.highs for _, obj in objects])
+    centers = (lows + highs) / 2.0
+    rows = np.arange(ids.shape[0])
+
+    # Leaf level.
+    leaf_groups = _partition_rows(centers, rows, fill, dimension=0)
+    nodes: List[RTreeNode] = []
+    for group in leaf_groups:
+        leaf = RTreeNode(0, config.dimensions, config.max_entries)
+        for row in group:
+            leaf.add_leaf_entry(int(ids[row]), lows[row], highs[row])
+        nodes.append(leaf)
+
+    # Upper levels: pack nodes by the centres of their MBBs.
+    level = 1
+    while len(nodes) > 1:
+        node_centers = np.vstack(
+            [np.add(*node.mbb_bounds()) / 2.0 for node in nodes]
+        )
+        node_rows = np.arange(len(nodes))
+        groups = _partition_rows(node_centers, node_rows, fill, dimension=0)
+        parents: List[RTreeNode] = []
+        for group in groups:
+            parent = RTreeNode(level, config.dimensions, config.max_entries)
+            for row in group:
+                parent.add_child_entry(nodes[int(row)])
+            parents.append(parent)
+        nodes = parents
+        level += 1
+
+    return nodes[0]

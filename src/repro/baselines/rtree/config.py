@@ -1,0 +1,72 @@
+"""R*-tree configuration derived from the paper's page-size setting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost_model import object_size_bytes
+
+
+@dataclass(frozen=True)
+class RStarTreeConfig:
+    """Structural parameters of an R*-tree.
+
+    The defaults reproduce the paper's setup: 16 KB pages at 70 % storage
+    utilization, a 40 % minimum fill factor and forced reinsertion of 30 %
+    of a node's entries on the first overflow at each level.
+    """
+
+    #: Dimensionality of the indexed objects.
+    dimensions: int
+    #: Disk page size in bytes used to derive the node fan-out.
+    page_size_bytes: int = 16 * 1024
+    #: Fraction of the page considered usable (the paper assumes 70 %).
+    storage_utilization: float = 0.7
+    #: Minimum fill factor (fraction of the maximum fan-out).
+    min_fill_fraction: float = 0.4
+    #: Fraction of entries removed and reinserted on first overflow.
+    reinsert_fraction: float = 0.3
+    #: Number of candidate entries considered for the (expensive) minimum
+    #: overlap enlargement test of ChooseSubtree at the leaf level
+    #: (the R*-tree paper's "nearly minimum overlap cost" optimisation).
+    choose_subtree_candidates: int = 16
+
+    def __post_init__(self) -> None:
+        if self.dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        if self.page_size_bytes <= 0:
+            raise ValueError("page_size_bytes must be positive")
+        if not 0.0 < self.storage_utilization <= 1.0:
+            raise ValueError("storage_utilization must lie in (0, 1]")
+        if not 0.0 < self.min_fill_fraction <= 0.5:
+            raise ValueError("min_fill_fraction must lie in (0, 0.5]")
+        if not 0.0 < self.reinsert_fraction < 1.0:
+            raise ValueError("reinsert_fraction must lie in (0, 1)")
+        if self.choose_subtree_candidates < 1:
+            raise ValueError("choose_subtree_candidates must be at least 1")
+        if self.max_entries < 4:
+            raise ValueError(
+                "page size too small: a node must hold at least 4 entries "
+                f"(got {self.max_entries})"
+            )
+
+    @property
+    def entry_bytes(self) -> int:
+        """Size of one node entry (identifier / pointer plus 2·Nd endpoints)."""
+        return object_size_bytes(self.dimensions)
+
+    @property
+    def max_entries(self) -> int:
+        """``M`` — maximum entries per node (paper: 86 at 16 d, 35 at 40 d)."""
+        usable = int(self.page_size_bytes * self.storage_utilization)
+        return max(usable // self.entry_bytes, 1)
+
+    @property
+    def min_entries(self) -> int:
+        """``m`` — minimum entries per non-root node."""
+        return max(2, int(self.max_entries * self.min_fill_fraction))
+
+    @property
+    def reinsert_count(self) -> int:
+        """Number of entries removed by forced reinsertion."""
+        return max(1, int(self.max_entries * self.reinsert_fraction))

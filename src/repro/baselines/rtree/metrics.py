@@ -1,0 +1,73 @@
+"""Geometric measures used by the R*-tree insertion and split heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def area(lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+    """Volume ("area" in R-tree terminology) of boxes given as bound arrays.
+
+    Works for a single box (1-d arrays) or a batch (2-d arrays).
+    """
+    return np.prod(highs - lows, axis=-1)
+
+
+def margin(lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+    """Margin (sum of edge lengths) of boxes given as bound arrays."""
+    return np.sum(highs - lows, axis=-1)
+
+
+def enlarged_bounds(
+    lows: np.ndarray, highs: np.ndarray, new_low: np.ndarray, new_high: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Bounds of each box after enlarging it to cover ``[new_low, new_high]``."""
+    return np.minimum(lows, new_low), np.maximum(highs, new_high)
+
+
+def area_enlargement(
+    lows: np.ndarray, highs: np.ndarray, new_low: np.ndarray, new_high: np.ndarray
+) -> np.ndarray:
+    """Increase in area each box suffers to cover the new box."""
+    grown_lows, grown_highs = enlarged_bounds(lows, highs, new_low, new_high)
+    return area(grown_lows, grown_highs) - area(lows, highs)
+
+
+def pairwise_overlap(
+    lows_a: np.ndarray,
+    highs_a: np.ndarray,
+    lows_b: np.ndarray,
+    highs_b: np.ndarray,
+) -> np.ndarray:
+    """Overlap volume between corresponding rows of two box batches."""
+    inter_lows = np.maximum(lows_a, lows_b)
+    inter_highs = np.minimum(highs_a, highs_b)
+    extents = np.clip(inter_highs - inter_lows, 0.0, None)
+    return np.prod(extents, axis=-1)
+
+
+def overlap_with_set(
+    box_low: np.ndarray,
+    box_high: np.ndarray,
+    set_lows: np.ndarray,
+    set_highs: np.ndarray,
+    exclude: int = -1,
+) -> float:
+    """Total overlap volume of one box with a set of boxes.
+
+    Parameters
+    ----------
+    box_low, box_high:
+        Bounds of the probe box.
+    set_lows, set_highs:
+        Bounds of the set, shape ``(n, Nd)``.
+    exclude:
+        Row index to skip (the probe box itself), or ``-1`` to include all.
+    """
+    inter_lows = np.maximum(set_lows, box_low)
+    inter_highs = np.minimum(set_highs, box_high)
+    extents = np.clip(inter_highs - inter_lows, 0.0, None)
+    overlaps = np.prod(extents, axis=-1)
+    if 0 <= exclude < overlaps.shape[0]:
+        overlaps = np.delete(overlaps, exclude)
+    return float(overlaps.sum())

@@ -1,0 +1,191 @@
+"""R*-tree nodes.
+
+A node stores its entries column-wise (NumPy arrays of lower / upper
+bounds) so that the geometric computations of ChooseSubtree, the split
+algorithm and query filtering are vectorised.  Leaf entries carry object
+identifiers; internal entries carry child nodes whose bounds are the
+children's minimum bounding boxes, kept up to date by the tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.box import HyperRectangle
+
+
+class RTreeNode:
+    """One R*-tree node (a simulated disk page)."""
+
+    __slots__ = ("level", "dimensions", "capacity", "lows", "highs", "object_ids", "children", "count")
+
+    def __init__(self, level: int, dimensions: int, capacity: int) -> None:
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        #: Height of the node: 0 for leaves, increasing towards the root.
+        self.level = level
+        self.dimensions = dimensions
+        self.capacity = capacity
+        # One spare slot lets a node temporarily hold M + 1 entries while the
+        # overflow treatment decides between reinsertion and split.
+        self.lows = np.empty((capacity + 1, dimensions), dtype=np.float64)
+        self.highs = np.empty((capacity + 1, dimensions), dtype=np.float64)
+        #: Object identifiers (leaf nodes only).
+        self.object_ids = np.empty(capacity + 1, dtype=np.int64)
+        #: Child nodes (internal nodes only).
+        self.children: List["RTreeNode"] = []
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        """True for leaf nodes (level 0)."""
+        return self.level == 0
+
+    @property
+    def is_overflowing(self) -> bool:
+        """True when the node holds more than its capacity."""
+        return self.count > self.capacity
+
+    def __len__(self) -> int:
+        return self.count
+
+    # ------------------------------------------------------------------
+    # Entry access
+    # ------------------------------------------------------------------
+    def entry_lows(self) -> np.ndarray:
+        """Lower bounds of the live entries, shape ``(count, Nd)``."""
+        return self.lows[: self.count]
+
+    def entry_highs(self) -> np.ndarray:
+        """Upper bounds of the live entries, shape ``(count, Nd)``."""
+        return self.highs[: self.count]
+
+    def entry_ids(self) -> np.ndarray:
+        """Object identifiers of the live entries (leaf nodes)."""
+        return self.object_ids[: self.count]
+
+    def entry_box(self, index: int) -> HyperRectangle:
+        """The bounding box of entry *index*."""
+        if not 0 <= index < self.count:
+            raise IndexError(f"entry {index} out of range")
+        return HyperRectangle(self.lows[index], self.highs[index])
+
+    def mbb(self) -> HyperRectangle:
+        """Minimum bounding box of all live entries."""
+        if self.count == 0:
+            raise ValueError("an empty node has no bounding box")
+        return HyperRectangle(
+            self.entry_lows().min(axis=0), self.entry_highs().max(axis=0)
+        )
+
+    def mbb_bounds(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Minimum bounding box as ``(lows, highs)`` vectors."""
+        if self.count == 0:
+            raise ValueError("an empty node has no bounding box")
+        return self.entry_lows().min(axis=0), self.entry_highs().max(axis=0)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_leaf_entry(self, object_id: int, lows: np.ndarray, highs: np.ndarray) -> None:
+        """Append an object entry (leaf nodes only)."""
+        if not self.is_leaf:
+            raise ValueError("cannot add an object entry to an internal node")
+        self._check_space()
+        row = self.count
+        self.lows[row] = lows
+        self.highs[row] = highs
+        self.object_ids[row] = object_id
+        self.count += 1
+
+    def add_child_entry(self, child: "RTreeNode") -> None:
+        """Append a child entry (internal nodes only)."""
+        if self.is_leaf:
+            raise ValueError("cannot add a child entry to a leaf node")
+        if child.level != self.level - 1:
+            raise ValueError(
+                f"child level {child.level} does not fit under level {self.level}"
+            )
+        self._check_space()
+        row = self.count
+        child_lows, child_highs = child.mbb_bounds()
+        self.lows[row] = child_lows
+        self.highs[row] = child_highs
+        self.children.append(child)
+        self.count += 1
+
+    def remove_entries(self, indices: Sequence[int]) -> "list[tuple[np.ndarray, np.ndarray, object]]":
+        """Remove the entries at *indices*; return ``(lows, highs, payload)`` tuples.
+
+        The payload is the object identifier for leaves and the child node
+        for internal nodes.  Remaining entries are compacted in place.
+        """
+        index_set = set(int(i) for i in indices)
+        removed: "list[tuple[np.ndarray, np.ndarray, object]]" = []
+        keep_rows: List[int] = []
+        for row in range(self.count):
+            if row in index_set:
+                payload: object
+                if self.is_leaf:
+                    payload = int(self.object_ids[row])
+                else:
+                    payload = self.children[row]
+                removed.append((self.lows[row].copy(), self.highs[row].copy(), payload))
+            else:
+                keep_rows.append(row)
+        if len(removed) != len(index_set):
+            raise IndexError("some indices were out of range")
+        self._compact(keep_rows)
+        return removed
+
+    def update_child_bounds(self, child: "RTreeNode") -> None:
+        """Refresh the stored MBB of *child* after its contents changed."""
+        if self.is_leaf:
+            raise ValueError("leaf nodes have no children")
+        row = self.child_index(child)
+        child_lows, child_highs = child.mbb_bounds()
+        self.lows[row] = child_lows
+        self.highs[row] = child_highs
+
+    def child_index(self, child: "RTreeNode") -> int:
+        """Position of *child* among the node's entries."""
+        for row, candidate in enumerate(self.children):
+            if candidate is child:
+                return row
+        raise ValueError("node is not a child of this node")
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self.count = 0
+        self.children = []
+
+    # ------------------------------------------------------------------
+    def _check_space(self) -> None:
+        if self.count > self.capacity:
+            raise RuntimeError(
+                "node already overflowing; the tree must split or reinsert first"
+            )
+
+    def _compact(self, keep_rows: List[int]) -> None:
+        new_count = len(keep_rows)
+        if keep_rows:
+            rows = np.array(keep_rows, dtype=np.intp)
+            self.lows[:new_count] = self.lows[rows]
+            self.highs[:new_count] = self.highs[rows]
+            if self.is_leaf:
+                self.object_ids[:new_count] = self.object_ids[rows]
+            else:
+                self.children = [self.children[row] for row in keep_rows]
+        else:
+            if not self.is_leaf:
+                self.children = []
+        self.count = new_count
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
+        return f"RTreeNode({kind}, entries={self.count}/{self.capacity})"

@@ -1,0 +1,149 @@
+"""The R*-tree topological split (Beckmann et al. 1990, Section 4.2).
+
+Given the ``M + 1`` entries of an overflowing node the split proceeds in
+two steps:
+
+* **ChooseSplitAxis** — for every axis, the entries are sorted by their
+  lower and by their upper bound; for each of the ``M - 2m + 2`` admissible
+  distributions of each sorting the *margin* of the two groups' bounding
+  boxes is computed, and the axis with the smallest margin sum is chosen.
+* **ChooseSplitIndex** — along the chosen axis, the distribution with the
+  smallest *overlap* between the two bounding boxes is selected, resolving
+  ties by the smallest total *area*.
+
+The functions below work directly on bound arrays and return the row
+indices of the two groups, so the same code serves leaf and internal nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.baselines.rtree.metrics import area, margin, pairwise_overlap
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """Outcome of the split algorithm: the two groups of entry rows."""
+
+    group_one: np.ndarray
+    group_two: np.ndarray
+    axis: int
+    overlap: float
+    total_area: float
+
+
+def _group_bounds_for_order(
+    lows: np.ndarray, highs: np.ndarray, order: np.ndarray, min_entries: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Prefix / suffix bounding boxes for every admissible distribution.
+
+    Returns ``(split_positions, first_lows, first_highs, second_lows,
+    second_highs)`` where distribution ``i`` puts ``split_positions[i]``
+    entries (in sort order) in the first group.
+    """
+    total = order.shape[0]
+    sorted_lows = lows[order]
+    sorted_highs = highs[order]
+
+    prefix_lows = np.minimum.accumulate(sorted_lows, axis=0)
+    prefix_highs = np.maximum.accumulate(sorted_highs, axis=0)
+    suffix_lows = np.minimum.accumulate(sorted_lows[::-1], axis=0)[::-1]
+    suffix_highs = np.maximum.accumulate(sorted_highs[::-1], axis=0)[::-1]
+
+    split_positions = np.arange(min_entries, total - min_entries + 1)
+    first_lows = prefix_lows[split_positions - 1]
+    first_highs = prefix_highs[split_positions - 1]
+    second_lows = suffix_lows[split_positions]
+    second_highs = suffix_highs[split_positions]
+    return split_positions, first_lows, first_highs, second_lows, second_highs
+
+
+def _margin_sum_for_axis(
+    lows: np.ndarray, highs: np.ndarray, axis: int, min_entries: int
+) -> float:
+    """Sum of group margins over all distributions of both sortings."""
+    total_margin = 0.0
+    for order in _axis_orders(lows, highs, axis):
+        _, f_lows, f_highs, s_lows, s_highs = _group_bounds_for_order(
+            lows, highs, order, min_entries
+        )
+        total_margin += float(margin(f_lows, f_highs).sum())
+        total_margin += float(margin(s_lows, s_highs).sum())
+    return total_margin
+
+
+def _axis_orders(lows: np.ndarray, highs: np.ndarray, axis: int) -> "tuple[np.ndarray, np.ndarray]":
+    """The two sort orders of one axis: by lower bound and by upper bound."""
+    by_low = np.lexsort((highs[:, axis], lows[:, axis]))
+    by_high = np.lexsort((lows[:, axis], highs[:, axis]))
+    return by_low, by_high
+
+
+def choose_split_axis(lows: np.ndarray, highs: np.ndarray, min_entries: int) -> int:
+    """Return the axis with the minimum margin sum."""
+    dimensions = lows.shape[1]
+    best_axis = 0
+    best_margin = np.inf
+    for axis in range(dimensions):
+        axis_margin = _margin_sum_for_axis(lows, highs, axis, min_entries)
+        if axis_margin < best_margin:
+            best_margin = axis_margin
+            best_axis = axis
+    return best_axis
+
+
+def choose_split_index(
+    lows: np.ndarray, highs: np.ndarray, axis: int, min_entries: int
+) -> Tuple[np.ndarray, np.ndarray, float, float]:
+    """Pick the distribution with minimum overlap (ties: minimum area)."""
+    best: "tuple[float, float] | None" = None
+    best_groups: "tuple[np.ndarray, np.ndarray] | None" = None
+    for order in _axis_orders(lows, highs, axis):
+        positions, f_lows, f_highs, s_lows, s_highs = _group_bounds_for_order(
+            lows, highs, order, min_entries
+        )
+        overlaps = pairwise_overlap(f_lows, f_highs, s_lows, s_highs)
+        areas = area(f_lows, f_highs) + area(s_lows, s_highs)
+        for i, position in enumerate(positions):
+            key = (float(overlaps[i]), float(areas[i]))
+            if best is None or key < best:
+                best = key
+                best_groups = (
+                    order[:position].copy(),
+                    order[position:].copy(),
+                )
+    assert best is not None and best_groups is not None  # total >= 2 * min_entries
+    return best_groups[0], best_groups[1], best[0], best[1]
+
+
+def rstar_split(
+    lows: np.ndarray, highs: np.ndarray, min_entries: int
+) -> SplitDecision:
+    """Split a set of entries into two groups following the R* heuristics.
+
+    Parameters
+    ----------
+    lows, highs:
+        Bound arrays of the ``M + 1`` entries to distribute.
+    min_entries:
+        Minimum number of entries per group (``m``).
+    """
+    total = lows.shape[0]
+    if total < 2:
+        raise ValueError("cannot split fewer than two entries")
+    min_entries = max(1, min(min_entries, total // 2))
+    axis = choose_split_axis(lows, highs, min_entries)
+    group_one, group_two, overlap, total_area = choose_split_index(
+        lows, highs, axis, min_entries
+    )
+    return SplitDecision(
+        group_one=group_one,
+        group_two=group_two,
+        axis=axis,
+        overlap=overlap,
+        total_area=total_area,
+    )

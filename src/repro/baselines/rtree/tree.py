@@ -1,0 +1,518 @@
+"""The R*-tree access method.
+
+Implements dynamic insertion (ChooseSubtree, forced reinsertion, R* split),
+deletion with tree condensation, and spatial queries returning the same
+:class:`~repro.core.statistics.QueryExecution` counters as the other access
+methods.  Large datasets can also be bulk-loaded with the STR packing in
+:mod:`repro.baselines.rtree.bulk`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.baselines.rtree.config import RStarTreeConfig
+from repro.baselines.rtree.metrics import (
+    area,
+    area_enlargement,
+    overlap_with_set,
+)
+from repro.baselines.rtree.node import RTreeNode
+from repro.baselines.rtree.split import rstar_split
+from repro.core.cost_model import CostParameters, StorageScenario
+from repro.core.statistics import QueryExecution
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+from repro.geometry.vectorized import matching_mask
+
+
+class RStarTree:
+    """R*-tree over multidimensional extended objects."""
+
+    def __init__(
+        self,
+        dimensions: Optional[int] = None,
+        config: Optional[RStarTreeConfig] = None,
+        cost: Optional[CostParameters] = None,
+    ) -> None:
+        """Create an empty tree.
+
+        Parameters
+        ----------
+        dimensions:
+            Dimensionality of the data space (optional when *config* is
+            given).
+        config:
+            Structural parameters; defaults to the paper's 16 KB pages.
+        cost:
+            Cost parameters used to report byte counts; defaults to the
+            in-memory scenario.
+        """
+        if config is None:
+            if dimensions is None:
+                raise ValueError("either dimensions or config must be provided")
+            config = RStarTreeConfig(dimensions=dimensions)
+        elif dimensions is not None and dimensions != config.dimensions:
+            raise ValueError("dimensions disagrees with config")
+        self.config = config
+        self._cost = cost or CostParameters.memory_defaults(config.dimensions)
+        self._root = RTreeNode(0, config.dimensions, config.max_entries)
+        self._object_boxes: Dict[int, HyperRectangle] = {}
+        self._reinserted_levels: Set[int] = set()
+        self._bulk_loaded = False
+
+    # ==================================================================
+    # Introspection
+    # ==================================================================
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the data space."""
+        return self.config.dimensions
+
+    @property
+    def n_objects(self) -> int:
+        """Number of indexed objects."""
+        return len(self._object_boxes)
+
+    @property
+    def height(self) -> int:
+        """Height of the tree (a single leaf root has height 1)."""
+        return self._root.level + 1
+
+    @property
+    def root(self) -> RTreeNode:
+        """The root node."""
+        return self._root
+
+    def __len__(self) -> int:
+        return self.n_objects
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._object_boxes
+
+    def node_count(self) -> int:
+        """Total number of nodes (pages) in the tree."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def leaf_count(self) -> int:
+        """Number of leaf nodes."""
+        return sum(1 for node in self.iter_nodes() if node.is_leaf)
+
+    def iter_nodes(self) -> Iterable[RTreeNode]:
+        """Iterate over every node, parents before children."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    # ==================================================================
+    # Insertion
+    # ==================================================================
+    def insert(self, object_id: int, obj: HyperRectangle) -> None:
+        """Insert one object (R*-tree dynamic insertion)."""
+        if obj.dimensions != self.dimensions:
+            raise ValueError(
+                f"object has {obj.dimensions} dimensions, expected {self.dimensions}"
+            )
+        if object_id in self._object_boxes:
+            raise KeyError(f"object {object_id} is already indexed")
+        self._object_boxes[object_id] = obj
+        self._reinserted_levels = set()
+        self._insert_entry(obj.lows.copy(), obj.highs.copy(), int(object_id), level=0)
+
+    def bulk_load(self, objects: Iterable[Tuple[int, HyperRectangle]]) -> int:
+        """Bulk-load objects with STR packing (only into an empty tree)."""
+        from repro.baselines.rtree.bulk import str_pack
+
+        pairs = list(objects)
+        if not pairs:
+            return 0
+        if self.n_objects:
+            raise ValueError("bulk_load requires an empty tree")
+        for object_id, obj in pairs:
+            if obj.dimensions != self.dimensions:
+                raise ValueError("object dimensionality mismatch")
+            if object_id in self._object_boxes:
+                raise KeyError(f"duplicate object id {object_id}")
+            self._object_boxes[int(object_id)] = obj
+        self._root = str_pack(pairs, self.config)
+        self._bulk_loaded = True
+        return len(pairs)
+
+    # ------------------------------------------------------------------
+    def _insert_entry(
+        self, lows: np.ndarray, highs: np.ndarray, payload: object, level: int
+    ) -> None:
+        path = self._choose_path(lows, highs, level)
+        node = path[-1]
+        if level == 0:
+            node.add_leaf_entry(int(payload), lows, highs)
+        else:
+            node.add_child_entry(payload)  # type: ignore[arg-type]
+        self._update_path_bounds(path)
+        self._handle_overflow(path, len(path) - 1)
+
+    def _choose_path(
+        self, lows: np.ndarray, highs: np.ndarray, level: int
+    ) -> List[RTreeNode]:
+        """Descend from the root to the node at *level* chosen for the entry."""
+        path = [self._root]
+        node = self._root
+        while node.level > level:
+            child_row = self._choose_subtree(node, lows, highs)
+            node = node.children[child_row]
+            path.append(node)
+        return path
+
+    def _choose_subtree(
+        self, node: RTreeNode, lows: np.ndarray, highs: np.ndarray
+    ) -> int:
+        """R* ChooseSubtree: pick the child entry row to descend into."""
+        entry_lows = node.entry_lows()
+        entry_highs = node.entry_highs()
+        enlargements = area_enlargement(entry_lows, entry_highs, lows, highs)
+        areas = area(entry_lows, entry_highs)
+
+        if node.level == 1:
+            # Children are leaves: minimise overlap enlargement, computed for
+            # the `choose_subtree_candidates` entries with the smallest area
+            # enlargement (the "nearly minimum overlap cost" optimisation).
+            candidate_count = min(
+                self.config.choose_subtree_candidates, node.count
+            )
+            candidate_rows = np.argsort(enlargements, kind="stable")[:candidate_count]
+            best_row = int(candidate_rows[0])
+            best_key: Optional[Tuple[float, float, float]] = None
+            for row in candidate_rows:
+                row = int(row)
+                before = overlap_with_set(
+                    entry_lows[row], entry_highs[row], entry_lows, entry_highs, exclude=row
+                )
+                grown_low = np.minimum(entry_lows[row], lows)
+                grown_high = np.maximum(entry_highs[row], highs)
+                after = overlap_with_set(
+                    grown_low, grown_high, entry_lows, entry_highs, exclude=row
+                )
+                key = (after - before, float(enlargements[row]), float(areas[row]))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_row = row
+            return best_row
+
+        # Children are internal nodes: minimise area enlargement, ties by area.
+        order = np.lexsort((areas, enlargements))
+        return int(order[0])
+
+    def _update_path_bounds(self, path: List[RTreeNode]) -> None:
+        for depth in range(len(path) - 1, 0, -1):
+            path[depth - 1].update_child_bounds(path[depth])
+
+    # ------------------------------------------------------------------
+    def _handle_overflow(self, path: List[RTreeNode], depth: int) -> None:
+        node = path[depth]
+        if not node.is_overflowing:
+            return
+        if depth == 0:
+            self._split_root()
+            return
+        if node.level not in self._reinserted_levels:
+            self._reinserted_levels.add(node.level)
+            self._force_reinsert(node, path[: depth + 1])
+            return
+        self._split_node(path, depth)
+
+    def _force_reinsert(self, node: RTreeNode, path: List[RTreeNode]) -> None:
+        """Remove the entries farthest from the node centre and reinsert them."""
+        entry_lows = node.entry_lows()
+        entry_highs = node.entry_highs()
+        node_low, node_high = node.mbb_bounds()
+        node_center = (node_low + node_high) / 2.0
+        centers = (entry_lows + entry_highs) / 2.0
+        distances = np.linalg.norm(centers - node_center, axis=1)
+        count = min(self.config.reinsert_count, node.count - 1)
+        farthest = np.argsort(distances, kind="stable")[::-1][:count]
+        removed = node.remove_entries([int(i) for i in farthest])
+        self._update_path_bounds(path)
+        # Close reinsert: entries closest to the centre first.
+        removed.reverse()
+        for lows, highs, payload in removed:
+            if node.is_leaf:
+                self._insert_entry(lows, highs, payload, level=0)
+            else:
+                self._insert_entry(lows, highs, payload, level=node.level)
+
+    def _split_node(self, path: List[RTreeNode], depth: int) -> None:
+        node = path[depth]
+        sibling = self._split_into_sibling(node)
+        parent = path[depth - 1]
+        parent.update_child_bounds(node)
+        parent.add_child_entry(sibling)
+        self._update_path_bounds(path[:depth])
+        self._handle_overflow(path, depth - 1)
+
+    def _split_root(self) -> None:
+        old_root = self._root
+        sibling = self._split_into_sibling(old_root)
+        new_root = RTreeNode(
+            old_root.level + 1, self.dimensions, self.config.max_entries
+        )
+        new_root.add_child_entry(old_root)
+        new_root.add_child_entry(sibling)
+        self._root = new_root
+
+    def _split_into_sibling(self, node: RTreeNode) -> RTreeNode:
+        """Distribute the node's entries R*-style; return the new sibling."""
+        lows = node.entry_lows().copy()
+        highs = node.entry_highs().copy()
+        if node.is_leaf:
+            payloads: List[object] = [int(i) for i in node.entry_ids()]
+        else:
+            payloads = list(node.children)
+        decision = rstar_split(lows, highs, self.config.min_entries)
+
+        sibling = RTreeNode(node.level, self.dimensions, self.config.max_entries)
+        node.clear()
+        for row in decision.group_one:
+            self._append_raw(node, lows[row], highs[row], payloads[int(row)])
+        for row in decision.group_two:
+            self._append_raw(sibling, lows[row], highs[row], payloads[int(row)])
+        return sibling
+
+    @staticmethod
+    def _append_raw(
+        node: RTreeNode, lows: np.ndarray, highs: np.ndarray, payload: object
+    ) -> None:
+        if node.is_leaf:
+            node.add_leaf_entry(int(payload), lows, highs)
+        else:
+            node.add_child_entry(payload)  # type: ignore[arg-type]
+
+    # ==================================================================
+    # Deletion
+    # ==================================================================
+    def delete(self, object_id: int) -> bool:
+        """Remove an object; returns ``False`` when it was not indexed."""
+        obj = self._object_boxes.pop(object_id, None)
+        if obj is None:
+            return False
+        path = self._find_leaf(self._root, [], object_id, obj.lows, obj.highs)
+        if path is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"object {object_id} tracked but not found in the tree")
+        leaf = path[-1]
+        rows = np.flatnonzero(leaf.entry_ids() == object_id)
+        leaf.remove_entries([int(rows[0])])
+        self._condense(path)
+        return True
+
+    def _find_leaf(
+        self,
+        node: RTreeNode,
+        path: List[RTreeNode],
+        object_id: int,
+        lows: np.ndarray,
+        highs: np.ndarray,
+    ) -> Optional[List[RTreeNode]]:
+        path = path + [node]
+        if node.is_leaf:
+            if np.any(node.entry_ids() == object_id):
+                return path
+            return None
+        entry_lows = node.entry_lows()
+        entry_highs = node.entry_highs()
+        covers = np.all((entry_lows <= lows) & (highs <= entry_highs), axis=1)
+        for row in np.flatnonzero(covers):
+            found = self._find_leaf(node.children[int(row)], path, object_id, lows, highs)
+            if found is not None:
+                return found
+        return None
+
+    def _condense(self, path: List[RTreeNode]) -> None:
+        """Propagate underflows upward, collecting orphaned entries."""
+        orphans: List[Tuple[np.ndarray, np.ndarray, object, int]] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            if node.count < self.config.min_entries:
+                row = parent.child_index(node)
+                parent.remove_entries([row])
+                level = node.level
+                for entry_row in range(node.count):
+                    payload: object
+                    if node.is_leaf:
+                        payload = int(node.object_ids[entry_row])
+                    else:
+                        payload = node.children[entry_row]
+                    orphans.append(
+                        (
+                            node.lows[entry_row].copy(),
+                            node.highs[entry_row].copy(),
+                            payload,
+                            level,
+                        )
+                    )
+            elif parent.count:
+                parent.update_child_bounds(node)
+        # Shrink the root if it became a trivial internal node.
+        while not self._root.is_leaf and self._root.count == 1:
+            self._root = self._root.children[0]
+        if not self._root.is_leaf and self._root.count == 0:  # pragma: no cover
+            self._root = RTreeNode(0, self.dimensions, self.config.max_entries)
+
+        self._reinserted_levels = set()
+        for lows, highs, payload, level in orphans:
+            if level == 0:
+                self._insert_entry(lows, highs, payload, level=0)
+            else:
+                # The orphaned payload is a subtree rooted at ``level - 1``;
+                # it must become the entry of a node at ``level``.
+                if self._root.level < level:
+                    # The tree shrank below the subtree's level; re-add its
+                    # descendants individually at leaf level.
+                    for leaf_entry in self._collect_leaf_entries(payload):  # type: ignore[arg-type]
+                        self._insert_entry(*leaf_entry, level=0)
+                else:
+                    self._insert_entry(lows, highs, payload, level=level)
+
+    def _collect_leaf_entries(
+        self, node: RTreeNode
+    ) -> List[Tuple[np.ndarray, np.ndarray, int]]:
+        entries: List[Tuple[np.ndarray, np.ndarray, int]] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                for row in range(current.count):
+                    entries.append(
+                        (
+                            current.lows[row].copy(),
+                            current.highs[row].copy(),
+                            int(current.object_ids[row]),
+                        )
+                    )
+            else:
+                stack.extend(current.children)
+        return entries
+
+    # ==================================================================
+    # Query execution
+    # ==================================================================
+    def query(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> np.ndarray:
+        """Return the ids of the objects satisfying *relation* w.r.t. *query*."""
+        results, _ = self.query_with_stats(query, relation)
+        return results
+
+    def query_with_stats(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> Tuple[np.ndarray, QueryExecution]:
+        """Execute a spatial selection and return ``(object_ids, QueryExecution)``."""
+        relation = SpatialRelation.parse(relation)
+        if query.dimensions != self.dimensions:
+            raise ValueError(
+                f"query has {query.dimensions} dimensions, expected {self.dimensions}"
+            )
+        start = time.perf_counter()
+        execution = QueryExecution()
+        matches: List[np.ndarray] = []
+        q_lows = query.lows
+        q_highs = query.highs
+        disk = self._cost.scenario is StorageScenario.DISK
+        object_bytes = self._cost.object_bytes
+
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            execution.groups_explored += 1
+            if disk:
+                execution.random_accesses += 1
+            if node.is_leaf:
+                execution.objects_verified += node.count
+                execution.bytes_read += node.count * object_bytes
+                if node.count:
+                    mask = matching_mask(
+                        node.entry_lows(), node.entry_highs(), query, relation
+                    )
+                    found = node.entry_ids()[mask]
+                    if found.size:
+                        matches.append(found.copy())
+                continue
+            execution.signature_checks += node.count
+            execution.bytes_read += node.count * object_bytes
+            entry_lows = node.entry_lows()
+            entry_highs = node.entry_highs()
+            if relation is SpatialRelation.CONTAINS:
+                visit = np.all((entry_lows <= q_lows) & (q_highs <= entry_highs), axis=1)
+            else:
+                visit = np.all((entry_lows <= q_highs) & (q_lows <= entry_highs), axis=1)
+            for row in np.flatnonzero(visit):
+                stack.append(node.children[int(row)])
+
+        results = (
+            np.concatenate(matches) if matches else np.empty(0, dtype=np.int64)
+        )
+        execution.results = int(results.size)
+        execution.wall_time_ms = (time.perf_counter() - start) * 1000.0
+        return results, execution
+
+    # ==================================================================
+    # Diagnostics
+    # ==================================================================
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raises :class:`AssertionError` on failure."""
+        leaf_levels: Set[int] = set()
+        total_objects = 0
+        stack: List[Tuple[RTreeNode, Optional[HyperRectangle], bool]] = [
+            (self._root, None, True)
+        ]
+        while stack:
+            node, parent_mbb, is_root = stack.pop()
+            if node.count == 0 and not is_root:
+                raise AssertionError("non-root node with zero entries")
+            if (
+                not is_root
+                and not self._bulk_loaded
+                and node.count < self.config.min_entries
+            ):
+                # STR-packed trees may leave a trailing node under-filled;
+                # dynamically built trees must respect the minimum fill.
+                raise AssertionError(
+                    f"node underflow: {node.count} < {self.config.min_entries}"
+                )
+            if node.count > self.config.max_entries:
+                raise AssertionError(
+                    f"node overflow: {node.count} > {self.config.max_entries}"
+                )
+            if node.count and parent_mbb is not None:
+                node_mbb = node.mbb()
+                if not parent_mbb.contains(node_mbb):
+                    raise AssertionError("parent entry does not cover child MBB")
+            if node.is_leaf:
+                leaf_levels.add(node.level)
+                total_objects += node.count
+            else:
+                for row, child in enumerate(node.children):
+                    if child.level != node.level - 1:
+                        raise AssertionError("child level mismatch")
+                    stack.append((child, node.entry_box(row), False))
+        if leaf_levels and leaf_levels != {0}:
+            raise AssertionError("leaves found at non-zero levels")
+        if total_objects != self.n_objects:
+            raise AssertionError(
+                f"tree stores {total_objects} objects, map tracks {self.n_objects}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"RStarTree(dimensions={self.dimensions}, objects={self.n_objects}, "
+            f"height={self.height}, nodes={self.node_count()})"
+        )

@@ -1,0 +1,170 @@
+"""Command-line experiment runner.
+
+``repro-experiments`` (or ``python -m repro.cli``) regenerates the paper's
+figures and tables from the terminal::
+
+    repro-experiments fig7 --scenario memory --objects 20000
+    repro-experiments fig8 --scenario disk --objects 5000
+    repro-experiments point-enclosing --scenario memory
+    repro-experiments ablation-division-factor
+
+Every command prints the paper-style report produced by
+:func:`repro.evaluation.reporting.format_experiment_result` and optionally
+writes it to a file with ``--output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.cost_model import StorageScenario
+from repro.evaluation.experiments import (
+    PAPER_DIMENSIONALITIES,
+    PAPER_SELECTIVITIES,
+    ablation_disk_access_time,
+    ablation_division_factor,
+    ablation_reorganization_period,
+    dimensionality_sweep,
+    point_enclosing_experiment,
+    selectivity_sweep,
+)
+from repro.evaluation.reporting import format_experiment_result
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        choices=[scenario.value for scenario in StorageScenario],
+        default=StorageScenario.MEMORY.value,
+        help="storage scenario of the cost model (default: memory)",
+    )
+    parser.add_argument("--objects", type=int, default=None, help="database size")
+    parser.add_argument("--queries", type=int, default=None, help="measured queries per point")
+    parser.add_argument("--warmup", type=int, default=None, help="warm-up queries")
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument("--output", type=str, default=None, help="write the report to this file")
+
+
+def _collect_kwargs(args: argparse.Namespace, mapping: Dict[str, str]) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {}
+    for cli_name, kw_name in mapping.items():
+        value = getattr(args, cli_name, None)
+        if value is not None:
+            kwargs[kw_name] = value
+    return kwargs
+
+
+def _run_fig7(args: argparse.Namespace):
+    kwargs = _collect_kwargs(
+        args,
+        {
+            "objects": "object_count",
+            "queries": "queries_per_point",
+            "warmup": "warmup_queries",
+            "seed": "seed",
+        },
+    )
+    return selectivity_sweep(scenario=args.scenario, **kwargs)
+
+
+def _run_fig8(args: argparse.Namespace):
+    kwargs = _collect_kwargs(
+        args,
+        {
+            "objects": "object_count",
+            "queries": "queries_per_point",
+            "warmup": "warmup_queries",
+            "seed": "seed",
+        },
+    )
+    return dimensionality_sweep(scenario=args.scenario, **kwargs)
+
+
+def _run_point_enclosing(args: argparse.Namespace):
+    kwargs = _collect_kwargs(
+        args,
+        {
+            "objects": "object_count",
+            "queries": "queries",
+            "warmup": "warmup_queries",
+            "seed": "seed",
+        },
+    )
+    return point_enclosing_experiment(scenario=args.scenario, **kwargs)
+
+
+def _run_ablation_division_factor(args: argparse.Namespace):
+    kwargs = _collect_kwargs(
+        args,
+        {"objects": "object_count", "queries": "queries", "warmup": "warmup_queries", "seed": "seed"},
+    )
+    return ablation_division_factor(scenario=args.scenario, **kwargs)
+
+
+def _run_ablation_reorganization(args: argparse.Namespace):
+    kwargs = _collect_kwargs(
+        args,
+        {"objects": "object_count", "queries": "queries", "warmup": "warmup_queries", "seed": "seed"},
+    )
+    return ablation_reorganization_period(scenario=args.scenario, **kwargs)
+
+
+def _run_ablation_disk_access(args: argparse.Namespace):
+    kwargs = _collect_kwargs(
+        args,
+        {"objects": "object_count", "queries": "queries", "warmup": "warmup_queries", "seed": "seed"},
+    )
+    return ablation_disk_access_time(**kwargs)
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "point-enclosing": _run_point_enclosing,
+    "ablation-division-factor": _run_ablation_division_factor,
+    "ablation-reorganization-period": _run_ablation_reorganization,
+    "ablation-disk-access-time": _run_ablation_disk_access,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the command-line parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's evaluation figures and tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    descriptions = {
+        "fig7": "Fig. 7: uniform workload, varying query selectivity "
+        f"(paper values: {', '.join(f'{s:g}' for s in PAPER_SELECTIVITIES)})",
+        "fig8": "Fig. 8: skewed workload, varying dimensionality "
+        f"({', '.join(str(d) for d in PAPER_DIMENSIONALITIES)})",
+        "point-enclosing": "Section 7.2: point-enclosing queries",
+        "ablation-division-factor": "Ablation: clustering function division factor",
+        "ablation-reorganization-period": "Ablation: reorganization period",
+        "ablation-disk-access-time": "Ablation: disk access time sensitivity",
+    }
+    for name, runner in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=descriptions.get(name, name))
+        _add_common_arguments(sub)
+        sub.set_defaults(runner=runner)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-experiments``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    result = args.runner(args)
+    report = format_experiment_result(result)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

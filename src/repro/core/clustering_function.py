@@ -1,0 +1,172 @@
+"""The clustering function (Section 4.2).
+
+Given the signature of a database cluster, the clustering function produces
+the signatures of its *candidate sub-clusters*.  The paper's instantiation
+works one dimension at a time: both variation intervals of the selected
+dimension are divided into ``f`` sub-intervals (``f`` is the *division
+factor*), and every combination of a start sub-interval with an end
+sub-interval yields one candidate signature (the other dimensions keep the
+parent's constraints).
+
+Combinations that cannot host any valid interval (``a ≤ b`` impossible,
+i.e. the start sub-interval lies entirely above the end sub-interval) are
+discarded; when the two variation intervals coincide this leaves the
+``f (f + 1) / 2`` distinct combinations the paper notes, instead of ``f²``.
+The number of candidates therefore stays **linear in the number of
+dimensions** — at most ``Nd · f²``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.signature import ClusterSignature, VariationInterval
+
+
+@dataclass(frozen=True)
+class CandidateDescriptor:
+    """One candidate sub-cluster produced by the clustering function.
+
+    A candidate differs from its parent signature in exactly one dimension
+    (``dimension``), whose variation intervals are replaced by
+    ``[start_low, start_high]`` / ``[end_low, end_high]``.
+    """
+
+    dimension: int
+    start_low: float
+    start_high: float
+    end_low: float
+    end_high: float
+
+    def variation(self) -> VariationInterval:
+        """Return the candidate's constraint for its refined dimension."""
+        return VariationInterval(
+            self.start_low, self.start_high, self.end_low, self.end_high
+        )
+
+    def signature(self, parent: ClusterSignature) -> ClusterSignature:
+        """Materialize the candidate's full signature from the parent's."""
+        return parent.with_dimension(self.dimension, self.variation())
+
+
+def _split_interval(low: float, high: float, parts: int) -> List[Tuple[float, float]]:
+    """Split ``[low, high]`` into *parts* consecutive sub-intervals."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if high < low:
+        raise ValueError("high must be >= low")
+    edges = np.linspace(low, high, parts + 1)
+    return [(float(edges[i]), float(edges[i + 1])) for i in range(parts)]
+
+
+class ClusteringFunction:
+    """Generates candidate sub-cluster descriptors for a cluster signature.
+
+    Parameters
+    ----------
+    division_factor:
+        ``f`` — number of sub-intervals each variation interval is divided
+        into (the paper uses 4).
+    domain_low, domain_high:
+        Bounds of the normalised data domain (``[0, 1]`` in the paper).
+    """
+
+    def __init__(
+        self,
+        division_factor: int = 4,
+        domain_low: float = 0.0,
+        domain_high: float = 1.0,
+    ) -> None:
+        if division_factor < 2:
+            raise ValueError("division_factor must be at least 2")
+        if domain_high <= domain_low:
+            raise ValueError("domain_high must be greater than domain_low")
+        self.division_factor = division_factor
+        self.domain_low = domain_low
+        self.domain_high = domain_high
+
+    # ------------------------------------------------------------------
+    def candidates_for(self, signature: ClusterSignature) -> List[CandidateDescriptor]:
+        """Return the candidate descriptors for *signature*.
+
+        The result excludes combinations that cannot host a valid interval
+        and combinations identical to the parent's own constraint (which
+        would produce a candidate equal to the cluster itself).
+        """
+        descriptors: List[CandidateDescriptor] = []
+        for dimension in range(signature.dimensions):
+            descriptors.extend(self._candidates_for_dimension(signature, dimension))
+        return descriptors
+
+    def candidate_signatures(self, signature: ClusterSignature) -> List[ClusterSignature]:
+        """Full signatures of every candidate (convenience for tests/examples)."""
+        return [
+            descriptor.signature(signature)
+            for descriptor in self.candidates_for(signature)
+        ]
+
+    # ------------------------------------------------------------------
+    def _candidates_for_dimension(
+        self, signature: ClusterSignature, dimension: int
+    ) -> List[CandidateDescriptor]:
+        parent = signature.variation(dimension)
+        start_parts = _split_interval(
+            parent.start_low, parent.start_high, self.division_factor
+        )
+        end_parts = _split_interval(
+            parent.end_low, parent.end_high, self.division_factor
+        )
+
+        parent_key = parent.as_tuple()
+        seen: set = set()
+        descriptors: List[CandidateDescriptor] = []
+        for s_low, s_high in start_parts:
+            for e_low, e_high in end_parts:
+                # A member interval [a, b] needs a <= b; impossible when the
+                # whole start sub-interval lies at or above the end
+                # sub-interval (the paper treats sub-intervals as half-open,
+                # which is what the strict comparison reproduces and what
+                # yields the f(f+1)/2 count of footnote 3).
+                if s_low >= e_high:
+                    continue
+                key = (s_low, s_high, e_low, e_high)
+                if key == parent_key:
+                    # Refining a zero-width variation interval can reproduce
+                    # the parent's own constraint; such a candidate would be
+                    # indistinguishable from the cluster itself.
+                    continue
+                if key in seen:
+                    continue
+                seen.add(key)
+                descriptors.append(
+                    CandidateDescriptor(
+                        dimension=dimension,
+                        start_low=s_low,
+                        start_high=s_high,
+                        end_low=e_low,
+                        end_high=e_high,
+                    )
+                )
+        return descriptors
+
+    # ------------------------------------------------------------------
+    def max_candidates_per_dimension(self) -> int:
+        """Upper bound on candidates per dimension (``f²``)."""
+        return self.division_factor * self.division_factor
+
+    def symmetric_candidates_per_dimension(self) -> int:
+        """Distinct combinations when both variation intervals coincide.
+
+        Equals ``f (f + 1) / 2`` (the paper's footnote 3).
+        """
+        f = self.division_factor
+        return f * (f + 1) // 2
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ClusteringFunction(division_factor={self.division_factor}, "
+            f"domain=[{self.domain_low:g}, {self.domain_high:g}])"
+        )

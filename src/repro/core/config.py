@@ -1,0 +1,130 @@
+"""Configuration of the adaptive clustering index.
+
+All tunables mentioned in the paper (division factor, reorganization period,
+reserved-slot fraction, cost constants, storage scenario) are collected in a
+single immutable :class:`AdaptiveClusteringConfig` so experiments can sweep
+them explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.cost_model import CostParameters, StorageScenario, SystemCostConstants
+
+
+@dataclass(frozen=True)
+class AdaptiveClusteringConfig:
+    """Tuning knobs of :class:`~repro.core.index.AdaptiveClusteringIndex`.
+
+    Parameters
+    ----------
+    cost:
+        Cost-model parameters (storage scenario, dimensions, constants).
+    division_factor:
+        ``f`` — the number of sub-intervals each variation interval is
+        divided into by the clustering function (Section 4.2).  The paper
+        uses 4.
+    reorganization_period:
+        Number of executed queries between two reorganization passes
+        (Section 7.1 uses 100).  Set to 0 to disable automatic
+        reorganization (it can still be triggered manually).
+    min_cluster_objects:
+        Candidates with fewer matching objects than this are never
+        materialized.  Guards against creating clusters whose exploration
+        set-up cost dominates; the paper's benefit function already
+        penalises small candidates, this is a hard floor.
+    probability_smoothing:
+        Additive (Laplace) smoothing applied to the candidate access
+        probability estimates used by the split decision:
+        ``p(s) = (q(s) + smoothing) / (window + smoothing)``.  Candidates
+        that happen not to be matched during a short statistics window
+        would otherwise look free to materialize (estimated probability
+        zero) and trigger noise-driven over-splitting of rarely explored
+        clusters.
+    reserved_slot_fraction:
+        Fraction of extra member slots reserved at the end of every
+        (re)located cluster to absorb insertions without relocation
+        (Section 6 reserves 20–30 %, i.e. a storage utilisation of at
+        least 70 %).
+    max_clusters:
+        Safety cap on the number of materialized clusters.  ``None`` means
+        unbounded (the cost model naturally limits the count).
+    reset_statistics_on_reorganization:
+        When ``True`` the query counters of clusters and candidates are
+        reset after every reorganization pass so the access-probability
+        estimates track drifting query distributions; when ``False`` the
+        counters accumulate over the whole index lifetime.
+    auto_reorganize:
+        When ``True`` (default) reorganization is triggered automatically
+        every ``reorganization_period`` queries.
+    """
+
+    cost: CostParameters
+    division_factor: int = 4
+    reorganization_period: int = 100
+    min_cluster_objects: int = 4
+    probability_smoothing: float = 1.0
+    reserved_slot_fraction: float = 0.25
+    max_clusters: Optional[int] = None
+    reset_statistics_on_reorganization: bool = False
+    auto_reorganize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.division_factor < 2:
+            raise ValueError("division_factor must be at least 2")
+        if self.reorganization_period < 0:
+            raise ValueError("reorganization_period must be non-negative")
+        if self.min_cluster_objects < 1:
+            raise ValueError("min_cluster_objects must be at least 1")
+        if self.probability_smoothing < 0.0:
+            raise ValueError("probability_smoothing must be non-negative")
+        if not 0.0 <= self.reserved_slot_fraction <= 1.0:
+            raise ValueError("reserved_slot_fraction must lie in [0, 1]")
+        if self.max_clusters is not None and self.max_clusters < 1:
+            raise ValueError("max_clusters must be at least 1 when set")
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_memory(
+        cls,
+        dimensions: int,
+        constants: Optional[SystemCostConstants] = None,
+        **overrides: object,
+    ) -> "AdaptiveClusteringConfig":
+        """Configuration for the in-memory storage scenario."""
+        return cls(
+            cost=CostParameters.memory_defaults(dimensions, constants), **overrides
+        )
+
+    @classmethod
+    def for_disk(
+        cls,
+        dimensions: int,
+        constants: Optional[SystemCostConstants] = None,
+        **overrides: object,
+    ) -> "AdaptiveClusteringConfig":
+        """Configuration for the disk storage scenario."""
+        return cls(
+            cost=CostParameters.disk_defaults(dimensions, constants), **overrides
+        )
+
+    # ------------------------------------------------------------------
+    # Derived accessors
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the indexed data space."""
+        return self.cost.dimensions
+
+    @property
+    def scenario(self) -> StorageScenario:
+        """Storage scenario of the cost model."""
+        return self.cost.scenario
+
+    def replace(self, **changes: object) -> "AdaptiveClusteringConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,568 @@
+"""The adaptive cost-based clustering index (Sections 3–6).
+
+:class:`AdaptiveClusteringIndex` is the paper's primary contribution: a flat
+collection of variable-size clusters organised in a (conceptual) hierarchy,
+whose granularity adapts to the observed data and query distributions under
+the cost model of Section 5.
+
+Public interface
+----------------
+``insert(object_id, box)``
+    Place an extended object in the matching cluster with the lowest access
+    probability (Fig. 4 of the paper).
+``delete(object_id)``
+    Remove an object.
+``query(box, relation)`` / ``query_with_stats(box, relation)``
+    Execute a spatial selection (Fig. 5) and optionally return the
+    per-query work counters used by the evaluation harness.
+``reorganize()`` / ``maybe_reorganize()``
+    Run the merge / split reorganization pass (Figs. 1–3); automatically
+    triggered every ``reorganization_period`` queries.
+``snapshot()`` / ``check_invariants()``
+    Introspection helpers used by tests, examples and experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.cluster import Cluster
+from repro.core.clustering_function import ClusteringFunction
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import StorageScenario
+from repro.core.reorganize import ReorganizationReport, Reorganizer
+from repro.core.signature import ClusterSignature
+from repro.core.statistics import ClusterSnapshot, IndexSnapshot, QueryExecution
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+from repro.storage import StorageBackend, storage_for_scenario
+
+
+class AdaptiveClusteringIndex:
+    """Adaptive cost-based clustering of multidimensional extended objects."""
+
+    def __init__(
+        self,
+        dimensions: Optional[int] = None,
+        config: Optional[AdaptiveClusteringConfig] = None,
+        storage: Optional[StorageBackend] = None,
+    ) -> None:
+        """Create an empty index.
+
+        Parameters
+        ----------
+        dimensions:
+            Dimensionality of the data space.  Optional when *config* is
+            given (the config already fixes it).
+        config:
+            Full configuration; defaults to the in-memory scenario with the
+            paper's constants.
+        storage:
+            Storage backend; defaults to the backend matching the config's
+            storage scenario.
+        """
+        if config is None:
+            if dimensions is None:
+                raise ValueError("either dimensions or config must be provided")
+            config = AdaptiveClusteringConfig.for_memory(dimensions)
+        elif dimensions is not None and dimensions != config.dimensions:
+            raise ValueError(
+                f"dimensions ({dimensions}) disagrees with config "
+                f"({config.dimensions})"
+            )
+        self._config = config
+        self._clustering_function = ClusteringFunction(config.division_factor)
+        self._reorganizer = Reorganizer(config)
+        self._storage = storage or storage_for_scenario(
+            config.scenario, config.cost, config.reserved_slot_fraction
+        )
+
+        self._clusters: Dict[int, Cluster] = {}
+        self._object_locations: Dict[int, int] = {}
+        self._next_cluster_id = 0
+        self._total_queries = 0
+        self._queries_since_reorganization = 0
+        self._reorganization_count = 0
+        # Stacked signature arrays of every materialized cluster, rebuilt
+        # lazily after reorganizations so one query matches all cluster
+        # signatures with a handful of vectorised comparisons.
+        self._signature_matrix: Optional[Tuple[np.ndarray, ...]] = None
+        self._signature_cluster_ids: List[int] = []
+
+        root = self._new_cluster(ClusterSignature.root(config.dimensions), parent=None)
+        self._root_id = root.cluster_id
+
+    # ==================================================================
+    # Introspection
+    # ==================================================================
+    @property
+    def config(self) -> AdaptiveClusteringConfig:
+        """The index configuration."""
+        return self._config
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the data space."""
+        return self._config.dimensions
+
+    @property
+    def storage(self) -> StorageBackend:
+        """The storage backend accounting for I/O."""
+        return self._storage
+
+    @property
+    def n_objects(self) -> int:
+        """Number of indexed objects."""
+        return len(self._object_locations)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of materialized clusters (including the root)."""
+        return len(self._clusters)
+
+    @property
+    def total_queries(self) -> int:
+        """Number of spatial queries executed so far."""
+        return self._total_queries
+
+    @property
+    def reorganization_count(self) -> int:
+        """Number of reorganization passes executed so far."""
+        return self._reorganization_count
+
+    @property
+    def root(self) -> Cluster:
+        """The root cluster (accepts every object)."""
+        return self._clusters[self._root_id]
+
+    def __len__(self) -> int:
+        return self.n_objects
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._object_locations
+
+    def clusters(self) -> List[Cluster]:
+        """All materialized clusters (stable id order)."""
+        return [self._clusters[cid] for cid in sorted(self._clusters)]
+
+    def get_cluster(self, cluster_id: Optional[int]) -> Optional[Cluster]:
+        """Return a cluster by id, or ``None`` when absent."""
+        if cluster_id is None:
+            return None
+        return self._clusters.get(cluster_id)
+
+    def cluster_of(self, object_id: int) -> Optional[int]:
+        """Identifier of the cluster currently hosting *object_id*."""
+        return self._object_locations.get(object_id)
+
+    def cluster_ids_top_down(self) -> List[int]:
+        """Cluster identifiers in breadth-first order from the root."""
+        order: List[int] = []
+        queue = deque([self._root_id])
+        seen: Set[int] = set()
+        while queue:
+            cluster_id = queue.popleft()
+            if cluster_id in seen or cluster_id not in self._clusters:
+                continue
+            seen.add(cluster_id)
+            order.append(cluster_id)
+            queue.extend(sorted(self._clusters[cluster_id].children_ids))
+        return order
+
+    def cluster_depth(self, cluster_id: int) -> int:
+        """Depth of a cluster in the hierarchy (root is 0)."""
+        depth = 0
+        cluster = self._clusters[cluster_id]
+        while cluster.parent_id is not None:
+            depth += 1
+            cluster = self._clusters[cluster.parent_id]
+        return depth
+
+    def child_signatures(self, cluster: Cluster) -> Set[ClusterSignature]:
+        """Signatures of a cluster's materialized children."""
+        return {
+            self._clusters[child_id].signature
+            for child_id in cluster.children_ids
+            if child_id in self._clusters
+        }
+
+    def can_materialize_more(self) -> bool:
+        """True while the optional ``max_clusters`` cap allows another split."""
+        cap = self._config.max_clusters
+        return cap is None or self.n_clusters < cap
+
+    # ==================================================================
+    # Insertion / deletion (Fig. 4)
+    # ==================================================================
+    def insert(self, object_id: int, obj: HyperRectangle) -> None:
+        """Insert an extended object.
+
+        The object is placed in the matching materialized cluster with the
+        lowest access probability (the root always matches, so placement
+        never fails).
+        """
+        self._validate_object(object_id, obj)
+        if object_id in self._object_locations:
+            raise KeyError(f"object {object_id} is already indexed")
+        target = self._select_insertion_cluster(obj)
+        grew = target.add_object(object_id, obj)
+        self._object_locations[object_id] = target.cluster_id
+        self._storage.on_objects_appended(target.cluster_id, 1)
+        del grew  # in-memory growth is tracked by the storage layout instead
+
+    def bulk_load(self, objects: Iterable[Tuple[int, HyperRectangle]]) -> int:
+        """Insert many objects at once.
+
+        When the index still holds only the root cluster (the common initial
+        load), the members are appended in one batch; otherwise each object
+        is routed individually like :meth:`insert`.
+
+        Returns the number of objects loaded.
+        """
+        pairs = list(objects)
+        if not pairs:
+            return 0
+        if self.n_clusters > 1:
+            for object_id, obj in pairs:
+                self.insert(object_id, obj)
+            return len(pairs)
+
+        ids = np.empty(len(pairs), dtype=np.int64)
+        lows = np.empty((len(pairs), self.dimensions), dtype=np.float64)
+        highs = np.empty((len(pairs), self.dimensions), dtype=np.float64)
+        for row, (object_id, obj) in enumerate(pairs):
+            self._validate_object(object_id, obj)
+            if object_id in self._object_locations:
+                raise KeyError(f"object {object_id} is already indexed")
+            ids[row] = object_id
+            lows[row] = obj.lows
+            highs[row] = obj.highs
+        if len(np.unique(ids)) != len(ids):
+            raise KeyError("bulk_load received duplicate object identifiers")
+        root = self.root
+        root.add_objects_bulk(ids, lows, highs)
+        for object_id in ids:
+            self._object_locations[int(object_id)] = root.cluster_id
+        self._storage.on_objects_appended(root.cluster_id, len(pairs))
+        return len(pairs)
+
+    def delete(self, object_id: int) -> bool:
+        """Remove an object; returns ``False`` when it was not indexed."""
+        cluster_id = self._object_locations.pop(object_id, None)
+        if cluster_id is None:
+            return False
+        cluster = self._clusters[cluster_id]
+        removed = cluster.remove_object(object_id)
+        if removed is None:  # pragma: no cover - defensive, should not happen
+            raise RuntimeError(
+                f"object {object_id} mapped to cluster {cluster_id} but was "
+                "not stored there"
+            )
+        self._storage.on_objects_removed(cluster_id, 1)
+        return True
+
+    def get(self, object_id: int) -> Optional[HyperRectangle]:
+        """Return the box of an indexed object, or ``None``."""
+        cluster_id = self._object_locations.get(object_id)
+        if cluster_id is None:
+            return None
+        store = self._clusters[cluster_id].store
+        rows = np.flatnonzero(store.ids == object_id)
+        if rows.size == 0:  # pragma: no cover - defensive
+            return None
+        row = int(rows[0])
+        return HyperRectangle(store.lows[row], store.highs[row])
+
+    def _select_insertion_cluster(self, obj: HyperRectangle) -> Cluster:
+        """Matching cluster with the lowest access probability (Fig. 4, step 1)."""
+        total = self._total_queries
+        best: Optional[Cluster] = None
+        best_key: Optional[Tuple[float, int, int]] = None
+        for cluster in self._clusters.values():
+            if not cluster.accepts(obj):
+                continue
+            probability = cluster.access_probability(total)
+            # Tie-break: prefer the most refined signature, then the smaller
+            # cluster, so fresh children receive new objects before the root.
+            key = (probability, -len(cluster.signature.constrained_dimensions()), cluster.n_objects)
+            if best_key is None or key < best_key:
+                best = cluster
+                best_key = key
+        if best is None:  # pragma: no cover - root always accepts
+            best = self.root
+        return best
+
+    def _validate_object(self, object_id: int, obj: HyperRectangle) -> None:
+        if obj.dimensions != self.dimensions:
+            raise ValueError(
+                f"object has {obj.dimensions} dimensions, index expects "
+                f"{self.dimensions}"
+            )
+        if not isinstance(object_id, (int, np.integer)):
+            raise TypeError("object_id must be an integer")
+
+    # ==================================================================
+    # Query execution (Fig. 5)
+    # ==================================================================
+    def query(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> np.ndarray:
+        """Execute a spatial selection and return the matching object ids."""
+        results, _ = self.query_with_stats(query, relation)
+        return results
+
+    def query_with_stats(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> Tuple[np.ndarray, QueryExecution]:
+        """Execute a spatial selection and return ``(object_ids, QueryExecution)``."""
+        relation = SpatialRelation.parse(relation)
+        if query.dimensions != self.dimensions:
+            raise ValueError(
+                f"query has {query.dimensions} dimensions, index expects "
+                f"{self.dimensions}"
+            )
+        start = time.perf_counter()
+        execution = QueryExecution()
+        matches: List[np.ndarray] = []
+        object_bytes = self._config.cost.object_bytes
+        disk = self._config.scenario is StorageScenario.DISK
+
+        execution.signature_checks = self.n_clusters
+        for cluster in self._matching_clusters(query, relation):
+            execution.groups_explored += 1
+            execution.objects_verified += cluster.n_objects
+            execution.bytes_read += cluster.n_objects * object_bytes
+            if disk:
+                execution.random_accesses += 1
+            self._storage.on_cluster_read(cluster.cluster_id, cluster.n_objects)
+            found = cluster.verify_members(query, relation)
+            if found.size:
+                matches.append(found)
+            cluster.record_exploration(query, relation)
+
+        results = (
+            np.concatenate(matches) if matches else np.empty(0, dtype=np.int64)
+        )
+        execution.results = int(results.size)
+        execution.wall_time_ms = (time.perf_counter() - start) * 1000.0
+
+        self._total_queries += 1
+        self._queries_since_reorganization += 1
+        self.maybe_reorganize()
+        return results, execution
+
+    # ------------------------------------------------------------------
+    # Vectorised cluster pruning
+    # ------------------------------------------------------------------
+    def _invalidate_signature_matrix(self) -> None:
+        self._signature_matrix = None
+        self._signature_cluster_ids = []
+
+    def _rebuild_signature_matrix(self) -> None:
+        cluster_ids = sorted(self._clusters)
+        start_low = np.vstack([self._clusters[cid].signature.start_low for cid in cluster_ids])
+        start_high = np.vstack([self._clusters[cid].signature.start_high for cid in cluster_ids])
+        end_low = np.vstack([self._clusters[cid].signature.end_low for cid in cluster_ids])
+        end_high = np.vstack([self._clusters[cid].signature.end_high for cid in cluster_ids])
+        self._signature_matrix = (start_low, start_high, end_low, end_high)
+        self._signature_cluster_ids = cluster_ids
+
+    def _matching_clusters(
+        self, query: HyperRectangle, relation: SpatialRelation
+    ) -> List[Cluster]:
+        """Clusters whose signature is matched by the query (Fig. 5, step 2).
+
+        Equivalent to calling ``cluster.matches_query`` on every cluster,
+        evaluated with vectorised comparisons over the stacked signature
+        arrays of all materialized clusters.
+        """
+        if self._signature_matrix is None:
+            self._rebuild_signature_matrix()
+        start_low, start_high, end_low, end_high = self._signature_matrix
+        q_lows = query.lows
+        q_highs = query.highs
+        if relation is SpatialRelation.INTERSECTS:
+            mask = np.all((start_low <= q_highs) & (end_high >= q_lows), axis=1)
+        elif relation is SpatialRelation.CONTAINED_BY:
+            mask = np.all((start_high >= q_lows) & (end_low <= q_highs), axis=1)
+        elif relation is SpatialRelation.CONTAINS:
+            mask = np.all((start_low <= q_lows) & (end_high >= q_highs), axis=1)
+        else:  # pragma: no cover - relation is validated by the caller
+            raise ValueError(f"unsupported relation: {relation!r}")
+        return [
+            self._clusters[self._signature_cluster_ids[row]]
+            for row in np.flatnonzero(mask)
+        ]
+
+    # ==================================================================
+    # Reorganization (Figs. 1-3)
+    # ==================================================================
+    def maybe_reorganize(self) -> Optional[ReorganizationReport]:
+        """Run a reorganization pass when the configured period elapsed."""
+        period = self._config.reorganization_period
+        if not self._config.auto_reorganize or period <= 0:
+            return None
+        if self._queries_since_reorganization < period:
+            return None
+        return self.reorganize()
+
+    def reorganize(self) -> ReorganizationReport:
+        """Run one merge / split reorganization pass immediately."""
+        report = self._reorganizer.reorganize(self)
+        self._queries_since_reorganization = 0
+        self._reorganization_count += 1
+        return report
+
+    def reset_statistics(self) -> None:
+        """Start a fresh statistics window for every cluster."""
+        for cluster in self._clusters.values():
+            cluster.reset_statistics(self._total_queries)
+
+    # ------------------------------------------------------------------
+    # Reorganization mechanics (called by the Reorganizer)
+    # ------------------------------------------------------------------
+    def _new_cluster(
+        self, signature: ClusterSignature, parent: Optional[Cluster]
+    ) -> Cluster:
+        cluster = Cluster(
+            cluster_id=self._next_cluster_id,
+            signature=signature,
+            clustering_function=self._clustering_function,
+            parent_id=parent.cluster_id if parent is not None else None,
+            creation_query=self._total_queries,
+        )
+        self._next_cluster_id += 1
+        self._clusters[cluster.cluster_id] = cluster
+        if parent is not None:
+            parent.add_child(cluster.cluster_id)
+        self._storage.on_cluster_created(cluster.cluster_id, 0)
+        self._invalidate_signature_matrix()
+        return cluster
+
+    def _materialize_candidate(self, cluster: Cluster, candidate_index: int) -> Cluster:
+        """Materialize one candidate sub-cluster of *cluster* (Fig. 3, steps 3-11)."""
+        signature = cluster.candidates.signature(candidate_index)
+        new_cluster = self._new_cluster(signature, parent=cluster)
+        ids, lows, highs = cluster.extract_matching(candidate_index)
+        if ids.size:
+            new_cluster.add_objects_bulk(ids, lows, highs)
+            for object_id in ids:
+                self._object_locations[int(object_id)] = new_cluster.cluster_id
+            self._storage.on_cluster_resized(new_cluster.cluster_id, new_cluster.n_objects)
+            self._storage.on_cluster_resized(cluster.cluster_id, cluster.n_objects)
+        return new_cluster
+
+    def _merge_into_parent(self, cluster: Cluster) -> Cluster:
+        """Merge *cluster* back into its parent (Fig. 2)."""
+        if cluster.is_root:
+            raise ValueError("the root cluster cannot be merged")
+        parent = self._clusters[cluster.parent_id]
+        ids, lows, highs = cluster.drain_members()
+        if ids.size:
+            parent.add_objects_bulk(ids, lows, highs)
+            for object_id in ids:
+                self._object_locations[int(object_id)] = parent.cluster_id
+        # Re-parent the children of the merged cluster (Fig. 2, steps 7-8).
+        for child_id in list(cluster.children_ids):
+            child = self._clusters.get(child_id)
+            if child is None:
+                continue
+            child.parent_id = parent.cluster_id
+            parent.add_child(child_id)
+        parent.remove_child(cluster.cluster_id)
+        del self._clusters[cluster.cluster_id]
+        self._storage.on_cluster_removed(cluster.cluster_id)
+        self._storage.on_cluster_resized(parent.cluster_id, parent.n_objects)
+        self._invalidate_signature_matrix()
+        return parent
+
+    # ==================================================================
+    # Diagnostics
+    # ==================================================================
+    def snapshot(self) -> IndexSnapshot:
+        """Return a read-only description of the index state."""
+        clusters = [
+            ClusterSnapshot(
+                cluster_id=cluster.cluster_id,
+                parent_id=cluster.parent_id,
+                n_objects=cluster.n_objects,
+                query_count=cluster.query_count,
+                access_probability=cluster.access_probability(self._total_queries),
+                depth=self.cluster_depth(cluster.cluster_id),
+                constrained_dimensions=len(
+                    cluster.signature.constrained_dimensions()
+                ),
+            )
+            for cluster in self.clusters()
+        ]
+        return IndexSnapshot(
+            n_objects=self.n_objects,
+            n_clusters=self.n_clusters,
+            total_queries=self._total_queries,
+            clusters=clusters,
+        )
+
+    def check_invariants(self) -> None:
+        """Verify structural consistency; raises :class:`AssertionError` on failure.
+
+        Checks that every object is stored exactly where the location map
+        says, that cluster members match their signatures, that candidate
+        statistics are consistent, that parent/child links are symmetric and
+        that child signatures are contained in their parent's.
+        """
+        stored_total = 0
+        for cluster in self._clusters.values():
+            cluster.check_invariants()
+            stored_total += cluster.n_objects
+            for object_id in cluster.store.ids:
+                location = self._object_locations.get(int(object_id))
+                if location != cluster.cluster_id:
+                    raise AssertionError(
+                        f"object {object_id} stored in cluster "
+                        f"{cluster.cluster_id} but mapped to {location}"
+                    )
+            if cluster.parent_id is not None:
+                parent = self._clusters.get(cluster.parent_id)
+                if parent is None:
+                    raise AssertionError(
+                        f"cluster {cluster.cluster_id} references missing "
+                        f"parent {cluster.parent_id}"
+                    )
+                if cluster.cluster_id not in parent.children_ids:
+                    raise AssertionError(
+                        f"parent {parent.cluster_id} does not list child "
+                        f"{cluster.cluster_id}"
+                    )
+                if not parent.signature.contains_signature(cluster.signature):
+                    raise AssertionError(
+                        f"child {cluster.cluster_id} signature is not contained "
+                        f"in parent {parent.cluster_id}"
+                    )
+            for child_id in cluster.children_ids:
+                if child_id not in self._clusters:
+                    raise AssertionError(
+                        f"cluster {cluster.cluster_id} lists missing child "
+                        f"{child_id}"
+                    )
+        if stored_total != self.n_objects:
+            raise AssertionError(
+                f"location map tracks {self.n_objects} objects but clusters "
+                f"store {stored_total}"
+            )
+        if self._root_id not in self._clusters:
+            raise AssertionError("the root cluster disappeared")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"AdaptiveClusteringIndex(dimensions={self.dimensions}, "
+            f"objects={self.n_objects}, clusters={self.n_clusters}, "
+            f"queries={self._total_queries})"
+        )

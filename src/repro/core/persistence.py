@@ -1,0 +1,245 @@
+"""Index persistence / fail recovery (paper Section 6).
+
+The paper notes that, in the disk-based scenario, the search structure can
+be maintained across system crashes by storing the cluster signatures
+together with the member objects and keeping a small directory that records
+the position of each cluster; the performance indicators may optionally be
+saved too, since fresh statistics can always be regathered.
+
+This module implements exactly that as a single-file snapshot:
+
+* the *directory* — configuration, hierarchy links and per-cluster
+  statistics — is stored as a JSON header;
+* every cluster's signature and member objects are stored as NumPy arrays;
+* candidate object counts are **not** stored: they are recomputed from the
+  members at load time, which both shrinks the snapshot and guarantees the
+  statistics invariants hold after recovery.
+
+The format uses ``numpy.savez_compressed`` so snapshots remain portable and
+dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.cluster import Cluster
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters, StorageScenario, SystemCostConstants
+from repro.core.index import AdaptiveClusteringIndex
+from repro.core.signature import ClusterSignature
+from repro.storage import StorageBackend, storage_for_scenario
+
+#: Version tag written into every snapshot (bump on format changes).
+SNAPSHOT_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Serialisation helpers
+# ----------------------------------------------------------------------
+def _config_to_dict(config: AdaptiveClusteringConfig) -> Dict[str, object]:
+    constants = config.cost.constants
+    return {
+        "scenario": config.cost.scenario.value,
+        "dimensions": config.cost.dimensions,
+        "constants": {
+            "disk_access_ms": constants.disk_access_ms,
+            "disk_transfer_ms_per_byte": constants.disk_transfer_ms_per_byte,
+            "signature_check_ms": constants.signature_check_ms,
+            "verification_ms_per_byte": constants.verification_ms_per_byte,
+            "exploration_setup_ms": constants.exploration_setup_ms,
+        },
+        "division_factor": config.division_factor,
+        "reorganization_period": config.reorganization_period,
+        "min_cluster_objects": config.min_cluster_objects,
+        "probability_smoothing": config.probability_smoothing,
+        "reserved_slot_fraction": config.reserved_slot_fraction,
+        "max_clusters": config.max_clusters,
+        "reset_statistics_on_reorganization": config.reset_statistics_on_reorganization,
+        "auto_reorganize": config.auto_reorganize,
+    }
+
+
+def _config_from_dict(data: Dict[str, object]) -> AdaptiveClusteringConfig:
+    constants = SystemCostConstants(**data["constants"])  # type: ignore[arg-type]
+    cost = CostParameters(
+        scenario=StorageScenario.parse(data["scenario"]),
+        dimensions=int(data["dimensions"]),
+        constants=constants,
+    )
+    return AdaptiveClusteringConfig(
+        cost=cost,
+        division_factor=int(data["division_factor"]),
+        reorganization_period=int(data["reorganization_period"]),
+        min_cluster_objects=int(data["min_cluster_objects"]),
+        probability_smoothing=float(data["probability_smoothing"]),
+        reserved_slot_fraction=float(data["reserved_slot_fraction"]),
+        max_clusters=data["max_clusters"],
+        reset_statistics_on_reorganization=bool(
+            data["reset_statistics_on_reorganization"]
+        ),
+        auto_reorganize=bool(data["auto_reorganize"]),
+    )
+
+
+def _signature_to_array(signature: ClusterSignature) -> np.ndarray:
+    return np.vstack(
+        [signature.start_low, signature.start_high, signature.end_low, signature.end_high]
+    )
+
+
+def _signature_from_array(values: np.ndarray) -> ClusterSignature:
+    return ClusterSignature.from_arrays(values[0], values[1], values[2], values[3])
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def save_index(
+    index: AdaptiveClusteringIndex,
+    path: PathLike,
+    include_statistics: bool = True,
+) -> Path:
+    """Write a crash-recovery snapshot of *index* to *path*.
+
+    Parameters
+    ----------
+    index:
+        The adaptive clustering index to persist.
+    path:
+        Destination file (conventionally ``*.npz``).
+    include_statistics:
+        When ``True`` (default) the per-cluster and per-candidate query
+        counters are saved so the recovered index keeps its access
+        probability estimates; when ``False`` only the structure and the
+        member objects are saved (the paper points out the statistics can
+        simply be regathered).
+
+    Returns
+    -------
+    pathlib.Path
+        The written snapshot path.
+    """
+    path = Path(path)
+    directory: Dict[str, object] = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "config": _config_to_dict(index.config),
+        "total_queries": index.total_queries,
+        "include_statistics": include_statistics,
+        "clusters": [],
+    }
+    arrays: Dict[str, np.ndarray] = {}
+    for cluster in index.clusters():
+        cluster_id = cluster.cluster_id
+        directory["clusters"].append(
+            {
+                "cluster_id": cluster_id,
+                "parent_id": cluster.parent_id,
+                "query_count": cluster.query_count if include_statistics else 0,
+                "creation_query": cluster.creation_query if include_statistics else 0,
+                "n_objects": cluster.n_objects,
+            }
+        )
+        arrays[f"signature_{cluster_id}"] = _signature_to_array(cluster.signature)
+        arrays[f"ids_{cluster_id}"] = cluster.store.ids.copy()
+        arrays[f"lows_{cluster_id}"] = cluster.store.lows.copy()
+        arrays[f"highs_{cluster_id}"] = cluster.store.highs.copy()
+        if include_statistics:
+            arrays[f"candidate_queries_{cluster_id}"] = (
+                cluster.candidates.query_counts.copy()
+            )
+    arrays["directory"] = np.frombuffer(
+        json.dumps(directory).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return path
+
+
+def load_index(
+    path: PathLike, storage: Optional[StorageBackend] = None
+) -> AdaptiveClusteringIndex:
+    """Recover an :class:`AdaptiveClusteringIndex` from a snapshot file.
+
+    Candidate object counts are recomputed from the recovered members, so
+    ``check_invariants`` holds on the returned index even for snapshots
+    saved without statistics.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no index snapshot at {path}")
+    with np.load(path) as archive:
+        directory = json.loads(bytes(archive["directory"].tobytes()).decode("utf-8"))
+        if directory.get("format_version") != SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot format: {directory.get('format_version')!r}"
+            )
+        config = _config_from_dict(directory["config"])
+        include_statistics = bool(directory.get("include_statistics", False))
+
+        storage = storage or storage_for_scenario(
+            config.scenario, config.cost, config.reserved_slot_fraction
+        )
+        index = AdaptiveClusteringIndex(config=config, storage=storage)
+
+        # Drop the automatically created root: the snapshot defines the
+        # full cluster set, including its own root.
+        auto_root_id = index.root.cluster_id
+        index._storage.on_cluster_removed(auto_root_id)
+        index._clusters.clear()
+        index._object_locations.clear()
+
+        root_id: Optional[int] = None
+        max_cluster_id = -1
+        for record in directory["clusters"]:
+            cluster_id = int(record["cluster_id"])
+            max_cluster_id = max(max_cluster_id, cluster_id)
+            signature = _signature_from_array(archive[f"signature_{cluster_id}"])
+            cluster = Cluster(
+                cluster_id=cluster_id,
+                signature=signature,
+                clustering_function=index._clustering_function,
+                parent_id=record["parent_id"],
+                creation_query=int(record["creation_query"]),
+            )
+            cluster.query_count = int(record["query_count"])
+            ids = archive[f"ids_{cluster_id}"].astype(np.int64)
+            lows = archive[f"lows_{cluster_id}"]
+            highs = archive[f"highs_{cluster_id}"]
+            if ids.size:
+                cluster.add_objects_bulk(ids, lows, highs)
+            if include_statistics:
+                saved = archive[f"candidate_queries_{cluster_id}"]
+                if saved.shape == cluster.candidates.query_counts.shape:
+                    cluster.candidates.query_counts = saved.astype(np.int64).copy()
+            index._clusters[cluster_id] = cluster
+            for object_id in ids:
+                index._object_locations[int(object_id)] = cluster_id
+            index._storage.on_cluster_created(cluster_id, int(ids.size))
+            if record["parent_id"] is None:
+                root_id = cluster_id
+
+    if root_id is None:
+        raise ValueError("corrupt snapshot: no root cluster found")
+    # Rebuild the child links from the parent references.
+    for cluster in index._clusters.values():
+        if cluster.parent_id is not None:
+            parent = index._clusters.get(cluster.parent_id)
+            if parent is None:
+                raise ValueError(
+                    f"corrupt snapshot: cluster {cluster.cluster_id} references "
+                    f"missing parent {cluster.parent_id}"
+                )
+            parent.add_child(cluster.cluster_id)
+    index._root_id = root_id
+    index._next_cluster_id = max_cluster_id + 1
+    index._total_queries = int(directory["total_queries"])
+    index._invalidate_signature_matrix()
+    return index

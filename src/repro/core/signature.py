@@ -1,0 +1,353 @@
+"""Cluster signatures — the paper's grouping criterion (Section 4).
+
+A cluster groups objects that define *similar* intervals in each dimension.
+Similarity is captured by the cluster *signature*: for every dimension ``d``
+the signature constrains
+
+* where member intervals may **start**:  ``a ∈ [start_low, start_high]``
+  (the paper's ``[amin, amax]``), and
+* where member intervals may **end**:    ``b ∈ [end_low, end_high]``
+  (the paper's ``[bmin, bmax]``).
+
+The signature drives two decisions:
+
+* **membership** — only objects matching the signature may join the cluster;
+* **pruning** — only clusters whose signatures can possibly host an object
+  satisfying the query relation are explored during a spatial selection.
+
+Both tests are conservative with respect to query execution: an object that
+matches the signature and satisfies the query relation always causes the
+signature to match the query, so the index never produces false drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+
+
+@dataclass(frozen=True)
+class VariationInterval:
+    """Per-dimension constraint of a cluster signature.
+
+    ``[start_low, start_high]`` bounds the member interval's lower endpoint,
+    ``[end_low, end_high]`` bounds its upper endpoint.
+    """
+
+    start_low: float
+    start_high: float
+    end_low: float
+    end_high: float
+
+    def __post_init__(self) -> None:
+        if self.start_high < self.start_low:
+            raise ValueError("start_high must be >= start_low")
+        if self.end_high < self.end_low:
+            raise ValueError("end_high must be >= end_low")
+        if self.start_low > self.end_high:
+            raise ValueError(
+                "the variation intervals cannot host any valid interval "
+                "(start_low > end_high would force a > b)"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def unconstrained(cls, domain_low: float = 0.0, domain_high: float = 1.0) -> "VariationInterval":
+        """Variation interval accepting any interval within the domain."""
+        return cls(domain_low, domain_high, domain_low, domain_high)
+
+    def is_unconstrained(self, domain_low: float = 0.0, domain_high: float = 1.0) -> bool:
+        """True when the constraint spans the whole domain for start and end."""
+        return (
+            self.start_low <= domain_low
+            and self.start_high >= domain_high
+            and self.end_low <= domain_low
+            and self.end_high >= domain_high
+        )
+
+    # ------------------------------------------------------------------
+    def matches_interval(self, low: float, high: float) -> bool:
+        """True when an object interval ``[low, high]`` satisfies the constraint."""
+        return (
+            self.start_low <= low <= self.start_high
+            and self.end_low <= high <= self.end_high
+        )
+
+    def admits_query_interval(
+        self, query_low: float, query_high: float, relation: SpatialRelation
+    ) -> bool:
+        """Conservative per-dimension pruning test.
+
+        Returns ``True`` when *some* interval allowed by this constraint
+        could satisfy *relation* against the query interval
+        ``[query_low, query_high]``:
+
+        * ``INTERSECTS``   — a member with ``a ≤ query_high`` and
+          ``b ≥ query_low`` must be possible.
+        * ``CONTAINED_BY`` — a member with ``a ≥ query_low`` and
+          ``b ≤ query_high`` must be possible.
+        * ``CONTAINS``     — a member with ``a ≤ query_low`` and
+          ``b ≥ query_high`` must be possible.
+        """
+        if relation is SpatialRelation.INTERSECTS:
+            return self.start_low <= query_high and self.end_high >= query_low
+        if relation is SpatialRelation.CONTAINED_BY:
+            return self.start_high >= query_low and self.end_low <= query_high
+        if relation is SpatialRelation.CONTAINS:
+            return self.start_low <= query_low and self.end_high >= query_high
+        raise ValueError(f"unsupported relation: {relation!r}")
+
+    def contains_variation(self, other: "VariationInterval") -> bool:
+        """True when every interval admitted by *other* is admitted by this constraint."""
+        return (
+            self.start_low <= other.start_low
+            and other.start_high <= self.start_high
+            and self.end_low <= other.end_low
+            and other.end_high <= self.end_high
+        )
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """Return ``(start_low, start_high, end_low, end_high)``."""
+        return (self.start_low, self.start_high, self.end_low, self.end_high)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"[{self.start_low:g},{self.start_high:g}]:"
+            f"[{self.end_low:g},{self.end_high:g}]"
+        )
+
+
+class ClusterSignature:
+    """A full cluster signature: one :class:`VariationInterval` per dimension.
+
+    Internally the constraints are stored as four NumPy vectors so that
+    matching a single object, a batch of objects, or a query is vectorised
+    over dimensions (and over objects for the batch case).
+    """
+
+    __slots__ = ("_start_low", "_start_high", "_end_low", "_end_high")
+
+    def __init__(self, variations: Iterable[VariationInterval]) -> None:
+        variation_list = list(variations)
+        if not variation_list:
+            raise ValueError("a signature needs at least one dimension")
+        self._start_low = np.array([v.start_low for v in variation_list], dtype=np.float64)
+        self._start_high = np.array([v.start_high for v in variation_list], dtype=np.float64)
+        self._end_low = np.array([v.end_low for v in variation_list], dtype=np.float64)
+        self._end_high = np.array([v.end_high for v in variation_list], dtype=np.float64)
+        for arr in (self._start_low, self._start_high, self._end_low, self._end_high):
+            arr.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def root(cls, dimensions: int, domain_low: float = 0.0, domain_high: float = 1.0) -> "ClusterSignature":
+        """The root cluster signature: unconstrained in every dimension."""
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        return cls(
+            VariationInterval.unconstrained(domain_low, domain_high)
+            for _ in range(dimensions)
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        start_low: np.ndarray,
+        start_high: np.ndarray,
+        end_low: np.ndarray,
+        end_high: np.ndarray,
+    ) -> "ClusterSignature":
+        """Build a signature directly from the four per-dimension vectors."""
+        variations = [
+            VariationInterval(float(sl), float(sh), float(el), float(eh))
+            for sl, sh, el, eh in zip(start_low, start_high, end_low, end_high)
+        ]
+        return cls(variations)
+
+    def with_dimension(self, dimension: int, variation: VariationInterval) -> "ClusterSignature":
+        """Return a copy whose constraint in *dimension* is replaced by *variation*."""
+        if not 0 <= dimension < self.dimensions:
+            raise IndexError(f"dimension {dimension} out of range")
+        variations = list(self.variations())
+        variations[dimension] = variation
+        return ClusterSignature(variations)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> int:
+        """Number of dimensions the signature constrains."""
+        return int(self._start_low.shape[0])
+
+    @property
+    def start_low(self) -> np.ndarray:
+        """Per-dimension lower bounds on the member interval starts."""
+        return self._start_low
+
+    @property
+    def start_high(self) -> np.ndarray:
+        """Per-dimension upper bounds on the member interval starts."""
+        return self._start_high
+
+    @property
+    def end_low(self) -> np.ndarray:
+        """Per-dimension lower bounds on the member interval ends."""
+        return self._end_low
+
+    @property
+    def end_high(self) -> np.ndarray:
+        """Per-dimension upper bounds on the member interval ends."""
+        return self._end_high
+
+    def variation(self, dimension: int) -> VariationInterval:
+        """Return the constraint in *dimension*."""
+        return VariationInterval(
+            float(self._start_low[dimension]),
+            float(self._start_high[dimension]),
+            float(self._end_low[dimension]),
+            float(self._end_high[dimension]),
+        )
+
+    def variations(self) -> Tuple[VariationInterval, ...]:
+        """Return all per-dimension constraints."""
+        return tuple(self.variation(d) for d in range(self.dimensions))
+
+    def constrained_dimensions(
+        self, domain_low: float = 0.0, domain_high: float = 1.0
+    ) -> List[int]:
+        """Indices of dimensions whose constraint is narrower than the domain."""
+        return [
+            d
+            for d in range(self.dimensions)
+            if not self.variation(d).is_unconstrained(domain_low, domain_high)
+        ]
+
+    def is_root(self, domain_low: float = 0.0, domain_high: float = 1.0) -> bool:
+        """True when the signature accepts any object (root signature)."""
+        return not self.constrained_dimensions(domain_low, domain_high)
+
+    # ------------------------------------------------------------------
+    # Object matching
+    # ------------------------------------------------------------------
+    def matches_object(self, obj: HyperRectangle) -> bool:
+        """True when *obj* may become a member of a cluster with this signature."""
+        if obj.dimensions != self.dimensions:
+            raise ValueError(
+                f"object has {obj.dimensions} dimensions, signature has "
+                f"{self.dimensions}"
+            )
+        lows = obj.lows
+        highs = obj.highs
+        return bool(
+            np.all(
+                (self._start_low <= lows)
+                & (lows <= self._start_high)
+                & (self._end_low <= highs)
+                & (highs <= self._end_high)
+            )
+        )
+
+    def matches_objects(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`matches_object` over ``(n, Nd)`` bound arrays."""
+        if lows.shape != highs.shape or lows.ndim != 2:
+            raise ValueError("expected two (n, Nd) arrays")
+        if lows.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        if lows.shape[1] != self.dimensions:
+            raise ValueError(
+                f"objects have {lows.shape[1]} dimensions, signature has "
+                f"{self.dimensions}"
+            )
+        return np.all(
+            (self._start_low <= lows)
+            & (lows <= self._start_high)
+            & (self._end_low <= highs)
+            & (highs <= self._end_high),
+            axis=1,
+        )
+
+    # ------------------------------------------------------------------
+    # Query matching (pruning)
+    # ------------------------------------------------------------------
+    def matches_query(self, query: HyperRectangle, relation: SpatialRelation) -> bool:
+        """Conservative test: must a cluster with this signature be explored?
+
+        Returns ``True`` when some object admitted by the signature could
+        satisfy *relation* against *query*; clusters whose signature fails
+        this test are skipped by query execution (and the skip can never
+        lose results).
+        """
+        if query.dimensions != self.dimensions:
+            raise ValueError(
+                f"query has {query.dimensions} dimensions, signature has "
+                f"{self.dimensions}"
+            )
+        q_lows = query.lows
+        q_highs = query.highs
+        if relation is SpatialRelation.INTERSECTS:
+            return bool(
+                np.all((self._start_low <= q_highs) & (self._end_high >= q_lows))
+            )
+        if relation is SpatialRelation.CONTAINED_BY:
+            return bool(
+                np.all((self._start_high >= q_lows) & (self._end_low <= q_highs))
+            )
+        if relation is SpatialRelation.CONTAINS:
+            return bool(
+                np.all((self._start_low <= q_lows) & (self._end_high >= q_highs))
+            )
+        raise ValueError(f"unsupported relation: {relation!r}")
+
+    # ------------------------------------------------------------------
+    # Structural relations between signatures
+    # ------------------------------------------------------------------
+    def contains_signature(self, other: "ClusterSignature") -> bool:
+        """True when every object admitted by *other* is admitted by this signature.
+
+        This is the *backward compatibility* property the clustering function
+        guarantees between a cluster and its candidate sub-clusters; it is
+        what makes merging a child back into its parent always legal.
+        """
+        if other.dimensions != self.dimensions:
+            raise ValueError("signatures must have the same dimensionality")
+        return bool(
+            np.all(self._start_low <= other._start_low)
+            and np.all(other._start_high <= self._start_high)
+            and np.all(self._end_low <= other._end_low)
+            and np.all(other._end_high <= self._end_high)
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClusterSignature):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._start_low, other._start_low)
+            and np.array_equal(self._start_high, other._start_high)
+            and np.array_equal(self._end_low, other._end_low)
+            and np.array_equal(self._end_high, other._end_high)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._start_low.tobytes(),
+                self._start_high.tobytes(),
+                self._end_low.tobytes(),
+                self._end_high.tobytes(),
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        parts = ", ".join(f"d{d}{self.variation(d)!r}" for d in range(self.dimensions))
+        return f"ClusterSignature({parts})"

@@ -1,0 +1,125 @@
+"""Per-query execution records and index-level snapshots.
+
+Every access method in the library (adaptive clustering, sequential scan,
+R*-tree) reports the same :class:`QueryExecution` record for each executed
+query so the evaluation harness can compare them uniformly — this mirrors the
+performance indicators the paper reports in its tables: number of
+clusters/nodes accessed, size of verified data and (modeled) query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class QueryExecution:
+    """Counters describing the work one query performed.
+
+    Attributes
+    ----------
+    signature_checks:
+        Number of cluster signatures (or R-tree node MBB tests) evaluated.
+    groups_explored:
+        Number of clusters / tree nodes whose members were scanned.
+    objects_verified:
+        Number of member objects checked against the selection criterion.
+    results:
+        Number of qualifying objects returned.
+    bytes_read:
+        Bytes of member data read (``objects_verified * object_bytes`` for
+        cluster-based methods, node pages for the R*-tree).
+    random_accesses:
+        Number of random I/O accesses the disk scenario would perform
+        (one per explored cluster / node page).
+    wall_time_ms:
+        Measured wall-clock time of the query in milliseconds (secondary
+        metric; the primary metric is the modeled time computed by the
+        evaluation layer from the counters above).
+    """
+
+    signature_checks: int = 0
+    groups_explored: int = 0
+    objects_verified: int = 0
+    results: int = 0
+    bytes_read: int = 0
+    random_accesses: int = 0
+    wall_time_ms: float = 0.0
+
+    def merge(self, other: "QueryExecution") -> "QueryExecution":
+        """Return the element-wise sum of two execution records."""
+        return QueryExecution(
+            signature_checks=self.signature_checks + other.signature_checks,
+            groups_explored=self.groups_explored + other.groups_explored,
+            objects_verified=self.objects_verified + other.objects_verified,
+            results=self.results + other.results,
+            bytes_read=self.bytes_read + other.bytes_read,
+            random_accesses=self.random_accesses + other.random_accesses,
+            wall_time_ms=self.wall_time_ms + other.wall_time_ms,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the record as a plain dictionary (for reporting / JSON)."""
+        return {
+            "signature_checks": self.signature_checks,
+            "groups_explored": self.groups_explored,
+            "objects_verified": self.objects_verified,
+            "results": self.results,
+            "bytes_read": self.bytes_read,
+            "random_accesses": self.random_accesses,
+            "wall_time_ms": self.wall_time_ms,
+        }
+
+
+@dataclass
+class ClusterSnapshot:
+    """Read-only description of one materialized cluster (for inspection)."""
+
+    cluster_id: int
+    parent_id: "int | None"
+    n_objects: int
+    query_count: int
+    access_probability: float
+    depth: int
+    constrained_dimensions: int
+
+
+@dataclass
+class IndexSnapshot:
+    """Aggregate description of an adaptive clustering index.
+
+    Produced by :meth:`repro.core.index.AdaptiveClusteringIndex.snapshot`;
+    used by tests, examples and the evaluation harness to report the number
+    of clusters, the clustering depth and the statistics state without
+    touching index internals.
+    """
+
+    n_objects: int
+    n_clusters: int
+    total_queries: int
+    clusters: List[ClusterSnapshot] = field(default_factory=list)
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest materialized cluster (root is depth 0)."""
+        if not self.clusters:
+            return 0
+        return max(cluster.depth for cluster in self.clusters)
+
+    @property
+    def average_cluster_size(self) -> float:
+        """Mean number of member objects per materialized cluster."""
+        if not self.clusters:
+            return 0.0
+        return self.n_objects / len(self.clusters)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the snapshot as a plain dictionary (for reporting / JSON)."""
+        return {
+            "n_objects": self.n_objects,
+            "n_clusters": self.n_clusters,
+            "total_queries": self.total_queries,
+            "max_depth": self.max_depth,
+            "average_cluster_size": self.average_cluster_size,
+        }

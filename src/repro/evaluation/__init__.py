@@ -1,0 +1,48 @@
+"""Evaluation layer: metrics, harness, experiment definitions and reporting.
+
+This package regenerates the paper's evaluation (Section 7): for every
+figure and table it provides an experiment function returning structured
+results, and reporting helpers that format them the way the paper does
+(average query execution time, number of clusters / nodes, fraction of
+clusters explored, fraction of objects verified).
+"""
+
+from repro.evaluation.metrics import MethodResult, ModeledCostModel, aggregate_executions
+from repro.evaluation.harness import ExperimentHarness, MethodFactory, default_methods
+from repro.evaluation.experiments import (
+    ExperimentRow,
+    ExperimentResult,
+    ablation_division_factor,
+    ablation_disk_access_time,
+    ablation_reorganization_period,
+    dimensionality_sweep,
+    point_enclosing_experiment,
+    selectivity_sweep,
+)
+from repro.evaluation.reporting import (
+    format_data_access_table,
+    format_experiment_result,
+    format_table,
+    format_time_chart,
+)
+
+__all__ = [
+    "MethodResult",
+    "ModeledCostModel",
+    "aggregate_executions",
+    "ExperimentHarness",
+    "MethodFactory",
+    "default_methods",
+    "ExperimentRow",
+    "ExperimentResult",
+    "selectivity_sweep",
+    "dimensionality_sweep",
+    "point_enclosing_experiment",
+    "ablation_division_factor",
+    "ablation_reorganization_period",
+    "ablation_disk_access_time",
+    "format_table",
+    "format_data_access_table",
+    "format_time_chart",
+    "format_experiment_result",
+]

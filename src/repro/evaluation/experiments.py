@@ -1,0 +1,453 @@
+"""Experiment definitions matching the paper's figures and tables.
+
+Every public function regenerates one of the paper's evaluation artifacts
+(see DESIGN.md §4 for the mapping) and returns an
+:class:`ExperimentResult` whose rows carry the per-method
+:class:`~repro.evaluation.metrics.MethodResult` for one x-axis point
+(selectivity, dimensionality, ...).  The reporting module renders these
+results as paper-style tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters, StorageScenario, SystemCostConstants
+from repro.evaluation.harness import ExperimentHarness, default_methods
+from repro.evaluation.metrics import MethodResult
+from repro.geometry.relations import SpatialRelation
+from repro.workloads.datasets import Dataset
+from repro.workloads.queries import (
+    QueryWorkload,
+    generate_point_queries,
+    generate_query_workload,
+)
+from repro.workloads.skewed import generate_skewed_dataset
+from repro.workloads.uniform import generate_uniform_dataset
+
+#: Query selectivities swept by the paper's first experiment (Fig. 7).
+PAPER_SELECTIVITIES = (5e-7, 5e-6, 5e-5, 5e-4, 5e-3, 5e-2, 5e-1)
+#: Dimensionalities swept by the paper's second experiment (Fig. 8).
+PAPER_DIMENSIONALITIES = (16, 20, 24, 28, 32, 36, 40)
+
+
+@dataclass
+class ExperimentRow:
+    """One x-axis point of an experiment."""
+
+    #: Value of the swept parameter (selectivity, dimensionality, ...).
+    parameter: float
+    #: Name of the swept parameter.
+    parameter_name: str
+    #: Per-method aggregated results, keyed by method label.
+    results: Dict[str, MethodResult]
+    #: Extra information (dataset name, measured selectivity, ...).
+    info: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """A full experiment: metadata plus one row per swept value."""
+
+    #: Experiment identifier (e.g. ``"fig7-memory"``).
+    experiment_id: str
+    #: Human-readable title.
+    title: str
+    #: Storage scenario used.
+    scenario: StorageScenario
+    #: The rows, in sweep order.
+    rows: List[ExperimentRow] = field(default_factory=list)
+    #: Experiment-level parameters (object count, seeds, ...).
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def methods(self) -> List[str]:
+        """Method labels present in the result."""
+        labels: List[str] = []
+        for row in self.rows:
+            for label in row.results:
+                if label not in labels:
+                    labels.append(label)
+        return labels
+
+    def series(self, method: str, metric: str = "avg_modeled_time_ms") -> List[float]:
+        """Extract one metric of one method across the sweep (chart series)."""
+        values = []
+        for row in self.rows:
+            result = row.results.get(method)
+            values.append(float(getattr(result, metric)) if result is not None else float("nan"))
+        return values
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _cost_for(
+    scenario: "StorageScenario | str",
+    dimensions: int,
+    constants: Optional[SystemCostConstants] = None,
+) -> CostParameters:
+    return CostParameters.for_scenario(scenario, dimensions, constants)
+
+
+def _adaptive_config(
+    cost: CostParameters,
+    division_factor: int = 4,
+    reorganization_period: int = 100,
+) -> AdaptiveClusteringConfig:
+    return AdaptiveClusteringConfig(
+        cost=cost,
+        division_factor=division_factor,
+        reorganization_period=reorganization_period,
+    )
+
+
+# ----------------------------------------------------------------------
+# E1: Fig. 7 — uniform workload, varying query selectivity
+# ----------------------------------------------------------------------
+def selectivity_sweep(
+    scenario: "StorageScenario | str" = StorageScenario.MEMORY,
+    object_count: int = 20_000,
+    dimensions: int = 16,
+    selectivities: Sequence[float] = PAPER_SELECTIVITIES,
+    queries_per_point: int = 50,
+    warmup_queries: int = 600,
+    seed: int = 7,
+    methods: Optional[Sequence[str]] = None,
+    constants: Optional[SystemCostConstants] = None,
+) -> ExperimentResult:
+    """Reproduce Fig. 7 (and its Tables 1 / 2): query time vs selectivity.
+
+    The paper uses 2,000,000 uniformly distributed 16-dimensional objects;
+    the default object count is scaled down for pure-Python tractability
+    (see DESIGN.md §5) — pass ``object_count=2_000_000`` to run at paper
+    scale.
+    """
+    scenario = StorageScenario.parse(scenario)
+    cost = _cost_for(scenario, dimensions, constants)
+    dataset = generate_uniform_dataset(object_count, dimensions, seed=seed)
+    result = ExperimentResult(
+        experiment_id=f"fig7-{scenario.value}",
+        title="Query performance when varying query selectivity (uniform workload)",
+        scenario=scenario,
+        parameters={
+            "object_count": object_count,
+            "dimensions": dimensions,
+            "queries_per_point": queries_per_point,
+            "warmup_queries": warmup_queries,
+            "seed": seed,
+        },
+    )
+    for selectivity in selectivities:
+        workload = generate_query_workload(
+            dataset,
+            count=queries_per_point,
+            target_selectivity=selectivity,
+            relation=SpatialRelation.INTERSECTS,
+            seed=seed + 1,
+        )
+        harness = ExperimentHarness(
+            dataset=dataset,
+            cost=cost,
+            warmup_queries=warmup_queries,
+            adaptive_config=_adaptive_config(cost),
+        )
+        row_results = harness.compare(workload, methods)
+        result.rows.append(
+            ExperimentRow(
+                parameter=selectivity,
+                parameter_name="selectivity",
+                results=row_results,
+                info={
+                    "measured_selectivity": workload.measured_selectivity,
+                    "dataset": dataset.name,
+                },
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E2: Fig. 8 — skewed workload, varying space dimensionality
+# ----------------------------------------------------------------------
+def dimensionality_sweep(
+    scenario: "StorageScenario | str" = StorageScenario.MEMORY,
+    object_count: int = 10_000,
+    dimensionalities: Sequence[int] = PAPER_DIMENSIONALITIES,
+    target_selectivity: float = 5e-4,
+    queries_per_point: int = 50,
+    warmup_queries: int = 600,
+    seed: int = 11,
+    methods: Optional[Sequence[str]] = None,
+    constants: Optional[SystemCostConstants] = None,
+) -> ExperimentResult:
+    """Reproduce Fig. 8 (and its tables): query time vs dimensionality.
+
+    The paper uses 1,000,000 skewed objects with 16–40 dimensions and a
+    query selectivity of 0.05 %; the default object count is scaled down
+    (see DESIGN.md §5).
+    """
+    scenario = StorageScenario.parse(scenario)
+    result = ExperimentResult(
+        experiment_id=f"fig8-{scenario.value}",
+        title="Query performance when varying space dimensionality (skewed data)",
+        scenario=scenario,
+        parameters={
+            "object_count": object_count,
+            "target_selectivity": target_selectivity,
+            "queries_per_point": queries_per_point,
+            "warmup_queries": warmup_queries,
+            "seed": seed,
+        },
+    )
+    for dimensions in dimensionalities:
+        cost = _cost_for(scenario, dimensions, constants)
+        dataset = generate_skewed_dataset(object_count, dimensions, seed=seed)
+        workload = generate_query_workload(
+            dataset,
+            count=queries_per_point,
+            target_selectivity=target_selectivity,
+            relation=SpatialRelation.INTERSECTS,
+            seed=seed + 1,
+        )
+        harness = ExperimentHarness(
+            dataset=dataset,
+            cost=cost,
+            warmup_queries=warmup_queries,
+            adaptive_config=_adaptive_config(cost),
+        )
+        row_results = harness.compare(workload, methods)
+        result.rows.append(
+            ExperimentRow(
+                parameter=float(dimensions),
+                parameter_name="dimensions",
+                results=row_results,
+                info={
+                    "measured_selectivity": workload.measured_selectivity,
+                    "dataset": dataset.name,
+                },
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E3: point-enclosing queries
+# ----------------------------------------------------------------------
+def point_enclosing_experiment(
+    scenario: "StorageScenario | str" = StorageScenario.MEMORY,
+    object_count: int = 20_000,
+    dimensions: int = 16,
+    queries: int = 80,
+    warmup_queries: int = 600,
+    seed: int = 13,
+    skewed: bool = True,
+    methods: Optional[Sequence[str]] = None,
+    constants: Optional[SystemCostConstants] = None,
+) -> ExperimentResult:
+    """Reproduce the point-enclosing result of Section 7.2.
+
+    The paper reports up to 16× over Sequential Scan in memory and up to 4×
+    on disk for point-enclosing queries over range subscriptions.
+    """
+    scenario = StorageScenario.parse(scenario)
+    cost = _cost_for(scenario, dimensions, constants)
+    if skewed:
+        dataset = generate_skewed_dataset(
+            object_count, dimensions, seed=seed, max_extent=0.4
+        )
+    else:
+        dataset = generate_uniform_dataset(
+            object_count, dimensions, seed=seed, max_extent=0.4
+        )
+    workload = generate_point_queries(queries, dimensions, seed=seed + 1)
+    harness = ExperimentHarness(
+        dataset=dataset,
+        cost=cost,
+        warmup_queries=warmup_queries,
+        adaptive_config=_adaptive_config(cost),
+    )
+    row_results = harness.compare(workload, methods)
+    result = ExperimentResult(
+        experiment_id=f"point-enclosing-{scenario.value}",
+        title="Point-enclosing queries over range subscriptions",
+        scenario=scenario,
+        parameters={
+            "object_count": object_count,
+            "dimensions": dimensions,
+            "queries": queries,
+            "warmup_queries": warmup_queries,
+            "seed": seed,
+            "skewed": skewed,
+        },
+    )
+    result.rows.append(
+        ExperimentRow(
+            parameter=float(dimensions),
+            parameter_name="dimensions",
+            results=row_results,
+            info={"dataset": dataset.name},
+        )
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Ablations (design-choice sensitivity studies, DESIGN.md §4 A1-A3)
+# ----------------------------------------------------------------------
+def _single_parameter_ablation(
+    experiment_id: str,
+    title: str,
+    parameter_name: str,
+    parameter_values: Sequence[float],
+    config_builder,
+    scenario: "StorageScenario | str",
+    object_count: int,
+    dimensions: int,
+    target_selectivity: float,
+    queries: int,
+    warmup_queries: int,
+    seed: int,
+) -> ExperimentResult:
+    scenario = StorageScenario.parse(scenario)
+    dataset = generate_uniform_dataset(object_count, dimensions, seed=seed)
+    workload = generate_query_workload(
+        dataset,
+        count=queries,
+        target_selectivity=target_selectivity,
+        relation=SpatialRelation.INTERSECTS,
+        seed=seed + 1,
+    )
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        scenario=scenario,
+        parameters={
+            "object_count": object_count,
+            "dimensions": dimensions,
+            "target_selectivity": target_selectivity,
+            "queries": queries,
+            "warmup_queries": warmup_queries,
+            "seed": seed,
+        },
+    )
+    for value in parameter_values:
+        cost, config = config_builder(value, dimensions)
+        harness = ExperimentHarness(
+            dataset=dataset,
+            cost=cost,
+            warmup_queries=warmup_queries,
+            adaptive_config=config,
+        )
+        row_results = harness.compare(workload, ["AC", "SS"])
+        result.rows.append(
+            ExperimentRow(
+                parameter=float(value),
+                parameter_name=parameter_name,
+                results=row_results,
+            )
+        )
+    return result
+
+
+def ablation_division_factor(
+    factors: Sequence[int] = (2, 4, 8),
+    scenario: "StorageScenario | str" = StorageScenario.MEMORY,
+    object_count: int = 10_000,
+    dimensions: int = 16,
+    target_selectivity: float = 5e-3,
+    queries: int = 40,
+    warmup_queries: int = 500,
+    seed: int = 17,
+) -> ExperimentResult:
+    """A1 — sensitivity of the clustering to the division factor ``f``."""
+
+    def build(value: float, dims: int):
+        cost = _cost_for(scenario, dims)
+        return cost, _adaptive_config(cost, division_factor=int(value))
+
+    return _single_parameter_ablation(
+        experiment_id="ablation-division-factor",
+        title="Ablation: clustering function division factor",
+        parameter_name="division_factor",
+        parameter_values=factors,
+        config_builder=build,
+        scenario=scenario,
+        object_count=object_count,
+        dimensions=dimensions,
+        target_selectivity=target_selectivity,
+        queries=queries,
+        warmup_queries=warmup_queries,
+        seed=seed,
+    )
+
+
+def ablation_reorganization_period(
+    periods: Sequence[int] = (25, 100, 400),
+    scenario: "StorageScenario | str" = StorageScenario.MEMORY,
+    object_count: int = 10_000,
+    dimensions: int = 16,
+    target_selectivity: float = 5e-3,
+    queries: int = 40,
+    warmup_queries: int = 800,
+    seed: int = 19,
+) -> ExperimentResult:
+    """A2 — sensitivity to how often the clustering is reorganized."""
+
+    def build(value: float, dims: int):
+        cost = _cost_for(scenario, dims)
+        return cost, _adaptive_config(cost, reorganization_period=int(value))
+
+    return _single_parameter_ablation(
+        experiment_id="ablation-reorganization-period",
+        title="Ablation: reorganization period",
+        parameter_name="reorganization_period",
+        parameter_values=periods,
+        config_builder=build,
+        scenario=scenario,
+        object_count=object_count,
+        dimensions=dimensions,
+        target_selectivity=target_selectivity,
+        queries=queries,
+        warmup_queries=warmup_queries,
+        seed=seed,
+    )
+
+
+def ablation_disk_access_time(
+    access_times_ms: Sequence[float] = (5.0, 15.0, 30.0),
+    object_count: int = 10_000,
+    dimensions: int = 16,
+    target_selectivity: float = 5e-3,
+    queries: int = 40,
+    warmup_queries: int = 500,
+    seed: int = 23,
+) -> ExperimentResult:
+    """A3 — how the disk access cost shapes the cluster granularity.
+
+    The paper observes that the disk scenario produces far fewer clusters
+    than the memory scenario because the cost model internalises the price
+    of random accesses; sweeping the access time makes that mechanism
+    visible.
+    """
+
+    def build(value: float, dims: int):
+        constants = SystemCostConstants(disk_access_ms=float(value))
+        cost = _cost_for(StorageScenario.DISK, dims, constants)
+        return cost, _adaptive_config(cost)
+
+    return _single_parameter_ablation(
+        experiment_id="ablation-disk-access-time",
+        title="Ablation: disk access time vs clustering granularity",
+        parameter_name="disk_access_ms",
+        parameter_values=access_times_ms,
+        config_builder=build,
+        scenario=StorageScenario.DISK,
+        object_count=object_count,
+        dimensions=dimensions,
+        target_selectivity=target_selectivity,
+        queries=queries,
+        warmup_queries=warmup_queries,
+        seed=seed,
+    )

@@ -1,0 +1,179 @@
+"""Experiment harness: build access methods, run workloads, collect metrics.
+
+Mirrors the paper's experimental process (Section 7.1):
+
+* **Sequential Scan** — the dataset is loaded into a single collection and
+  queries are executed directly.
+* **R*-tree** — the objects are inserted (or STR bulk-loaded for large
+  datasets) and queries are executed.
+* **Adaptive Clustering** — the objects are loaded into the root cluster,
+  a warm-up query stream triggers the cost-based organisation (a
+  reorganization every ``reorganization_period`` queries; the clustering
+  stabilises in fewer than ten reorganization steps when the query
+  distribution is stable), and only then is the measured workload executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.rtree import RStarTree, RStarTreeConfig
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters, StorageScenario, SystemCostConstants
+from repro.core.index import AdaptiveClusteringIndex
+from repro.evaluation.metrics import MethodResult, aggregate_executions
+from repro.workloads.datasets import Dataset
+from repro.workloads.queries import QueryWorkload
+
+#: Builds an access method ready to be queried for a given dataset.
+MethodFactory = Callable[[Dataset, CostParameters], object]
+
+
+def build_adaptive_clustering(
+    dataset: Dataset,
+    cost: CostParameters,
+    config: Optional[AdaptiveClusteringConfig] = None,
+) -> AdaptiveClusteringIndex:
+    """Create and load an adaptive clustering index for *dataset*."""
+    if config is None:
+        config = AdaptiveClusteringConfig(cost=cost)
+    index = AdaptiveClusteringIndex(config=config)
+    dataset.load_into(index)
+    return index
+
+def build_sequential_scan(dataset: Dataset, cost: CostParameters) -> SequentialScan:
+    """Create and load a sequential scan baseline for *dataset*."""
+    scan = SequentialScan(dataset.dimensions, cost=cost)
+    dataset.load_into(scan)
+    return scan
+
+
+def build_rstar_tree(
+    dataset: Dataset,
+    cost: CostParameters,
+    config: Optional[RStarTreeConfig] = None,
+    dynamic_insert_threshold: int = 4000,
+) -> RStarTree:
+    """Create and load an R*-tree for *dataset*.
+
+    Small datasets are built by dynamic insertion (exercising the full R*
+    machinery); larger ones are STR bulk-loaded to keep experiment set-up
+    tractable in pure Python (see DESIGN.md §5).
+    """
+    tree = RStarTree(config=config or RStarTreeConfig(dimensions=dataset.dimensions), cost=cost)
+    if dataset.size <= dynamic_insert_threshold:
+        for object_id, box in dataset.iter_objects():
+            tree.insert(object_id, box)
+    else:
+        tree.bulk_load(dataset.iter_objects())
+    return tree
+
+
+def default_methods() -> Dict[str, MethodFactory]:
+    """The paper's three competitors keyed by their chart labels."""
+    return {
+        "AC": build_adaptive_clustering,
+        "SS": build_sequential_scan,
+        "RS": build_rstar_tree,
+    }
+
+
+def _total_groups(method: object) -> int:
+    """Number of clusters / nodes of an access method (1 for the scan)."""
+    if isinstance(method, AdaptiveClusteringIndex):
+        return method.n_clusters
+    if isinstance(method, RStarTree):
+        return method.node_count()
+    return 1
+
+
+def _total_objects(method: object) -> int:
+    return int(getattr(method, "n_objects", 0))
+
+
+@dataclass
+class ExperimentHarness:
+    """Runs one dataset / workload combination over several access methods.
+
+    Parameters
+    ----------
+    dataset:
+        The database of extended objects.
+    cost:
+        Cost parameters (storage scenario) shared by every method.
+    methods:
+        Mapping from method label to factory; defaults to AC / SS / RS.
+    warmup_queries:
+        Number of warm-up queries executed before measurement starts (they
+        drive the adaptive clustering's reorganization).  Warm-up queries
+        are drawn from the same workload, so the measured queries follow
+        the distribution the index adapted to.
+    adaptive_config:
+        Optional override of the adaptive clustering configuration (used by
+        the ablation experiments).
+    """
+
+    dataset: Dataset
+    cost: CostParameters
+    methods: Dict[str, MethodFactory] = field(default_factory=default_methods)
+    warmup_queries: int = 1000
+    adaptive_config: Optional[AdaptiveClusteringConfig] = None
+
+    # ------------------------------------------------------------------
+    def build_method(self, label: str) -> object:
+        """Instantiate and load the access method registered under *label*."""
+        factory = self.methods[label]
+        if label == "AC" and self.adaptive_config is not None:
+            return build_adaptive_clustering(self.dataset, self.cost, self.adaptive_config)
+        return factory(self.dataset, self.cost)
+
+    def run_method(
+        self,
+        label: str,
+        workload: QueryWorkload,
+        method: Optional[object] = None,
+    ) -> MethodResult:
+        """Run *workload* against one method and aggregate the results.
+
+        The first ``warmup_queries`` queries (cycled from the workload when
+        it is shorter) are executed without being measured; the full
+        workload is then measured.
+        """
+        method = method if method is not None else self.build_method(label)
+        relation = workload.relation
+
+        if self.warmup_queries > 0 and isinstance(method, AdaptiveClusteringIndex):
+            queries = workload.queries
+            if queries:
+                for i in range(self.warmup_queries):
+                    method.query(queries[i % len(queries)], relation)
+
+        executions = []
+        for query in workload.queries:
+            _, execution = method.query_with_stats(query, relation)  # type: ignore[attr-defined]
+            executions.append(execution)
+
+        extra: Dict[str, object] = {}
+        if isinstance(method, AdaptiveClusteringIndex):
+            extra["snapshot"] = method.snapshot().as_dict()
+            extra["io"] = method.storage.stats.as_dict()
+            extra["io_time_ms"] = method.storage.io_time_ms
+        return aggregate_executions(
+            method=label,
+            executions=executions,
+            cost=self.cost,
+            total_groups=_total_groups(method),
+            total_objects=_total_objects(method),
+            extra=extra,
+        )
+
+    def compare(
+        self,
+        workload: QueryWorkload,
+        labels: Optional[Sequence[str]] = None,
+    ) -> Dict[str, MethodResult]:
+        """Run the workload against several methods and return their results."""
+        labels = list(labels) if labels is not None else list(self.methods)
+        return {label: self.run_method(label, workload) for label in labels}

@@ -1,0 +1,151 @@
+"""Modeled query cost and per-method result aggregation.
+
+The paper's charts report the average query execution time measured on a
+2004 Pentium III workstation; its tables report structural counters
+(clusters / nodes, fraction explored, fraction of objects verified).  This
+reproduction measures the *counters* exactly and converts them into a
+**modeled execution time** using the paper's own cost constants
+(Table 2), so the reported times have the same structure as the paper's
+measurements without depending on the host machine.  Wall-clock time is
+also recorded as a secondary metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost_model import CostParameters
+from repro.core.statistics import QueryExecution
+
+
+class ModeledCostModel:
+    """Convert :class:`QueryExecution` counters into modeled time.
+
+    The conversion applies the cost model uniformly to every access method:
+
+    * each signature check (cluster signature, or R-tree directory entry
+      test) costs ``A``;
+    * each explored group (cluster, node page, or the single sequential
+      scan) costs ``B`` — which includes one random disk access in the
+      disk scenario;
+    * each verified object costs ``C`` — which includes its transfer from
+      disk in the disk scenario.
+    """
+
+    def __init__(self, cost: CostParameters) -> None:
+        self.cost = cost
+
+    def query_time_ms(self, execution: QueryExecution) -> float:
+        """Modeled execution time of one query, in milliseconds."""
+        return (
+            execution.signature_checks * self.cost.A
+            + execution.groups_explored * self.cost.B
+            + execution.objects_verified * self.cost.C
+        )
+
+
+@dataclass
+class MethodResult:
+    """Aggregated per-method metrics over a measured query workload."""
+
+    #: Method label ("AC", "SS", "RS", or a custom name).
+    method: str
+    #: Number of measured queries.
+    n_queries: int
+    #: Average modeled query execution time (ms).
+    avg_modeled_time_ms: float
+    #: Average measured wall-clock query time (ms) — secondary metric.
+    avg_wall_time_ms: float
+    #: Total number of groups (clusters or tree nodes) in the structure.
+    total_groups: int
+    #: Average number of groups explored per query.
+    avg_groups_explored: float
+    #: Average number of objects verified per query.
+    avg_objects_verified: float
+    #: Average number of results per query.
+    avg_results: float
+    #: Number of objects in the database.
+    total_objects: int
+    #: Average bytes of member data read per query.
+    avg_bytes_read: float
+    #: Average random accesses per query (disk scenario).
+    avg_random_accesses: float
+    #: Free-form extra information (index snapshot, I/O statistics, ...).
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def explored_fraction(self) -> float:
+        """Average fraction of groups explored per query."""
+        if self.total_groups <= 0:
+            return 0.0
+        return self.avg_groups_explored / self.total_groups
+
+    @property
+    def verified_fraction(self) -> float:
+        """Average fraction of database objects verified per query."""
+        if self.total_objects <= 0:
+            return 0.0
+        return self.avg_objects_verified / self.total_objects
+
+    def speedup_over(self, other: "MethodResult") -> float:
+        """Modeled-time speedup of this method relative to *other*."""
+        if self.avg_modeled_time_ms <= 0:
+            return float("inf")
+        return other.avg_modeled_time_ms / self.avg_modeled_time_ms
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the result for reporting / JSON."""
+        return {
+            "method": self.method,
+            "n_queries": self.n_queries,
+            "avg_modeled_time_ms": self.avg_modeled_time_ms,
+            "avg_wall_time_ms": self.avg_wall_time_ms,
+            "total_groups": self.total_groups,
+            "avg_groups_explored": self.avg_groups_explored,
+            "explored_fraction": self.explored_fraction,
+            "avg_objects_verified": self.avg_objects_verified,
+            "verified_fraction": self.verified_fraction,
+            "avg_results": self.avg_results,
+            "total_objects": self.total_objects,
+            "avg_bytes_read": self.avg_bytes_read,
+            "avg_random_accesses": self.avg_random_accesses,
+        }
+
+
+def aggregate_executions(
+    method: str,
+    executions: Sequence[QueryExecution],
+    cost: CostParameters,
+    total_groups: int,
+    total_objects: int,
+    extra: Optional[Dict[str, object]] = None,
+) -> MethodResult:
+    """Aggregate per-query executions into one :class:`MethodResult`."""
+    if not executions:
+        raise ValueError("cannot aggregate an empty execution list")
+    model = ModeledCostModel(cost)
+    modeled = np.array([model.query_time_ms(execution) for execution in executions])
+    wall = np.array([execution.wall_time_ms for execution in executions])
+    groups = np.array([execution.groups_explored for execution in executions])
+    verified = np.array([execution.objects_verified for execution in executions])
+    results = np.array([execution.results for execution in executions])
+    bytes_read = np.array([execution.bytes_read for execution in executions])
+    random_accesses = np.array([execution.random_accesses for execution in executions])
+    return MethodResult(
+        method=method,
+        n_queries=len(executions),
+        avg_modeled_time_ms=float(modeled.mean()),
+        avg_wall_time_ms=float(wall.mean()),
+        total_groups=total_groups,
+        avg_groups_explored=float(groups.mean()),
+        avg_objects_verified=float(verified.mean()),
+        avg_results=float(results.mean()),
+        total_objects=total_objects,
+        avg_bytes_read=float(bytes_read.mean()),
+        avg_random_accesses=float(random_accesses.mean()),
+        extra=dict(extra or {}),
+    )

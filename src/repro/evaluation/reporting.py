@@ -1,0 +1,151 @@
+"""Plain-text reporting of experiment results in the paper's table style."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.experiments import ExperimentResult
+from repro.evaluation.metrics import MethodResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("every row must have one cell per header")
+    cells = [[str(h) for h in headers]] + [[_format_cell(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(columns)]
+    lines = []
+    separator = "-+-".join("-" * width for width in widths)
+    for index, row in enumerate(cells):
+        lines.append(" | ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_parameter(value: float, name: str) -> str:
+    """Render a swept-parameter value the way the paper labels it."""
+    if name == "selectivity":
+        return f"{value:.0e}".replace("e-0", "e-")
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:g}"
+
+
+def format_time_chart(
+    result: ExperimentResult, metric: str = "avg_modeled_time_ms"
+) -> str:
+    """Chart-style table: one row per swept value, one column per method.
+
+    This regenerates the *series* of the paper's charts (7-A, 7-B, 8-A,
+    8-B): who is faster, by how much, and where the curves cross.
+    """
+    methods = result.methods()
+    headers = [result.rows[0].parameter_name if result.rows else "parameter"] + [
+        f"{method} [{_metric_unit(metric)}]" for method in methods
+    ]
+    rows = []
+    for row in result.rows:
+        cells: List[object] = [format_parameter(row.parameter, row.parameter_name)]
+        for method in methods:
+            method_result = row.results.get(method)
+            cells.append(
+                float(getattr(method_result, metric)) if method_result else float("nan")
+            )
+        rows.append(cells)
+    return format_table(headers, rows)
+
+
+def _metric_unit(metric: str) -> str:
+    if metric.endswith("_ms"):
+        return "ms"
+    if metric.endswith("fraction"):
+        return "%"
+    return metric
+
+
+def format_data_access_table(
+    result: ExperimentResult,
+    methods: Sequence[str] = ("AC", "RS"),
+) -> str:
+    """Data-access table in the style of the paper's Tables 1 and 2.
+
+    Columns: swept parameter, total clusters / nodes per method, average
+    fraction of clusters / nodes explored, average fraction of objects
+    verified.
+    """
+    present = [m for m in methods if m in result.methods()]
+    headers = [result.rows[0].parameter_name if result.rows else "parameter"]
+    headers += [f"Groups {m}" for m in present]
+    headers += [f"Expl.% {m}" for m in present]
+    headers += [f"Objs.% {m}" for m in present]
+    rows = []
+    for row in result.rows:
+        cells: List[object] = [format_parameter(row.parameter, row.parameter_name)]
+        for metric in ("total_groups", "explored_fraction", "verified_fraction"):
+            for method in present:
+                method_result = row.results.get(method)
+                if method_result is None:
+                    cells.append(float("nan"))
+                elif metric == "total_groups":
+                    cells.append(method_result.total_groups)
+                else:
+                    cells.append(round(100.0 * getattr(method_result, metric), 1))
+        rows.append(cells)
+    return format_table(headers, rows)
+
+
+def format_speedup_summary(
+    result: ExperimentResult, baseline: str = "SS"
+) -> str:
+    """Per-row modeled-time speedups of every method relative to *baseline*."""
+    methods = [m for m in result.methods() if m != baseline]
+    headers = [result.rows[0].parameter_name if result.rows else "parameter"] + [
+        f"{method} speedup vs {baseline}" for method in methods
+    ]
+    rows = []
+    for row in result.rows:
+        base = row.results.get(baseline)
+        cells: List[object] = [format_parameter(row.parameter, row.parameter_name)]
+        for method in methods:
+            other = row.results.get(method)
+            if base is None or other is None or other.avg_modeled_time_ms <= 0:
+                cells.append(float("nan"))
+            else:
+                cells.append(base.avg_modeled_time_ms / other.avg_modeled_time_ms)
+        rows.append(cells)
+    return format_table(headers, rows)
+
+
+def format_experiment_result(result: ExperimentResult) -> str:
+    """Full text report of one experiment: title, chart series and tables."""
+    sections = [
+        f"== {result.experiment_id}: {result.title} ==",
+        f"scenario: {result.scenario.value}",
+        f"parameters: {result.parameters}",
+        "",
+        "-- modeled query execution time --",
+        format_time_chart(result),
+        "",
+        "-- measured wall-clock time (secondary) --",
+        format_time_chart(result, metric="avg_wall_time_ms"),
+        "",
+        "-- data access --",
+        format_data_access_table(result, methods=result.methods()),
+        "",
+        "-- speedup over Sequential Scan --",
+        format_speedup_summary(result),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,36 @@
+"""Geometry substrate: intervals, hyper-rectangles and spatial relations.
+
+This sub-package provides the data-space primitives shared by every access
+method in the library:
+
+* :class:`~repro.geometry.interval.Interval` — a closed 1-d range ``[low, high]``.
+* :class:`~repro.geometry.box.HyperRectangle` — a multidimensional extended
+  object (a closed axis-aligned box), the data type the paper indexes.
+* :class:`~repro.geometry.relations.SpatialRelation` — the query predicates
+  supported by the paper (intersection, containment, enclosure and
+  point-enclosing).
+* Vectorised predicate evaluation helpers in
+  :mod:`repro.geometry.vectorized` used by cluster / node member scans.
+"""
+
+from repro.geometry.interval import Interval
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation, relate, satisfies
+from repro.geometry.vectorized import (
+    boxes_to_arrays,
+    matching_mask,
+    mbb_of,
+    volume_of_bounds,
+)
+
+__all__ = [
+    "Interval",
+    "HyperRectangle",
+    "SpatialRelation",
+    "relate",
+    "satisfies",
+    "boxes_to_arrays",
+    "matching_mask",
+    "mbb_of",
+    "volume_of_bounds",
+]

@@ -1,0 +1,145 @@
+"""Closed one-dimensional intervals.
+
+The paper models every dimension of a multidimensional extended object as a
+closed range ``[a, b]`` with ``0 <= a <= b <= 1`` (the data space is
+normalised to the unit hyper-cube).  :class:`Interval` is the exact, scalar
+representation used by the object model; bulk geometry operations use the
+NumPy helpers in :mod:`repro.geometry.vectorized` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[low, high]`` on a single dimension.
+
+    Parameters
+    ----------
+    low:
+        Lower endpoint of the interval.
+    high:
+        Upper endpoint.  Must satisfy ``high >= low``.
+
+    Notes
+    -----
+    Points are represented as degenerate intervals with ``low == high``.
+    The class is immutable and hashable so intervals can be used as
+    dictionary keys and set members (useful in workload generators and
+    tests).
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(
+                f"invalid interval: high ({self.high}) < low ({self.low})"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> float:
+        """Extent of the interval (``high - low``)."""
+        return self.high - self.low
+
+    @property
+    def center(self) -> float:
+        """Midpoint of the interval."""
+        return (self.low + self.high) / 2.0
+
+    def is_point(self) -> bool:
+        """Return ``True`` when the interval is degenerate (zero length)."""
+        return self.low == self.high
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Interval") -> bool:
+        """Return ``True`` when the two closed intervals share a point."""
+        return self.low <= other.high and other.low <= self.high
+
+    def contains(self, other: "Interval") -> bool:
+        """Return ``True`` when *other* lies entirely within this interval."""
+        return self.low <= other.low and other.high <= self.high
+
+    def contains_value(self, value: float) -> bool:
+        """Return ``True`` when *value* lies within the closed interval."""
+        return self.low <= value <= self.high
+
+    def is_contained_by(self, other: "Interval") -> bool:
+        """Return ``True`` when this interval lies entirely within *other*."""
+        return other.contains(self)
+
+    # ------------------------------------------------------------------
+    # Constructive operations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Interval") -> "Interval":
+        """Return the overlap of the two intervals.
+
+        Raises
+        ------
+        ValueError
+            If the intervals do not intersect.
+        """
+        if not self.intersects(other):
+            raise ValueError(f"intervals {self} and {other} do not intersect")
+        return Interval(max(self.low, other.low), min(self.high, other.high))
+
+    def union_bounds(self, other: "Interval") -> "Interval":
+        """Return the smallest interval covering both operands."""
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+    def expanded(self, amount: float) -> "Interval":
+        """Return a copy grown by *amount* on each side (clamped at zero length)."""
+        low = self.low - amount
+        high = self.high + amount
+        if high < low:
+            mid = (low + high) / 2.0
+            return Interval(mid, mid)
+        return Interval(low, high)
+
+    def clamped(self, low: float = 0.0, high: float = 1.0) -> "Interval":
+        """Return a copy clipped to ``[low, high]`` (useful for unit-space data)."""
+        new_low = min(max(self.low, low), high)
+        new_high = min(max(self.high, low), high)
+        return Interval(new_low, new_high)
+
+    def split(self, parts: int) -> Tuple["Interval", ...]:
+        """Split into *parts* equal-length consecutive sub-intervals."""
+        if parts <= 0:
+            raise ValueError("parts must be a positive integer")
+        step = self.length / parts
+        pieces = []
+        for i in range(parts):
+            lo = self.low + i * step
+            hi = self.high if i == parts - 1 else self.low + (i + 1) * step
+            pieces.append(Interval(lo, hi))
+        return tuple(pieces)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[float]:
+        yield self.low
+        yield self.high
+
+    def __contains__(self, value: float) -> bool:
+        return self.contains_value(value)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(low, high)``."""
+        return (self.low, self.high)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Interval({self.low:g}, {self.high:g})"
+
+
+UNIT_INTERVAL = Interval(0.0, 1.0)
+"""The full normalised domain ``[0, 1]`` used by the paper for every dimension."""

@@ -1,0 +1,120 @@
+"""Spatial relations supported by the paper's query model.
+
+A spatial query specifies a *query object* (a hyper-rectangle, possibly a
+degenerate point) and a spatial relation requested between the query object
+and the qualifying database objects:
+
+* ``INTERSECTS``   — the database object and the query object share a point
+  (the paper's *intersection* / spatial range query).
+* ``CONTAINED_BY`` — the database object lies entirely inside the query
+  object (the paper's *containment* query).
+* ``CONTAINS``     — the database object entirely encloses the query object
+  (the paper's *enclosure* query; with a point query object this is the
+  *point-enclosing* query of Section 7.2).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.geometry.box import HyperRectangle
+
+
+class SpatialRelation(str, Enum):
+    """Predicate requested between a database object and the query object."""
+
+    #: Database object intersects the query object.
+    INTERSECTS = "intersects"
+    #: Database object is entirely contained in the query object.
+    CONTAINED_BY = "contained_by"
+    #: Database object entirely encloses the query object.
+    CONTAINS = "contains"
+
+    @classmethod
+    def parse(cls, value: "SpatialRelation | str") -> "SpatialRelation":
+        """Coerce a string (or an existing member) into a relation.
+
+        Accepts a few aliases commonly used in the paper's prose
+        (``"intersection"``, ``"containment"``, ``"enclosure"``,
+        ``"point_enclosing"``).
+        """
+        if isinstance(value, cls):
+            return value
+        normalized = str(value).strip().lower().replace("-", "_")
+        aliases = {
+            "intersects": cls.INTERSECTS,
+            "intersection": cls.INTERSECTS,
+            "overlap": cls.INTERSECTS,
+            "contained_by": cls.CONTAINED_BY,
+            "containment": cls.CONTAINED_BY,
+            "inside": cls.CONTAINED_BY,
+            "within": cls.CONTAINED_BY,
+            "contains": cls.CONTAINS,
+            "enclosure": cls.CONTAINS,
+            "encloses": cls.CONTAINS,
+            "point_enclosing": cls.CONTAINS,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError as exc:
+            raise ValueError(f"unknown spatial relation: {value!r}") from exc
+
+
+def satisfies(
+    database_object: HyperRectangle,
+    query_object: HyperRectangle,
+    relation: SpatialRelation,
+) -> bool:
+    """Return ``True`` when *database_object* satisfies *relation* w.r.t. the query.
+
+    This is the exact per-object verification the paper performs when a
+    cluster (or R-tree leaf, or the sequential scan) checks a member object
+    against the selection criterion.
+    """
+    if relation is SpatialRelation.INTERSECTS:
+        return database_object.intersects(query_object)
+    if relation is SpatialRelation.CONTAINED_BY:
+        return query_object.contains(database_object)
+    if relation is SpatialRelation.CONTAINS:
+        return database_object.contains(query_object)
+    raise ValueError(f"unsupported relation: {relation!r}")
+
+
+def relate(
+    database_object: HyperRectangle, query_object: HyperRectangle
+) -> "set[SpatialRelation]":
+    """Return the set of relations *database_object* satisfies w.r.t. the query.
+
+    Convenience used by tests and examples to cross-check predicate
+    implementations against each other.
+    """
+    return {
+        relation
+        for relation in SpatialRelation
+        if satisfies(database_object, query_object, relation)
+    }
+
+
+def mbb_could_satisfy(
+    mbb: HyperRectangle, query_object: HyperRectangle, relation: SpatialRelation
+) -> bool:
+    """Pruning test used by MBB-based structures (R*-tree).
+
+    Given the minimum bounding box of a set of database objects, return
+    ``True`` when at least one object inside the MBB *could* satisfy the
+    relation, i.e. the node must be explored.  The test is conservative
+    (never produces false drops):
+
+    * ``INTERSECTS``   — an object can intersect the query only if the MBB does.
+    * ``CONTAINED_BY`` — an object can be inside the query only if the MBB
+      intersects the query (the object may be much smaller than the MBB).
+    * ``CONTAINS``     — an object can enclose the query only if the MBB
+      encloses the query.
+    """
+    if relation is SpatialRelation.INTERSECTS:
+        return mbb.intersects(query_object)
+    if relation is SpatialRelation.CONTAINED_BY:
+        return mbb.intersects(query_object)
+    if relation is SpatialRelation.CONTAINS:
+        return mbb.contains(query_object)
+    raise ValueError(f"unsupported relation: {relation!r}")

@@ -1,0 +1,113 @@
+"""Vectorised geometry helpers.
+
+Clusters, R*-tree leaves and the sequential scan all need to verify *many*
+member objects against one query object.  Doing this per-object in pure
+Python is prohibitively slow, so member sets are kept as two ``(n, Nd)``
+NumPy arrays (``lows`` and ``highs``) and predicates are evaluated with
+vectorised comparisons.
+
+The cost model still charges the per-object verification cost for every
+object checked — the vectorisation is an implementation detail, not a change
+to the paper's accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+
+
+def boxes_to_arrays(
+    boxes: Iterable[HyperRectangle],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack hyper-rectangles into ``(lows, highs)`` arrays of shape ``(n, Nd)``.
+
+    Raises
+    ------
+    ValueError
+        If the iterable is empty or the boxes disagree on dimensionality.
+    """
+    box_list: List[HyperRectangle] = list(boxes)
+    if not box_list:
+        raise ValueError("cannot stack an empty collection of boxes")
+    dims = box_list[0].dimensions
+    for box in box_list:
+        if box.dimensions != dims:
+            raise ValueError("all boxes must share the same dimensionality")
+    lows = np.vstack([box.lows for box in box_list])
+    highs = np.vstack([box.highs for box in box_list])
+    return lows, highs
+
+
+def matching_mask(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    query: HyperRectangle,
+    relation: SpatialRelation,
+) -> np.ndarray:
+    """Evaluate *relation* for every row of ``(lows, highs)`` against *query*.
+
+    Parameters
+    ----------
+    lows, highs:
+        Arrays of shape ``(n, Nd)`` holding the member objects' bounds.
+    query:
+        The query object.
+    relation:
+        The spatial relation requested by the query.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean mask of length ``n`` — ``True`` where the object satisfies
+        the relation.
+    """
+    if lows.shape != highs.shape:
+        raise ValueError("lows and highs must have identical shapes")
+    if lows.ndim != 2:
+        raise ValueError("expected 2-d arrays of shape (n, Nd)")
+    if lows.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    if lows.shape[1] != query.dimensions:
+        raise ValueError(
+            f"objects have {lows.shape[1]} dimensions, query has {query.dimensions}"
+        )
+
+    q_lows = query.lows
+    q_highs = query.highs
+    if relation is SpatialRelation.INTERSECTS:
+        return np.all((lows <= q_highs) & (q_lows <= highs), axis=1)
+    if relation is SpatialRelation.CONTAINED_BY:
+        return np.all((q_lows <= lows) & (highs <= q_highs), axis=1)
+    if relation is SpatialRelation.CONTAINS:
+        return np.all((lows <= q_lows) & (q_highs <= highs), axis=1)
+    raise ValueError(f"unsupported relation: {relation!r}")
+
+
+def mbb_of(lows: np.ndarray, highs: np.ndarray) -> HyperRectangle:
+    """Minimum bounding box of a non-empty set of objects."""
+    if lows.shape[0] == 0:
+        raise ValueError("cannot compute the MBB of an empty set")
+    return HyperRectangle(lows.min(axis=0), highs.max(axis=0))
+
+
+def volume_of_bounds(lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+    """Per-row volumes for ``(n, Nd)`` bound arrays."""
+    if lows.shape != highs.shape:
+        raise ValueError("lows and highs must have identical shapes")
+    return np.prod(highs - lows, axis=1)
+
+
+def stack_bounds(
+    bounds: Sequence[Tuple[np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate several ``(lows, highs)`` pairs along the row axis."""
+    if not bounds:
+        raise ValueError("nothing to stack")
+    lows = np.concatenate([pair[0] for pair in bounds], axis=0)
+    highs = np.concatenate([pair[1] for pair in bounds], axis=0)
+    return lows, highs

@@ -1,0 +1,73 @@
+"""I/O statistics counters for the storage backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class IOStatistics:
+    """Counters of the storage operations performed by a backend.
+
+    Attributes
+    ----------
+    random_accesses:
+        Disk-head repositionings (one per cluster read / write in the disk
+        scenario; zero in the memory scenario).
+    bytes_read:
+        Member-object bytes read during query execution.
+    bytes_written:
+        Member-object bytes written by insertions, relocations and splits.
+    cluster_reads:
+        Number of cluster scans served.
+    cluster_relocations:
+        Number of times a cluster outgrew its reserved slots and had to be
+        rewritten at a new location.
+    allocations:
+        Cluster extents allocated.
+    frees:
+        Cluster extents released (merges, deletions).
+    """
+
+    random_accesses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    cluster_reads: int = 0
+    cluster_relocations: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    def merge(self, other: "IOStatistics") -> "IOStatistics":
+        """Return the element-wise sum of two statistics records."""
+        return IOStatistics(
+            random_accesses=self.random_accesses + other.random_accesses,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            cluster_reads=self.cluster_reads + other.cluster_reads,
+            cluster_relocations=self.cluster_relocations + other.cluster_relocations,
+            allocations=self.allocations + other.allocations,
+            frees=self.frees + other.frees,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter (start of a new measurement window)."""
+        self.random_accesses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.cluster_reads = 0
+        self.cluster_relocations = 0
+        self.allocations = 0
+        self.frees = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary (reporting / JSON)."""
+        return {
+            "random_accesses": self.random_accesses,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "cluster_reads": self.cluster_reads,
+            "cluster_relocations": self.cluster_relocations,
+            "allocations": self.allocations,
+            "frees": self.frees,
+        }

@@ -1,0 +1,251 @@
+"""Sequential cluster placement in a virtual address space (Section 6).
+
+Each cluster is stored sequentially (in memory or on disk) so that exploring
+it is one random access followed by a sequential transfer.  To avoid moving a
+cluster on every insertion, the layout reserves extra member slots at the end
+of every extent (20–30 % of the cluster size in the paper, i.e. a storage
+utilisation of at least ~70 %); when the reserved slots run out the cluster
+is *relocated* to a fresh, larger extent at the end of the address space.
+
+:class:`DiskLayout` implements this allocation policy over a virtual,
+append-only address space and reports the relocation and fragmentation
+behaviour the storage backends account for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ClusterExtent:
+    """Placement record of one cluster.
+
+    Attributes
+    ----------
+    cluster_id:
+        Identifier of the cluster occupying the extent.
+    offset_bytes:
+        Start address of the extent in the virtual address space.
+    capacity_objects:
+        Number of member slots allocated (used + reserved).
+    used_objects:
+        Number of member slots currently holding an object.
+    """
+
+    cluster_id: int
+    offset_bytes: int
+    capacity_objects: int
+    used_objects: int
+
+    def utilization(self) -> float:
+        """Fraction of allocated slots in use."""
+        if self.capacity_objects == 0:
+            return 1.0
+        return self.used_objects / self.capacity_objects
+
+    def size_bytes(self, object_bytes: int) -> int:
+        """Total allocated size of the extent in bytes."""
+        return self.capacity_objects * object_bytes
+
+    def used_bytes(self, object_bytes: int) -> int:
+        """Bytes of live member data in the extent."""
+        return self.used_objects * object_bytes
+
+
+class DiskLayout:
+    """Allocation of cluster extents in a virtual address space.
+
+    Parameters
+    ----------
+    object_bytes:
+        Size of one member object.
+    reserved_slot_fraction:
+        Fraction of extra slots reserved at the end of each new or
+        relocated extent (paper: 0.20–0.30).
+    minimum_capacity:
+        Smallest extent allocated, in member slots.
+    """
+
+    def __init__(
+        self,
+        object_bytes: int,
+        reserved_slot_fraction: float = 0.25,
+        minimum_capacity: int = 8,
+    ) -> None:
+        if object_bytes <= 0:
+            raise ValueError("object_bytes must be positive")
+        if not 0.0 <= reserved_slot_fraction <= 1.0:
+            raise ValueError("reserved_slot_fraction must lie in [0, 1]")
+        if minimum_capacity < 1:
+            raise ValueError("minimum_capacity must be at least 1")
+        self.object_bytes = object_bytes
+        self.reserved_slot_fraction = reserved_slot_fraction
+        self.minimum_capacity = minimum_capacity
+        self._extents: Dict[int, ClusterExtent] = {}
+        self._next_offset = 0
+        self._freed_bytes = 0
+        self._relocations = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def _capacity_for(self, expected_objects: int) -> int:
+        reserved = int(round(expected_objects * self.reserved_slot_fraction))
+        return max(expected_objects + reserved, self.minimum_capacity)
+
+    def allocate(self, cluster_id: int, expected_objects: int) -> ClusterExtent:
+        """Allocate a new extent able to hold *expected_objects* members.
+
+        The extent includes the reserved slots.  Raises if the cluster is
+        already placed.
+        """
+        if cluster_id in self._extents:
+            raise ValueError(f"cluster {cluster_id} is already allocated")
+        capacity = self._capacity_for(max(expected_objects, 0))
+        extent = ClusterExtent(
+            cluster_id=cluster_id,
+            offset_bytes=self._next_offset,
+            capacity_objects=capacity,
+            used_objects=max(expected_objects, 0),
+        )
+        self._extents[cluster_id] = extent
+        self._next_offset += extent.size_bytes(self.object_bytes)
+        return extent
+
+    def free(self, cluster_id: int) -> ClusterExtent:
+        """Release the extent of *cluster_id* (its space becomes a hole)."""
+        extent = self._require(cluster_id)
+        del self._extents[cluster_id]
+        self._freed_bytes += extent.size_bytes(self.object_bytes)
+        return extent
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, cluster_id: int, count: int = 1) -> bool:
+        """Record *count* new members in the cluster's extent.
+
+        Returns
+        -------
+        bool
+            ``True`` when the extent overflowed and the cluster was
+            relocated to a fresh, larger extent.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        extent = self._require(cluster_id)
+        if extent.used_objects + count <= extent.capacity_objects:
+            extent.used_objects += count
+            return False
+        # Relocate: free the old extent and allocate a larger one at the end
+        # of the address space, with fresh reserved slots.
+        new_used = extent.used_objects + count
+        self._freed_bytes += extent.size_bytes(self.object_bytes)
+        new_capacity = self._capacity_for(new_used)
+        extent.offset_bytes = self._next_offset
+        extent.capacity_objects = new_capacity
+        extent.used_objects = new_used
+        self._next_offset += extent.size_bytes(self.object_bytes)
+        self._relocations += 1
+        return True
+
+    def remove(self, cluster_id: int, count: int = 1) -> None:
+        """Record the removal of *count* members from the cluster's extent."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        extent = self._require(cluster_id)
+        if count > extent.used_objects:
+            raise ValueError(
+                f"cluster {cluster_id} holds {extent.used_objects} objects, "
+                f"cannot remove {count}"
+            )
+        extent.used_objects -= count
+
+    def resize(self, cluster_id: int, used_objects: int) -> bool:
+        """Set the exact member count, relocating when needed.
+
+        The cluster is relocated both when it outgrows its extent and when
+        it shrinks so much that the extent's utilisation would fall below
+        the paper's 70 % target (e.g. a parent cluster after a split); in
+        the latter case it is rewritten into a right-sized extent.
+        """
+        if used_objects < 0:
+            raise ValueError("used_objects must be non-negative")
+        extent = self._require(cluster_id)
+        fits = used_objects <= extent.capacity_objects
+        right_sized_capacity = self._capacity_for(used_objects)
+        too_empty = (
+            extent.capacity_objects > self.minimum_capacity
+            and used_objects < 0.7 * extent.capacity_objects
+            and right_sized_capacity < extent.capacity_objects
+        )
+        if fits and not too_empty:
+            extent.used_objects = used_objects
+            return False
+        self._freed_bytes += extent.size_bytes(self.object_bytes)
+        extent.offset_bytes = self._next_offset
+        extent.capacity_objects = right_sized_capacity
+        extent.used_objects = used_objects
+        self._next_offset += extent.size_bytes(self.object_bytes)
+        self._relocations += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def extent(self, cluster_id: int) -> ClusterExtent:
+        """Return the placement record of *cluster_id*."""
+        return self._require(cluster_id)
+
+    def extents(self) -> List[ClusterExtent]:
+        """All extents, ordered by their offset in the address space."""
+        return sorted(self._extents.values(), key=lambda e: e.offset_bytes)
+
+    def __contains__(self, cluster_id: int) -> bool:
+        return cluster_id in self._extents
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    @property
+    def relocations(self) -> int:
+        """Number of relocations performed since creation."""
+        return self._relocations
+
+    @property
+    def address_space_bytes(self) -> int:
+        """Total size of the (append-only) virtual address space used so far."""
+        return self._next_offset
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently occupied by live extents (allocated capacity)."""
+        return sum(e.size_bytes(self.object_bytes) for e in self._extents.values())
+
+    @property
+    def freed_bytes(self) -> int:
+        """Bytes released by frees and relocations (holes in the address space)."""
+        return self._freed_bytes
+
+    def overall_utilization(self) -> float:
+        """Live member bytes over allocated extent bytes (paper target: >= 0.7)."""
+        allocated = self.live_bytes
+        if allocated == 0:
+            return 1.0
+        used = sum(e.used_bytes(self.object_bytes) for e in self._extents.values())
+        return used / allocated
+
+    def _require(self, cluster_id: int) -> ClusterExtent:
+        try:
+            return self._extents[cluster_id]
+        except KeyError as exc:
+            raise KeyError(f"cluster {cluster_id} has no allocated extent") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"DiskLayout(clusters={len(self._extents)}, "
+            f"address_space_bytes={self._next_offset}, "
+            f"relocations={self._relocations})"
+        )

@@ -1,0 +1,48 @@
+"""Workload generation: datasets and query streams used by the evaluation.
+
+The paper's experiments (Section 7) use synthetic workloads:
+
+* **uniform** — objects whose interval sizes and positions are uniformly
+  distributed in every dimension;
+* **skewed** — a randomly chosen quarter of each object's dimensions is two
+  times more selective (its intervals are half as long) than the rest;
+* **queries** — intersection queries whose selectivity is controlled by
+  constraining the query intervals' sizes, and point-enclosing queries;
+* **pubsub** — a publish/subscribe scenario (the motivating SDI
+  application) with named attributes, used by the examples.
+"""
+
+from repro.workloads.datasets import Dataset
+from repro.workloads.uniform import generate_uniform_dataset, uniform_bounds
+from repro.workloads.skewed import generate_skewed_dataset, skewed_bounds
+from repro.workloads.clustered import clustered_bounds, generate_clustered_dataset
+from repro.workloads.queries import (
+    QueryWorkload,
+    calibrate_extent_for_selectivity,
+    generate_point_queries,
+    generate_query_workload,
+    measure_selectivity,
+)
+from repro.workloads.pubsub import (
+    AttributeSpec,
+    PublishSubscribeScenario,
+    apartment_ads_scenario,
+)
+
+__all__ = [
+    "Dataset",
+    "generate_uniform_dataset",
+    "uniform_bounds",
+    "generate_skewed_dataset",
+    "skewed_bounds",
+    "generate_clustered_dataset",
+    "clustered_bounds",
+    "QueryWorkload",
+    "generate_query_workload",
+    "generate_point_queries",
+    "calibrate_extent_for_selectivity",
+    "measure_selectivity",
+    "AttributeSpec",
+    "PublishSubscribeScenario",
+    "apartment_ads_scenario",
+]

@@ -1,0 +1,113 @@
+"""Dataset container shared by the workload generators and the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.box import HyperRectangle
+
+
+@dataclass
+class Dataset:
+    """A collection of extended objects kept column-wise.
+
+    Attributes
+    ----------
+    ids:
+        Object identifiers, shape ``(n,)``.
+    lows / highs:
+        Object bounds, shape ``(n, Nd)``.
+    name:
+        Human-readable label used in experiment reports.
+    metadata:
+        Free-form generator parameters (seed, extent ranges, ...) recorded
+        so experiments are reproducible from their reports.
+    """
+
+    ids: np.ndarray
+    lows: np.ndarray
+    highs: np.ndarray
+    name: str = "dataset"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.lows.shape != self.highs.shape or self.lows.ndim != 2:
+            raise ValueError("lows and highs must be (n, Nd) arrays of equal shape")
+        if self.ids.shape != (self.lows.shape[0],):
+            raise ValueError("ids must have one entry per object")
+        if np.any(self.highs < self.lows):
+            raise ValueError("invalid dataset: some high bound is below its low bound")
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of objects."""
+        return int(self.ids.shape[0])
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the data space."""
+        return int(self.lows.shape[1])
+
+    def __len__(self) -> int:
+        return self.size
+
+    def total_bytes(self, object_bytes: int) -> int:
+        """Size of the dataset for a given per-object byte size."""
+        return self.size * object_bytes
+
+    # ------------------------------------------------------------------
+    def box(self, row: int) -> HyperRectangle:
+        """The object stored at *row* as a :class:`HyperRectangle`."""
+        return HyperRectangle(self.lows[row], self.highs[row])
+
+    def iter_objects(self) -> Iterator[Tuple[int, HyperRectangle]]:
+        """Iterate over ``(object_id, box)`` pairs."""
+        for row in range(self.size):
+            yield int(self.ids[row]), self.box(row)
+
+    def sample(self, count: int, rng: Optional[np.random.Generator] = None) -> "Dataset":
+        """Return a random sample of *count* objects (without replacement)."""
+        rng = rng or np.random.default_rng(0)
+        count = min(count, self.size)
+        rows = rng.choice(self.size, size=count, replace=False)
+        return Dataset(
+            ids=self.ids[rows].copy(),
+            lows=self.lows[rows].copy(),
+            highs=self.highs[rows].copy(),
+            name=f"{self.name}-sample{count}",
+            metadata=dict(self.metadata),
+        )
+
+    def subset(self, rows: np.ndarray, name: Optional[str] = None) -> "Dataset":
+        """Return the objects selected by *rows* as a new dataset."""
+        return Dataset(
+            ids=self.ids[rows].copy(),
+            lows=self.lows[rows].copy(),
+            highs=self.highs[rows].copy(),
+            name=name or f"{self.name}-subset",
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    def load_into(self, index: object) -> int:
+        """Bulk-load the dataset into any access method exposing ``bulk_load``.
+
+        Falls back to per-object ``insert`` when the method has no bulk
+        loader.  Returns the number of objects loaded.
+        """
+        bulk = getattr(index, "bulk_load", None)
+        if callable(bulk):
+            return int(bulk(self.iter_objects()))
+        for object_id, box in self.iter_objects():
+            index.insert(object_id, box)  # type: ignore[attr-defined]
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Dataset(name={self.name!r}, size={self.size}, "
+            f"dimensions={self.dimensions})"
+        )

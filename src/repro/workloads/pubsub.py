@@ -1,0 +1,227 @@
+"""Publish/subscribe (SDI) scenario synthesis.
+
+The paper's motivation is a notification system over small ads: millions of
+subscriptions defining range predicates over tens of attributes, matched
+against incoming events (offers).  This module provides:
+
+* :class:`AttributeSpec` — a named attribute with a real-world domain,
+  mapped to the normalised ``[0, 1]`` dimension the index operates on;
+* :class:`PublishSubscribeScenario` — generates subscription datasets
+  (extended objects) and event streams (point or small-range queries);
+* :func:`apartment_ads_scenario` — the apartment-ads example from the
+  paper's introduction ("rent between 400$ and 700$, 3 to 5 rooms, ...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+from repro.workloads.datasets import Dataset
+from repro.workloads.queries import QueryWorkload
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One subscription attribute and how subscriptions constrain it.
+
+    Parameters
+    ----------
+    name:
+        Attribute name (e.g. ``"monthly_rent"``).
+    domain_low, domain_high:
+        Real-world domain bounds; values are normalised into ``[0, 1]``.
+    typical_width:
+        Typical width of a subscription's interval for this attribute, as a
+        fraction of the domain (e.g. 0.2 means subscriptions usually accept
+        20 % of the domain).
+    width_jitter:
+        Relative jitter applied to the typical width per subscription.
+    wildcard_probability:
+        Probability that a subscription leaves the attribute unconstrained
+        (accepts the whole domain) — real subscriptions rarely constrain
+        every attribute.
+    """
+
+    name: str
+    domain_low: float
+    domain_high: float
+    typical_width: float = 0.2
+    width_jitter: float = 0.5
+    wildcard_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.domain_high <= self.domain_low:
+            raise ValueError(f"{self.name}: domain_high must exceed domain_low")
+        if not 0.0 < self.typical_width <= 1.0:
+            raise ValueError(f"{self.name}: typical_width must lie in (0, 1]")
+        if not 0.0 <= self.width_jitter <= 1.0:
+            raise ValueError(f"{self.name}: width_jitter must lie in [0, 1]")
+        if not 0.0 <= self.wildcard_probability <= 1.0:
+            raise ValueError(f"{self.name}: wildcard_probability must lie in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def normalize(self, value: float) -> float:
+        """Map a real-world value into the unit domain (clipped)."""
+        span = self.domain_high - self.domain_low
+        return float(np.clip((value - self.domain_low) / span, 0.0, 1.0))
+
+    def denormalize(self, value: float) -> float:
+        """Map a unit-domain value back to the real-world domain."""
+        return self.domain_low + value * (self.domain_high - self.domain_low)
+
+
+class PublishSubscribeScenario:
+    """Generates subscriptions and events for an SDI workload."""
+
+    def __init__(self, attributes: Sequence[AttributeSpec], seed: int = 0) -> None:
+        if not attributes:
+            raise ValueError("a scenario needs at least one attribute")
+        names = [spec.name for spec in attributes]
+        if len(set(names)) != len(names):
+            raise ValueError("attribute names must be unique")
+        self.attributes = list(attributes)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> int:
+        """Number of attributes (= index dimensions)."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> List[str]:
+        """Names of the attributes, in dimension order."""
+        return [spec.name for spec in self.attributes]
+
+    # ------------------------------------------------------------------
+    def generate_subscriptions(self, count: int, name: str = "subscriptions") -> Dataset:
+        """Generate *count* subscriptions as a dataset of extended objects."""
+        dims = self.dimensions
+        lows = np.zeros((count, dims))
+        highs = np.ones((count, dims))
+        for column, spec in enumerate(self.attributes):
+            wildcard = self._rng.random(count) < spec.wildcard_probability
+            widths = spec.typical_width * (
+                1.0 + spec.width_jitter * (self._rng.random(count) * 2.0 - 1.0)
+            )
+            widths = np.clip(widths, 0.01, 1.0)
+            starts = self._rng.random(count) * (1.0 - widths)
+            lows[:, column] = np.where(wildcard, 0.0, starts)
+            highs[:, column] = np.where(wildcard, 1.0, starts + widths)
+        return Dataset(
+            ids=np.arange(count, dtype=np.int64),
+            lows=lows,
+            highs=np.minimum(highs, 1.0),
+            name=name,
+            metadata={
+                "generator": "pubsub",
+                "attributes": self.attribute_names,
+                "count": count,
+            },
+        )
+
+    def generate_events(
+        self,
+        count: int,
+        range_fraction: float = 0.0,
+        name: str = "events",
+    ) -> QueryWorkload:
+        """Generate *count* events.
+
+        Parameters
+        ----------
+        range_fraction:
+            Width of the event's interval per attribute (fraction of the
+            domain).  Zero produces point events (the common case — a
+            concrete offer), positive values produce range events like the
+            paper's "3 to 5 rooms, 600$-900$" example.
+
+        Notes
+        -----
+        Events are matched against subscriptions with the ``CONTAINS``
+        relation: a subscription matches when it encloses the event.
+        """
+        if not 0.0 <= range_fraction < 1.0:
+            raise ValueError("range_fraction must lie in [0, 1)")
+        dims = self.dimensions
+        lows = self._rng.random((count, dims)) * (1.0 - range_fraction)
+        highs = lows + range_fraction
+        queries = [
+            HyperRectangle(lows[row], np.minimum(highs[row], 1.0))
+            for row in range(count)
+        ]
+        return QueryWorkload(
+            queries=queries,
+            relation=SpatialRelation.CONTAINS,
+            metadata={
+                "generator": "pubsub-events",
+                "count": count,
+                "range_fraction": range_fraction,
+                "name": name,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def subscription_from_ranges(
+        self, ranges: Dict[str, Tuple[float, float]], default_wildcard: bool = True
+    ) -> HyperRectangle:
+        """Build one subscription box from real-world attribute ranges.
+
+        Attributes absent from *ranges* accept the whole domain when
+        *default_wildcard* is true, otherwise a :class:`KeyError` is raised.
+        """
+        lows = np.zeros(self.dimensions)
+        highs = np.ones(self.dimensions)
+        known = set(self.attribute_names)
+        for attr_name in ranges:
+            if attr_name not in known:
+                raise KeyError(f"unknown attribute: {attr_name}")
+        for column, spec in enumerate(self.attributes):
+            if spec.name in ranges:
+                low_value, high_value = ranges[spec.name]
+                lows[column] = spec.normalize(low_value)
+                highs[column] = spec.normalize(high_value)
+            elif not default_wildcard:
+                raise KeyError(f"missing range for attribute {spec.name}")
+        return HyperRectangle(lows, highs)
+
+    def event_from_values(self, values: Dict[str, float]) -> HyperRectangle:
+        """Build one point event from real-world attribute values."""
+        coords = np.zeros(self.dimensions)
+        known = set(self.attribute_names)
+        for attr_name in values:
+            if attr_name not in known:
+                raise KeyError(f"unknown attribute: {attr_name}")
+        for column, spec in enumerate(self.attributes):
+            if spec.name not in values:
+                raise KeyError(f"missing value for attribute {spec.name}")
+            coords[column] = spec.normalize(values[spec.name])
+        return HyperRectangle(coords, coords)
+
+
+def apartment_ads_scenario(seed: int = 0) -> PublishSubscribeScenario:
+    """The apartment small-ads scenario from the paper's introduction."""
+    attributes = [
+        AttributeSpec("monthly_rent_usd", 100, 5000, typical_width=0.15, wildcard_probability=0.05),
+        AttributeSpec("rooms", 1, 10, typical_width=0.3, wildcard_probability=0.10),
+        AttributeSpec("bathrooms", 1, 5, typical_width=0.4, wildcard_probability=0.30),
+        AttributeSpec("distance_to_city_miles", 0, 100, typical_width=0.25, wildcard_probability=0.10),
+        AttributeSpec("surface_sqft", 200, 5000, typical_width=0.25, wildcard_probability=0.20),
+        AttributeSpec("floor", 0, 30, typical_width=0.5, wildcard_probability=0.50),
+        AttributeSpec("year_built", 1900, 2030, typical_width=0.4, wildcard_probability=0.40),
+        AttributeSpec("lease_months", 1, 48, typical_width=0.4, wildcard_probability=0.40),
+        AttributeSpec("parking_spots", 0, 4, typical_width=0.5, wildcard_probability=0.60),
+        AttributeSpec("pet_friendliness", 0, 10, typical_width=0.5, wildcard_probability=0.60),
+        AttributeSpec("furnishing_level", 0, 10, typical_width=0.5, wildcard_probability=0.50),
+        AttributeSpec("noise_level", 0, 10, typical_width=0.4, wildcard_probability=0.50),
+        AttributeSpec("school_rating", 0, 10, typical_width=0.4, wildcard_probability=0.40),
+        AttributeSpec("transit_score", 0, 100, typical_width=0.3, wildcard_probability=0.40),
+        AttributeSpec("crime_index", 0, 100, typical_width=0.4, wildcard_probability=0.50),
+        AttributeSpec("energy_rating", 0, 10, typical_width=0.5, wildcard_probability=0.60),
+    ]
+    return PublishSubscribeScenario(attributes, seed=seed)

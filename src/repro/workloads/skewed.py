@@ -1,0 +1,96 @@
+"""Skewed workload generator (paper Section 7.2, second experiment).
+
+"For each database object, we randomly choose a quarter of dimensions that
+are two times more selective than the rest of dimensions" — i.e. in those
+dimensions the object's intervals are half as long, making them better
+discriminators.  The query objects stay uniformly distributed, so the global
+query selectivity remains controllable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.workloads.datasets import Dataset
+from repro.workloads.uniform import uniform_bounds
+
+
+def skewed_bounds(
+    count: int,
+    dimensions: int,
+    rng: np.random.Generator,
+    min_extent: float = 0.0,
+    max_extent: float = 1.0,
+    selective_fraction: float = 0.25,
+    selectivity_ratio: float = 2.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate bounds where a random subset of dimensions is more selective.
+
+    Parameters
+    ----------
+    selective_fraction:
+        Fraction of each object's dimensions made more selective
+        (the paper uses a quarter).
+    selectivity_ratio:
+        How much more selective those dimensions are: their interval
+        lengths are divided by this factor (the paper uses 2).
+    """
+    if not 0.0 <= selective_fraction <= 1.0:
+        raise ValueError("selective_fraction must lie in [0, 1]")
+    if selectivity_ratio < 1.0:
+        raise ValueError("selectivity_ratio must be at least 1")
+    lows, highs = uniform_bounds(count, dimensions, rng, min_extent, max_extent)
+    if count == 0:
+        return lows, highs
+    selective_count = max(1, int(round(dimensions * selective_fraction)))
+    extents = highs - lows
+    # Choose, independently per object, which dimensions are more selective.
+    for row in range(count):
+        chosen = rng.choice(dimensions, size=selective_count, replace=False)
+        shrunk = extents[row, chosen] / selectivity_ratio
+        centers = (lows[row, chosen] + highs[row, chosen]) / 2.0
+        lows[row, chosen] = np.clip(centers - shrunk / 2.0, 0.0, 1.0)
+        highs[row, chosen] = np.clip(centers + shrunk / 2.0, 0.0, 1.0)
+    return lows, highs
+
+
+def generate_skewed_dataset(
+    count: int,
+    dimensions: int,
+    seed: int = 0,
+    min_extent: float = 0.0,
+    max_extent: float = 1.0,
+    selective_fraction: float = 0.25,
+    selectivity_ratio: float = 2.0,
+    rng: Optional[np.random.Generator] = None,
+    name: Optional[str] = None,
+) -> Dataset:
+    """Generate the paper's skewed dataset."""
+    rng = rng or np.random.default_rng(seed)
+    lows, highs = skewed_bounds(
+        count,
+        dimensions,
+        rng,
+        min_extent=min_extent,
+        max_extent=max_extent,
+        selective_fraction=selective_fraction,
+        selectivity_ratio=selectivity_ratio,
+    )
+    return Dataset(
+        ids=np.arange(count, dtype=np.int64),
+        lows=lows,
+        highs=highs,
+        name=name or f"skewed-{count}x{dimensions}d",
+        metadata={
+            "generator": "skewed",
+            "count": count,
+            "dimensions": dimensions,
+            "seed": seed,
+            "min_extent": min_extent,
+            "max_extent": max_extent,
+            "selective_fraction": selective_fraction,
+            "selectivity_ratio": selectivity_ratio,
+        },
+    )

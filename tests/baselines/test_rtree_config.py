@@ -1,0 +1,59 @@
+"""Unit tests for :mod:`repro.baselines.rtree.config`."""
+
+import pytest
+
+from repro.baselines.rtree.config import RStarTreeConfig
+
+
+class TestFanOut:
+    def test_paper_fan_out_at_16_dimensions(self):
+        """Paper Section 7.1: 86 objects per 16 KB node at 16 dimensions."""
+        config = RStarTreeConfig(dimensions=16)
+        assert config.max_entries == 86
+
+    def test_paper_fan_out_at_40_dimensions(self):
+        """Paper Section 7.1: 35 objects per 16 KB node at 40 dimensions."""
+        config = RStarTreeConfig(dimensions=40)
+        assert config.max_entries == 35
+
+    def test_entry_bytes(self):
+        assert RStarTreeConfig(dimensions=16).entry_bytes == 132
+
+    def test_min_entries_fraction(self):
+        config = RStarTreeConfig(dimensions=16)
+        assert config.min_entries == int(0.4 * 86)
+        assert config.min_entries >= 2
+
+    def test_reinsert_count(self):
+        config = RStarTreeConfig(dimensions=16)
+        assert config.reinsert_count == int(0.3 * 86)
+
+
+class TestValidation:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            RStarTreeConfig(dimensions=0)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            RStarTreeConfig(dimensions=4, page_size_bytes=0)
+
+    def test_page_too_small_for_four_entries(self):
+        with pytest.raises(ValueError):
+            RStarTreeConfig(dimensions=16, page_size_bytes=256)
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            RStarTreeConfig(dimensions=4, storage_utilization=0.0)
+
+    def test_invalid_min_fill(self):
+        with pytest.raises(ValueError):
+            RStarTreeConfig(dimensions=4, min_fill_fraction=0.9)
+
+    def test_invalid_reinsert_fraction(self):
+        with pytest.raises(ValueError):
+            RStarTreeConfig(dimensions=4, reinsert_fraction=1.0)
+
+    def test_invalid_choose_subtree_candidates(self):
+        with pytest.raises(ValueError):
+            RStarTreeConfig(dimensions=4, choose_subtree_candidates=0)

@@ -1,0 +1,172 @@
+"""Unit tests for :mod:`repro.baselines.rtree.node` and the split metrics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rtree.metrics import (
+    area,
+    area_enlargement,
+    enlarged_bounds,
+    margin,
+    overlap_with_set,
+    pairwise_overlap,
+)
+from repro.baselines.rtree.node import RTreeNode
+from repro.geometry.box import HyperRectangle
+
+
+class TestMetrics:
+    def test_area_and_margin_single_box(self):
+        lows = np.array([0.0, 0.0])
+        highs = np.array([0.5, 0.2])
+        assert area(lows, highs) == pytest.approx(0.1)
+        assert margin(lows, highs) == pytest.approx(0.7)
+
+    def test_area_batch(self):
+        lows = np.array([[0.0, 0.0], [0.1, 0.1]])
+        highs = np.array([[1.0, 1.0], [0.2, 0.3]])
+        assert area(lows, highs).tolist() == pytest.approx([1.0, 0.02])
+
+    def test_area_enlargement(self):
+        lows = np.array([[0.0, 0.0]])
+        highs = np.array([[0.5, 0.5]])
+        enlargement = area_enlargement(lows, highs, np.array([0.4, 0.4]), np.array([1.0, 1.0]))
+        assert enlargement[0] == pytest.approx(1.0 - 0.25)
+
+    def test_enlarged_bounds(self):
+        grown_lows, grown_highs = enlarged_bounds(
+            np.array([0.2, 0.2]), np.array([0.4, 0.4]),
+            np.array([0.1, 0.3]), np.array([0.3, 0.6]),
+        )
+        assert grown_lows.tolist() == [0.1, 0.2]
+        assert grown_highs.tolist() == [0.4, 0.6]
+
+    def test_pairwise_overlap(self):
+        overlap = pairwise_overlap(
+            np.array([[0.0, 0.0]]), np.array([[0.5, 0.5]]),
+            np.array([[0.25, 0.25]]), np.array([[0.75, 0.75]]),
+        )
+        assert overlap[0] == pytest.approx(0.0625)
+
+    def test_pairwise_overlap_disjoint_is_zero(self):
+        overlap = pairwise_overlap(
+            np.array([[0.0, 0.0]]), np.array([[0.2, 0.2]]),
+            np.array([[0.5, 0.5]]), np.array([[0.9, 0.9]]),
+        )
+        assert overlap[0] == 0.0
+
+    def test_overlap_with_set_excludes_self(self):
+        set_lows = np.array([[0.0, 0.0], [0.1, 0.1], [0.8, 0.8]])
+        set_highs = np.array([[0.5, 0.5], [0.4, 0.4], [0.9, 0.9]])
+        total = overlap_with_set(set_lows[0], set_highs[0], set_lows, set_highs, exclude=0)
+        assert total == pytest.approx(0.09)  # only overlaps the second box
+
+
+class TestNodeBasics:
+    def test_leaf_entries(self):
+        node = RTreeNode(level=0, dimensions=2, capacity=4)
+        assert node.is_leaf
+        node.add_leaf_entry(7, np.array([0.1, 0.1]), np.array([0.2, 0.2]))
+        node.add_leaf_entry(8, np.array([0.3, 0.3]), np.array([0.4, 0.4]))
+        assert len(node) == 2
+        assert node.entry_ids().tolist() == [7, 8]
+        assert node.entry_box(0) == HyperRectangle([0.1, 0.1], [0.2, 0.2])
+
+    def test_child_entries_and_mbb(self):
+        child_a = RTreeNode(0, 2, 4)
+        child_a.add_leaf_entry(1, np.array([0.0, 0.0]), np.array([0.2, 0.2]))
+        child_b = RTreeNode(0, 2, 4)
+        child_b.add_leaf_entry(2, np.array([0.5, 0.5]), np.array([0.9, 0.9]))
+        parent = RTreeNode(1, 2, 4)
+        parent.add_child_entry(child_a)
+        parent.add_child_entry(child_b)
+        assert not parent.is_leaf
+        assert parent.mbb() == HyperRectangle([0.0, 0.0], [0.9, 0.9])
+
+    def test_leaf_cannot_take_children(self):
+        leaf = RTreeNode(0, 2, 4)
+        child = RTreeNode(0, 2, 4)
+        child.add_leaf_entry(1, np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError):
+            leaf.add_child_entry(child)
+
+    def test_internal_cannot_take_objects(self):
+        internal = RTreeNode(1, 2, 4)
+        with pytest.raises(ValueError):
+            internal.add_leaf_entry(1, np.zeros(2), np.ones(2))
+
+    def test_child_level_must_match(self):
+        parent = RTreeNode(2, 2, 4)
+        wrong_level_child = RTreeNode(0, 2, 4)
+        wrong_level_child.add_leaf_entry(1, np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError):
+            parent.add_child_entry(wrong_level_child)
+
+    def test_empty_node_has_no_mbb(self):
+        with pytest.raises(ValueError):
+            RTreeNode(0, 2, 4).mbb()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RTreeNode(-1, 2, 4)
+        with pytest.raises(ValueError):
+            RTreeNode(0, 2, 1)
+
+
+class TestNodeMutation:
+    def _leaf_with_entries(self, count=5):
+        node = RTreeNode(0, 2, 8)
+        for i in range(count):
+            node.add_leaf_entry(i, np.array([i / 10, i / 10]), np.array([i / 10 + 0.05, i / 10 + 0.05]))
+        return node
+
+    def test_overflow_slot_allows_temporary_excess(self):
+        node = RTreeNode(0, 2, 4)
+        for i in range(5):  # capacity + 1 entries
+            node.add_leaf_entry(i, np.zeros(2), np.ones(2))
+        assert node.is_overflowing
+        with pytest.raises(RuntimeError):
+            node.add_leaf_entry(9, np.zeros(2), np.ones(2))
+
+    def test_remove_entries(self):
+        node = self._leaf_with_entries()
+        removed = node.remove_entries([1, 3])
+        assert len(removed) == 2
+        assert {payload for _, _, payload in removed} == {1, 3}
+        assert node.entry_ids().tolist() == [0, 2, 4]
+
+    def test_remove_entries_out_of_range(self):
+        node = self._leaf_with_entries()
+        with pytest.raises(IndexError):
+            node.remove_entries([10])
+
+    def test_remove_child_entries_keeps_children_aligned(self):
+        children = []
+        parent = RTreeNode(1, 2, 8)
+        for i in range(4):
+            child = RTreeNode(0, 2, 8)
+            child.add_leaf_entry(i, np.array([i / 4, 0.0]), np.array([i / 4 + 0.1, 0.1]))
+            parent.add_child_entry(child)
+            children.append(child)
+        parent.remove_entries([0, 2])
+        assert parent.children == [children[1], children[3]]
+        assert parent.count == 2
+
+    def test_update_child_bounds(self):
+        child = RTreeNode(0, 2, 8)
+        child.add_leaf_entry(0, np.array([0.1, 0.1]), np.array([0.2, 0.2]))
+        parent = RTreeNode(1, 2, 8)
+        parent.add_child_entry(child)
+        child.add_leaf_entry(1, np.array([0.7, 0.7]), np.array([0.9, 0.9]))
+        parent.update_child_bounds(child)
+        assert parent.entry_box(0) == HyperRectangle([0.1, 0.1], [0.9, 0.9])
+
+    def test_child_index_of_unknown_node(self):
+        parent = RTreeNode(1, 2, 8)
+        with pytest.raises(ValueError):
+            parent.child_index(RTreeNode(0, 2, 8))
+
+    def test_clear(self):
+        node = self._leaf_with_entries()
+        node.clear()
+        assert len(node) == 0

@@ -1,0 +1,80 @@
+"""Property-based tests (hypothesis) for the R*-tree."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.rtree import RStarTree, RStarTreeConfig
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation, satisfies
+
+DIMENSIONS = 3
+CONFIG = RStarTreeConfig(dimensions=DIMENSIONS, page_size_bytes=512)
+
+box_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+@st.composite
+def boxes(draw):
+    lows = np.array(draw(st.lists(box_values, min_size=DIMENSIONS, max_size=DIMENSIONS)))
+    extents = np.array(draw(st.lists(box_values, min_size=DIMENSIONS, max_size=DIMENSIONS)))
+    return HyperRectangle(lows, np.minimum(lows + extents, 1.0))
+
+
+def build_tree(objects):
+    tree = RStarTree(config=CONFIG)
+    for object_id, box in enumerate(objects):
+        tree.insert(object_id, box)
+    return tree
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    objects=st.lists(boxes(), min_size=1, max_size=80),
+    query=boxes(),
+    relation=st.sampled_from(list(SpatialRelation)),
+)
+def test_query_matches_brute_force(objects, query, relation):
+    tree = build_tree(objects)
+    expected = {
+        object_id
+        for object_id, box in enumerate(objects)
+        if satisfies(box, query, relation)
+    }
+    assert set(tree.query(query, relation).tolist()) == expected
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(objects=st.lists(boxes(), min_size=1, max_size=80))
+def test_structural_invariants_after_insertion(objects):
+    tree = build_tree(objects)
+    tree.check_invariants()
+    assert tree.n_objects == len(objects)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    objects=st.lists(boxes(), min_size=2, max_size=60),
+    delete_fraction=st.floats(min_value=0.1, max_value=0.9),
+)
+def test_invariants_and_results_after_deletions(objects, delete_fraction):
+    tree = build_tree(objects)
+    keep = {}
+    for object_id, box in enumerate(objects):
+        if object_id < int(len(objects) * delete_fraction):
+            assert tree.delete(object_id)
+        else:
+            keep[object_id] = box
+    tree.check_invariants()
+    assert tree.n_objects == len(keep)
+    results = set(tree.query(HyperRectangle.unit(DIMENSIONS)).tolist())
+    assert results == set(keep)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(objects=st.lists(boxes(), min_size=1, max_size=80))
+def test_root_mbb_covers_every_object(objects):
+    tree = build_tree(objects)
+    root_mbb = tree.root.mbb()
+    for box in objects:
+        assert root_mbb.contains(box)

@@ -1,0 +1,95 @@
+"""Unit tests for the R* split algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rtree.split import (
+    choose_split_axis,
+    choose_split_index,
+    rstar_split,
+)
+
+
+def boxes_along_axis(count, axis, dimensions=3, rng=None):
+    """Boxes spread along one axis and nearly identical along the others."""
+    rng = rng or np.random.default_rng(0)
+    lows = np.full((count, dimensions), 0.45) + rng.random((count, dimensions)) * 0.01
+    highs = lows + 0.05
+    positions = np.linspace(0.0, 0.9, count)
+    lows[:, axis] = positions
+    highs[:, axis] = positions + 0.05
+    return lows, highs
+
+
+class TestChooseSplitAxis:
+    @pytest.mark.parametrize("spread_axis", [0, 1, 2])
+    def test_picks_the_spread_axis(self, spread_axis):
+        lows, highs = boxes_along_axis(12, spread_axis)
+        assert choose_split_axis(lows, highs, min_entries=3) == spread_axis
+
+
+class TestChooseSplitIndex:
+    def test_groups_have_minimum_size(self):
+        lows, highs = boxes_along_axis(11, 0)
+        group_one, group_two, overlap, total_area = choose_split_index(
+            lows, highs, axis=0, min_entries=4
+        )
+        assert len(group_one) >= 4
+        assert len(group_two) >= 4
+        assert len(group_one) + len(group_two) == 11
+        assert overlap >= 0.0
+        assert total_area > 0.0
+
+    def test_well_separated_clusters_split_with_zero_overlap(self):
+        rng = np.random.default_rng(1)
+        left_lows = rng.random((6, 2)) * 0.1
+        right_lows = 0.8 + rng.random((6, 2)) * 0.1
+        lows = np.vstack([left_lows, right_lows])
+        highs = lows + 0.05
+        group_one, group_two, overlap, _ = choose_split_index(lows, highs, axis=0, min_entries=3)
+        assert overlap == pytest.approx(0.0)
+        sides = {tuple(sorted(group_one.tolist())), tuple(sorted(group_two.tolist()))}
+        assert sides == {tuple(range(6)), tuple(range(6, 12))}
+
+
+class TestRStarSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        rng = np.random.default_rng(2)
+        lows = rng.random((21, 4)) * 0.8
+        highs = lows + rng.random((21, 4)) * 0.2
+        decision = rstar_split(lows, highs, min_entries=8)
+        combined = sorted(decision.group_one.tolist() + decision.group_two.tolist())
+        assert combined == list(range(21))
+        assert set(decision.group_one.tolist()).isdisjoint(decision.group_two.tolist())
+        assert len(decision.group_one) >= 8
+        assert len(decision.group_two) >= 8
+
+    def test_min_entries_clamped_for_small_inputs(self):
+        rng = np.random.default_rng(3)
+        lows = rng.random((4, 2)) * 0.5
+        highs = lows + 0.1
+        decision = rstar_split(lows, highs, min_entries=10)
+        assert len(decision.group_one) + len(decision.group_two) == 4
+        assert len(decision.group_one) >= 1
+        assert len(decision.group_two) >= 1
+
+    def test_too_few_entries_rejected(self):
+        with pytest.raises(ValueError):
+            rstar_split(np.zeros((1, 2)), np.ones((1, 2)), min_entries=1)
+
+    def test_split_reduces_overlap_compared_to_random_halves(self):
+        """The chosen distribution never overlaps more than a naive half split."""
+        rng = np.random.default_rng(4)
+        lows = rng.random((30, 3)) * 0.8
+        highs = lows + rng.random((30, 3)) * 0.2
+        decision = rstar_split(lows, highs, min_entries=12)
+
+        def group_overlap(rows_a, rows_b):
+            a_low, a_high = lows[rows_a].min(0), highs[rows_a].max(0)
+            b_low, b_high = lows[rows_b].min(0), highs[rows_b].max(0)
+            extents = np.clip(np.minimum(a_high, b_high) - np.maximum(a_low, b_low), 0, None)
+            return float(np.prod(extents))
+
+        chosen = group_overlap(decision.group_one, decision.group_two)
+        naive = group_overlap(np.arange(15), np.arange(15, 30))
+        assert chosen <= naive + 1e-12

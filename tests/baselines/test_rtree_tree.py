@@ -1,0 +1,219 @@
+"""Behavioural tests for the full R*-tree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rtree import RStarTree, RStarTreeConfig
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.cost_model import CostParameters
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation, satisfies
+from repro.workloads.uniform import generate_uniform_dataset
+
+#: A small page size keeps the fan-out low so trees grow several levels
+#: even with a few hundred objects.
+SMALL_PAGES = dict(page_size_bytes=1024)
+
+
+def small_tree_config(dimensions):
+    return RStarTreeConfig(dimensions=dimensions, **SMALL_PAGES)
+
+
+def random_box(rng, dimensions=4, max_extent=0.3):
+    lows = rng.random(dimensions) * (1 - max_extent)
+    highs = lows + rng.random(dimensions) * max_extent
+    return HyperRectangle(lows, np.minimum(highs, 1.0))
+
+
+@pytest.fixture(scope="module")
+def built_tree():
+    rng = np.random.default_rng(5)
+    config = RStarTreeConfig(dimensions=4, **SMALL_PAGES)
+    tree = RStarTree(config=config)
+    boxes = {}
+    for object_id in range(800):
+        box = random_box(rng)
+        tree.insert(object_id, box)
+        boxes[object_id] = box
+    return tree, boxes
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RStarTree(4)
+        assert tree.n_objects == 0
+        assert tree.height == 1
+        assert tree.node_count() == 1
+
+    def test_missing_arguments(self):
+        with pytest.raises(ValueError):
+            RStarTree()
+
+    def test_conflicting_dimensions(self):
+        with pytest.raises(ValueError):
+            RStarTree(dimensions=4, config=RStarTreeConfig(dimensions=8))
+
+
+class TestInsertion:
+    def test_tree_grows_and_stays_valid(self, built_tree):
+        tree, boxes = built_tree
+        assert tree.n_objects == 800
+        assert tree.height >= 2
+        assert tree.leaf_count() > 1
+        tree.check_invariants()
+
+    def test_duplicate_id_rejected(self, rng):
+        tree = RStarTree(config=small_tree_config(4))
+        tree.insert(1, random_box(rng))
+        with pytest.raises(KeyError):
+            tree.insert(1, random_box(rng))
+
+    def test_dimension_mismatch_rejected(self, rng):
+        tree = RStarTree(4)
+        with pytest.raises(ValueError):
+            tree.insert(1, HyperRectangle([0.1], [0.2]))
+
+    def test_contains(self, built_tree):
+        tree, _ = built_tree
+        assert 0 in tree
+        assert 80_000 not in tree
+
+
+class TestQueries:
+    @pytest.mark.parametrize("relation", list(SpatialRelation))
+    def test_results_match_brute_force(self, built_tree, relation):
+        tree, boxes = built_tree
+        rng = np.random.default_rng(7)
+        for _ in range(15):
+            query = random_box(rng, max_extent=0.5)
+            expected = {
+                object_id
+                for object_id, box in boxes.items()
+                if satisfies(box, query, relation)
+            }
+            assert set(tree.query(query, relation).tolist()) == expected
+
+    def test_point_enclosing_queries(self, built_tree):
+        tree, boxes = built_tree
+        rng = np.random.default_rng(8)
+        for _ in range(15):
+            point = HyperRectangle.from_point(rng.random(4))
+            expected = {
+                object_id
+                for object_id, box in boxes.items()
+                if box.contains(point)
+            }
+            assert set(tree.query(point, SpatialRelation.CONTAINS).tolist()) == expected
+
+    def test_query_stats_counters(self, built_tree):
+        tree, _ = built_tree
+        rng = np.random.default_rng(9)
+        _, stats = tree.query_with_stats(random_box(rng))
+        assert 1 <= stats.groups_explored <= tree.node_count()
+        assert stats.objects_verified <= tree.n_objects
+        assert stats.results <= stats.objects_verified
+        assert stats.random_accesses == 0  # memory-scenario cost parameters
+
+    def test_disk_cost_counts_node_accesses(self, rng):
+        tree = RStarTree(
+            config=small_tree_config(4), cost=CostParameters.disk_defaults(4)
+        )
+        for object_id in range(100):
+            tree.insert(object_id, random_box(rng))
+        _, stats = tree.query_with_stats(random_box(rng, max_extent=0.6))
+        assert stats.random_accesses == stats.groups_explored >= 1
+
+    def test_query_dimension_mismatch(self, built_tree):
+        tree, _ = built_tree
+        with pytest.raises(ValueError):
+            tree.query(HyperRectangle.unit(3))
+
+    def test_selective_queries_prune_nodes(self, built_tree):
+        """A tiny query must not visit every node of the tree."""
+        tree, _ = built_tree
+        point = HyperRectangle.from_point(np.full(4, 0.05))
+        _, stats = tree.query_with_stats(point, SpatialRelation.INTERSECTS)
+        assert stats.groups_explored < tree.node_count()
+
+
+class TestDeletion:
+    def test_delete_and_requery(self, rng):
+        tree = RStarTree(config=small_tree_config(4))
+        boxes = {}
+        for object_id in range(300):
+            box = random_box(rng)
+            tree.insert(object_id, box)
+            boxes[object_id] = box
+        removed = list(range(0, 300, 3))
+        for object_id in removed:
+            assert tree.delete(object_id) is True
+            del boxes[object_id]
+        assert tree.delete(99999) is False
+        assert tree.n_objects == len(boxes)
+        tree.check_invariants()
+        query = HyperRectangle.unit(4)
+        assert set(tree.query(query).tolist()) == set(boxes)
+
+    def test_delete_everything(self, rng):
+        tree = RStarTree(config=small_tree_config(3))
+        for object_id in range(150):
+            tree.insert(object_id, random_box(rng, dimensions=3))
+        for object_id in range(150):
+            assert tree.delete(object_id)
+        assert tree.n_objects == 0
+        assert tree.query(HyperRectangle.unit(3)).size == 0
+
+
+class TestBulkLoad:
+    def test_str_packing_matches_scan(self):
+        dataset = generate_uniform_dataset(2000, 6, seed=13, max_extent=0.4)
+        tree = RStarTree(config=RStarTreeConfig(dimensions=6))
+        tree.bulk_load(dataset.iter_objects())
+        scan = SequentialScan(6)
+        dataset.load_into(scan)
+        tree.check_invariants()
+        rng = np.random.default_rng(14)
+        for _ in range(10):
+            query = random_box(rng, dimensions=6, max_extent=0.5)
+            assert set(tree.query(query).tolist()) == set(scan.query(query).tolist())
+
+    def test_bulk_load_requires_empty_tree(self, rng):
+        tree = RStarTree(4)
+        tree.insert(0, random_box(rng))
+        with pytest.raises(ValueError):
+            tree.bulk_load([(1, random_box(rng))])
+
+    def test_bulk_load_rejects_duplicates(self, rng):
+        tree = RStarTree(4)
+        box = random_box(rng)
+        with pytest.raises(KeyError):
+            tree.bulk_load([(1, box), (1, box)])
+
+    def test_bulk_load_empty(self):
+        tree = RStarTree(4)
+        assert tree.bulk_load([]) == 0
+
+    def test_bulk_loaded_tree_respects_fan_out(self):
+        dataset = generate_uniform_dataset(3000, 16, seed=15)
+        tree = RStarTree(config=RStarTreeConfig(dimensions=16))
+        tree.bulk_load(dataset.iter_objects())
+        for node in tree.iter_nodes():
+            assert node.count <= tree.config.max_entries
+
+
+class TestStructuralProperties:
+    def test_node_count_grows_with_dimensionality(self):
+        """Fewer entries fit per page at 40 dimensions, so more nodes are needed."""
+        low_dim = generate_uniform_dataset(3000, 16, seed=21)
+        high_dim = generate_uniform_dataset(3000, 40, seed=21)
+        tree16 = RStarTree(config=RStarTreeConfig(dimensions=16))
+        tree40 = RStarTree(config=RStarTreeConfig(dimensions=40))
+        tree16.bulk_load(low_dim.iter_objects())
+        tree40.bulk_load(high_dim.iter_objects())
+        assert tree40.node_count() > tree16.node_count()
+
+    def test_all_leaves_at_level_zero(self, built_tree):
+        tree, _ = built_tree
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                assert node.level == 0

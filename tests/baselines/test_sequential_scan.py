@@ -1,0 +1,110 @@
+"""Unit tests for :mod:`repro.baselines.sequential_scan`."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.cost_model import CostParameters
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation, satisfies
+
+
+def random_box(rng, dimensions=4, max_extent=0.4):
+    lows = rng.random(dimensions) * (1 - max_extent)
+    highs = lows + rng.random(dimensions) * max_extent
+    return HyperRectangle(lows, np.minimum(highs, 1.0))
+
+
+class TestBasics:
+    def test_construction(self):
+        scan = SequentialScan(8)
+        assert scan.dimensions == 8
+        assert scan.n_objects == 0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SequentialScan(0)
+
+    def test_cost_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            SequentialScan(8, cost=CostParameters.memory_defaults(4))
+
+    def test_insert_and_contains(self, rng):
+        scan = SequentialScan(4)
+        scan.insert(1, random_box(rng))
+        assert 1 in scan
+        assert 2 not in scan
+        assert len(scan) == 1
+
+    def test_duplicate_insert_rejected(self, rng):
+        scan = SequentialScan(4)
+        scan.insert(1, random_box(rng))
+        with pytest.raises(KeyError):
+            scan.insert(1, random_box(rng))
+
+    def test_dimension_mismatch_rejected(self, rng):
+        scan = SequentialScan(4)
+        with pytest.raises(ValueError):
+            scan.insert(1, HyperRectangle([0.1], [0.2]))
+
+    def test_delete(self, rng):
+        scan = SequentialScan(4)
+        scan.insert(1, random_box(rng))
+        assert scan.delete(1) is True
+        assert scan.delete(1) is False
+        assert len(scan) == 0
+
+    def test_bulk_load(self, rng):
+        scan = SequentialScan(4)
+        count = scan.bulk_load((i, random_box(rng)) for i in range(30))
+        assert count == 30
+        assert len(scan) == 30
+
+
+class TestQueries:
+    @pytest.fixture
+    def scan_with_objects(self, rng):
+        scan = SequentialScan(4)
+        boxes = [random_box(rng) for _ in range(200)]
+        for object_id, box in enumerate(boxes):
+            scan.insert(object_id, box)
+        return scan, boxes
+
+    @pytest.mark.parametrize("relation", list(SpatialRelation))
+    def test_results_match_per_object_predicates(self, scan_with_objects, rng, relation):
+        scan, boxes = scan_with_objects
+        query = random_box(rng, max_extent=0.6)
+        expected = {i for i, box in enumerate(boxes) if satisfies(box, query, relation)}
+        assert set(scan.query(query, relation).tolist()) == expected
+
+    def test_query_empty_scan(self):
+        scan = SequentialScan(4)
+        results, stats = scan.query_with_stats(HyperRectangle.unit(4))
+        assert results.size == 0
+        assert stats.objects_verified == 0
+
+    def test_query_dimension_mismatch(self):
+        scan = SequentialScan(4)
+        with pytest.raises(ValueError):
+            scan.query(HyperRectangle.unit(3))
+
+    def test_stats_reflect_full_scan(self, scan_with_objects, rng):
+        scan, boxes = scan_with_objects
+        _, stats = scan.query_with_stats(random_box(rng))
+        assert stats.groups_explored == 1
+        assert stats.objects_verified == len(boxes)
+        assert stats.bytes_read == len(boxes) * scan._cost.object_bytes
+        assert stats.random_accesses == 0  # memory scenario
+
+    def test_disk_scenario_counts_one_random_access(self, rng):
+        scan = SequentialScan(4, cost=CostParameters.disk_defaults(4))
+        scan.insert(0, random_box(rng))
+        _, stats = scan.query_with_stats(random_box(rng))
+        assert stats.random_accesses == 1
+
+    def test_relation_aliases(self, scan_with_objects):
+        scan, _ = scan_with_objects
+        point = HyperRectangle.from_point([0.5, 0.5, 0.5, 0.5])
+        by_enum = set(scan.query(point, SpatialRelation.CONTAINS).tolist())
+        by_alias = set(scan.query(point, "point_enclosing").tolist())
+        assert by_enum == by_alias

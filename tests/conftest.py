@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters
+from repro.core.index import AdaptiveClusteringIndex
+from repro.workloads.queries import generate_query_workload
+from repro.workloads.uniform import generate_uniform_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dataset():
+    """A small 6-dimensional uniform dataset (500 objects)."""
+    return generate_uniform_dataset(500, 6, seed=1, max_extent=0.5)
+
+
+@pytest.fixture
+def medium_dataset():
+    """A medium 8-dimensional uniform dataset (3000 objects)."""
+    return generate_uniform_dataset(3000, 8, seed=2, max_extent=0.5)
+
+
+@pytest.fixture
+def memory_config(small_dataset) -> AdaptiveClusteringConfig:
+    """Memory-scenario configuration matching ``small_dataset``."""
+    return AdaptiveClusteringConfig(
+        cost=CostParameters.memory_defaults(small_dataset.dimensions),
+        reorganization_period=50,
+    )
+
+
+@pytest.fixture
+def disk_config(small_dataset) -> AdaptiveClusteringConfig:
+    """Disk-scenario configuration matching ``small_dataset``."""
+    return AdaptiveClusteringConfig(
+        cost=CostParameters.disk_defaults(small_dataset.dimensions),
+        reorganization_period=50,
+    )
+
+
+@pytest.fixture
+def loaded_index(small_dataset, memory_config) -> AdaptiveClusteringIndex:
+    """An adaptive clustering index loaded with ``small_dataset``."""
+    index = AdaptiveClusteringIndex(config=memory_config)
+    small_dataset.load_into(index)
+    return index
+
+
+@pytest.fixture
+def adapted_index(small_dataset, memory_config) -> AdaptiveClusteringIndex:
+    """An index that has already adapted to a query workload."""
+    index = AdaptiveClusteringIndex(config=memory_config)
+    small_dataset.load_into(index)
+    workload = generate_query_workload(
+        small_dataset, count=20, target_selectivity=0.01, seed=3
+    )
+    for i in range(200):
+        index.query(workload.queries[i % len(workload.queries)], workload.relation)
+    return index

@@ -1,0 +1,64 @@
+"""Unit tests for :mod:`repro.core.config`."""
+
+import pytest
+
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters, StorageScenario
+
+
+class TestConstruction:
+    def test_for_memory(self):
+        config = AdaptiveClusteringConfig.for_memory(16)
+        assert config.dimensions == 16
+        assert config.scenario is StorageScenario.MEMORY
+        assert config.division_factor == 4
+        assert config.reorganization_period == 100
+
+    def test_for_disk(self):
+        config = AdaptiveClusteringConfig.for_disk(8)
+        assert config.scenario is StorageScenario.DISK
+
+    def test_overrides_via_constructor(self):
+        config = AdaptiveClusteringConfig.for_memory(8, division_factor=2, reorganization_period=10)
+        assert config.division_factor == 2
+        assert config.reorganization_period == 10
+
+    def test_replace(self):
+        config = AdaptiveClusteringConfig.for_memory(8)
+        changed = config.replace(reorganization_period=7)
+        assert changed.reorganization_period == 7
+        assert config.reorganization_period == 100  # original untouched
+
+
+class TestValidation:
+    def test_division_factor_too_small(self):
+        with pytest.raises(ValueError):
+            AdaptiveClusteringConfig.for_memory(8, division_factor=1)
+
+    def test_negative_period(self):
+        with pytest.raises(ValueError):
+            AdaptiveClusteringConfig.for_memory(8, reorganization_period=-1)
+
+    def test_min_cluster_objects(self):
+        with pytest.raises(ValueError):
+            AdaptiveClusteringConfig.for_memory(8, min_cluster_objects=0)
+
+    def test_negative_smoothing(self):
+        with pytest.raises(ValueError):
+            AdaptiveClusteringConfig.for_memory(8, probability_smoothing=-0.1)
+
+    def test_reserved_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            AdaptiveClusteringConfig.for_memory(8, reserved_slot_fraction=1.5)
+
+    def test_max_clusters_invalid(self):
+        with pytest.raises(ValueError):
+            AdaptiveClusteringConfig.for_memory(8, max_clusters=0)
+
+    def test_max_clusters_valid(self):
+        config = AdaptiveClusteringConfig.for_memory(8, max_clusters=10)
+        assert config.max_clusters == 10
+
+    def test_zero_period_disables_auto_reorganization(self):
+        config = AdaptiveClusteringConfig.for_memory(8, reorganization_period=0)
+        assert config.reorganization_period == 0

@@ -1,0 +1,131 @@
+"""Unit tests for :mod:`repro.core.cost_model`."""
+
+import pytest
+
+from repro.core.cost_model import (
+    BYTES_PER_IDENTIFIER,
+    BYTES_PER_VALUE,
+    CostParameters,
+    StorageScenario,
+    SystemCostConstants,
+    object_size_bytes,
+)
+
+
+class TestObjectSize:
+    def test_matches_paper_layout(self):
+        # 4-byte identifier plus 2 * Nd * 4-byte interval endpoints.
+        assert object_size_bytes(16) == 4 + 2 * 16 * 4 == 132
+        assert object_size_bytes(40) == 4 + 2 * 40 * 4 == 324
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            object_size_bytes(0)
+
+    def test_constants(self):
+        assert BYTES_PER_VALUE == 4
+        assert BYTES_PER_IDENTIFIER == 4
+
+
+class TestStorageScenario:
+    def test_parse_strings(self):
+        assert StorageScenario.parse("memory") is StorageScenario.MEMORY
+        assert StorageScenario.parse("DISK") is StorageScenario.DISK
+
+    def test_parse_member(self):
+        assert StorageScenario.parse(StorageScenario.DISK) is StorageScenario.DISK
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            StorageScenario.parse("tape")
+
+
+class TestSystemCostConstants:
+    def test_paper_defaults_match_table2(self):
+        constants = SystemCostConstants.paper_defaults()
+        assert constants.disk_access_ms == 15.0
+        assert constants.disk_transfer_ms_per_byte == pytest.approx(4.77e-5)
+        assert constants.signature_check_ms == pytest.approx(5e-7)
+        assert constants.verification_ms_per_byte == pytest.approx(3.18e-6)
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            SystemCostConstants(disk_access_ms=-1.0)
+
+    def test_calibrate_produces_positive_constants(self):
+        constants = SystemCostConstants.calibrate(
+            dimensions=4, sample_objects=200, repetitions=1
+        )
+        assert constants.verification_ms_per_byte > 0
+        assert constants.signature_check_ms > 0
+        # The disk constants keep the paper's values (disk is simulated).
+        assert constants.disk_access_ms == 15.0
+
+
+class TestCostParameters:
+    def test_memory_parameters(self):
+        cost = CostParameters.memory_defaults(16)
+        constants = cost.constants
+        assert cost.scenario is StorageScenario.MEMORY
+        assert cost.object_bytes == 132
+        assert cost.A == pytest.approx(constants.signature_check_ms)
+        assert cost.B == pytest.approx(constants.exploration_setup_ms)
+        assert cost.C == pytest.approx(constants.verification_ms_per_byte * 132)
+
+    def test_disk_parameters_add_io_costs(self):
+        memory = CostParameters.memory_defaults(16)
+        disk = CostParameters.disk_defaults(16)
+        constants = disk.constants
+        assert disk.A == memory.A
+        assert disk.B == pytest.approx(memory.B + constants.disk_access_ms)
+        assert disk.C == pytest.approx(
+            memory.C + constants.disk_transfer_ms_per_byte * 132
+        )
+
+    def test_for_scenario_string(self):
+        cost = CostParameters.for_scenario("disk", 8)
+        assert cost.scenario is StorageScenario.DISK
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CostParameters.memory_defaults(0)
+
+    def test_with_constants(self):
+        custom = SystemCostConstants(disk_access_ms=5.0)
+        cost = CostParameters.disk_defaults(16).with_constants(custom)
+        assert cost.B == pytest.approx(custom.exploration_setup_ms + 5.0)
+
+
+class TestExpectedTime:
+    def test_equation_one(self):
+        cost = CostParameters.memory_defaults(16)
+        p, n = 0.25, 1000
+        assert cost.expected_cluster_time(p, n) == pytest.approx(
+            cost.A + p * (cost.B + n * cost.C)
+        )
+
+    def test_sequential_scan_time_is_probability_one(self):
+        cost = CostParameters.memory_defaults(16)
+        assert cost.sequential_scan_time(500) == pytest.approx(
+            cost.expected_cluster_time(1.0, 500)
+        )
+
+    def test_time_grows_with_probability_and_size(self):
+        cost = CostParameters.disk_defaults(16)
+        assert cost.expected_cluster_time(0.5, 100) > cost.expected_cluster_time(0.1, 100)
+        assert cost.expected_cluster_time(0.5, 1000) > cost.expected_cluster_time(0.5, 100)
+
+    def test_invalid_probability(self):
+        cost = CostParameters.memory_defaults(4)
+        with pytest.raises(ValueError):
+            cost.expected_cluster_time(1.5, 10)
+
+    def test_invalid_object_count(self):
+        cost = CostParameters.memory_defaults(4)
+        with pytest.raises(ValueError):
+            cost.expected_cluster_time(0.5, -1)
+
+    def test_disk_scan_much_slower_than_memory_scan(self):
+        memory = CostParameters.memory_defaults(16)
+        disk = CostParameters.disk_defaults(16)
+        assert disk.sequential_scan_time(10_000) > memory.sequential_scan_time(10_000)

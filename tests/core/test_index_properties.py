@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for the adaptive clustering index."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.index import AdaptiveClusteringIndex
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+from repro.geometry.vectorized import matching_mask
+
+DIMENSIONS = 3
+
+box_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+@st.composite
+def boxes(draw):
+    lows = np.array(
+        draw(st.lists(box_values, min_size=DIMENSIONS, max_size=DIMENSIONS))
+    )
+    extents = np.array(
+        draw(st.lists(box_values, min_size=DIMENSIONS, max_size=DIMENSIONS))
+    )
+    highs = np.minimum(lows + extents, 1.0)
+    return HyperRectangle(lows, highs)
+
+
+@st.composite
+def index_scenarios(draw):
+    """A random database, a random query stream and a random query box."""
+    objects = draw(st.lists(boxes(), min_size=1, max_size=60))
+    warmup = draw(st.lists(boxes(), min_size=0, max_size=30))
+    query = draw(boxes())
+    relation = draw(st.sampled_from(list(SpatialRelation)))
+    return objects, warmup, query, relation
+
+
+def build_index(objects, reorganization_period=10):
+    config = AdaptiveClusteringConfig.for_memory(
+        DIMENSIONS,
+        reorganization_period=reorganization_period,
+        min_cluster_objects=1,
+    )
+    index = AdaptiveClusteringIndex(config=config)
+    for object_id, box in enumerate(objects):
+        index.insert(object_id, box)
+    return index
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scenario=index_scenarios())
+def test_query_results_always_match_brute_force(scenario):
+    objects, warmup, query, relation = scenario
+    index = build_index(objects)
+    for warm_query in warmup:
+        index.query(warm_query, relation)
+    lows = np.vstack([box.lows for box in objects])
+    highs = np.vstack([box.highs for box in objects])
+    expected = set(np.flatnonzero(matching_mask(lows, highs, query, relation)).tolist())
+    found = set(index.query(query, relation).tolist())
+    assert found == expected
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scenario=index_scenarios())
+def test_structural_invariants_hold_after_any_workload(scenario):
+    objects, warmup, query, relation = scenario
+    index = build_index(objects)
+    for warm_query in warmup:
+        index.query(warm_query, relation)
+    index.query(query, relation)
+    index.check_invariants()
+    assert index.n_objects == len(objects)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scenario=index_scenarios())
+def test_objects_always_live_in_a_matching_cluster(scenario):
+    objects, warmup, query, relation = scenario
+    index = build_index(objects)
+    for warm_query in warmup:
+        index.query(warm_query, relation)
+    for object_id, box in enumerate(objects):
+        cluster = index.get_cluster(index.cluster_of(object_id))
+        assert cluster is not None
+        assert cluster.signature.matches_object(box)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    objects=st.lists(boxes(), min_size=1, max_size=40),
+    delete_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_delete_everything_leaves_consistent_empty_index(objects, delete_seed):
+    index = build_index(objects)
+    rng = np.random.default_rng(delete_seed)
+    order = rng.permutation(len(objects))
+    for object_id in order:
+        assert index.delete(int(object_id))
+    assert index.n_objects == 0
+    index.check_invariants()
+    assert index.query(HyperRectangle.unit(DIMENSIONS)).size == 0
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scenario=index_scenarios())
+def test_explored_count_bounded_by_cluster_count(scenario):
+    objects, warmup, query, relation = scenario
+    index = build_index(objects)
+    for warm_query in warmup:
+        index.query(warm_query, relation)
+    _, stats = index.query_with_stats(query, relation)
+    assert 0 <= stats.groups_explored <= index.n_clusters
+    assert stats.signature_checks == index.n_clusters
+    assert stats.objects_verified <= index.n_objects
+    assert stats.results <= stats.objects_verified

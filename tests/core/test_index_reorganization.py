@@ -1,0 +1,192 @@
+"""Reorganization behaviour: splits, merges, adaptation and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters
+from repro.core.index import AdaptiveClusteringIndex
+from repro.evaluation.metrics import ModeledCostModel
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+from repro.workloads.queries import generate_query_workload
+from repro.workloads.uniform import generate_uniform_dataset
+
+
+def build_index(dataset, scenario="memory", **overrides):
+    config = AdaptiveClusteringConfig(
+        cost=CostParameters.for_scenario(scenario, dataset.dimensions),
+        reorganization_period=overrides.pop("reorganization_period", 50),
+        **overrides,
+    )
+    index = AdaptiveClusteringIndex(config=config)
+    dataset.load_into(index)
+    return index
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_uniform_dataset(4000, 8, seed=17, max_extent=0.4)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return generate_query_workload(dataset, 40, target_selectivity=5e-3, seed=18)
+
+
+def warm_up(index, workload, queries=400):
+    for i in range(queries):
+        index.query(workload.queries[i % len(workload.queries)], workload.relation)
+
+
+class TestSplitting:
+    def test_queries_trigger_clustering(self, dataset, workload):
+        index = build_index(dataset)
+        assert index.n_clusters == 1
+        warm_up(index, workload)
+        assert index.n_clusters > 1
+        assert index.reorganization_count > 0
+        index.check_invariants()
+
+    def test_reorganization_report(self, dataset, workload):
+        index = build_index(dataset, auto_reorganize=False)
+        warm_up(index, workload, queries=100)
+        report = index.reorganize()
+        assert report.clusters_before == 1
+        assert report.clusters_after == index.n_clusters
+        assert report.materializations == len(report.created_cluster_ids)
+        assert report.changed == (report.materializations + report.merges > 0)
+
+    def test_auto_reorganization_period(self, dataset, workload):
+        index = build_index(dataset, reorganization_period=30)
+        for i in range(29):
+            index.query(workload.queries[i % len(workload.queries)], workload.relation)
+        assert index.reorganization_count == 0
+        index.query(workload.queries[0], workload.relation)
+        assert index.reorganization_count == 1
+
+    def test_auto_reorganization_disabled(self, dataset, workload):
+        index = build_index(dataset, auto_reorganize=False)
+        warm_up(index, workload, queries=150)
+        assert index.reorganization_count == 0
+        assert index.n_clusters == 1
+
+    def test_max_clusters_cap(self, dataset, workload):
+        index = build_index(dataset, max_clusters=5)
+        warm_up(index, workload)
+        assert index.n_clusters <= 5
+
+    def test_min_cluster_objects_floor(self, dataset, workload):
+        index = build_index(dataset, min_cluster_objects=50)
+        warm_up(index, workload)
+        non_root_sizes = [
+            cluster.n_objects
+            for cluster in index.clusters()
+            if not cluster.is_root and cluster.n_objects > 0
+        ]
+        # Clusters are created with at least the configured floor; later
+        # deletions could shrink them, but this workload performs none.
+        assert all(size >= 50 for size in non_root_sizes)
+
+    def test_children_signatures_contained_in_parent(self, dataset, workload):
+        index = build_index(dataset)
+        warm_up(index, workload)
+        for cluster in index.clusters():
+            parent = index.get_cluster(cluster.parent_id)
+            if parent is not None:
+                assert parent.signature.contains_signature(cluster.signature)
+
+
+class TestAdaptation:
+    def test_disk_scenario_builds_fewer_clusters(self, dataset, workload):
+        """The 15 ms random access makes fine-grained clustering unprofitable."""
+        memory_index = build_index(dataset, scenario="memory")
+        disk_index = build_index(dataset, scenario="disk")
+        warm_up(memory_index, workload)
+        warm_up(disk_index, workload)
+        assert disk_index.n_clusters < memory_index.n_clusters
+
+    def test_selective_queries_build_more_clusters(self, dataset):
+        selective = generate_query_workload(dataset, 30, target_selectivity=1e-4, seed=3)
+        broad = generate_query_workload(dataset, 30, target_selectivity=0.5, seed=3)
+        selective_index = build_index(dataset)
+        broad_index = build_index(dataset)
+        warm_up(selective_index, selective)
+        warm_up(broad_index, broad)
+        assert selective_index.n_clusters > broad_index.n_clusters
+
+    def test_merges_follow_query_distribution_change(self, dataset):
+        selective = generate_query_workload(dataset, 30, target_selectivity=1e-4, seed=3)
+        broad = generate_query_workload(dataset, 30, target_selectivity=0.5, seed=4)
+        index = build_index(dataset, reset_statistics_on_reorganization=True)
+        warm_up(index, selective)
+        clusters_after_selective = index.n_clusters
+        warm_up(index, broad, queries=800)
+        assert index.n_clusters < clusters_after_selective
+        index.check_invariants()
+
+    def test_modeled_time_never_worse_than_sequential_scan(self, dataset, workload):
+        """The paper's guarantee: AC average cost <= Sequential Scan cost."""
+        cost = CostParameters.memory_defaults(dataset.dimensions)
+        index = build_index(dataset)
+        warm_up(index, workload)
+        model = ModeledCostModel(cost)
+        scan_time = cost.sequential_scan_time(dataset.size)
+        modeled = []
+        for query in workload.queries:
+            _, stats = index.query_with_stats(query, workload.relation)
+            modeled.append(model.query_time_ms(stats))
+        assert np.mean(modeled) <= scan_time * 1.05  # 5% tolerance for estimation noise
+
+    def test_statistics_reset_option(self, dataset, workload):
+        index = build_index(dataset, reset_statistics_on_reorganization=True)
+        warm_up(index, workload, queries=120)
+        # After a reorganization with reset, per-cluster counters restart.
+        for cluster in index.clusters():
+            assert cluster.query_count <= index.total_queries - cluster.creation_query
+
+
+class TestMergeMechanics:
+    def test_forced_merge_returns_objects_to_parent(self, dataset, workload):
+        index = build_index(dataset)
+        warm_up(index, workload)
+        children = [c for c in index.clusters() if not c.is_root and c.n_objects > 0]
+        assert children
+        child = children[0]
+        parent = index.get_cluster(child.parent_id)
+        moved = child.n_objects
+        parent_before = parent.n_objects
+        total_before = index.n_objects
+        index._merge_into_parent(child)
+        assert parent.n_objects == parent_before + moved
+        assert index.n_objects == total_before
+        assert child.cluster_id not in index._clusters
+        index.check_invariants()
+
+    def test_root_cannot_be_merged(self, dataset):
+        index = build_index(dataset)
+        with pytest.raises(ValueError):
+            index._merge_into_parent(index.root)
+
+    def test_grandchildren_are_reparented(self, dataset, workload):
+        index = build_index(dataset)
+        warm_up(index, workload, queries=600)
+        # Find a cluster with both a parent and children (depth >= 1 with kids).
+        middle = next(
+            (
+                c
+                for c in index.clusters()
+                if not c.is_root and c.children_ids
+            ),
+            None,
+        )
+        if middle is None:
+            pytest.skip("the workload did not produce a two-level hierarchy")
+        grandchild_ids = set(middle.children_ids)
+        parent = index.get_cluster(middle.parent_id)
+        index._merge_into_parent(middle)
+        for grandchild_id in grandchild_ids:
+            grandchild = index.get_cluster(grandchild_id)
+            assert grandchild.parent_id == parent.cluster_id
+            assert grandchild_id in parent.children_ids
+        index.check_invariants()

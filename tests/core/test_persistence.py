@@ -1,0 +1,132 @@
+"""Tests for the crash-recovery snapshot (paper Section 6, Fail Recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters, StorageScenario
+from repro.core.index import AdaptiveClusteringIndex
+from repro.core.persistence import load_index, save_index
+from repro.geometry.box import HyperRectangle
+from repro.workloads.queries import generate_query_workload
+from repro.workloads.uniform import generate_uniform_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_uniform_dataset(1500, 6, seed=61, max_extent=0.4)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return generate_query_workload(dataset, 20, target_selectivity=0.01, seed=62)
+
+
+def adapted_index(dataset, workload, scenario="memory"):
+    config = AdaptiveClusteringConfig(
+        cost=CostParameters.for_scenario(scenario, dataset.dimensions),
+        reorganization_period=30,
+    )
+    index = AdaptiveClusteringIndex(config=config)
+    dataset.load_into(index)
+    for i in range(200):
+        index.query(workload.queries[i % len(workload.queries)], workload.relation)
+    return index
+
+
+class TestRoundTrip:
+    def test_structure_and_results_preserved(self, dataset, workload, tmp_path):
+        original = adapted_index(dataset, workload)
+        snapshot = save_index(original, tmp_path / "index.npz")
+        recovered = load_index(snapshot)
+
+        assert recovered.n_objects == original.n_objects
+        assert recovered.n_clusters == original.n_clusters
+        assert recovered.total_queries == original.total_queries
+        assert recovered.dimensions == original.dimensions
+        recovered.check_invariants()
+        for query in workload.queries:
+            assert set(recovered.query(query, workload.relation).tolist()) == set(
+                original.query(query, workload.relation).tolist()
+            )
+
+    def test_statistics_preserved(self, dataset, workload, tmp_path):
+        original = adapted_index(dataset, workload)
+        recovered = load_index(save_index(original, tmp_path / "stats.npz"))
+        for cluster in original.clusters():
+            twin = recovered.get_cluster(cluster.cluster_id)
+            assert twin is not None
+            assert twin.query_count == cluster.query_count
+            assert np.array_equal(
+                twin.candidates.query_counts, cluster.candidates.query_counts
+            )
+            assert twin.signature == cluster.signature
+            assert twin.parent_id == cluster.parent_id
+
+    def test_statistics_can_be_dropped(self, dataset, workload, tmp_path):
+        original = adapted_index(dataset, workload)
+        recovered = load_index(
+            save_index(original, tmp_path / "bare.npz", include_statistics=False)
+        )
+        recovered.check_invariants()
+        assert recovered.n_objects == original.n_objects
+        for cluster in recovered.clusters():
+            assert cluster.candidates.query_counts.sum() == 0
+
+    def test_disk_scenario_round_trip(self, dataset, workload, tmp_path):
+        original = adapted_index(dataset, workload, scenario="disk")
+        recovered = load_index(save_index(original, tmp_path / "disk.npz"))
+        assert recovered.config.scenario is StorageScenario.DISK
+        # Every recovered cluster has an extent in the simulated disk layout.
+        assert len(recovered.storage.layout) == recovered.n_clusters
+        recovered.check_invariants()
+
+    def test_config_round_trip(self, dataset, workload, tmp_path):
+        original = adapted_index(dataset, workload)
+        recovered = load_index(save_index(original, tmp_path / "config.npz"))
+        assert recovered.config.division_factor == original.config.division_factor
+        assert (
+            recovered.config.reorganization_period
+            == original.config.reorganization_period
+        )
+        assert recovered.config.cost.constants == original.config.cost.constants
+
+
+class TestRecoveredIndexKeepsWorking:
+    def test_updates_and_reorganization_after_recovery(self, dataset, workload, tmp_path):
+        original = adapted_index(dataset, workload)
+        recovered = load_index(save_index(original, tmp_path / "live.npz"))
+        next_id = int(dataset.ids.max()) + 1
+        rng = np.random.default_rng(63)
+        for i in range(50):
+            lows = rng.random(6) * 0.6
+            recovered.insert(next_id + i, HyperRectangle(lows, lows + 0.2))
+        for i in range(100):
+            recovered.query(workload.queries[i % len(workload.queries)], workload.relation)
+        recovered.delete(next_id)
+        recovered.check_invariants()
+        assert recovered.n_objects == original.n_objects + 49
+
+    def test_fresh_empty_index_round_trip(self, tmp_path):
+        index = AdaptiveClusteringIndex(dimensions=4)
+        recovered = load_index(save_index(index, tmp_path / "empty.npz"))
+        assert recovered.n_objects == 0
+        assert recovered.n_clusters == 1
+        recovered.insert(1, HyperRectangle([0.1] * 4, [0.2] * 4))
+        assert recovered.query(HyperRectangle.unit(4)).tolist() == [1]
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "does-not-exist.npz")
+
+    def test_bad_format_version(self, dataset, workload, tmp_path, monkeypatch):
+        import repro.core.persistence as persistence
+
+        original = adapted_index(dataset, workload)
+        monkeypatch.setattr(persistence, "SNAPSHOT_FORMAT_VERSION", 999)
+        path = save_index(original, tmp_path / "versioned.npz")
+        monkeypatch.setattr(persistence, "SNAPSHOT_FORMAT_VERSION", 1)
+        with pytest.raises(ValueError):
+            load_index(path)

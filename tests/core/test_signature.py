@@ -1,0 +1,196 @@
+"""Unit tests for :mod:`repro.core.signature`."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import ClusterSignature, VariationInterval
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation, satisfies
+
+
+class TestVariationInterval:
+    def test_valid(self):
+        variation = VariationInterval(0.0, 0.25, 0.5, 1.0)
+        assert variation.matches_interval(0.1, 0.7)
+        assert not variation.matches_interval(0.3, 0.7)  # start outside
+        assert not variation.matches_interval(0.1, 0.4)  # end outside
+
+    def test_invalid_start_bounds(self):
+        with pytest.raises(ValueError):
+            VariationInterval(0.5, 0.2, 0.0, 1.0)
+
+    def test_invalid_end_bounds(self):
+        with pytest.raises(ValueError):
+            VariationInterval(0.0, 0.5, 1.0, 0.2)
+
+    def test_impossible_combination_rejected(self):
+        # Start must be <= end for some admitted interval to exist.
+        with pytest.raises(ValueError):
+            VariationInterval(0.6, 0.8, 0.0, 0.4)
+
+    def test_unconstrained(self):
+        variation = VariationInterval.unconstrained()
+        assert variation.is_unconstrained()
+        assert variation.matches_interval(0.0, 1.0)
+        assert variation.matches_interval(0.5, 0.5)
+
+    def test_contains_variation(self):
+        outer = VariationInterval(0.0, 0.5, 0.0, 1.0)
+        inner = VariationInterval(0.1, 0.3, 0.2, 0.9)
+        assert outer.contains_variation(inner)
+        assert not inner.contains_variation(outer)
+
+    @pytest.mark.parametrize(
+        "relation, query, expected",
+        [
+            (SpatialRelation.INTERSECTS, (0.3, 0.6), True),
+            (SpatialRelation.INTERSECTS, (0.9, 1.0), True),   # member end can reach 0.9
+            (SpatialRelation.CONTAINED_BY, (0.0, 1.0), True),
+            (SpatialRelation.CONTAINED_BY, (0.5, 0.6), False),  # members start <= 0.25
+            (SpatialRelation.CONTAINS, (0.1, 0.8), True),
+            (SpatialRelation.CONTAINS, (0.1, 0.95), False),  # members end <= 0.9
+        ],
+    )
+    def test_admits_query_interval(self, relation, query, expected):
+        variation = VariationInterval(0.0, 0.25, 0.5, 0.9)
+        assert variation.admits_query_interval(query[0], query[1], relation) is expected
+
+
+class TestClusterSignatureConstruction:
+    def test_root_accepts_everything(self):
+        signature = ClusterSignature.root(4)
+        assert signature.is_root()
+        assert signature.matches_object(HyperRectangle.unit(4))
+        assert signature.matches_object(HyperRectangle.from_point([0.1, 0.5, 0.9, 0.0]))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            ClusterSignature.root(0)
+        with pytest.raises(ValueError):
+            ClusterSignature([])
+
+    def test_with_dimension(self):
+        root = ClusterSignature.root(3)
+        refined = root.with_dimension(1, VariationInterval(0.0, 0.25, 0.0, 0.25))
+        assert refined.constrained_dimensions() == [1]
+        assert not refined.is_root()
+        # The original signature is untouched.
+        assert root.is_root()
+
+    def test_with_dimension_out_of_range(self):
+        with pytest.raises(IndexError):
+            ClusterSignature.root(3).with_dimension(5, VariationInterval.unconstrained())
+
+    def test_from_arrays_round_trip(self):
+        root = ClusterSignature.root(3)
+        rebuilt = ClusterSignature.from_arrays(
+            root.start_low, root.start_high, root.end_low, root.end_high
+        )
+        assert rebuilt == root
+
+    def test_equality_and_hash(self):
+        a = ClusterSignature.root(2).with_dimension(0, VariationInterval(0.0, 0.5, 0.0, 0.5))
+        b = ClusterSignature.root(2).with_dimension(0, VariationInterval(0.0, 0.5, 0.0, 0.5))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ClusterSignature.root(2)
+
+
+class TestObjectMatching:
+    @pytest.fixture
+    def signature(self):
+        # Dimension 0: start in [0, 0.25], end in [0, 0.5]; dimension 1 free.
+        return ClusterSignature.root(2).with_dimension(
+            0, VariationInterval(0.0, 0.25, 0.0, 0.5)
+        )
+
+    def test_matching_object(self, signature):
+        assert signature.matches_object(HyperRectangle([0.1, 0.7], [0.4, 0.9]))
+
+    def test_non_matching_start(self, signature):
+        assert not signature.matches_object(HyperRectangle([0.3, 0.7], [0.4, 0.9]))
+
+    def test_non_matching_end(self, signature):
+        assert not signature.matches_object(HyperRectangle([0.1, 0.7], [0.6, 0.9]))
+
+    def test_dimension_mismatch(self, signature):
+        with pytest.raises(ValueError):
+            signature.matches_object(HyperRectangle.unit(3))
+
+    def test_vectorised_matching_agrees_with_scalar(self, signature, rng):
+        lows = rng.random((50, 2)) * 0.5
+        highs = lows + rng.random((50, 2)) * 0.5
+        mask = signature.matches_objects(lows, highs)
+        for row in range(50):
+            expected = signature.matches_object(HyperRectangle(lows[row], highs[row]))
+            assert mask[row] == expected
+
+    def test_vectorised_matching_empty(self, signature):
+        assert signature.matches_objects(np.empty((0, 2)), np.empty((0, 2))).shape == (0,)
+
+
+class TestQueryMatching:
+    def test_root_matches_every_query(self):
+        root = ClusterSignature.root(3)
+        query = HyperRectangle([0.2, 0.3, 0.4], [0.5, 0.6, 0.7])
+        for relation in SpatialRelation:
+            assert root.matches_query(query, relation)
+
+    def test_no_false_drops(self, rng):
+        """If a member object satisfies the relation, the signature must match the query."""
+        signature = ClusterSignature.root(3).with_dimension(
+            1, VariationInterval(0.25, 0.5, 0.5, 0.75)
+        )
+        for _ in range(200):
+            lows = rng.random(3) * 0.5
+            highs = lows + rng.random(3) * 0.5
+            obj = HyperRectangle(lows, np.minimum(highs, 1.0))
+            if not signature.matches_object(obj):
+                continue
+            q_lows = rng.random(3) * 0.6
+            q_highs = q_lows + rng.random(3) * 0.4
+            query = HyperRectangle(q_lows, np.minimum(q_highs, 1.0))
+            for relation in SpatialRelation:
+                if satisfies(obj, query, relation):
+                    assert signature.matches_query(query, relation)
+
+    def test_pruning_actually_prunes(self):
+        # Members start and end within [0, 0.25] in dimension 0: a query box
+        # entirely above 0.5 in that dimension cannot intersect any member.
+        signature = ClusterSignature.root(2).with_dimension(
+            0, VariationInterval(0.0, 0.25, 0.0, 0.25)
+        )
+        query = HyperRectangle([0.5, 0.0], [0.9, 1.0])
+        assert not signature.matches_query(query, SpatialRelation.INTERSECTS)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            ClusterSignature.root(2).matches_query(
+                HyperRectangle.unit(3), SpatialRelation.INTERSECTS
+            )
+
+
+class TestSignatureContainment:
+    def test_root_contains_any_refinement(self):
+        root = ClusterSignature.root(2)
+        refined = root.with_dimension(0, VariationInterval(0.0, 0.25, 0.25, 0.5))
+        assert root.contains_signature(refined)
+        assert not refined.contains_signature(root)
+
+    def test_contains_signature_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            ClusterSignature.root(2).contains_signature(ClusterSignature.root(3))
+
+    def test_containment_implies_object_compatibility(self, rng):
+        """Backward compatibility: objects of the inner signature match the outer."""
+        outer = ClusterSignature.root(2).with_dimension(
+            0, VariationInterval(0.0, 0.5, 0.0, 1.0)
+        )
+        inner = outer.with_dimension(0, VariationInterval(0.0, 0.25, 0.25, 0.5))
+        assert outer.contains_signature(inner)
+        for _ in range(100):
+            lows = rng.random(2) * 0.5
+            highs = lows + rng.random(2) * 0.5
+            obj = HyperRectangle(lows, np.minimum(highs, 1.0))
+            if inner.matches_object(obj):
+                assert outer.matches_object(obj)

@@ -1,0 +1,65 @@
+"""Unit tests for :mod:`repro.core.statistics`."""
+
+import pytest
+
+from repro.core.statistics import ClusterSnapshot, IndexSnapshot, QueryExecution
+
+
+class TestQueryExecution:
+    def test_defaults(self):
+        execution = QueryExecution()
+        assert execution.signature_checks == 0
+        assert execution.objects_verified == 0
+        assert execution.wall_time_ms == 0.0
+
+    def test_merge(self):
+        a = QueryExecution(signature_checks=2, groups_explored=1, objects_verified=10,
+                           results=3, bytes_read=100, random_accesses=1, wall_time_ms=0.5)
+        b = QueryExecution(signature_checks=4, groups_explored=2, objects_verified=20,
+                           results=1, bytes_read=200, random_accesses=0, wall_time_ms=0.25)
+        merged = a.merge(b)
+        assert merged.signature_checks == 6
+        assert merged.groups_explored == 3
+        assert merged.objects_verified == 30
+        assert merged.results == 4
+        assert merged.bytes_read == 300
+        assert merged.random_accesses == 1
+        assert merged.wall_time_ms == pytest.approx(0.75)
+        # Operands are unchanged.
+        assert a.signature_checks == 2
+
+    def test_as_dict(self):
+        execution = QueryExecution(signature_checks=2, results=5)
+        data = execution.as_dict()
+        assert data["signature_checks"] == 2
+        assert data["results"] == 5
+        assert set(data) == {
+            "signature_checks", "groups_explored", "objects_verified",
+            "results", "bytes_read", "random_accesses", "wall_time_ms",
+        }
+
+
+class TestIndexSnapshot:
+    def _snapshot(self):
+        clusters = [
+            ClusterSnapshot(0, None, 100, 10, 1.0, 0, 0),
+            ClusterSnapshot(1, 0, 40, 4, 0.4, 1, 1),
+            ClusterSnapshot(2, 1, 10, 1, 0.1, 2, 2),
+        ]
+        return IndexSnapshot(n_objects=150, n_clusters=3, total_queries=10, clusters=clusters)
+
+    def test_max_depth(self):
+        assert self._snapshot().max_depth == 2
+
+    def test_average_cluster_size(self):
+        assert self._snapshot().average_cluster_size == pytest.approx(50.0)
+
+    def test_empty_snapshot(self):
+        snapshot = IndexSnapshot(n_objects=0, n_clusters=0, total_queries=0)
+        assert snapshot.max_depth == 0
+        assert snapshot.average_cluster_size == 0.0
+
+    def test_as_dict(self):
+        data = self._snapshot().as_dict()
+        assert data["n_clusters"] == 3
+        assert data["max_depth"] == 2

@@ -1,0 +1,131 @@
+"""Unit tests for the experiment definitions (scaled down to stay fast)."""
+
+import pytest
+
+from repro.core.cost_model import StorageScenario
+from repro.evaluation.experiments import (
+    PAPER_DIMENSIONALITIES,
+    PAPER_SELECTIVITIES,
+    ablation_disk_access_time,
+    ablation_division_factor,
+    ablation_reorganization_period,
+    dimensionality_sweep,
+    point_enclosing_experiment,
+    selectivity_sweep,
+)
+
+#: Tiny experiment parameters so the whole module runs in seconds.
+TINY = dict(object_count=800, queries_per_point=6, warmup_queries=60)
+
+
+class TestPaperConstants:
+    def test_selectivities_match_figure_7(self):
+        assert PAPER_SELECTIVITIES == (5e-7, 5e-6, 5e-5, 5e-4, 5e-3, 5e-2, 5e-1)
+
+    def test_dimensionalities_match_figure_8(self):
+        assert PAPER_DIMENSIONALITIES == (16, 20, 24, 28, 32, 36, 40)
+
+
+class TestSelectivitySweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return selectivity_sweep(
+            scenario="memory",
+            dimensions=8,
+            selectivities=(5e-3, 5e-1),
+            methods=["AC", "SS"],
+            **TINY,
+        )
+
+    def test_structure(self, result):
+        assert result.experiment_id == "fig7-memory"
+        assert result.scenario is StorageScenario.MEMORY
+        assert len(result.rows) == 2
+        assert result.methods() == ["AC", "SS"]
+        assert [row.parameter for row in result.rows] == [5e-3, 5e-1]
+
+    def test_series_extraction(self, result):
+        times = result.series("AC")
+        assert len(times) == 2
+        assert all(value > 0 for value in times)
+        fractions = result.series("SS", metric="verified_fraction")
+        assert all(value == pytest.approx(1.0) for value in fractions)
+
+    def test_adaptive_never_slower_than_scan(self, result):
+        for row in result.rows:
+            assert (
+                row.results["AC"].avg_modeled_time_ms
+                <= row.results["SS"].avg_modeled_time_ms * 1.1
+            )
+
+    def test_rows_carry_measured_selectivity(self, result):
+        for row in result.rows:
+            assert row.info["measured_selectivity"] is not None
+
+
+class TestDimensionalitySweep:
+    def test_structure_and_scaling(self):
+        result = dimensionality_sweep(
+            scenario="memory",
+            object_count=600,
+            dimensionalities=(8, 16),
+            queries_per_point=5,
+            warmup_queries=50,
+            methods=["AC", "SS"],
+        )
+        assert result.experiment_id == "fig8-memory"
+        assert [row.parameter for row in result.rows] == [8.0, 16.0]
+        # Scan time grows with dimensionality (objects get bigger).
+        ss_times = result.series("SS")
+        assert ss_times[1] > ss_times[0]
+
+
+class TestPointEnclosing:
+    def test_memory_scenario(self):
+        result = point_enclosing_experiment(
+            scenario="memory",
+            object_count=800,
+            dimensions=8,
+            queries=10,
+            warmup_queries=80,
+            methods=["AC", "SS"],
+        )
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        # At this tiny scale the clustering may legitimately stay at a single
+        # cluster, in which case AC equals SS plus one signature check.
+        assert (
+            row.results["AC"].avg_modeled_time_ms
+            <= row.results["SS"].avg_modeled_time_ms * 1.01 + 1e-4
+        )
+
+
+class TestAblations:
+    def test_division_factor(self):
+        result = ablation_division_factor(
+            factors=(2, 4), object_count=600, dimensions=8, queries=5, warmup_queries=60
+        )
+        assert result.experiment_id == "ablation-division-factor"
+        assert [row.parameter for row in result.rows] == [2.0, 4.0]
+        assert set(result.methods()) == {"AC", "SS"}
+
+    def test_reorganization_period(self):
+        result = ablation_reorganization_period(
+            periods=(20, 60), object_count=600, dimensions=8, queries=5, warmup_queries=80
+        )
+        assert [row.parameter for row in result.rows] == [20.0, 60.0]
+
+    def test_disk_access_time_shapes_granularity(self):
+        result = ablation_disk_access_time(
+            access_times_ms=(1.0, 30.0),
+            object_count=1500,
+            dimensions=8,
+            queries=5,
+            warmup_queries=150,
+        )
+        assert result.scenario is StorageScenario.DISK
+        clusters = [
+            row.results["AC"].total_groups for row in result.rows
+        ]
+        # A cheaper random access lets the cost model justify more clusters.
+        assert clusters[0] >= clusters[1]

@@ -1,0 +1,106 @@
+"""Unit tests for :mod:`repro.evaluation.harness`."""
+
+import pytest
+
+from repro.baselines.rtree import RStarTree
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters
+from repro.core.index import AdaptiveClusteringIndex
+from repro.evaluation.harness import (
+    ExperimentHarness,
+    build_adaptive_clustering,
+    build_rstar_tree,
+    build_sequential_scan,
+    default_methods,
+)
+from repro.workloads.queries import generate_query_workload
+from repro.workloads.uniform import generate_uniform_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_uniform_dataset(1500, 8, seed=23, max_extent=0.4)
+
+
+@pytest.fixture(scope="module")
+def cost(dataset):
+    return CostParameters.memory_defaults(dataset.dimensions)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return generate_query_workload(dataset, 15, target_selectivity=0.01, seed=24)
+
+
+class TestBuilders:
+    def test_build_adaptive(self, dataset, cost):
+        index = build_adaptive_clustering(dataset, cost)
+        assert isinstance(index, AdaptiveClusteringIndex)
+        assert index.n_objects == dataset.size
+
+    def test_build_adaptive_with_custom_config(self, dataset, cost):
+        config = AdaptiveClusteringConfig(cost=cost, division_factor=2)
+        index = build_adaptive_clustering(dataset, cost, config)
+        assert index.config.division_factor == 2
+
+    def test_build_scan(self, dataset, cost):
+        scan = build_sequential_scan(dataset, cost)
+        assert isinstance(scan, SequentialScan)
+        assert scan.n_objects == dataset.size
+
+    def test_build_rstar_dynamic_and_bulk(self, dataset, cost):
+        dynamic = build_rstar_tree(dataset, cost, dynamic_insert_threshold=10_000)
+        bulk = build_rstar_tree(dataset, cost, dynamic_insert_threshold=10)
+        assert isinstance(dynamic, RStarTree)
+        assert dynamic.n_objects == bulk.n_objects == dataset.size
+
+    def test_default_methods_keys(self):
+        assert set(default_methods()) == {"AC", "SS", "RS"}
+
+
+class TestHarness:
+    def test_run_single_method(self, dataset, cost, workload):
+        harness = ExperimentHarness(dataset=dataset, cost=cost, warmup_queries=100)
+        result = harness.run_method("SS", workload)
+        assert result.method == "SS"
+        assert result.n_queries == len(workload)
+        assert result.total_groups == 1
+        assert result.total_objects == dataset.size
+        assert result.verified_fraction == pytest.approx(1.0)
+
+    def test_adaptive_result_includes_snapshot(self, dataset, cost, workload):
+        harness = ExperimentHarness(dataset=dataset, cost=cost, warmup_queries=150)
+        result = harness.run_method("AC", workload)
+        assert "snapshot" in result.extra
+        assert result.extra["snapshot"]["n_objects"] == dataset.size
+        assert "io" in result.extra
+
+    def test_compare_runs_all_methods(self, dataset, cost, workload):
+        harness = ExperimentHarness(dataset=dataset, cost=cost, warmup_queries=100)
+        results = harness.compare(workload)
+        assert set(results) == {"AC", "SS", "RS"}
+        for result in results.values():
+            assert result.n_queries == len(workload)
+
+    def test_compare_with_subset_of_methods(self, dataset, cost, workload):
+        harness = ExperimentHarness(dataset=dataset, cost=cost, warmup_queries=50)
+        results = harness.compare(workload, labels=["AC", "SS"])
+        assert set(results) == {"AC", "SS"}
+
+    def test_adaptive_config_override(self, dataset, cost, workload):
+        config = AdaptiveClusteringConfig(cost=cost, max_clusters=3)
+        harness = ExperimentHarness(
+            dataset=dataset, cost=cost, warmup_queries=150, adaptive_config=config
+        )
+        method = harness.build_method("AC")
+        assert method.config.max_clusters == 3
+
+    def test_adaptive_beats_scan_on_modeled_time(self, dataset, cost, workload):
+        """The paper's core claim at the harness level."""
+        harness = ExperimentHarness(dataset=dataset, cost=cost, warmup_queries=300)
+        results = harness.compare(workload, labels=["AC", "SS"])
+        assert (
+            results["AC"].avg_modeled_time_ms
+            <= results["SS"].avg_modeled_time_ms * 1.05
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for :mod:`repro.evaluation.metrics`."""
+
+import pytest
+
+from repro.core.cost_model import CostParameters
+from repro.core.statistics import QueryExecution
+from repro.evaluation.metrics import MethodResult, ModeledCostModel, aggregate_executions
+
+
+@pytest.fixture
+def cost():
+    return CostParameters.memory_defaults(16)
+
+
+class TestModeledCostModel:
+    def test_formula(self, cost):
+        model = ModeledCostModel(cost)
+        execution = QueryExecution(signature_checks=100, groups_explored=5, objects_verified=400)
+        expected = 100 * cost.A + 5 * cost.B + 400 * cost.C
+        assert model.query_time_ms(execution) == pytest.approx(expected)
+
+    def test_sequential_scan_equivalence(self, cost):
+        """A scan execution record reproduces the cost model's scan time."""
+        model = ModeledCostModel(cost)
+        execution = QueryExecution(signature_checks=0, groups_explored=1, objects_verified=10_000)
+        assert model.query_time_ms(execution) == pytest.approx(
+            cost.sequential_scan_time(10_000)
+        )
+
+    def test_disk_time_dominated_by_accesses(self):
+        disk = CostParameters.disk_defaults(16)
+        model = ModeledCostModel(disk)
+        few_accesses = QueryExecution(groups_explored=2, objects_verified=5000)
+        many_accesses = QueryExecution(groups_explored=50, objects_verified=5000)
+        assert model.query_time_ms(many_accesses) > model.query_time_ms(few_accesses)
+
+
+class TestAggregation:
+    def _executions(self):
+        return [
+            QueryExecution(signature_checks=10, groups_explored=2, objects_verified=100,
+                           results=5, bytes_read=1000, random_accesses=2, wall_time_ms=1.0),
+            QueryExecution(signature_checks=10, groups_explored=4, objects_verified=300,
+                           results=15, bytes_read=3000, random_accesses=4, wall_time_ms=3.0),
+        ]
+
+    def test_averages(self, cost):
+        result = aggregate_executions("AC", self._executions(), cost, total_groups=10, total_objects=1000)
+        assert result.method == "AC"
+        assert result.n_queries == 2
+        assert result.avg_groups_explored == pytest.approx(3.0)
+        assert result.avg_objects_verified == pytest.approx(200.0)
+        assert result.avg_results == pytest.approx(10.0)
+        assert result.avg_bytes_read == pytest.approx(2000.0)
+        assert result.avg_random_accesses == pytest.approx(3.0)
+        assert result.avg_wall_time_ms == pytest.approx(2.0)
+        assert result.explored_fraction == pytest.approx(0.3)
+        assert result.verified_fraction == pytest.approx(0.2)
+
+    def test_modeled_time_average(self, cost):
+        model = ModeledCostModel(cost)
+        executions = self._executions()
+        result = aggregate_executions("AC", executions, cost, 10, 1000)
+        expected = sum(model.query_time_ms(e) for e in executions) / 2
+        assert result.avg_modeled_time_ms == pytest.approx(expected)
+
+    def test_empty_rejected(self, cost):
+        with pytest.raises(ValueError):
+            aggregate_executions("AC", [], cost, 1, 1)
+
+    def test_speedup_over(self, cost):
+        fast = aggregate_executions("AC", self._executions(), cost, 10, 1000)
+        slow_executions = [
+            QueryExecution(groups_explored=1, objects_verified=1000),
+            QueryExecution(groups_explored=1, objects_verified=1000),
+        ]
+        slow = aggregate_executions("SS", slow_executions, cost, 1, 1000)
+        assert fast.speedup_over(slow) > 1.0
+        assert slow.speedup_over(fast) < 1.0
+
+    def test_as_dict(self, cost):
+        result = aggregate_executions("RS", self._executions(), cost, 10, 1000)
+        data = result.as_dict()
+        assert data["method"] == "RS"
+        assert data["total_groups"] == 10
+        assert "explored_fraction" in data
+
+    def test_zero_totals(self, cost):
+        result = MethodResult(
+            method="X", n_queries=1, avg_modeled_time_ms=1.0, avg_wall_time_ms=1.0,
+            total_groups=0, avg_groups_explored=0.0, avg_objects_verified=0.0,
+            avg_results=0.0, total_objects=0, avg_bytes_read=0.0, avg_random_accesses=0.0,
+        )
+        assert result.explored_fraction == 0.0
+        assert result.verified_fraction == 0.0

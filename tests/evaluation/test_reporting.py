@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.evaluation.reporting`."""
+
+import pytest
+
+from repro.core.cost_model import StorageScenario
+from repro.evaluation.experiments import ExperimentResult, ExperimentRow
+from repro.evaluation.metrics import MethodResult
+from repro.evaluation.reporting import (
+    format_data_access_table,
+    format_experiment_result,
+    format_parameter,
+    format_speedup_summary,
+    format_table,
+    format_time_chart,
+)
+
+
+def method_result(method, time_ms, groups=10, explored=2.0, verified=100.0, objects=1000):
+    return MethodResult(
+        method=method,
+        n_queries=5,
+        avg_modeled_time_ms=time_ms,
+        avg_wall_time_ms=time_ms / 10,
+        total_groups=groups,
+        avg_groups_explored=explored,
+        avg_objects_verified=verified,
+        avg_results=3.0,
+        total_objects=objects,
+        avg_bytes_read=verified * 132,
+        avg_random_accesses=explored,
+    )
+
+
+@pytest.fixture
+def experiment():
+    rows = [
+        ExperimentRow(
+            parameter=5e-3,
+            parameter_name="selectivity",
+            results={
+                "AC": method_result("AC", 1.5),
+                "SS": method_result("SS", 4.0, groups=1, explored=1.0, verified=1000.0),
+                "RS": method_result("RS", 9.0, groups=40, explored=30.0, verified=900.0),
+            },
+        ),
+        ExperimentRow(
+            parameter=5e-1,
+            parameter_name="selectivity",
+            results={
+                "AC": method_result("AC", 3.0),
+                "SS": method_result("SS", 4.0, groups=1, explored=1.0, verified=1000.0),
+                "RS": method_result("RS", 10.0, groups=40, explored=39.0, verified=1000.0),
+            },
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig7-memory",
+        title="test experiment",
+        scenario=StorageScenario.MEMORY,
+        rows=rows,
+        parameters={"object_count": 1000},
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [30, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "a" in lines[0] and "bbb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_row_length_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_parameter_formatting(self):
+        assert format_parameter(5e-3, "selectivity") == "5e-3"
+        assert format_parameter(16.0, "dimensions") == "16"
+        assert format_parameter(2.5, "factor") == "2.5"
+
+
+class TestReports:
+    def test_time_chart_contains_every_method(self, experiment):
+        chart = format_time_chart(experiment)
+        for method in ("AC", "SS", "RS"):
+            assert method in chart
+        assert "5e-3" in chart and "5e-1" in chart
+
+    def test_data_access_table_structure(self, experiment):
+        table = format_data_access_table(experiment)
+        assert "Groups AC" in table
+        assert "Expl.% RS" in table
+        assert "Objs.% AC" in table
+
+    def test_speedup_summary(self, experiment):
+        summary = format_speedup_summary(experiment)
+        assert "AC speedup vs SS" in summary
+        assert "RS speedup vs SS" in summary
+
+    def test_full_report(self, experiment):
+        report = format_experiment_result(experiment)
+        assert "fig7-memory" in report
+        assert "modeled query execution time" in report
+        assert "data access" in report
+        assert "speedup over Sequential Scan" in report
+
+    def test_missing_method_yields_nan(self, experiment):
+        del experiment.rows[0].results["RS"]
+        chart = format_time_chart(experiment)
+        assert "nan" in chart

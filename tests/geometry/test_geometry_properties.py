@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the geometry substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation, satisfies
+from repro.geometry.vectorized import matching_mask
+
+DIMENSIONS = 4
+
+
+@st.composite
+def unit_boxes(draw, dimensions: int = DIMENSIONS):
+    """Random boxes inside the unit hyper-cube."""
+    lows = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=dimensions, max_size=dimensions,
+        )
+    )
+    extents = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=dimensions, max_size=dimensions,
+        )
+    )
+    lows_arr = np.array(lows)
+    highs_arr = np.minimum(lows_arr + np.array(extents), 1.0)
+    return HyperRectangle(lows_arr, highs_arr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=unit_boxes(), b=unit_boxes())
+def test_intersection_is_symmetric(a, b):
+    assert a.intersects(b) == b.intersects(a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=unit_boxes(), b=unit_boxes())
+def test_containment_implies_intersection(a, b):
+    if b.contains(a):
+        assert a.intersects(b)
+    if a.contains(b):
+        assert a.intersects(b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=unit_boxes(), b=unit_boxes(), c=unit_boxes())
+def test_containment_is_transitive(a, b, c):
+    if a.contains(b) and b.contains(c):
+        assert a.contains(c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=unit_boxes(), b=unit_boxes())
+def test_union_bounds_covers_both_operands(a, b):
+    union = a.union_bounds(b)
+    assert union.contains(a)
+    assert union.contains(b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=unit_boxes(), b=unit_boxes())
+def test_overlap_volume_consistent_with_intersects(a, b):
+    overlap = a.overlap_volume(b)
+    assert overlap >= 0.0
+    if overlap > 0.0:
+        assert a.intersects(b)
+    if not a.intersects(b):
+        assert overlap == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=unit_boxes(), b=unit_boxes())
+def test_intersection_volume_never_exceeds_operands(a, b):
+    if a.intersects(b):
+        inter = a.intersection(b)
+        assert inter.volume() <= min(a.volume(), b.volume()) + 1e-12
+        assert a.contains(inter)
+        assert b.contains(inter)
+
+
+@settings(max_examples=60, deadline=None)
+@given(box=unit_boxes())
+def test_array_round_trip(box):
+    assert HyperRectangle.from_array(box.as_array()) == box
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    boxes=st.lists(unit_boxes(), min_size=1, max_size=12),
+    query=unit_boxes(),
+    relation=st.sampled_from(list(SpatialRelation)),
+)
+def test_matching_mask_agrees_with_scalar_predicate(boxes, query, relation):
+    lows = np.vstack([box.lows for box in boxes])
+    highs = np.vstack([box.highs for box in boxes])
+    mask = matching_mask(lows, highs, query, relation)
+    expected = [satisfies(box, query, relation) for box in boxes]
+    assert mask.tolist() == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(box=unit_boxes(), query=unit_boxes())
+def test_relation_definitions_are_consistent(box, query):
+    # CONTAINED_BY of the object is the mirror image of CONTAINS of the query.
+    assert satisfies(box, query, SpatialRelation.CONTAINED_BY) == query.contains(box)
+    assert satisfies(box, query, SpatialRelation.CONTAINS) == box.contains(query)

@@ -1,0 +1,124 @@
+"""Unit tests for :mod:`repro.geometry.interval`."""
+
+import pytest
+
+from repro.geometry.interval import UNIT_INTERVAL, Interval
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        interval = Interval(0.2, 0.7)
+        assert interval.low == 0.2
+        assert interval.high == 0.7
+
+    def test_point_interval(self):
+        interval = Interval(0.5, 0.5)
+        assert interval.is_point()
+        assert interval.length == 0.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0.7, 0.2)
+
+    def test_unit_interval_constant(self):
+        assert UNIT_INTERVAL.low == 0.0
+        assert UNIT_INTERVAL.high == 1.0
+
+    def test_immutable(self):
+        interval = Interval(0.1, 0.9)
+        with pytest.raises(AttributeError):
+            interval.low = 0.5  # type: ignore[misc]
+
+    def test_hashable_and_equal(self):
+        assert Interval(0.1, 0.2) == Interval(0.1, 0.2)
+        assert hash(Interval(0.1, 0.2)) == hash(Interval(0.1, 0.2))
+        assert Interval(0.1, 0.2) != Interval(0.1, 0.3)
+
+
+class TestMeasures:
+    def test_length(self):
+        assert Interval(0.25, 0.75).length == pytest.approx(0.5)
+
+    def test_center(self):
+        assert Interval(0.2, 0.6).center == pytest.approx(0.4)
+
+
+class TestPredicates:
+    def test_intersects_overlapping(self):
+        assert Interval(0.0, 0.5).intersects(Interval(0.4, 0.9))
+
+    def test_intersects_touching_endpoints(self):
+        assert Interval(0.0, 0.5).intersects(Interval(0.5, 0.9))
+
+    def test_intersects_disjoint(self):
+        assert not Interval(0.0, 0.3).intersects(Interval(0.4, 0.9))
+
+    def test_intersects_is_symmetric(self):
+        a, b = Interval(0.1, 0.4), Interval(0.3, 0.8)
+        assert a.intersects(b) == b.intersects(a)
+
+    def test_contains_nested(self):
+        assert Interval(0.0, 1.0).contains(Interval(0.2, 0.8))
+
+    def test_contains_not_nested(self):
+        assert not Interval(0.2, 0.8).contains(Interval(0.0, 1.0))
+
+    def test_contains_itself(self):
+        interval = Interval(0.2, 0.8)
+        assert interval.contains(interval)
+
+    def test_is_contained_by(self):
+        assert Interval(0.3, 0.4).is_contained_by(Interval(0.0, 0.5))
+
+    def test_contains_value(self):
+        interval = Interval(0.2, 0.8)
+        assert interval.contains_value(0.2)
+        assert interval.contains_value(0.8)
+        assert not interval.contains_value(0.9)
+
+    def test_in_operator(self):
+        assert 0.5 in Interval(0.0, 1.0)
+        assert 1.5 not in Interval(0.0, 1.0)
+
+
+class TestConstructiveOperations:
+    def test_intersection(self):
+        result = Interval(0.0, 0.6).intersection(Interval(0.4, 1.0))
+        assert result == Interval(0.4, 0.6)
+
+    def test_intersection_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 0.3).intersection(Interval(0.5, 1.0))
+
+    def test_union_bounds(self):
+        assert Interval(0.0, 0.3).union_bounds(Interval(0.5, 1.0)) == Interval(0.0, 1.0)
+
+    def test_expanded(self):
+        grown = Interval(0.4, 0.6).expanded(0.1)
+        assert grown.low == pytest.approx(0.3)
+        assert grown.high == pytest.approx(0.7)
+
+    def test_expanded_negative_collapses_to_center(self):
+        collapsed = Interval(0.4, 0.6).expanded(-0.5)
+        assert collapsed.is_point()
+        assert collapsed.low == pytest.approx(0.5)
+
+    def test_clamped(self):
+        assert Interval(-0.5, 1.5).clamped() == Interval(0.0, 1.0)
+
+    def test_split_into_equal_parts(self):
+        parts = Interval(0.0, 1.0).split(4)
+        assert len(parts) == 4
+        assert parts[0] == Interval(0.0, 0.25)
+        assert parts[-1].high == 1.0
+        # Consecutive pieces share their boundary.
+        for left, right in zip(parts, parts[1:]):
+            assert left.high == pytest.approx(right.low)
+
+    def test_split_invalid_parts(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 1.0).split(0)
+
+    def test_iteration_and_tuple(self):
+        assert tuple(Interval(0.1, 0.2)) == (0.1, 0.2)
+        assert Interval(0.1, 0.2).as_tuple() == (0.1, 0.2)

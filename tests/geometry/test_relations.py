@@ -1,0 +1,106 @@
+"""Unit tests for :mod:`repro.geometry.relations`."""
+
+import pytest
+
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import (
+    SpatialRelation,
+    mbb_could_satisfy,
+    relate,
+    satisfies,
+)
+
+
+@pytest.fixture
+def query():
+    return HyperRectangle([0.3, 0.3], [0.7, 0.7])
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "alias, expected",
+        [
+            ("intersects", SpatialRelation.INTERSECTS),
+            ("intersection", SpatialRelation.INTERSECTS),
+            ("overlap", SpatialRelation.INTERSECTS),
+            ("contained_by", SpatialRelation.CONTAINED_BY),
+            ("containment", SpatialRelation.CONTAINED_BY),
+            ("within", SpatialRelation.CONTAINED_BY),
+            ("contains", SpatialRelation.CONTAINS),
+            ("enclosure", SpatialRelation.CONTAINS),
+            ("point-enclosing", SpatialRelation.CONTAINS),
+            ("POINT_ENCLOSING", SpatialRelation.CONTAINS),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert SpatialRelation.parse(alias) is expected
+
+    def test_parse_existing_member(self):
+        assert SpatialRelation.parse(SpatialRelation.CONTAINS) is SpatialRelation.CONTAINS
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            SpatialRelation.parse("nearby")
+
+
+class TestSatisfies:
+    def test_intersects(self, query):
+        overlapping = HyperRectangle([0.6, 0.6], [0.9, 0.9])
+        disjoint = HyperRectangle([0.8, 0.8], [0.9, 0.9])
+        assert satisfies(overlapping, query, SpatialRelation.INTERSECTS)
+        assert not satisfies(disjoint, query, SpatialRelation.INTERSECTS)
+
+    def test_contained_by(self, query):
+        inside = HyperRectangle([0.4, 0.4], [0.6, 0.6])
+        partial = HyperRectangle([0.4, 0.4], [0.8, 0.6])
+        assert satisfies(inside, query, SpatialRelation.CONTAINED_BY)
+        assert not satisfies(partial, query, SpatialRelation.CONTAINED_BY)
+
+    def test_contains(self, query):
+        enclosing = HyperRectangle([0.1, 0.1], [0.9, 0.9])
+        partial = HyperRectangle([0.4, 0.1], [0.9, 0.9])
+        assert satisfies(enclosing, query, SpatialRelation.CONTAINS)
+        assert not satisfies(partial, query, SpatialRelation.CONTAINS)
+
+    def test_point_enclosing_uses_contains(self):
+        point = HyperRectangle.from_point([0.5, 0.5])
+        around = HyperRectangle([0.4, 0.4], [0.6, 0.6])
+        away = HyperRectangle([0.6, 0.6], [0.9, 0.9])
+        assert satisfies(around, point, SpatialRelation.CONTAINS)
+        assert not satisfies(away, point, SpatialRelation.CONTAINS)
+
+    def test_containment_and_enclosure_imply_intersection(self, query):
+        inside = HyperRectangle([0.4, 0.4], [0.6, 0.6])
+        enclosing = HyperRectangle([0.1, 0.1], [0.9, 0.9])
+        for box in (inside, enclosing):
+            assert satisfies(box, query, SpatialRelation.INTERSECTS)
+
+    def test_relate_returns_all_satisfied_relations(self, query):
+        identical = HyperRectangle([0.3, 0.3], [0.7, 0.7])
+        assert relate(identical, query) == {
+            SpatialRelation.INTERSECTS,
+            SpatialRelation.CONTAINED_BY,
+            SpatialRelation.CONTAINS,
+        }
+
+
+class TestMbbPruning:
+    def test_never_produces_false_drops(self, query):
+        """If an object satisfies the relation, its covering MBB must pass."""
+        objects = [
+            HyperRectangle([0.35, 0.35], [0.45, 0.45]),
+            HyperRectangle([0.1, 0.1], [0.9, 0.9]),
+            HyperRectangle([0.6, 0.2], [0.8, 0.4]),
+        ]
+        mbb = objects[0].union_bounds(objects[1]).union_bounds(objects[2])
+        for relation in SpatialRelation:
+            if any(satisfies(obj, query, relation) for obj in objects):
+                assert mbb_could_satisfy(mbb, query, relation)
+
+    def test_contains_pruning_requires_mbb_enclosure(self, query):
+        small_mbb = HyperRectangle([0.4, 0.4], [0.6, 0.6])
+        assert not mbb_could_satisfy(small_mbb, query, SpatialRelation.CONTAINS)
+
+    def test_intersects_pruning(self, query):
+        far = HyperRectangle([0.9, 0.9], [1.0, 1.0])
+        assert not mbb_could_satisfy(far, query, SpatialRelation.INTERSECTS)

@@ -1,0 +1,59 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig7"])
+        assert args.command == "fig7"
+        for command in (
+            "fig7",
+            "fig8",
+            "point-enclosing",
+            "ablation-division-factor",
+            "ablation-reorganization-period",
+            "ablation-disk-access-time",
+        ):
+            assert parser.parse_args([command]).command == command
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_choices(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig7", "--scenario", "disk"]).scenario == "disk"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig7", "--scenario", "tape"])
+
+
+class TestExecution:
+    def test_fig7_tiny_run(self, capsys, tmp_path):
+        output_file = tmp_path / "report.txt"
+        exit_code = main(
+            [
+                "fig7",
+                "--objects", "500",
+                "--queries", "4",
+                "--warmup", "40",
+                "--seed", "1",
+                "--output", str(output_file),
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "fig7-memory" in printed
+        assert "modeled query execution time" in printed
+        assert output_file.exists()
+        assert "fig7-memory" in output_file.read_text()
+
+    def test_point_enclosing_tiny_run(self, capsys):
+        exit_code = main(
+            ["point-enclosing", "--objects", "500", "--queries", "4", "--warmup", "40"]
+        )
+        assert exit_code == 0
+        assert "point-enclosing-memory" in capsys.readouterr().out

@@ -1,0 +1,116 @@
+"""End-to-end reproduction checks: the paper's qualitative findings hold."""
+
+import pytest
+
+from repro.core.cost_model import CostParameters, StorageScenario
+from repro.evaluation.experiments import point_enclosing_experiment, selectivity_sweep
+from repro.evaluation.harness import ExperimentHarness
+from repro.workloads.queries import generate_query_workload
+from repro.workloads.uniform import generate_uniform_dataset
+
+
+@pytest.fixture(scope="module")
+def sweep_memory():
+    """A scaled-down Fig. 7-A (memory scenario)."""
+    return selectivity_sweep(
+        scenario="memory",
+        object_count=4000,
+        dimensions=16,
+        selectivities=(5e-4, 5e-2, 5e-1),
+        queries_per_point=10,
+        warmup_queries=300,
+        seed=51,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_disk():
+    """A scaled-down Fig. 7-B (disk scenario)."""
+    return selectivity_sweep(
+        scenario="disk",
+        object_count=4000,
+        dimensions=16,
+        selectivities=(5e-4, 5e-2),
+        queries_per_point=10,
+        warmup_queries=300,
+        seed=52,
+    )
+
+
+class TestFigure7Shape:
+    def test_adaptive_beats_scan_at_every_selectivity_in_memory(self, sweep_memory):
+        for row in sweep_memory.rows:
+            ac = row.results["AC"].avg_modeled_time_ms
+            ss = row.results["SS"].avg_modeled_time_ms
+            assert ac <= ss * 1.05
+
+    def test_adaptive_beats_rstar_in_memory(self, sweep_memory):
+        """Paper: AC systematically outperforms RS (which loses to SS in 16-d)."""
+        for row in sweep_memory.rows:
+            ac = row.results["AC"].avg_modeled_time_ms
+            rs = row.results["RS"].avg_modeled_time_ms
+            assert ac < rs
+
+    def test_adaptive_verifies_fewer_objects_than_rstar(self, sweep_memory):
+        for row in sweep_memory.rows:
+            assert (
+                row.results["AC"].verified_fraction
+                <= row.results["RS"].verified_fraction + 0.05
+            )
+
+    def test_cluster_count_decreases_with_selectivity(self, sweep_memory):
+        """Paper Fig. 7 tables: selective queries -> many clusters, broad -> few."""
+        cluster_counts = [row.results["AC"].total_groups for row in sweep_memory.rows]
+        assert cluster_counts[0] >= cluster_counts[-1]
+
+    def test_adaptive_beats_scan_on_disk(self, sweep_disk):
+        for row in sweep_disk.rows:
+            ac = row.results["AC"].avg_modeled_time_ms
+            ss = row.results["SS"].avg_modeled_time_ms
+            assert ac <= ss * 1.05
+
+    def test_rstar_loses_badly_on_disk(self, sweep_disk):
+        """Paper: RS is much more expensive than SS on disk (random accesses)."""
+        for row in sweep_disk.rows:
+            assert (
+                row.results["RS"].avg_modeled_time_ms
+                > row.results["SS"].avg_modeled_time_ms
+            )
+
+    def test_disk_builds_fewer_clusters_than_memory(self, sweep_memory, sweep_disk):
+        memory_clusters = sweep_memory.rows[0].results["AC"].total_groups
+        disk_clusters = sweep_disk.rows[0].results["AC"].total_groups
+        assert disk_clusters < memory_clusters
+
+
+class TestPointEnclosingShape:
+    def test_memory_speedup_is_substantial(self):
+        """Paper Section 7.2: point-enclosing queries are a best case for AC."""
+        result = point_enclosing_experiment(
+            scenario="memory",
+            object_count=4000,
+            dimensions=16,
+            queries=20,
+            warmup_queries=300,
+            seed=53,
+            methods=["AC", "SS"],
+        )
+        row = result.rows[0]
+        speedup = (
+            row.results["SS"].avg_modeled_time_ms
+            / row.results["AC"].avg_modeled_time_ms
+        )
+        assert speedup > 1.5
+
+
+class TestScanCostStructure:
+    def test_disk_scan_time_matches_cost_model(self):
+        """The harness's SS result equals the analytic scan cost."""
+        dataset = generate_uniform_dataset(3000, 16, seed=54)
+        cost = CostParameters.disk_defaults(16)
+        harness = ExperimentHarness(dataset=dataset, cost=cost, warmup_queries=0)
+        workload = generate_query_workload(dataset, 5, target_selectivity=0.01, seed=55)
+        result = harness.run_method("SS", workload)
+        assert result.avg_modeled_time_ms == pytest.approx(
+            cost.sequential_scan_time(dataset.size), rel=1e-6
+        )

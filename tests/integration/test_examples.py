@@ -1,0 +1,82 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are executed with drastically reduced workload sizes (via
+monkey-patched module constants where they exist) so the whole module stays
+fast, but they exercise the same code paths a user would.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples_present(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        output = capsys.readouterr().out
+        assert "indexed 5000 objects" in output
+        assert "clusters" in output
+
+    def test_pubsub_notification(self, capsys, monkeypatch):
+        from repro.workloads.pubsub import PublishSubscribeScenario
+
+        module = load_example("pubsub_notification")
+        # Shrink the scenario so the smoke test stays fast: fewer
+        # subscriptions and fewer warm-up / measured events.
+        original = PublishSubscribeScenario.generate_subscriptions
+
+        def smaller(self, count, name="subscriptions"):
+            return original(self, min(count, 2000), name)
+
+        monkeypatch.setattr(PublishSubscribeScenario, "generate_subscriptions", smaller)
+        original_events = PublishSubscribeScenario.generate_events
+
+        def fewer_events(self, count, range_fraction=0.0, name="events"):
+            return original_events(self, min(count, 80), range_fraction, name)
+
+        monkeypatch.setattr(PublishSubscribeScenario, "generate_events", fewer_events)
+        module.main()
+        output = capsys.readouterr().out
+        assert "notifications delivered" in output
+        assert "sequential scan" in output
+
+    def test_disk_vs_memory(self, capsys, monkeypatch):
+        module = load_example("disk_vs_memory")
+        monkeypatch.setattr(module, "OBJECTS", 3000)
+        monkeypatch.setattr(module, "SELECTIVITY", 5e-3)
+        module.main()
+        output = capsys.readouterr().out
+        assert "memory scenario" in output
+        assert "disk scenario" in output
+        assert "random accesses" in output
+
+    def test_selectivity_adaptation(self, capsys, monkeypatch):
+        module = load_example("selectivity_adaptation")
+        monkeypatch.setattr(module, "OBJECTS", 3000)
+        monkeypatch.setattr(module, "WARMUP", 250)
+        monkeypatch.setattr(module, "SELECTIVITIES", (5e-4, 5e-1))
+        module.main()
+        output = capsys.readouterr().out
+        assert "cluster granularity" in output
+        assert "drifting query distribution" in output

@@ -1,0 +1,113 @@
+"""Cross-method integration tests: all access methods return identical answers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rtree import RStarTree, RStarTreeConfig
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters
+from repro.core.index import AdaptiveClusteringIndex
+from repro.geometry.relations import SpatialRelation
+from repro.workloads.queries import generate_point_queries, generate_query_workload
+from repro.workloads.skewed import generate_skewed_dataset
+from repro.workloads.uniform import generate_uniform_dataset
+
+
+def build_all_methods(dataset, scenario="memory"):
+    cost = CostParameters.for_scenario(scenario, dataset.dimensions)
+    adaptive = AdaptiveClusteringIndex(
+        config=AdaptiveClusteringConfig(cost=cost, reorganization_period=40)
+    )
+    dataset.load_into(adaptive)
+    scan = SequentialScan(dataset.dimensions, cost=cost)
+    dataset.load_into(scan)
+    tree = RStarTree(
+        config=RStarTreeConfig(dimensions=dataset.dimensions, page_size_bytes=2048),
+        cost=cost,
+    )
+    dataset.load_into(tree)
+    return adaptive, scan, tree
+
+
+@pytest.mark.parametrize("generator", ["uniform", "skewed"])
+@pytest.mark.parametrize("relation", list(SpatialRelation))
+def test_all_methods_return_identical_answers(generator, relation):
+    if generator == "uniform":
+        dataset = generate_uniform_dataset(1500, 6, seed=41, max_extent=0.4)
+    else:
+        dataset = generate_skewed_dataset(1500, 6, seed=42, max_extent=0.4)
+    adaptive, scan, tree = build_all_methods(dataset)
+    workload = generate_query_workload(dataset, 15, target_selectivity=0.01, seed=43)
+
+    # Let the adaptive clustering reorganize before checking agreement.
+    for _ in range(6):
+        for query in workload.queries:
+            adaptive.query(query, relation)
+
+    for query in workload.queries:
+        expected = set(scan.query(query, relation).tolist())
+        assert set(adaptive.query(query, relation).tolist()) == expected
+        assert set(tree.query(query, relation).tolist()) == expected
+
+
+def test_methods_agree_on_point_enclosing_queries():
+    dataset = generate_uniform_dataset(2000, 8, seed=44, max_extent=0.5)
+    adaptive, scan, tree = build_all_methods(dataset)
+    workload = generate_point_queries(25, 8, seed=45)
+    for _ in range(4):
+        for query in workload.queries:
+            adaptive.query(query, workload.relation)
+    for query in workload.queries:
+        expected = set(scan.query(query, workload.relation).tolist())
+        assert set(adaptive.query(query, workload.relation).tolist()) == expected
+        assert set(tree.query(query, workload.relation).tolist()) == expected
+
+
+def test_methods_agree_in_disk_scenario():
+    dataset = generate_uniform_dataset(1200, 8, seed=46, max_extent=0.4)
+    adaptive, scan, tree = build_all_methods(dataset, scenario="disk")
+    workload = generate_query_workload(dataset, 12, target_selectivity=0.02, seed=47)
+    for _ in range(5):
+        for query in workload.queries:
+            adaptive.query(query, workload.relation)
+    for query in workload.queries:
+        expected = set(scan.query(query, workload.relation).tolist())
+        assert set(adaptive.query(query, workload.relation).tolist()) == expected
+        assert set(tree.query(query, workload.relation).tolist()) == expected
+
+
+def test_methods_agree_after_updates():
+    """Agreement is preserved under a mixed insert / delete / query stream."""
+    rng = np.random.default_rng(48)
+    dataset = generate_uniform_dataset(1000, 5, seed=48, max_extent=0.4)
+    adaptive, scan, tree = build_all_methods(dataset)
+    workload = generate_query_workload(dataset, 10, target_selectivity=0.02, seed=49)
+    next_id = 1000
+
+    for step in range(150):
+        roll = rng.random()
+        if roll < 0.35:
+            lows = rng.random(5) * 0.6
+            highs = lows + rng.random(5) * 0.4
+            from repro.geometry.box import HyperRectangle
+
+            box = HyperRectangle(lows, np.minimum(highs, 1.0))
+            adaptive.insert(next_id, box)
+            scan.insert(next_id, box)
+            tree.insert(next_id, box)
+            next_id += 1
+        elif roll < 0.55:
+            victim = int(rng.integers(0, next_id))
+            removed = scan.delete(victim)
+            assert adaptive.delete(victim) == removed
+            assert tree.delete(victim) == removed
+        else:
+            query = workload.queries[step % len(workload.queries)]
+            expected = set(scan.query(query).tolist())
+            assert set(adaptive.query(query).tolist()) == expected
+            assert set(tree.query(query).tolist()) == expected
+
+    adaptive.check_invariants()
+    tree.check_invariants()
+    assert adaptive.n_objects == scan.n_objects == tree.n_objects

@@ -1,0 +1,35 @@
+"""Unit tests for :mod:`repro.storage.iostats`."""
+
+from repro.storage.iostats import IOStatistics
+
+
+class TestIOStatistics:
+    def test_defaults_are_zero(self):
+        stats = IOStatistics()
+        assert all(value == 0 for value in stats.as_dict().values())
+
+    def test_merge_sums_counters(self):
+        a = IOStatistics(random_accesses=2, bytes_read=100, cluster_reads=3)
+        b = IOStatistics(random_accesses=1, bytes_written=50, allocations=2, frees=1)
+        merged = a.merge(b)
+        assert merged.random_accesses == 3
+        assert merged.bytes_read == 100
+        assert merged.bytes_written == 50
+        assert merged.cluster_reads == 3
+        assert merged.allocations == 2
+        assert merged.frees == 1
+        # Operands unchanged.
+        assert a.random_accesses == 2
+        assert b.bytes_read == 0
+
+    def test_reset(self):
+        stats = IOStatistics(random_accesses=5, cluster_relocations=2)
+        stats.reset()
+        assert stats.random_accesses == 0
+        assert stats.cluster_relocations == 0
+
+    def test_as_dict_keys(self):
+        assert set(IOStatistics().as_dict()) == {
+            "random_accesses", "bytes_read", "bytes_written", "cluster_reads",
+            "cluster_relocations", "allocations", "frees",
+        }

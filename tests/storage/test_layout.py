@@ -1,0 +1,148 @@
+"""Unit tests for :mod:`repro.storage.layout`."""
+
+import pytest
+
+from repro.storage.layout import ClusterExtent, DiskLayout
+
+
+@pytest.fixture
+def layout():
+    return DiskLayout(object_bytes=100, reserved_slot_fraction=0.25, minimum_capacity=4)
+
+
+class TestAllocation:
+    def test_allocate_reserves_extra_slots(self, layout):
+        extent = layout.allocate(1, expected_objects=100)
+        assert extent.used_objects == 100
+        assert extent.capacity_objects == 125  # 25% reserved slots
+        assert extent.utilization() == pytest.approx(0.8)
+
+    def test_allocate_minimum_capacity(self, layout):
+        extent = layout.allocate(1, expected_objects=1)
+        assert extent.capacity_objects == 4
+
+    def test_double_allocation_rejected(self, layout):
+        layout.allocate(1, 10)
+        with pytest.raises(ValueError):
+            layout.allocate(1, 10)
+
+    def test_extents_are_disjoint_and_ordered(self, layout):
+        layout.allocate(1, 10)
+        layout.allocate(2, 20)
+        layout.allocate(3, 30)
+        extents = layout.extents()
+        for first, second in zip(extents, extents[1:]):
+            first_end = first.offset_bytes + first.size_bytes(layout.object_bytes)
+            assert second.offset_bytes >= first_end
+
+    def test_free(self, layout):
+        layout.allocate(1, 10)
+        layout.free(1)
+        assert 1 not in layout
+        assert layout.freed_bytes > 0
+        with pytest.raises(KeyError):
+            layout.free(1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DiskLayout(object_bytes=0)
+        with pytest.raises(ValueError):
+            DiskLayout(object_bytes=10, reserved_slot_fraction=2.0)
+        with pytest.raises(ValueError):
+            DiskLayout(object_bytes=10, minimum_capacity=0)
+
+
+class TestAppendAndRemove:
+    def test_append_within_reserved_slots(self, layout):
+        layout.allocate(1, 100)
+        relocated = layout.append(1, 10)
+        assert relocated is False
+        assert layout.extent(1).used_objects == 110
+        assert layout.relocations == 0
+
+    def test_append_overflow_relocates(self, layout):
+        layout.allocate(1, 100)
+        old_offset = layout.extent(1).offset_bytes
+        relocated = layout.append(1, 50)
+        assert relocated is True
+        extent = layout.extent(1)
+        assert extent.used_objects == 150
+        assert extent.offset_bytes > old_offset
+        assert extent.capacity_objects >= 150
+        assert layout.relocations == 1
+
+    def test_remove(self, layout):
+        layout.allocate(1, 10)
+        layout.remove(1, 4)
+        assert layout.extent(1).used_objects == 6
+        with pytest.raises(ValueError):
+            layout.remove(1, 100)
+
+    def test_negative_counts_rejected(self, layout):
+        layout.allocate(1, 10)
+        with pytest.raises(ValueError):
+            layout.append(1, -1)
+        with pytest.raises(ValueError):
+            layout.remove(1, -1)
+
+    def test_unknown_cluster(self, layout):
+        with pytest.raises(KeyError):
+            layout.append(99, 1)
+
+
+class TestResize:
+    def test_resize_within_capacity(self, layout):
+        layout.allocate(1, 100)
+        assert layout.resize(1, 110) is False
+        assert layout.extent(1).used_objects == 110
+
+    def test_resize_overflow_relocates(self, layout):
+        layout.allocate(1, 100)
+        assert layout.resize(1, 400) is True
+        assert layout.extent(1).capacity_objects >= 400
+
+    def test_resize_shrink_compacts_sparse_extent(self, layout):
+        layout.allocate(1, 1000)
+        assert layout.resize(1, 50) is True
+        extent = layout.extent(1)
+        assert extent.used_objects == 50
+        # The right-sized extent respects the paper's >= 70% utilization target.
+        assert extent.utilization() >= 0.7
+
+    def test_negative_resize_rejected(self, layout):
+        layout.allocate(1, 10)
+        with pytest.raises(ValueError):
+            layout.resize(1, -1)
+
+
+class TestUtilization:
+    def test_overall_utilization_respects_reserved_slots(self, layout):
+        layout.allocate(1, 100)
+        layout.allocate(2, 200)
+        # Fresh extents carry only the configured 25% reserved slots.
+        assert layout.overall_utilization() >= 0.7
+
+    def test_empty_layout(self, layout):
+        assert layout.overall_utilization() == 1.0
+        assert layout.address_space_bytes == 0
+        assert len(layout) == 0
+
+    def test_live_and_address_space_bytes(self, layout):
+        layout.allocate(1, 100)
+        assert layout.live_bytes == 125 * 100
+        assert layout.address_space_bytes == 125 * 100
+        layout.free(1)
+        assert layout.live_bytes == 0
+        assert layout.address_space_bytes == 125 * 100  # append-only space
+
+
+class TestClusterExtent:
+    def test_size_helpers(self):
+        extent = ClusterExtent(cluster_id=1, offset_bytes=0, capacity_objects=10, used_objects=5)
+        assert extent.size_bytes(100) == 1000
+        assert extent.used_bytes(100) == 500
+        assert extent.utilization() == 0.5
+
+    def test_zero_capacity_utilization(self):
+        extent = ClusterExtent(cluster_id=1, offset_bytes=0, capacity_objects=0, used_objects=0)
+        assert extent.utilization() == 1.0

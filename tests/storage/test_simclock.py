@@ -1,0 +1,37 @@
+"""Unit tests for :mod:`repro.storage.simclock`."""
+
+import pytest
+
+from repro.storage.simclock import SimulatedClock
+
+
+class TestSimulatedClock:
+    def test_initial_state(self):
+        clock = SimulatedClock()
+        assert clock.elapsed_ms == 0.0
+        assert clock.charges == 0
+
+    def test_charges_accumulate(self):
+        clock = SimulatedClock()
+        clock.charge(15.0)
+        clock.charge(0.5)
+        assert clock.elapsed_ms == pytest.approx(15.5)
+        assert clock.charges == 2
+
+    def test_zero_charge_allowed(self):
+        clock = SimulatedClock()
+        clock.charge(0.0)
+        assert clock.elapsed_ms == 0.0
+        assert clock.charges == 1
+
+    def test_negative_charge_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.charge(-1.0)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.charge(3.0)
+        clock.reset()
+        assert clock.elapsed_ms == 0.0
+        assert clock.charges == 0

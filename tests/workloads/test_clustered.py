@@ -1,0 +1,89 @@
+"""Unit tests for the clustered (hotspot) workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters
+from repro.core.index import AdaptiveClusteringIndex
+from repro.geometry.vectorized import matching_mask
+from repro.workloads.clustered import clustered_bounds, generate_clustered_dataset
+from repro.workloads.queries import generate_query_workload
+
+
+class TestClusteredBounds:
+    def test_shapes_and_domain(self, rng):
+        lows, highs = clustered_bounds(300, 6, rng)
+        assert lows.shape == highs.shape == (300, 6)
+        assert np.all(lows >= 0.0)
+        assert np.all(highs <= 1.0)
+        assert np.all(highs >= lows)
+
+    def test_hotspots_create_locality(self):
+        """Clustered centres are much more concentrated than uniform ones."""
+        rng = np.random.default_rng(5)
+        lows, highs = clustered_bounds(
+            2000, 4, rng, hotspots=3, hotspot_spread=0.02, background_fraction=0.0
+        )
+        centers = (lows + highs) / 2.0
+        uniform_centers = np.random.default_rng(6).random((2000, 4))
+        # Mean distance to the nearest other object is smaller for hotspot data.
+        def mean_min_distance(points):
+            sample = points[:200]
+            distances = np.linalg.norm(sample[:, None, :] - sample[None, :, :], axis=2)
+            np.fill_diagonal(distances, np.inf)
+            return distances.min(axis=1).mean()
+
+        assert mean_min_distance(centers) < mean_min_distance(uniform_centers) * 0.8
+
+    def test_background_fraction_one_is_uniform_like(self):
+        rng = np.random.default_rng(7)
+        lows, highs = clustered_bounds(500, 3, rng, background_fraction=1.0)
+        centers = (lows + highs) / 2.0
+        # Uniform background: centres spread over the whole domain.
+        assert centers.min() < 0.1
+        assert centers.max() > 0.9
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            clustered_bounds(10, 0, rng)
+        with pytest.raises(ValueError):
+            clustered_bounds(-1, 3, rng)
+        with pytest.raises(ValueError):
+            clustered_bounds(10, 3, rng, hotspots=0)
+        with pytest.raises(ValueError):
+            clustered_bounds(10, 3, rng, hotspot_spread=-0.1)
+        with pytest.raises(ValueError):
+            clustered_bounds(10, 3, rng, background_fraction=2.0)
+        with pytest.raises(ValueError):
+            clustered_bounds(10, 3, rng, min_extent=0.5, max_extent=0.1)
+
+
+class TestClusteredDataset:
+    def test_metadata_and_reproducibility(self):
+        a = generate_clustered_dataset(200, 8, seed=11, hotspots=5)
+        b = generate_clustered_dataset(200, 8, seed=11, hotspots=5)
+        assert np.array_equal(a.lows, b.lows)
+        assert a.metadata["generator"] == "clustered"
+        assert a.metadata["hotspots"] == 5
+
+    def test_index_correctness_on_clustered_data(self):
+        """The adaptive index stays exact on strongly clustered data."""
+        dataset = generate_clustered_dataset(1200, 6, seed=12, hotspots=4)
+        config = AdaptiveClusteringConfig(
+            cost=CostParameters.memory_defaults(6), reorganization_period=30
+        )
+        index = AdaptiveClusteringIndex(config=config)
+        dataset.load_into(index)
+        workload = generate_query_workload(dataset, 15, target_selectivity=0.02, seed=13)
+        for _ in range(6):
+            for query in workload.queries:
+                index.query(query, workload.relation)
+        index.check_invariants()
+        for query in workload.queries:
+            expected = set(
+                dataset.ids[
+                    matching_mask(dataset.lows, dataset.highs, query, workload.relation)
+                ].tolist()
+            )
+            assert set(index.query(query, workload.relation).tolist()) == expected

@@ -1,0 +1,85 @@
+"""Unit tests for :mod:`repro.workloads.datasets`."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.index import AdaptiveClusteringIndex
+from repro.geometry.box import HyperRectangle
+from repro.workloads.datasets import Dataset
+
+
+@pytest.fixture
+def dataset(rng):
+    lows = rng.random((40, 3)) * 0.5
+    highs = lows + rng.random((40, 3)) * 0.5
+    return Dataset(ids=np.arange(40, dtype=np.int64), lows=lows, highs=np.minimum(highs, 1.0), name="test")
+
+
+class TestConstruction:
+    def test_basic(self, dataset):
+        assert dataset.size == len(dataset) == 40
+        assert dataset.dimensions == 3
+        assert dataset.name == "test"
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(ids=np.arange(3), lows=np.zeros((3, 2)), highs=np.ones((4, 2)))
+        with pytest.raises(ValueError):
+            Dataset(ids=np.arange(4), lows=np.zeros((3, 2)), highs=np.ones((3, 2)))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Dataset(ids=np.arange(1), lows=np.ones((1, 2)), highs=np.zeros((1, 2)))
+
+    def test_total_bytes(self, dataset):
+        assert dataset.total_bytes(28) == 40 * 28
+
+
+class TestAccess:
+    def test_box_and_iteration(self, dataset):
+        box = dataset.box(0)
+        assert isinstance(box, HyperRectangle)
+        pairs = list(dataset.iter_objects())
+        assert len(pairs) == 40
+        assert pairs[0][0] == 0
+        assert pairs[0][1] == box
+
+    def test_sample(self, dataset, rng):
+        sample = dataset.sample(10, rng)
+        assert sample.size == 10
+        assert set(sample.ids.tolist()) <= set(dataset.ids.tolist())
+        assert len(set(sample.ids.tolist())) == 10
+
+    def test_sample_larger_than_dataset(self, dataset, rng):
+        assert dataset.sample(100, rng).size == 40
+
+    def test_subset(self, dataset):
+        subset = dataset.subset(np.array([0, 2, 4]), name="picked")
+        assert subset.size == 3
+        assert subset.name == "picked"
+        assert subset.ids.tolist() == [0, 2, 4]
+
+
+class TestLoadInto:
+    def test_bulk_loader_path(self, dataset):
+        index = AdaptiveClusteringIndex(dimensions=3)
+        assert dataset.load_into(index) == 40
+        assert index.n_objects == 40
+
+    def test_insert_fallback_path(self, dataset):
+        class InsertOnly:
+            def __init__(self):
+                self.objects = {}
+
+            def insert(self, object_id, box):
+                self.objects[object_id] = box
+
+        target = InsertOnly()
+        assert dataset.load_into(target) == 40
+        assert len(target.objects) == 40
+
+    def test_sequential_scan_target(self, dataset):
+        scan = SequentialScan(3)
+        dataset.load_into(scan)
+        assert scan.n_objects == 40

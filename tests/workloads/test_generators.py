@@ -1,0 +1,92 @@
+"""Unit tests for the uniform and skewed dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.skewed import generate_skewed_dataset, skewed_bounds
+from repro.workloads.uniform import generate_uniform_dataset, uniform_bounds
+
+
+class TestUniformBounds:
+    def test_shapes_and_domain(self, rng):
+        lows, highs = uniform_bounds(200, 8, rng)
+        assert lows.shape == highs.shape == (200, 8)
+        assert np.all(lows >= 0.0)
+        assert np.all(highs <= 1.0)
+        assert np.all(highs >= lows)
+
+    def test_extent_range_respected(self, rng):
+        lows, highs = uniform_bounds(300, 4, rng, min_extent=0.1, max_extent=0.2)
+        extents = highs - lows
+        assert np.all(extents >= 0.1 - 1e-12)
+        assert np.all(extents <= 0.2 + 1e-12)
+
+    def test_zero_count(self, rng):
+        lows, highs = uniform_bounds(0, 4, rng)
+        assert lows.shape == (0, 4)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            uniform_bounds(10, 0, rng)
+        with pytest.raises(ValueError):
+            uniform_bounds(-1, 4, rng)
+        with pytest.raises(ValueError):
+            uniform_bounds(10, 4, rng, min_extent=0.5, max_extent=0.2)
+
+
+class TestUniformDataset:
+    def test_metadata_and_reproducibility(self):
+        a = generate_uniform_dataset(100, 6, seed=5)
+        b = generate_uniform_dataset(100, 6, seed=5)
+        assert np.array_equal(a.lows, b.lows)
+        assert np.array_equal(a.highs, b.highs)
+        assert a.metadata["generator"] == "uniform"
+        assert a.metadata["seed"] == 5
+
+    def test_different_seeds_differ(self):
+        a = generate_uniform_dataset(100, 6, seed=5)
+        b = generate_uniform_dataset(100, 6, seed=6)
+        assert not np.array_equal(a.lows, b.lows)
+
+    def test_ids_are_sequential(self):
+        dataset = generate_uniform_dataset(50, 3, seed=1)
+        assert dataset.ids.tolist() == list(range(50))
+
+
+class TestSkewedDataset:
+    def test_selective_dimensions_are_smaller_on_average(self, rng):
+        """A quarter of each object's dimensions is twice as selective."""
+        uniform_lows, uniform_highs = uniform_bounds(4000, 16, np.random.default_rng(3))
+        skewed_lows, skewed_highs = skewed_bounds(
+            4000, 16, np.random.default_rng(3), selective_fraction=0.25, selectivity_ratio=2.0
+        )
+        uniform_mean = (uniform_highs - uniform_lows).mean()
+        skewed_mean = (skewed_highs - skewed_lows).mean()
+        # A quarter of the extents were halved: expect ~12.5% smaller mean extent.
+        assert skewed_mean < uniform_mean * 0.92
+
+    def test_bounds_stay_valid(self):
+        dataset = generate_skewed_dataset(500, 12, seed=9)
+        assert np.all(dataset.highs >= dataset.lows)
+        assert np.all(dataset.lows >= 0.0)
+        assert np.all(dataset.highs <= 1.0)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            skewed_bounds(10, 4, rng, selective_fraction=1.5)
+        with pytest.raises(ValueError):
+            skewed_bounds(10, 4, rng, selectivity_ratio=0.5)
+
+    def test_metadata(self):
+        dataset = generate_skewed_dataset(100, 8, seed=2, selectivity_ratio=3.0)
+        assert dataset.metadata["generator"] == "skewed"
+        assert dataset.metadata["selectivity_ratio"] == 3.0
+
+    def test_zero_count(self, rng):
+        lows, highs = skewed_bounds(0, 4, rng)
+        assert lows.shape == (0, 4)
+
+    def test_reproducible(self):
+        a = generate_skewed_dataset(200, 8, seed=4)
+        b = generate_skewed_dataset(200, 8, seed=4)
+        assert np.array_equal(a.lows, b.lows)

@@ -1,0 +1,137 @@
+"""Unit tests for the publish/subscribe scenario synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.relations import SpatialRelation
+from repro.workloads.pubsub import (
+    AttributeSpec,
+    PublishSubscribeScenario,
+    apartment_ads_scenario,
+)
+
+
+@pytest.fixture
+def scenario():
+    attributes = [
+        AttributeSpec("price", 0, 1000, typical_width=0.2),
+        AttributeSpec("rooms", 1, 10, typical_width=0.3, wildcard_probability=0.2),
+        AttributeSpec("distance", 0, 100, typical_width=0.25),
+    ]
+    return PublishSubscribeScenario(attributes, seed=3)
+
+
+class TestAttributeSpec:
+    def test_normalize_denormalize_round_trip(self):
+        spec = AttributeSpec("price", 100, 1100)
+        assert spec.normalize(600) == pytest.approx(0.5)
+        assert spec.denormalize(0.5) == pytest.approx(600)
+        assert spec.normalize(spec.denormalize(0.31)) == pytest.approx(0.31)
+
+    def test_normalize_clips_out_of_domain(self):
+        spec = AttributeSpec("price", 100, 1100)
+        assert spec.normalize(0) == 0.0
+        assert spec.normalize(5000) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("bad", 10, 5)
+        with pytest.raises(ValueError):
+            AttributeSpec("bad", 0, 1, typical_width=0.0)
+        with pytest.raises(ValueError):
+            AttributeSpec("bad", 0, 1, wildcard_probability=1.5)
+
+
+class TestScenario:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            PublishSubscribeScenario([])
+        with pytest.raises(ValueError):
+            PublishSubscribeScenario(
+                [AttributeSpec("a", 0, 1), AttributeSpec("a", 0, 1)]
+            )
+
+    def test_generate_subscriptions(self, scenario):
+        subscriptions = scenario.generate_subscriptions(500)
+        assert subscriptions.size == 500
+        assert subscriptions.dimensions == 3
+        assert np.all(subscriptions.lows >= 0.0)
+        assert np.all(subscriptions.highs <= 1.0)
+        assert np.all(subscriptions.highs >= subscriptions.lows)
+
+    def test_wildcard_attributes_span_the_domain(self):
+        spec = [AttributeSpec("always_wild", 0, 1, wildcard_probability=1.0)]
+        scenario = PublishSubscribeScenario(spec, seed=1)
+        subscriptions = scenario.generate_subscriptions(50)
+        assert np.all(subscriptions.lows == 0.0)
+        assert np.all(subscriptions.highs == 1.0)
+
+    def test_generate_point_events(self, scenario):
+        events = scenario.generate_events(100)
+        assert len(events) == 100
+        assert events.relation is SpatialRelation.CONTAINS
+        assert all(event.is_point() for event in events)
+
+    def test_generate_range_events(self, scenario):
+        events = scenario.generate_events(50, range_fraction=0.1)
+        assert all(not event.is_point() for event in events)
+        for event in events:
+            assert np.all(event.extents <= 0.1 + 1e-12)
+
+    def test_invalid_range_fraction(self, scenario):
+        with pytest.raises(ValueError):
+            scenario.generate_events(10, range_fraction=1.0)
+
+    def test_subscription_from_ranges(self, scenario):
+        subscription = scenario.subscription_from_ranges({"price": (200, 500), "rooms": (3, 5)})
+        assert subscription.dimensions == 3
+        assert subscription.lows[0] == pytest.approx(0.2)
+        assert subscription.highs[0] == pytest.approx(0.5)
+        # Unspecified attributes default to the whole domain.
+        assert subscription.lows[2] == 0.0
+        assert subscription.highs[2] == 1.0
+
+    def test_subscription_from_ranges_unknown_attribute(self, scenario):
+        with pytest.raises(KeyError):
+            scenario.subscription_from_ranges({"unknown": (0, 1)})
+
+    def test_subscription_requires_all_when_no_wildcards(self, scenario):
+        with pytest.raises(KeyError):
+            scenario.subscription_from_ranges({"price": (0, 10)}, default_wildcard=False)
+
+    def test_event_from_values(self, scenario):
+        event = scenario.event_from_values({"price": 500, "rooms": 4, "distance": 10})
+        assert event.is_point()
+        assert event.lows[0] == pytest.approx(0.5)
+
+    def test_event_from_values_missing_attribute(self, scenario):
+        with pytest.raises(KeyError):
+            scenario.event_from_values({"price": 500})
+
+    def test_matching_semantics(self, scenario):
+        """A subscription matches an event iff it encloses the event point."""
+        subscription = scenario.subscription_from_ranges({"price": (200, 500)})
+        inside = scenario.event_from_values({"price": 300, "rooms": 5, "distance": 50})
+        outside = scenario.event_from_values({"price": 700, "rooms": 5, "distance": 50})
+        assert subscription.contains(inside)
+        assert not subscription.contains(outside)
+
+
+class TestApartmentScenario:
+    def test_has_paper_like_dimensionality(self):
+        scenario = apartment_ads_scenario()
+        assert scenario.dimensions == 16
+        assert "monthly_rent_usd" in scenario.attribute_names
+
+    def test_end_to_end_matching(self):
+        scenario = apartment_ads_scenario(seed=5)
+        subscriptions = scenario.generate_subscriptions(200)
+        events = scenario.generate_events(20)
+        # Matching by brute force never raises and yields sane counts.
+        for event in events.queries:
+            matches = sum(
+                1
+                for _, box in subscriptions.iter_objects()
+                if box.contains(event)
+            )
+            assert 0 <= matches <= 200

@@ -1,0 +1,116 @@
+"""Unit tests for the query workload generator and selectivity calibration."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+from repro.workloads.queries import (
+    QueryWorkload,
+    calibrate_extent_for_selectivity,
+    generate_point_queries,
+    generate_query_workload,
+    measure_selectivity,
+)
+from repro.workloads.uniform import generate_uniform_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_uniform_dataset(3000, 8, seed=3, max_extent=0.4)
+
+
+class TestPointQueries:
+    def test_generation(self):
+        workload = generate_point_queries(25, 6, seed=1)
+        assert len(workload) == 25
+        assert workload.relation is SpatialRelation.CONTAINS
+        for query in workload:
+            assert query.is_point()
+            assert query.dimensions == 6
+
+    def test_reproducible(self):
+        a = generate_point_queries(10, 4, seed=7)
+        b = generate_point_queries(10, 4, seed=7)
+        assert all(qa == qb for qa, qb in zip(a.queries, b.queries))
+
+
+class TestMeasureSelectivity:
+    def test_full_domain_query_matches_everything(self, dataset):
+        selectivity = measure_selectivity(
+            dataset, [HyperRectangle.unit(8)], SpatialRelation.INTERSECTS
+        )
+        assert selectivity == pytest.approx(1.0)
+
+    def test_empty_query_list(self, dataset):
+        assert measure_selectivity(dataset, [], SpatialRelation.INTERSECTS) == 0.0
+
+    def test_sampling_approximates_full_measurement(self, dataset):
+        queries = [HyperRectangle(np.full(8, 0.2), np.full(8, 0.8))]
+        full = measure_selectivity(dataset, queries, SpatialRelation.INTERSECTS)
+        sampled = measure_selectivity(
+            dataset, queries, SpatialRelation.INTERSECTS, sample_size=800
+        )
+        assert sampled == pytest.approx(full, abs=0.1)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("target", [0.001, 0.01, 0.2])
+    def test_calibrated_extent_hits_target(self, dataset, target):
+        extent = calibrate_extent_for_selectivity(dataset, target, seed=5)
+        assert 0.0 <= extent <= 1.0
+        workload = generate_query_workload(dataset, 20, target, seed=5)
+        measured = measure_selectivity(
+            dataset, workload.queries, SpatialRelation.INTERSECTS
+        )
+        # Within a factor ~3 of the target (the calibration uses sampling).
+        assert measured == pytest.approx(target, rel=2.0, abs=0.002)
+
+    def test_extent_grows_with_target(self, dataset):
+        small = calibrate_extent_for_selectivity(dataset, 0.001, seed=5)
+        large = calibrate_extent_for_selectivity(dataset, 0.5, seed=5)
+        assert large > small
+
+    def test_containment_calibration(self, dataset):
+        extent = calibrate_extent_for_selectivity(
+            dataset, 0.05, relation=SpatialRelation.CONTAINED_BY, seed=5
+        )
+        assert extent > 0.0
+
+    def test_enclosure_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            calibrate_extent_for_selectivity(dataset, 0.1, relation=SpatialRelation.CONTAINS)
+
+    def test_invalid_target(self, dataset):
+        with pytest.raises(ValueError):
+            calibrate_extent_for_selectivity(dataset, 0.0)
+        with pytest.raises(ValueError):
+            calibrate_extent_for_selectivity(dataset, 1.5)
+
+
+class TestGenerateQueryWorkload:
+    def test_workload_shape(self, dataset):
+        workload = generate_query_workload(dataset, 30, 0.01, seed=9)
+        assert len(workload) == 30
+        assert workload.relation is SpatialRelation.INTERSECTS
+        assert workload.target_selectivity == 0.01
+        assert workload.measured_selectivity is not None
+        assert workload.metadata["dataset"] == dataset.name
+        for query in workload:
+            assert query.dimensions == dataset.dimensions
+
+    def test_relation_parsing(self, dataset):
+        workload = generate_query_workload(dataset, 5, 0.05, relation="containment", seed=2)
+        assert workload.relation is SpatialRelation.CONTAINED_BY
+
+    def test_split(self, dataset):
+        workload = generate_query_workload(dataset, 10, 0.01, seed=9)
+        head, tail = workload.split(3)
+        assert len(head) == 3
+        assert len(tail) == 7
+        assert head.relation is tail.relation is workload.relation
+
+    def test_reproducible(self, dataset):
+        a = generate_query_workload(dataset, 8, 0.01, seed=42)
+        b = generate_query_workload(dataset, 8, 0.01, seed=42)
+        assert all(qa == qb for qa, qb in zip(a.queries, b.queries))
