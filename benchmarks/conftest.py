@@ -22,6 +22,24 @@ import pytest
 #: Directory where the paper-style reports are written.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+_BENCH_ROOT = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every test under ``benchmarks/`` with the ``bench`` marker.
+
+    Together with the ``-m 'not bench'`` default in ``pyproject.toml`` this
+    makes the paper-scale suite opt-in: run it with
+    ``pytest benchmarks -m bench``.
+    """
+    for item in items:
+        try:
+            in_benchmarks = _BENCH_ROOT in Path(str(item.fspath)).resolve().parents
+        except OSError:  # pragma: no cover - defensive
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.bench)
+
 
 def scaled(base: int, full_scale: int) -> int:
     """Scale a default object count by the user-requested factor."""

@@ -17,6 +17,20 @@ Quickstart
 ...                                   [0.5, 0.5, 0.5, 0.5]),
 ...                    SpatialRelation.INTERSECTS).tolist())
 [1]
+
+Whole workloads go through the vectorised batch engine — one call prunes
+every cluster for every query at once and returns per-query results (and,
+via ``query_batch_with_stats``, the per-query cost counters), identical to
+running the queries one at a time:
+
+>>> queries = [HyperRectangle.from_point([0.2, 0.15, 0.2, 0.15]),
+...            HyperRectangle.from_point([0.7, 0.6, 0.8, 0.7])]
+>>> [ids.tolist() for ids in index.query_batch(queries, SpatialRelation.CONTAINS)]
+[[1], [2]]
+
+``SequentialScan`` and ``RStarTree`` expose the same ``query_batch`` /
+``query_batch_with_stats`` API, and ``bulk_load`` routes whole insert
+batches with the same vectorised signature matching.
 """
 
 from repro.geometry import HyperRectangle, Interval, SpatialRelation

@@ -10,7 +10,7 @@ methods.  Large datasets can also be bulk-loaded with the STR packing in
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.core.cost_model import CostParameters, StorageScenario
 from repro.core.statistics import QueryExecution
 from repro.geometry.box import HyperRectangle
 from repro.geometry.relations import SpatialRelation
-from repro.geometry.vectorized import matching_mask
+from repro.geometry.vectorized import batch_matching_mask, matching_mask
 
 
 class RStarTree:
@@ -463,6 +463,107 @@ class RStarTree:
         execution.results = int(results.size)
         execution.wall_time_ms = (time.perf_counter() - start) * 1000.0
         return results, execution
+
+    def query_batch(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> List[np.ndarray]:
+        """Execute a workload of spatial selections in one grouped traversal."""
+        results, _ = self.query_batch_with_stats(queries, relation)
+        return results
+
+    def query_batch_with_stats(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> Tuple[List[np.ndarray], List[QueryExecution]]:
+        """Batch variant of :meth:`query_with_stats`.
+
+        The tree is traversed once for the whole batch: every node is
+        visited at most once, carrying the set of queries that reach it,
+        and its entries are tested against all of those queries with one
+        broadcasted comparison.  Per-query results and counters are
+        identical to the per-query loop.
+        """
+        relation = SpatialRelation.parse(relation)
+        query_list = list(queries)
+        for query in query_list:
+            if query.dimensions != self.dimensions:
+                raise ValueError(
+                    f"query has {query.dimensions} dimensions, expected "
+                    f"{self.dimensions}"
+                )
+        count = len(query_list)
+        if count == 0:
+            return [], []
+        start = time.perf_counter()
+        q_lows = np.vstack([query.lows for query in query_list])
+        q_highs = np.vstack([query.highs for query in query_list])
+        disk = self._cost.scenario is StorageScenario.DISK
+        object_bytes = self._cost.object_bytes
+
+        groups_explored = np.zeros(count, dtype=np.int64)
+        signature_checks = np.zeros(count, dtype=np.int64)
+        objects_verified = np.zeros(count, dtype=np.int64)
+        bytes_read = np.zeros(count, dtype=np.int64)
+        matches_per_query: List[List[np.ndarray]] = [[] for _ in range(count)]
+
+        stack: List[Tuple[RTreeNode, np.ndarray]] = [(self._root, np.arange(count))]
+        while stack:
+            node, query_rows = stack.pop()
+            groups_explored[query_rows] += 1
+            if node.is_leaf:
+                objects_verified[query_rows] += node.count
+                bytes_read[query_rows] += node.count * object_bytes
+                if node.count:
+                    mask = batch_matching_mask(
+                        node.entry_lows(),
+                        node.entry_highs(),
+                        q_lows[query_rows],
+                        q_highs[query_rows],
+                        relation,
+                    )
+                    ids = node.entry_ids()
+                    for row, hits in zip(query_rows, mask):
+                        found = ids[hits]
+                        if found.size:
+                            matches_per_query[int(row)].append(found.copy())
+                continue
+            signature_checks[query_rows] += node.count
+            bytes_read[query_rows] += node.count * object_bytes
+            entry_lows = node.entry_lows()
+            entry_highs = node.entry_highs()
+            ql = q_lows[query_rows, None, :]
+            qh = q_highs[query_rows, None, :]
+            if relation is SpatialRelation.CONTAINS:
+                visit = np.all((entry_lows[None] <= ql) & (qh <= entry_highs[None]), axis=2)
+            else:
+                visit = np.all((entry_lows[None] <= qh) & (ql <= entry_highs[None]), axis=2)
+            for child_row in range(node.count):
+                sub_rows = query_rows[visit[:, child_row]]
+                if sub_rows.size:
+                    stack.append((node.children[child_row], sub_rows))
+
+        per_query_ms = (time.perf_counter() - start) * 1000.0 / count
+        results: List[np.ndarray] = []
+        executions: List[QueryExecution] = []
+        for row in range(count):
+            found = matches_per_query[row]
+            ids = np.concatenate(found) if found else np.empty(0, dtype=np.int64)
+            results.append(ids)
+            executions.append(
+                QueryExecution(
+                    signature_checks=int(signature_checks[row]),
+                    groups_explored=int(groups_explored[row]),
+                    objects_verified=int(objects_verified[row]),
+                    results=int(ids.size),
+                    bytes_read=int(bytes_read[row]),
+                    random_accesses=int(groups_explored[row]) if disk else 0,
+                    wall_time_ms=per_query_ms,
+                )
+            )
+        return results, executions
 
     # ==================================================================
     # Diagnostics

@@ -12,7 +12,7 @@ worse than this baseline on average.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from repro.core.object_store import ObjectStore
 from repro.core.statistics import QueryExecution
 from repro.geometry.box import HyperRectangle
 from repro.geometry.relations import SpatialRelation
-from repro.geometry.vectorized import matching_mask
+from repro.geometry.vectorized import batch_matching_mask, matching_mask
 
 
 class SequentialScan:
@@ -135,6 +135,65 @@ class SequentialScan:
             wall_time_ms=(time.perf_counter() - start) * 1000.0,
         )
         return results, execution
+
+    def query_batch(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> List[np.ndarray]:
+        """Execute a workload of scans in one vectorised pass."""
+        results, _ = self.query_batch_with_stats(queries, relation)
+        return results
+
+    def query_batch_with_stats(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> Tuple[List[np.ndarray], List[QueryExecution]]:
+        """Batch variant of :meth:`query_with_stats`.
+
+        Every (query, object) pair is checked with one broadcasted
+        comparison; results and counters match the per-query loop exactly.
+        """
+        relation = SpatialRelation.parse(relation)
+        query_list = list(queries)
+        for query in query_list:
+            if query.dimensions != self.dimensions:
+                raise ValueError(
+                    f"query has {query.dimensions} dimensions, expected "
+                    f"{self.dimensions}"
+                )
+        if not query_list:
+            return [], []
+        start = time.perf_counter()
+        n = self.n_objects
+        if n:
+            q_lows = np.vstack([query.lows for query in query_list])
+            q_highs = np.vstack([query.highs for query in query_list])
+            mask = batch_matching_mask(
+                self._store.lows, self._store.highs, q_lows, q_highs, relation
+            )
+            ids = self._store.ids
+            results = [ids[row].copy() for row in mask]
+        else:
+            results = [np.empty(0, dtype=np.int64) for _ in query_list]
+        per_query_ms = (time.perf_counter() - start) * 1000.0 / len(query_list)
+        random_accesses = (
+            1 if self._cost.scenario is StorageScenario.DISK and n else 0
+        )
+        executions = [
+            QueryExecution(
+                signature_checks=0,
+                groups_explored=1,
+                objects_verified=n,
+                results=int(found.size),
+                bytes_read=n * self._cost.object_bytes,
+                random_accesses=random_accesses,
+                wall_time_ms=per_query_ms,
+            )
+            for found in results
+        ]
+        return results, executions
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"SequentialScan(dimensions={self.dimensions}, objects={self.n_objects})"

@@ -33,13 +33,16 @@ from repro.evaluation.experiments import (
 from repro.evaluation.reporting import format_experiment_result
 
 
-def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--scenario",
-        choices=[scenario.value for scenario in StorageScenario],
-        default=StorageScenario.MEMORY.value,
-        help="storage scenario of the cost model (default: memory)",
-    )
+def _add_common_arguments(
+    parser: argparse.ArgumentParser, include_scenario: bool = True
+) -> None:
+    if include_scenario:
+        parser.add_argument(
+            "--scenario",
+            choices=[scenario.value for scenario in StorageScenario],
+            default=StorageScenario.MEMORY.value,
+            help="storage scenario of the cost model (default: memory)",
+        )
     parser.add_argument("--objects", type=int, default=None, help="database size")
     parser.add_argument("--queries", type=int, default=None, help="measured queries per point")
     parser.add_argument("--warmup", type=int, default=None, help="warm-up queries")
@@ -128,6 +131,11 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
     "ablation-disk-access-time": _run_ablation_disk_access,
 }
 
+#: Subcommands that fix the storage scenario by construction and therefore
+#: reject ``--scenario`` (the disk-access-time ablation is disk-only: it
+#: sweeps a disk cost constant).
+_SCENARIO_FIXED_COMMANDS = frozenset({"ablation-disk-access-time"})
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the command-line parser (exposed for testing)."""
@@ -148,7 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     }
     for name, runner in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=descriptions.get(name, name))
-        _add_common_arguments(sub)
+        _add_common_arguments(sub, include_scenario=name not in _SCENARIO_FIXED_COMMANDS)
         sub.set_defaults(runner=runner)
     return parser
 

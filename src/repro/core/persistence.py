@@ -35,7 +35,10 @@ from repro.core.signature import ClusterSignature
 from repro.storage import StorageBackend, storage_for_scenario
 
 #: Version tag written into every snapshot (bump on format changes).
-SNAPSHOT_FORMAT_VERSION = 1
+#: Version 2 added the reorganization-schedule counters
+#: (``queries_since_reorganization`` / ``reorganization_count``) so a
+#: recovered index reorganizes on the same schedule as the saved one.
+SNAPSHOT_FORMAT_VERSION = 2
 
 PathLike = Union[str, Path]
 
@@ -131,6 +134,8 @@ def save_index(
         "format_version": SNAPSHOT_FORMAT_VERSION,
         "config": _config_to_dict(index.config),
         "total_queries": index.total_queries,
+        "queries_since_reorganization": index.queries_since_reorganization,
+        "reorganization_count": index.reorganization_count,
         "include_statistics": include_statistics,
         "clusters": [],
     }
@@ -217,8 +222,14 @@ def load_index(
                 cluster.add_objects_bulk(ids, lows, highs)
             if include_statistics:
                 saved = archive[f"candidate_queries_{cluster_id}"]
-                if saved.shape == cluster.candidates.query_counts.shape:
-                    cluster.candidates.query_counts = saved.astype(np.int64).copy()
+                if saved.shape != cluster.candidates.query_counts.shape:
+                    raise ValueError(
+                        f"corrupt snapshot: cluster {cluster_id} stores "
+                        f"{saved.shape} candidate query counts, its signature "
+                        f"defines {cluster.candidates.query_counts.shape} "
+                        "candidates"
+                    )
+                cluster.candidates.query_counts = saved.astype(np.int64).copy()
             index._clusters[cluster_id] = cluster
             for object_id in ids:
                 index._object_locations[int(object_id)] = cluster_id
@@ -241,5 +252,9 @@ def load_index(
     index._root_id = root_id
     index._next_cluster_id = max_cluster_id + 1
     index._total_queries = int(directory["total_queries"])
+    index._queries_since_reorganization = int(
+        directory["queries_since_reorganization"]
+    )
+    index._reorganization_count = int(directory["reorganization_count"])
     index._invalidate_signature_matrix()
     return index

@@ -147,17 +147,29 @@ class Reorganizer:
             probabilities, counts, cluster_probability, self.config.cost
         )
 
-        eligible = counts >= self.config.min_cluster_objects
+        eligible = (counts >= self.config.min_cluster_objects) & (benefits > 0.0)
         # Never materialize a candidate whose signature already exists as a
         # materialized child: the duplicate cluster would add overhead
-        # without improving pruning.
+        # without improving pruning.  A candidate differs from the parent
+        # in exactly one dimension, so comparing its refined constraint
+        # against the children's single-dimension overrides is equivalent
+        # to (and far cheaper than) building and comparing full signatures.
         if eligible.any() and cluster.children_ids:
-            existing = index.child_signatures(cluster)
-            for candidate_index in np.flatnonzero(eligible):
-                if cluster.candidates.signature(int(candidate_index)) in existing:
-                    eligible[candidate_index] = False
+            existing = index.child_single_dimension_overrides(cluster)
+            if existing:
+                candidates = cluster.candidates
+                for candidate_index in np.flatnonzero(eligible):
+                    i = int(candidate_index)
+                    key = (
+                        int(candidates.dimension[i]),
+                        float(candidates.start_low[i]),
+                        float(candidates.start_high[i]),
+                        float(candidates.end_low[i]),
+                        float(candidates.end_high[i]),
+                    )
+                    if key in existing:
+                        eligible[candidate_index] = False
 
-        eligible &= benefits > 0.0
         if not eligible.any():
             return None
         masked_benefits = np.where(eligible, benefits, -np.inf)

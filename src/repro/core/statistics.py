@@ -59,6 +59,23 @@ class QueryExecution:
             wall_time_ms=self.wall_time_ms + other.wall_time_ms,
         )
 
+    def core_counters(self) -> Dict[str, int]:
+        """The deterministic work counters, excluding the measured wall time.
+
+        Batch and per-query execution of the same workload must agree on
+        these exactly (the equivalence the batch engine tests rely on);
+        ``wall_time_ms`` is excluded because it is a measurement, not a
+        cost-model quantity.
+        """
+        return {
+            "signature_checks": self.signature_checks,
+            "groups_explored": self.groups_explored,
+            "objects_verified": self.objects_verified,
+            "results": self.results,
+            "bytes_read": self.bytes_read,
+            "random_accesses": self.random_accesses,
+        }
+
     def as_dict(self) -> Dict[str, float]:
         """Return the record as a plain dictionary (for reporting / JSON)."""
         return {

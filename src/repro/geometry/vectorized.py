@@ -88,6 +88,66 @@ def matching_mask(
     raise ValueError(f"unsupported relation: {relation!r}")
 
 
+#: Upper bound on the number of scalar comparisons evaluated at once by
+#: :func:`batch_matching_mask`; larger query batches are processed in slices
+#: so the boolean temporaries stay small enough for the CPU cache.
+_BATCH_ELEMENT_BUDGET = 4_000_000
+
+
+def batch_matching_mask(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    q_lows: np.ndarray,
+    q_highs: np.ndarray,
+    relation: SpatialRelation,
+) -> np.ndarray:
+    """Evaluate *relation* for every (query, object) pair in one broadcast.
+
+    Parameters
+    ----------
+    lows, highs:
+        Arrays of shape ``(n, Nd)`` holding the member objects' bounds.
+    q_lows, q_highs:
+        Arrays of shape ``(m, Nd)`` holding the query objects' bounds.
+    relation:
+        The spatial relation requested by every query of the batch.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean mask of shape ``(m, n)`` — row ``i`` is exactly
+        :func:`matching_mask` evaluated for query ``i``.
+    """
+    if lows.shape != highs.shape or lows.ndim != 2:
+        raise ValueError("expected object bounds of shape (n, Nd)")
+    if q_lows.shape != q_highs.shape or q_lows.ndim != 2:
+        raise ValueError("expected query bounds of shape (m, Nd)")
+    if lows.shape[1] != q_lows.shape[1]:
+        raise ValueError(
+            f"objects have {lows.shape[1]} dimensions, queries have "
+            f"{q_lows.shape[1]}"
+        )
+    m, n = q_lows.shape[0], lows.shape[0]
+    out = np.zeros((m, n), dtype=bool)
+    if m == 0 or n == 0:
+        return out
+    dims = lows.shape[1]
+    step = max(1, _BATCH_ELEMENT_BUDGET // max(n * dims, 1))
+    for start in range(0, m, step):
+        stop = min(start + step, m)
+        ql = q_lows[start:stop, None, :]
+        qh = q_highs[start:stop, None, :]
+        if relation is SpatialRelation.INTERSECTS:
+            out[start:stop] = np.all((lows[None] <= qh) & (ql <= highs[None]), axis=2)
+        elif relation is SpatialRelation.CONTAINED_BY:
+            out[start:stop] = np.all((ql <= lows[None]) & (highs[None] <= qh), axis=2)
+        elif relation is SpatialRelation.CONTAINS:
+            out[start:stop] = np.all((lows[None] <= ql) & (qh <= highs[None]), axis=2)
+        else:
+            raise ValueError(f"unsupported relation: {relation!r}")
+    return out
+
+
 def mbb_of(lows: np.ndarray, highs: np.ndarray) -> HyperRectangle:
     """Minimum bounding box of a non-empty set of objects."""
     if lows.shape[0] == 0:

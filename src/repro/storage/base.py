@@ -88,6 +88,27 @@ class StorageBackend(abc.ABC):
         self.stats.bytes_read += n_objects * self.object_bytes
         self._charge_read(n_objects)
 
+    def on_cluster_reads_bulk(self, n_objects, counts) -> None:
+        """Batch-execution accounting for many clusters at once.
+
+        ``n_objects`` and ``counts`` are aligned arrays: cluster ``i`` was
+        scanned ``counts[i]`` times at ``n_objects[i]`` members each.
+        Equivalent to the corresponding sequence of
+        :meth:`on_cluster_read` calls.
+        """
+        total_reads = int(counts.sum())
+        if total_reads <= 0:
+            return
+        self.stats.cluster_reads += total_reads
+        self.stats.bytes_read += int((counts * n_objects).sum()) * self.object_bytes
+        self._charge_reads_bulk(n_objects, counts)
+
+    def _charge_reads_bulk(self, n_objects, counts) -> None:
+        """Charge the cost of the read pattern described by the two arrays."""
+        for size, count in zip(n_objects, counts):
+            for _ in range(int(count)):
+                self._charge_read(int(size))
+
     # ------------------------------------------------------------------
     # Scenario-specific cost accounting
     # ------------------------------------------------------------------

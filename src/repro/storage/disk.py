@@ -33,6 +33,15 @@ class SimulatedDisk(StorageBackend):
         transfer = n_objects * self.object_bytes * self._transfer_ms_per_byte
         self.clock.charge(self._access_ms + transfer)
 
+    def _charge_reads_bulk(self, n_objects, counts) -> None:
+        total_reads = int(counts.sum())
+        self.stats.random_accesses += total_reads
+        transfer_bytes = int((counts * n_objects).sum()) * self.object_bytes
+        self.clock.charge(
+            total_reads * self._access_ms
+            + transfer_bytes * self._transfer_ms_per_byte
+        )
+
     def _charge_write(self, n_objects: int) -> None:
         bytes_written = n_objects * self.object_bytes
         self.stats.bytes_written += bytes_written

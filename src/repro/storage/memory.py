@@ -28,6 +28,9 @@ class MemoryStorage(StorageBackend):
         # is charged by the cost model (parameter C), not by the backend.
         return None
 
+    def _charge_reads_bulk(self, n_objects, counts) -> None:
+        return None
+
     def _charge_write(self, n_objects: int) -> None:
         self.stats.bytes_written += n_objects * self.object_bytes
         return None

@@ -1,0 +1,104 @@
+"""Batch-vs-loop equivalence for the baseline access methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.rtree import RStarTree, RStarTreeConfig
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.cost_model import CostParameters
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+from repro.workloads.queries import generate_point_queries, generate_query_workload
+from repro.workloads.uniform import generate_uniform_dataset
+
+RELATIONS = [
+    SpatialRelation.INTERSECTS,
+    SpatialRelation.CONTAINED_BY,
+    SpatialRelation.CONTAINS,
+]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_uniform_dataset(1200, 5, seed=81, max_extent=0.4)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return generate_query_workload(dataset, 20, target_selectivity=0.02, seed=82)
+
+
+@pytest.fixture(scope="module")
+def scan(dataset):
+    scan = SequentialScan(
+        dataset.dimensions, cost=CostParameters.disk_defaults(dataset.dimensions)
+    )
+    dataset.load_into(scan)
+    return scan
+
+
+@pytest.fixture(scope="module")
+def tree(dataset):
+    tree = RStarTree(
+        config=RStarTreeConfig(dimensions=dataset.dimensions),
+        cost=CostParameters.disk_defaults(dataset.dimensions),
+    )
+    dataset.load_into(tree)
+    return tree
+
+
+def assert_batch_matches_loop(method, queries, relation):
+    batch_results, batch_execs = method.query_batch_with_stats(queries, relation)
+    assert len(batch_results) == len(queries)
+    for query, batch_ids, batch_exec in zip(queries, batch_results, batch_execs):
+        loop_ids, loop_exec = method.query_with_stats(query, relation)
+        assert np.array_equal(loop_ids, batch_ids)
+        assert batch_exec.core_counters() == loop_exec.core_counters()
+
+
+class TestSequentialScanBatch:
+    @pytest.mark.parametrize("relation", RELATIONS)
+    def test_matches_loop(self, scan, workload, relation):
+        assert_batch_matches_loop(scan, workload.queries, relation)
+
+    def test_point_queries(self, scan, dataset):
+        points = generate_point_queries(10, dataset.dimensions, seed=83)
+        assert_batch_matches_loop(scan, points.queries, points.relation)
+
+    def test_empty_batch(self, scan):
+        results, executions = scan.query_batch_with_stats([])
+        assert results == [] and executions == []
+
+    def test_empty_scan(self):
+        empty = SequentialScan(3)
+        results = empty.query_batch([HyperRectangle.unit(3)])
+        assert len(results) == 1 and results[0].size == 0
+
+    def test_dimension_mismatch(self, scan):
+        with pytest.raises(ValueError):
+            scan.query_batch([HyperRectangle.unit(2)])
+
+
+class TestRStarTreeBatch:
+    @pytest.mark.parametrize("relation", RELATIONS)
+    def test_matches_loop(self, tree, workload, relation):
+        assert_batch_matches_loop(tree, workload.queries, relation)
+
+    def test_point_queries(self, tree, dataset):
+        points = generate_point_queries(10, dataset.dimensions, seed=84)
+        assert_batch_matches_loop(tree, points.queries, points.relation)
+
+    def test_bulk_loaded_tree(self, dataset, workload):
+        tree = RStarTree(config=RStarTreeConfig(dimensions=dataset.dimensions))
+        tree.bulk_load(dataset.iter_objects())
+        assert_batch_matches_loop(tree, workload.queries, workload.relation)
+
+    def test_empty_batch(self, tree):
+        results, executions = tree.query_batch_with_stats([])
+        assert results == [] and executions == []
+
+    def test_dimension_mismatch(self, tree):
+        with pytest.raises(ValueError):
+            tree.query_batch([HyperRectangle.unit(2)])

@@ -116,6 +116,53 @@ class TestRecoveredIndexKeepsWorking:
         assert recovered.query(HyperRectangle.unit(4)).tolist() == [1]
 
 
+class TestReorganizationSchedule:
+    def test_counters_round_trip(self, dataset, workload, tmp_path):
+        # 200 warm-up queries with period 30 leave the index 20 queries
+        # into its reorganization window; a recovered index must resume
+        # from the same point, not restart the window from zero.
+        original = adapted_index(dataset, workload)
+        assert original.queries_since_reorganization == 20
+        assert original.reorganization_count == 6
+        recovered = load_index(save_index(original, tmp_path / "sched.npz"))
+        assert (
+            recovered.queries_since_reorganization
+            == original.queries_since_reorganization
+        )
+        assert recovered.reorganization_count == original.reorganization_count
+
+    def test_recovered_index_reorganizes_on_schedule(self, dataset, workload, tmp_path):
+        original = adapted_index(dataset, workload)
+        recovered = load_index(save_index(original, tmp_path / "resume.npz"))
+        remaining = (
+            original.config.reorganization_period
+            - original.queries_since_reorganization
+        )
+        for i in range(remaining):
+            original.query(workload.queries[i % len(workload.queries)], workload.relation)
+            recovered.query(workload.queries[i % len(workload.queries)], workload.relation)
+        assert recovered.reorganization_count == original.reorganization_count
+        assert recovered.queries_since_reorganization == 0
+
+    def test_mismatched_candidate_statistics_raise(self, dataset, workload, tmp_path):
+        import json
+
+        original = adapted_index(dataset, workload)
+        path = save_index(original, tmp_path / "tampered.npz")
+        # Corrupt the snapshot: truncate one cluster's saved candidate
+        # query counts so the shape no longer matches its signature.
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        directory = json.loads(bytes(arrays["directory"].tobytes()).decode("utf-8"))
+        victim = directory["clusters"][0]["cluster_id"]
+        key = f"candidate_queries_{victim}"
+        arrays[key] = arrays[key][:-1]
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        with pytest.raises(ValueError, match="candidate query counts"):
+            load_index(path)
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):

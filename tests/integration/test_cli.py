@@ -30,6 +30,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args(["fig7", "--scenario", "tape"])
 
+    def test_disk_access_ablation_rejects_scenario(self, capsys):
+        # The disk-access-time ablation is disk-only by construction: it
+        # sweeps a disk cost constant, so --scenario must not be accepted
+        # (it used to be parsed and then silently dropped).
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["ablation-disk-access-time", "--scenario", "memory"])
+        assert "--scenario" in capsys.readouterr().err
+        args = parser.parse_args(["ablation-disk-access-time", "--objects", "300"])
+        assert not hasattr(args, "scenario")
+        assert args.objects == 300
+
 
 class TestExecution:
     def test_fig7_tiny_run(self, capsys, tmp_path):
