@@ -9,7 +9,6 @@ of the library would care about when sizing a deployment.
 import copy
 import time
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import scaled

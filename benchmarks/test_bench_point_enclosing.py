@@ -58,4 +58,8 @@ def test_point_enclosing_disk(benchmark, results_dir):
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     report = format_experiment_result(result)
     write_report(results_dir, "point_enclosing_disk", report)
-    assert _speedup(result.rows[0]) >= 1.0
+    # The cost model guarantees AC never does worse than SS on average; at
+    # smoke scales the index may keep everything in the root cluster, where
+    # the two methods are equal up to floating-point noise in the modeled
+    # time sum.
+    assert _speedup(result.rows[0]) >= 0.999

@@ -1,0 +1,172 @@
+"""Streaming pub/sub engine: micro-batched serving vs a per-event loop.
+
+The gate of this module asserts the PR's headline claim: on the
+apartment-ads scenario (the paper's motivating SDI application), serving
+an event stream with subscription churn through the micro-batching
+:class:`~repro.engine.StreamingMatcher` is at least ``3x`` faster than
+processing the same stream one operation at a time — with byte-identical
+match sets for every event.
+"""
+
+import copy
+import time
+
+from benchmarks.conftest import scaled, write_report
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters
+from repro.core.index import AdaptiveClusteringIndex
+from repro.engine import StreamingConfig, StreamingMatcher
+from repro.geometry.relations import SpatialRelation
+from repro.workloads.pubsub import apartment_ads_scenario
+
+import pytest
+
+SUBSCRIPTIONS = scaled(15_000, 1_000_000)
+EVENTS = scaled(1_500, 50_000)
+
+#: Floor asserted by the throughput gate (the ISSUE's acceptance value).
+STREAM_SPEEDUP_FLOOR = 3.0
+
+
+@pytest.fixture(scope="module")
+def pubsub():
+    return apartment_ads_scenario(seed=13)
+
+
+@pytest.fixture(scope="module")
+def subscriptions(pubsub):
+    return pubsub.generate_subscriptions(SUBSCRIPTIONS)
+
+
+@pytest.fixture(scope="module")
+def stream(pubsub, subscriptions):
+    """Event stream with churn: subscriptions expire, arrive and return."""
+    return pubsub.generate_event_stream(
+        EVENTS,
+        subscriptions.ids,
+        subscribe_probability=0.003,
+        unsubscribe_probability=0.003,
+        resubscribe_probability=0.5,
+        repeat_probability=0.3,
+    )
+
+
+@pytest.fixture(scope="module")
+def adapted_index(pubsub, subscriptions):
+    """An adaptive index loaded and adapted to the event distribution.
+
+    The serving configuration reorganizes every 400 queries (the paper's
+    measurement default of 100 re-evaluates every cluster's split/merge
+    benefit so often that the pass cost dominates steady-state serving;
+    both serving strategies use the same configuration).
+    """
+    cost = CostParameters.memory_defaults(pubsub.dimensions)
+    index = AdaptiveClusteringIndex(
+        config=AdaptiveClusteringConfig(cost=cost, reorganization_period=400)
+    )
+    subscriptions.load_into(index)
+    warmup = pubsub.generate_events(1_200)
+    index.query_batch(warmup.queries, warmup.relation)
+    # One more query so the cached matrices (invalidated by a final warm-up
+    # reorganization) are rebuilt outside the measured window.
+    index.query_batch([warmup.queries[0]], warmup.relation)
+    return index
+
+
+def run_per_event_loop(index, operations):
+    """Ground truth: one insert / delete / query per stream operation."""
+    matches = {}
+    for operation in operations:
+        if operation.kind == "subscribe":
+            index.insert(operation.op_id, operation.box)
+        elif operation.kind == "unsubscribe":
+            index.delete(operation.op_id)
+        else:
+            ids, _ = index.query_with_stats(operation.box, SpatialRelation.CONTAINS)
+            ids.sort()  # canonical delivery order, matching the engine's
+            matches[operation.op_id] = ids
+    return matches
+
+
+def run_streaming(index, operations):
+    """The serving loop under test: micro-batching matcher with cache."""
+    matcher = StreamingMatcher(
+        index,
+        StreamingConfig(
+            max_batch_size=256,
+            cache_size=2_048,
+            relation=SpatialRelation.CONTAINS,
+        ),
+    )
+    records = matcher.run(operations)
+    return {record.event_id: record.matches for record in records}, matcher.stats
+
+
+def test_streaming_speedup_and_equivalence(
+    adapted_index, stream, results_dir
+):
+    """Throughput gate with byte-identical match sets under churn.
+
+    Every pass runs on a fresh deep copy of the same adapted index so both
+    sides see identical subscription sets and statistics; best-of-3
+    timings damp scheduler noise.
+    """
+    events = sum(operation.kind == "event" for operation in stream)
+    loop_times, stream_times = [], []
+    loop_matches = stream_matches = stream_stats = None
+    for _ in range(3):
+        loop_index = copy.deepcopy(adapted_index)
+        start = time.perf_counter()
+        loop_matches = run_per_event_loop(loop_index, stream)
+        loop_times.append(time.perf_counter() - start)
+
+        stream_index = copy.deepcopy(adapted_index)
+        start = time.perf_counter()
+        stream_matches, stream_stats = run_streaming(stream_index, stream)
+        stream_times.append(time.perf_counter() - start)
+
+    assert len(stream_matches) == len(loop_matches) == events
+    for event_id, expected in loop_matches.items():
+        assert stream_matches[event_id].tobytes() == expected.tobytes()
+
+    loop_eps = events / min(loop_times)
+    stream_eps = events / min(stream_times)
+    speedup = stream_eps / loop_eps
+    percentiles = stream_stats.latency_percentiles()
+    report = "\n".join(
+        [
+            "== streaming-throughput: micro-batched pub/sub vs per-event loop ==",
+            f"subscriptions: {SUBSCRIPTIONS}, events: {events}, "
+            f"churn ops: {len(stream) - events}",
+            f"per-event loop : {loop_eps:10.1f} events/s",
+            f"streaming      : {stream_eps:10.1f} events/s "
+            f"(batches: {stream_stats.batches}, "
+            f"avg batch: {stream_stats.average_batch_size():.1f}, "
+            f"cache hits: {stream_stats.cache_hits})",
+            f"speedup        : {speedup:10.2f}x",
+            f"match latency  : p50 {percentiles['p50']:.2f} ms, "
+            f"p95 {percentiles['p95']:.2f} ms, p99 {percentiles['p99']:.2f} ms",
+        ]
+    )
+    write_report(results_dir, "streaming_throughput", report)
+    assert speedup >= STREAM_SPEEDUP_FLOOR, (
+        f"streaming speedup {speedup:.2f}x below the "
+        f"{STREAM_SPEEDUP_FLOOR:.0f}x gate"
+    )
+
+
+@pytest.mark.benchmark(group="streaming-pubsub-throughput")
+class TestStreamingThroughput:
+    """pytest-benchmark timings of the two serving strategies."""
+
+    def test_per_event_loop(self, benchmark, adapted_index, stream):
+        def run():
+            return run_per_event_loop(copy.deepcopy(adapted_index), stream)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_streaming_matcher(self, benchmark, adapted_index, stream):
+        def run():
+            return run_streaming(copy.deepcopy(adapted_index), stream)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)

@@ -15,8 +15,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro import (
     AdaptiveClusteringConfig,
     AdaptiveClusteringIndex,

@@ -63,6 +63,13 @@ from repro.evaluation import (
     MethodResult,
     format_experiment_result,
 )
+from repro.engine import (
+    LRUResultCache,
+    MatchRecord,
+    StreamingConfig,
+    StreamingMatcher,
+    StreamStats,
+)
 
 __version__ = "1.0.0"
 
@@ -102,5 +109,11 @@ __all__ = [
     "ExperimentResult",
     "MethodResult",
     "format_experiment_result",
+    # streaming engine
+    "StreamingMatcher",
+    "StreamingConfig",
+    "StreamStats",
+    "MatchRecord",
+    "LRUResultCache",
     "__version__",
 ]

@@ -9,7 +9,7 @@ children's minimum bounding boxes, kept up to date by the tree.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

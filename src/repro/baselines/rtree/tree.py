@@ -134,11 +134,16 @@ class RStarTree:
             return 0
         if self.n_objects:
             raise ValueError("bulk_load requires an empty tree")
+        # Validate the whole batch before mutating anything, so a rejected
+        # batch leaves the tree untouched.
+        seen = set()
         for object_id, obj in pairs:
             if obj.dimensions != self.dimensions:
                 raise ValueError("object dimensionality mismatch")
-            if object_id in self._object_boxes:
+            if object_id in seen:
                 raise KeyError(f"duplicate object id {object_id}")
+            seen.add(object_id)
+        for object_id, obj in pairs:
             self._object_boxes[int(object_id)] = obj
         self._root = str_pack(pairs, self.config)
         self._bulk_loaded = True

@@ -7,17 +7,18 @@ figures and tables from the terminal::
     repro-experiments fig8 --scenario disk --objects 5000
     repro-experiments point-enclosing --scenario memory
     repro-experiments ablation-division-factor
+    repro-experiments pubsub-bench --subscriptions 5000 --events 2000
 
-Every command prints the paper-style report produced by
-:func:`repro.evaluation.reporting.format_experiment_result` and optionally
-writes it to a file with ``--output``.
+Every command prints a paper-style report (and optionally writes it to a
+file with ``--output``).  Invalid parameter values exit with status 2 and
+a one-line error message instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.cost_model import StorageScenario
 from repro.evaluation.experiments import (
@@ -30,7 +31,8 @@ from repro.evaluation.experiments import (
     point_enclosing_experiment,
     selectivity_sweep,
 )
-from repro.evaluation.reporting import format_experiment_result
+from repro.evaluation.reporting import format_experiment_result, format_streaming_result
+from repro.evaluation.streaming import pubsub_streaming_bench
 
 
 def _add_common_arguments(
@@ -98,28 +100,46 @@ def _run_point_enclosing(args: argparse.Namespace):
     return point_enclosing_experiment(scenario=args.scenario, **kwargs)
 
 
+_ABLATION_ARGUMENTS = {
+    "objects": "object_count",
+    "queries": "queries",
+    "warmup": "warmup_queries",
+    "seed": "seed",
+}
+
+
 def _run_ablation_division_factor(args: argparse.Namespace):
-    kwargs = _collect_kwargs(
-        args,
-        {"objects": "object_count", "queries": "queries", "warmup": "warmup_queries", "seed": "seed"},
-    )
+    kwargs = _collect_kwargs(args, _ABLATION_ARGUMENTS)
     return ablation_division_factor(scenario=args.scenario, **kwargs)
 
 
 def _run_ablation_reorganization(args: argparse.Namespace):
-    kwargs = _collect_kwargs(
-        args,
-        {"objects": "object_count", "queries": "queries", "warmup": "warmup_queries", "seed": "seed"},
-    )
+    kwargs = _collect_kwargs(args, _ABLATION_ARGUMENTS)
     return ablation_reorganization_period(scenario=args.scenario, **kwargs)
 
 
 def _run_ablation_disk_access(args: argparse.Namespace):
+    kwargs = _collect_kwargs(args, _ABLATION_ARGUMENTS)
+    return ablation_disk_access_time(**kwargs)
+
+
+def _run_pubsub_bench(args: argparse.Namespace):
     kwargs = _collect_kwargs(
         args,
-        {"objects": "object_count", "queries": "queries", "warmup": "warmup_queries", "seed": "seed"},
+        {
+            "subscriptions": "subscriptions",
+            "events": "events",
+            "batch_size": "batch_size",
+            "cache_size": "cache_size",
+            "subscribe_prob": "subscribe_probability",
+            "unsubscribe_prob": "unsubscribe_probability",
+            "repeat_prob": "repeat_probability",
+            "range_fraction": "range_fraction",
+            "warmup": "warmup_events",
+            "seed": "seed",
+        },
     )
-    return ablation_disk_access_time(**kwargs)
+    return pubsub_streaming_bench(scenario=args.scenario, **kwargs)
 
 
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
@@ -135,6 +155,50 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
 #: reject ``--scenario`` (the disk-access-time ablation is disk-only: it
 #: sweeps a disk cost constant).
 _SCENARIO_FIXED_COMMANDS = frozenset({"ablation-disk-access-time"})
+
+
+def _add_pubsub_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        choices=[scenario.value for scenario in StorageScenario],
+        default=StorageScenario.MEMORY.value,
+        help="storage scenario of the cost model (default: memory)",
+    )
+    parser.add_argument(
+        "--subscriptions", type=int, default=None, help="initial subscription count"
+    )
+    parser.add_argument("--events", type=int, default=None, help="events to stream")
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="micro-batch flush size"
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=None, help="LRU result cache capacity (0 disables)"
+    )
+    parser.add_argument(
+        "--subscribe-prob", type=float, default=None, help="per-event subscribe probability"
+    )
+    parser.add_argument(
+        "--unsubscribe-prob",
+        type=float,
+        default=None,
+        help="per-event unsubscribe probability",
+    )
+    parser.add_argument(
+        "--repeat-prob",
+        type=float,
+        default=None,
+        help="probability an event re-publishes a recent offer (what the "
+        "result cache exploits; default 0.25)",
+    )
+    parser.add_argument(
+        "--range-fraction",
+        type=float,
+        default=None,
+        help="event interval width as a domain fraction (0 = point events)",
+    )
+    parser.add_argument("--warmup", type=int, default=None, help="warm-up events")
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument("--output", type=str, default=None, help="write the report to this file")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,16 +221,64 @@ def build_parser() -> argparse.ArgumentParser:
     for name, runner in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=descriptions.get(name, name))
         _add_common_arguments(sub, include_scenario=name not in _SCENARIO_FIXED_COMMANDS)
-        sub.set_defaults(runner=runner)
+        sub.set_defaults(runner=runner, formatter=format_experiment_result)
+    bench = subparsers.add_parser(
+        "pubsub-bench",
+        help="Streaming pub/sub benchmark: micro-batched matching with "
+        "subscription churn over the apartment-ads scenario",
+    )
+    _add_pubsub_bench_arguments(bench)
+    bench.set_defaults(runner=_run_pubsub_bench, formatter=format_streaming_result)
     return parser
 
 
+#: Integer arguments that must be strictly positive / non-negative, and
+#: float arguments that must be probabilities, checked before the runner
+#: starts so a bad value produces a one-line error instead of a traceback
+#: from deep inside a generator.
+_POSITIVE_ARGUMENTS = ("objects", "queries", "subscriptions", "events", "batch_size")
+_NON_NEGATIVE_ARGUMENTS = ("warmup", "cache_size")
+_PROBABILITY_ARGUMENTS = ("subscribe_prob", "unsubscribe_prob", "repeat_prob")
+
+
+def _validate_args(args: argparse.Namespace) -> None:
+    for name in _POSITIVE_ARGUMENTS:
+        value = getattr(args, name, None)
+        if value is not None and value <= 0:
+            raise ValueError(f"--{name.replace('_', '-')} must be a positive integer")
+    for name in _NON_NEGATIVE_ARGUMENTS:
+        value = getattr(args, name, None)
+        if value is not None and value < 0:
+            raise ValueError(f"--{name.replace('_', '-')} must be non-negative")
+    for name in _PROBABILITY_ARGUMENTS:
+        value = getattr(args, name, None)
+        if value is not None and not 0.0 <= value <= 1.0:
+            raise ValueError(f"--{name.replace('_', '-')} must lie in [0, 1]")
+    range_fraction = getattr(args, "range_fraction", None)
+    if range_fraction is not None and not 0.0 <= range_fraction < 1.0:
+        raise ValueError("--range-fraction must lie in [0, 1)")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of ``repro-experiments``."""
+    """Entry point of ``repro-experiments``.
+
+    Returns 0 on success and 2 on invalid parameters; every parameter
+    error (including ones only detected while building the workload, such
+    as object counts too small for the requested scenario) prints a
+    one-line message to stderr instead of raising a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    result = args.runner(args)
-    report = format_experiment_result(result)
+    try:
+        _validate_args(args)
+        result = args.runner(args)
+    except ValueError as error:
+        # Parameter errors — upfront validation or values only rejected
+        # deeper in a generator — exit cleanly; anything else is a bug and
+        # keeps its traceback.
+        print(f"{parser.prog}: error: {error}", file=sys.stderr)
+        return 2
+    report = args.formatter(result)
     print(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

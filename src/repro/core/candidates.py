@@ -20,7 +20,7 @@ candidates column-wise in NumPy arrays and evaluates all of them at once.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

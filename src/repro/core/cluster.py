@@ -16,7 +16,7 @@ together during spatial selections.  It carries:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Optional, Set
 
 import numpy as np
 
@@ -142,6 +142,22 @@ class Cluster:
         if box is not None:
             self.candidates.record_removal(box)
         return box
+
+    def remove_objects_bulk(self, object_ids: np.ndarray) -> int:
+        """Remove a batch of members by identifier; returns the number removed.
+
+        Candidate object counts are decremented with one vectorised pass
+        over the removed members, equivalent to calling
+        :meth:`remove_object` for each identifier.
+        """
+        if object_ids.size == 0 or self.n_objects == 0:
+            return 0
+        mask = np.isin(self.store.ids, object_ids)
+        if not mask.any():
+            return 0
+        _, lows, highs = self.store.remove_mask(mask)
+        self.candidates.subtract_object_counts(lows, highs)
+        return int(lows.shape[0])
 
     def extract_matching(self, candidate_index: int) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
         """Remove and return the members matching candidate *candidate_index*.

@@ -19,7 +19,7 @@ dimensions** — at most ``Nd · f²``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -355,6 +355,40 @@ class AdaptiveClusteringIndex:
         self._storage.on_objects_removed(cluster_id, 1)
         self._invalidate_member_matrix()
         return True
+
+    def delete_bulk(self, object_ids: Iterable[int]) -> int:
+        """Remove a batch of objects; returns the number actually removed.
+
+        Equivalent to calling :meth:`delete` for every identifier
+        (identifiers that are not indexed are ignored), but every touched
+        cluster removes its members with one vectorised mask and the
+        member matrix is invalidated once for the whole batch, so churn
+        bursts — the streaming engine's unsubscribe path — do not pay a
+        per-object maintenance round-trip.  The signature and candidate
+        matrices are untouched: deletion never changes cluster signatures
+        or candidate descriptors, only member rows (dropped here) and
+        candidate object counts (patched per touched cluster).
+        """
+        by_cluster: Dict[int, List[int]] = {}
+        for object_id in object_ids:
+            cluster_id = self._object_locations.pop(int(object_id), None)
+            if cluster_id is not None:
+                by_cluster.setdefault(cluster_id, []).append(int(object_id))
+        if not by_cluster:
+            return 0
+        removed = 0
+        for cluster_id, ids in by_cluster.items():
+            cluster = self._clusters[cluster_id]
+            count = cluster.remove_objects_bulk(np.asarray(ids, dtype=np.int64))
+            if count != len(ids):  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"cluster {cluster_id} stored {count} of {len(ids)} objects "
+                    "mapped to it"
+                )
+            self._storage.on_objects_removed(cluster_id, count)
+            removed += count
+        self._invalidate_member_matrix()
+        return removed
 
     def get(self, object_id: int) -> Optional[HyperRectangle]:
         """Return the box of an indexed object, or ``None``."""

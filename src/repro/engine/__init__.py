@@ -1,0 +1,25 @@
+"""Streaming pub/sub serving layer over the batch query engine.
+
+The paper's motivating SDI scenario as a running system: standing
+subscriptions live in an access method (the adaptive clustering index or
+one of the baselines), incoming events are micro-batched through the
+vectorised ``query_batch`` path, subscription churn maps to ``insert`` /
+``delete``, and repeated events are answered from an LRU result cache.
+"""
+
+from repro.engine.cache import LRUResultCache, result_cache_key
+from repro.engine.matcher import (
+    MatchRecord,
+    StreamingConfig,
+    StreamingMatcher,
+    StreamStats,
+)
+
+__all__ = [
+    "LRUResultCache",
+    "result_cache_key",
+    "MatchRecord",
+    "StreamingConfig",
+    "StreamingMatcher",
+    "StreamStats",
+]

@@ -22,8 +22,14 @@ from repro.evaluation.experiments import (
 from repro.evaluation.reporting import (
     format_data_access_table,
     format_experiment_result,
+    format_streaming_result,
     format_table,
     format_time_chart,
+)
+from repro.evaluation.streaming import (
+    StreamingBenchResult,
+    StreamingMethodResult,
+    pubsub_streaming_bench,
 )
 
 __all__ = [
@@ -45,4 +51,8 @@ __all__ = [
     "format_data_access_table",
     "format_time_chart",
     "format_experiment_result",
+    "format_streaming_result",
+    "StreamingBenchResult",
+    "StreamingMethodResult",
+    "pubsub_streaming_bench",
 ]

@@ -15,10 +15,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import AdaptiveClusteringConfig
 from repro.core.cost_model import CostParameters, StorageScenario, SystemCostConstants
-from repro.evaluation.harness import ExperimentHarness, default_methods
+from repro.evaluation.harness import ExperimentHarness
 from repro.evaluation.metrics import MethodResult
 from repro.geometry.relations import SpatialRelation
-from repro.workloads.datasets import Dataset
 from repro.workloads.queries import (
     QueryWorkload,
     generate_point_queries,

@@ -16,12 +16,12 @@ Mirrors the paper's experimental process (Section 7.1):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.baselines.rtree import RStarTree, RStarTreeConfig
 from repro.baselines.sequential_scan import SequentialScan
 from repro.core.config import AdaptiveClusteringConfig
-from repro.core.cost_model import CostParameters, StorageScenario, SystemCostConstants
+from repro.core.cost_model import CostParameters
 from repro.core.index import AdaptiveClusteringIndex
 from repro.evaluation.metrics import MethodResult, aggregate_executions
 from repro.workloads.datasets import Dataset

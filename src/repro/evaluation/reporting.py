@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.evaluation.experiments import ExperimentResult
-from repro.evaluation.metrics import MethodResult
+from repro.evaluation.streaming import StreamingBenchResult
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -147,5 +147,89 @@ def format_experiment_result(result: ExperimentResult) -> str:
         "",
         "-- speedup over Sequential Scan --",
         format_speedup_summary(result),
+    ]
+    return "\n".join(sections)
+
+
+def format_streaming_result(result: StreamingBenchResult) -> str:
+    """Full text report of one streaming pub/sub benchmark run."""
+    throughput_rows: List[List[object]] = []
+    churn_rows: List[List[object]] = []
+    cost_rows: List[List[object]] = []
+    for label, method in result.results.items():
+        stats = method.stats
+        percentiles = stats.latency_percentiles()
+        throughput_rows.append(
+            [
+                label,
+                round(method.events_per_second, 1),
+                stats.batches,
+                round(stats.average_batch_size(), 1),
+                percentiles["p50"],
+                percentiles["p95"],
+                percentiles["p99"],
+                stats.cache_hits,
+                stats.deduplicated,
+            ]
+        )
+        churn_rows.append(
+            [
+                label,
+                method.initial_subscriptions,
+                stats.registered,
+                stats.unregistered,
+                method.final_subscriptions,
+            ]
+        )
+        execution = stats.total_execution
+        cost_rows.append(
+            [
+                label,
+                execution.signature_checks,
+                execution.groups_explored,
+                execution.objects_verified,
+                method.notifications,
+                method.modeled_ms_per_event,
+            ]
+        )
+    sections = [
+        f"== {result.experiment_id}: {result.title} ==",
+        f"scenario: {result.scenario.value}",
+        f"parameters: {result.parameters}",
+        "",
+        "-- throughput and match latency --",
+        format_table(
+            [
+                "method",
+                "events/s",
+                "batches",
+                "avg batch",
+                "p50 [ms]",
+                "p95 [ms]",
+                "p99 [ms]",
+                "cache hits",
+                "dedup",
+            ],
+            throughput_rows,
+        ),
+        "",
+        "-- subscription churn --",
+        format_table(
+            ["method", "initial subs", "registered", "unregistered", "final subs"],
+            churn_rows,
+        ),
+        "",
+        "-- cost-model counters (stream totals) --",
+        format_table(
+            [
+                "method",
+                "sig. checks",
+                "groups expl.",
+                "objs verified",
+                "notifications",
+                "modeled ms/event",
+            ],
+            cost_rows,
+        ),
     ]
     return "\n".join(sections)

@@ -11,7 +11,6 @@ simulated clock.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 from repro.core.cost_model import CostParameters
 from repro.storage.iostats import IOStatistics

@@ -15,7 +15,7 @@ behaviour the storage backends account for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 @dataclass

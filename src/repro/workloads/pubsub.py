@@ -8,13 +8,16 @@ against incoming events (offers).  This module provides:
   mapped to the normalised ``[0, 1]`` dimension the index operates on;
 * :class:`PublishSubscribeScenario` — generates subscription datasets
   (extended objects) and event streams (point or small-range queries);
+* :class:`StreamOp` / :meth:`PublishSubscribeScenario.generate_event_stream`
+  — an interleaved subscribe / unsubscribe / event schedule with
+  subscription churn, the input of the streaming matching engine;
 * :func:`apartment_ads_scenario` — the apartment-ads example from the
   paper's introduction ("rent between 400$ and 700$, 3 to 5 rooms, ...").
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -75,6 +78,28 @@ class AttributeSpec:
         return self.domain_low + value * (self.domain_high - self.domain_low)
 
 
+@dataclass(frozen=True)
+class StreamOp:
+    """One operation of a pub/sub stream schedule.
+
+    Attributes
+    ----------
+    kind:
+        ``"subscribe"`` (a new standing subscription arrives),
+        ``"unsubscribe"`` (an active subscription expires) or ``"event"``
+        (an incoming offer to match).
+    op_id:
+        The subscription identifier for churn operations, the event
+        identifier for events (events number their own sequence).
+    box:
+        The subscription or event box; ``None`` for unsubscriptions.
+    """
+
+    kind: str
+    op_id: int
+    box: Optional[HyperRectangle] = None
+
+
 class PublishSubscribeScenario:
     """Generates subscriptions and events for an SDI workload."""
 
@@ -99,8 +124,8 @@ class PublishSubscribeScenario:
         return [spec.name for spec in self.attributes]
 
     # ------------------------------------------------------------------
-    def generate_subscriptions(self, count: int, name: str = "subscriptions") -> Dataset:
-        """Generate *count* subscriptions as a dataset of extended objects."""
+    def _subscription_bounds(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw the normalized bounds of *count* random subscriptions."""
         dims = self.dimensions
         lows = np.zeros((count, dims))
         highs = np.ones((count, dims))
@@ -113,6 +138,21 @@ class PublishSubscribeScenario:
             starts = self._rng.random(count) * (1.0 - widths)
             lows[:, column] = np.where(wildcard, 0.0, starts)
             highs[:, column] = np.where(wildcard, 1.0, starts + widths)
+        return lows, np.minimum(highs, 1.0)
+
+    def _event_bounds(
+        self, count: int, range_fraction: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw the normalized bounds of *count* random events."""
+        if not 0.0 <= range_fraction < 1.0:
+            raise ValueError("range_fraction must lie in [0, 1)")
+        lows = self._rng.random((count, self.dimensions)) * (1.0 - range_fraction)
+        highs = np.minimum(lows + range_fraction, 1.0)
+        return lows, highs
+
+    def generate_subscriptions(self, count: int, name: str = "subscriptions") -> Dataset:
+        """Generate *count* subscriptions as a dataset of extended objects."""
+        lows, highs = self._subscription_bounds(count)
         return Dataset(
             ids=np.arange(count, dtype=np.int64),
             lows=lows,
@@ -146,15 +186,8 @@ class PublishSubscribeScenario:
         Events are matched against subscriptions with the ``CONTAINS``
         relation: a subscription matches when it encloses the event.
         """
-        if not 0.0 <= range_fraction < 1.0:
-            raise ValueError("range_fraction must lie in [0, 1)")
-        dims = self.dimensions
-        lows = self._rng.random((count, dims)) * (1.0 - range_fraction)
-        highs = lows + range_fraction
-        queries = [
-            HyperRectangle(lows[row], np.minimum(highs[row], 1.0))
-            for row in range(count)
-        ]
+        lows, highs = self._event_bounds(count, range_fraction)
+        queries = [HyperRectangle(lows[row], highs[row]) for row in range(count)]
         return QueryWorkload(
             queries=queries,
             relation=SpatialRelation.CONTAINS,
@@ -165,6 +198,73 @@ class PublishSubscribeScenario:
                 "name": name,
             },
         )
+
+    def generate_event_stream(
+        self,
+        event_count: int,
+        active_ids: Sequence[int],
+        subscribe_probability: float = 0.02,
+        unsubscribe_probability: float = 0.02,
+        resubscribe_probability: float = 0.25,
+        repeat_probability: float = 0.0,
+        range_fraction: float = 0.0,
+    ) -> List[StreamOp]:
+        """Generate an interleaved subscribe / unsubscribe / event schedule.
+
+        The schedule models a live notification service: between events,
+        subscriptions expire and new ones arrive.  Starting from the
+        *active_ids* population (typically the identifiers of an initial
+        :meth:`generate_subscriptions` dataset), each of the *event_count*
+        slots first draws churn — with *unsubscribe_probability* a random
+        active subscription expires, with *subscribe_probability* a new
+        one arrives (reusing a previously expired identifier with
+        *resubscribe_probability*, so delete-then-reinsert is exercised) —
+        and then emits one event.  With *repeat_probability* the event
+        re-publishes one of the last hundred offers instead of drawing a
+        fresh one (re-broadcast and popular offers are the norm in real
+        notification feeds, and what the engine's result cache exploits).
+        Event identifiers number the event sequence
+        ``0..event_count-1``, independently of subscription identifiers.
+        """
+        for name, probability in (
+            ("subscribe_probability", subscribe_probability),
+            ("unsubscribe_probability", unsubscribe_probability),
+            ("resubscribe_probability", resubscribe_probability),
+            ("repeat_probability", repeat_probability),
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        active = [int(sub_id) for sub_id in active_ids]
+        retired: List[int] = []
+        next_id = max(active) + 1 if active else 0
+        recent: List[HyperRectangle] = []
+        operations: List[StreamOp] = []
+        for event_id in range(event_count):
+            if active and self._rng.random() < unsubscribe_probability:
+                expired = active.pop(int(self._rng.integers(len(active))))
+                retired.append(expired)
+                operations.append(StreamOp("unsubscribe", expired))
+            if self._rng.random() < subscribe_probability:
+                if retired and self._rng.random() < resubscribe_probability:
+                    sub_id = retired.pop(int(self._rng.integers(len(retired))))
+                else:
+                    sub_id = next_id
+                    next_id += 1
+                lows, highs = self._subscription_bounds(1)
+                operations.append(
+                    StreamOp("subscribe", sub_id, HyperRectangle(lows[0], highs[0]))
+                )
+                active.append(sub_id)
+            if recent and self._rng.random() < repeat_probability:
+                box = recent[int(self._rng.integers(len(recent)))]
+            else:
+                lows, highs = self._event_bounds(1, range_fraction)
+                box = HyperRectangle(lows[0], highs[0])
+                recent.append(box)
+                if len(recent) > 100:
+                    recent.pop(0)
+            operations.append(StreamOp("event", event_id, box))
+        return operations
 
     # ------------------------------------------------------------------
     def subscription_from_ranges(
@@ -210,7 +310,9 @@ def apartment_ads_scenario(seed: int = 0) -> PublishSubscribeScenario:
         AttributeSpec("monthly_rent_usd", 100, 5000, typical_width=0.15, wildcard_probability=0.05),
         AttributeSpec("rooms", 1, 10, typical_width=0.3, wildcard_probability=0.10),
         AttributeSpec("bathrooms", 1, 5, typical_width=0.4, wildcard_probability=0.30),
-        AttributeSpec("distance_to_city_miles", 0, 100, typical_width=0.25, wildcard_probability=0.10),
+        AttributeSpec(
+            "distance_to_city_miles", 0, 100, typical_width=0.25, wildcard_probability=0.10
+        ),
         AttributeSpec("surface_sqft", 200, 5000, typical_width=0.25, wildcard_probability=0.20),
         AttributeSpec("floor", 0, 30, typical_width=0.5, wildcard_probability=0.50),
         AttributeSpec("year_built", 1900, 2030, typical_width=0.4, wildcard_probability=0.40),

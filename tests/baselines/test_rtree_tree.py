@@ -73,6 +73,20 @@ class TestInsertion:
         with pytest.raises(ValueError):
             tree.insert(1, HyperRectangle([0.1], [0.2]))
 
+    def test_rejected_bulk_load_leaves_the_tree_untouched(self, rng):
+        tree = RStarTree(4)
+        good = random_box(rng)
+        with pytest.raises(ValueError):
+            tree.bulk_load([(1, good), (2, HyperRectangle([0.1], [0.2]))])
+        with pytest.raises(KeyError):
+            tree.bulk_load([(3, good), (3, random_box(rng))])
+        # The whole batch is validated before any mutation, so the failed
+        # loads did not leak partial state.
+        assert tree.n_objects == 0
+        assert 1 not in tree
+        tree.insert(1, good)
+        assert np.array_equal(tree.query(good, SpatialRelation.INTERSECTS), [1])
+
     def test_contains(self, built_tree):
         tree, _ = built_tree
         assert 0 in tree

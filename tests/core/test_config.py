@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import AdaptiveClusteringConfig
-from repro.core.cost_model import CostParameters, StorageScenario
+from repro.core.cost_model import StorageScenario
 
 
 class TestConstruction:

@@ -7,7 +7,6 @@ from repro.core.config import AdaptiveClusteringConfig
 from repro.core.cost_model import CostParameters, StorageScenario, SystemCostConstants
 from repro.core.index import AdaptiveClusteringIndex
 from repro.geometry.box import HyperRectangle
-from repro.geometry.relations import SpatialRelation
 from repro.storage.disk import SimulatedDisk
 
 

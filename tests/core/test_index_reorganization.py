@@ -7,8 +7,6 @@ from repro.core.config import AdaptiveClusteringConfig
 from repro.core.cost_model import CostParameters
 from repro.core.index import AdaptiveClusteringIndex
 from repro.evaluation.metrics import ModeledCostModel
-from repro.geometry.box import HyperRectangle
-from repro.geometry.relations import SpatialRelation
 from repro.workloads.queries import generate_query_workload
 from repro.workloads.uniform import generate_uniform_dataset
 

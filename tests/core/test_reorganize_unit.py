@@ -1,7 +1,5 @@
 """Unit tests for the reorganizer's decision policy in isolation."""
 
-import pytest
-
 from repro.core.config import AdaptiveClusteringConfig
 from repro.core.cost_model import CostParameters, SystemCostConstants
 from repro.core.index import AdaptiveClusteringIndex

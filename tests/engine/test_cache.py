@@ -1,0 +1,160 @@
+"""Unit tests for the LRU result cache and its precise churn invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import LRUResultCache, result_cache_key
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+
+
+def _point(*values):
+    return HyperRectangle.from_point(np.asarray(values, dtype=np.float64))
+
+
+def _key(box, relation=SpatialRelation.CONTAINS):
+    return result_cache_key(box, relation)
+
+
+def _ids(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestCacheKey:
+    def test_identical_boxes_share_a_key(self):
+        assert _key(_point(0.1, 0.2)) == _key(_point(0.1, 0.2))
+
+    def test_different_boxes_differ(self):
+        assert _key(_point(0.1, 0.2)) != _key(_point(0.1, 0.3))
+
+    def test_relation_is_part_of_the_key(self):
+        point = _point(0.1, 0.2)
+        assert _key(point) != _key(point, SpatialRelation.INTERSECTS)
+
+
+class TestLRUResultCache:
+    def test_put_get_round_trip(self):
+        cache = LRUResultCache(4)
+        cache.put(_key(_point(0.1, 0.2)), _point(0.1, 0.2), _ids(1, 2, 3))
+        found = cache.get(_key(_point(0.1, 0.2)))
+        assert found.tolist() == [1, 2, 3]
+        assert cache.hits == 1
+        assert cache.misses == 0
+
+    def test_miss_counts(self):
+        cache = LRUResultCache(4)
+        assert cache.get(b"missing") is None
+        assert cache.misses == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = LRUResultCache(2)
+        boxes = [_point(0.1, 0.1), _point(0.2, 0.2), _point(0.3, 0.3)]
+        cache.put(_key(boxes[0]), boxes[0], _ids(1))
+        cache.put(_key(boxes[1]), boxes[1], _ids(2))
+        assert cache.get(_key(boxes[0])) is not None  # refresh; boxes[1] oldest
+        cache.put(_key(boxes[2]), boxes[2], _ids(3))
+        assert cache.get(_key(boxes[1])) is None
+        assert cache.get(_key(boxes[0])) is not None
+        assert cache.get(_key(boxes[2])) is not None
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUResultCache(0)
+        cache.put(_key(_point(0.1, 0.2)), _point(0.1, 0.2), _ids(1))
+        assert len(cache) == 0
+        assert cache.get(_key(_point(0.1, 0.2))) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUResultCache(-1)
+
+    def test_returned_arrays_are_copies(self):
+        cache = LRUResultCache(4)
+        box = _point(0.1, 0.2)
+        stored = _ids(1, 2)
+        cache.put(_key(box), box, stored)
+        stored[0] = 99  # the producer mutating its array must not leak in
+        first = cache.get(_key(box))
+        first[1] = 88  # nor a consumer mutating its result
+        second = cache.get(_key(box))
+        assert first.tolist() == [1, 88]
+        assert second.tolist() == [1, 2]
+
+    def test_clear_empties_but_keeps_counters(self):
+        cache = LRUResultCache(4)
+        box = _point(0.1, 0.2)
+        cache.put(_key(box), box, _ids(1))
+        cache.get(_key(box))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(_key(box)) is None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+
+class TestPreciseInvalidation:
+    """Churn patches exactly the entries whose match set changed."""
+
+    def test_apply_insert_patches_matching_entries_in_order(self):
+        cache = LRUResultCache(4)
+        inside = _point(0.5, 0.5)
+        outside = _point(0.05, 0.05)
+        cache.put(_key(inside), inside, _ids(3, 9))
+        cache.put(_key(outside), outside, _ids(4))
+        subscription = HyperRectangle([0.3, 0.3], [0.7, 0.7])
+        cache.apply_insert(7, subscription, SpatialRelation.CONTAINS)
+        assert cache.get(_key(inside)).tolist() == [3, 7, 9]  # sorted insert
+        assert cache.get(_key(outside)).tolist() == [4]
+        assert cache.patches == 1
+
+    def test_apply_delete_patches_containing_entries(self):
+        cache = LRUResultCache(4)
+        first = _point(0.5, 0.5)
+        second = _point(0.9, 0.9)
+        cache.put(_key(first), first, _ids(3, 7, 9))
+        cache.put(_key(second), second, _ids(4))
+        cache.apply_delete(7)
+        assert cache.get(_key(first)).tolist() == [3, 9]
+        assert cache.get(_key(second)).tolist() == [4]
+        cache.apply_delete(12345)  # unknown identifier: no entry changes
+        assert cache.get(_key(first)).tolist() == [3, 9]
+
+    @pytest.mark.parametrize(
+        "relation",
+        [
+            SpatialRelation.CONTAINS,
+            SpatialRelation.INTERSECTS,
+            SpatialRelation.CONTAINED_BY,
+        ],
+    )
+    def test_apply_insert_agrees_with_matching_mask(self, relation):
+        from repro.geometry.vectorized import matching_mask
+
+        rng = np.random.default_rng(31)
+        cache = LRUResultCache(64)
+        queries = []
+        for _ in range(20):
+            lows = rng.random(3) * 0.6
+            box = HyperRectangle(lows, lows + rng.random(3) * 0.4)
+            queries.append(box)
+            cache.put(_key(box, relation), box, _ids())
+        sub_lows = rng.random(3) * 0.5
+        subscription = HyperRectangle(sub_lows, sub_lows + rng.random(3) * 0.5)
+        cache.apply_insert(1, subscription, relation)
+        for box in queries:
+            expected = bool(
+                matching_mask(
+                    subscription.lows[None, :],
+                    subscription.highs[None, :],
+                    box,
+                    relation,
+                )[0]
+            )
+            patched = cache.get(_key(box, relation)).tolist() == [1]
+            assert patched == expected
+
+    def test_empty_cache_is_a_no_op(self):
+        cache = LRUResultCache(4)
+        cache.apply_insert(1, HyperRectangle([0.0], [1.0]), SpatialRelation.CONTAINS)
+        cache.apply_delete(1)
+        assert cache.patches == 0

@@ -1,0 +1,77 @@
+"""Tests for the streaming pub/sub benchmark and its report."""
+
+import pytest
+
+from repro.evaluation.reporting import format_streaming_result
+from repro.evaluation.streaming import pubsub_streaming_bench
+
+
+@pytest.fixture(scope="module")
+def result():
+    return pubsub_streaming_bench(
+        subscriptions=300,
+        events=120,
+        batch_size=32,
+        warmup_events=40,
+        subscribe_probability=0.1,
+        unsubscribe_probability=0.1,
+        seed=4,
+    )
+
+
+class TestPubsubStreamingBench:
+    def test_all_methods_measured(self, result):
+        assert result.methods() == ["AC", "SS", "RS"]
+        for method in result.results.values():
+            assert method.stats.events == 120
+            assert method.stats.batches >= 1
+            assert method.events_per_second > 0
+            assert method.modeled_time_ms > 0
+
+    def test_methods_agree_on_notifications(self, result):
+        notifications = {m.notifications for m in result.results.values()}
+        assert len(notifications) == 1
+
+    def test_default_stream_exercises_the_cache(self, result):
+        # The default repeat probability re-publishes offers, so the result
+        # cache (the feature the bench reports on) actually hits.
+        for method in result.results.values():
+            assert method.stats.cache_hits + method.stats.deduplicated > 0
+
+    def test_churn_is_applied(self, result):
+        for method in result.results.values():
+            assert method.stats.registered > 0
+            assert method.stats.unregistered > 0
+            expected = (
+                method.initial_subscriptions
+                + method.stats.registered
+                - method.stats.unregistered
+            )
+            assert method.final_subscriptions == expected
+
+    def test_method_subset_and_unknown_method(self):
+        subset = pubsub_streaming_bench(
+            subscriptions=100, events=20, warmup_events=0, methods=["SS"]
+        )
+        assert subset.methods() == ["SS"]
+        with pytest.raises(ValueError):
+            pubsub_streaming_bench(
+                subscriptions=100, events=20, methods=["nope"]
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            pubsub_streaming_bench(subscriptions=0)
+        with pytest.raises(ValueError):
+            pubsub_streaming_bench(events=0)
+        with pytest.raises(ValueError):
+            pubsub_streaming_bench(warmup_events=-1)
+
+    def test_report_renders(self, result):
+        report = format_streaming_result(result)
+        assert "pubsub-stream-memory" in report
+        assert "events/s" in report
+        assert "subscription churn" in report
+        assert "cost-model counters" in report
+        for label in ("AC", "SS", "RS"):
+            assert label in report

@@ -69,3 +69,65 @@ class TestExecution:
         )
         assert exit_code == 0
         assert "point-enclosing-memory" in capsys.readouterr().out
+
+    def test_pubsub_bench_tiny_run(self, capsys, tmp_path):
+        output_file = tmp_path / "stream.txt"
+        exit_code = main(
+            [
+                "pubsub-bench",
+                "--subscriptions", "300",
+                "--events", "60",
+                "--batch-size", "16",
+                "--warmup", "20",
+                "--seed", "3",
+                "--output", str(output_file),
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "pubsub-stream-memory" in printed
+        assert "events/s" in printed
+        assert "subscription churn" in printed
+        assert "events/s" in output_file.read_text()
+
+
+class TestErrorPaths:
+    """Bad parameter values exit non-zero with a message, not a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fig7", "--objects", "-5"],
+            ["fig7", "--objects", "0"],
+            ["fig7", "--objects", "500", "--queries", "0"],
+            ["fig7", "--objects", "500", "--warmup", "-1"],
+            ["point-enclosing", "--queries", "-3"],
+            ["pubsub-bench", "--subscriptions", "-1"],
+            ["pubsub-bench", "--events", "0"],
+            ["pubsub-bench", "--batch-size", "0"],
+            ["pubsub-bench", "--cache-size", "-1"],
+            ["pubsub-bench", "--subscribe-prob", "1.5"],
+            ["pubsub-bench", "--unsubscribe-prob", "-0.1"],
+            ["pubsub-bench", "--repeat-prob", "2.0"],
+            ["pubsub-bench", "--range-fraction", "1.0"],
+        ],
+    )
+    def test_invalid_values_exit_with_code_2(self, argv, capsys):
+        exit_code = main(argv)
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert captured.out == ""
+
+    def test_runner_value_errors_are_reported_cleanly(self, capsys, monkeypatch):
+        # Errors the upfront validation cannot anticipate (raised deep
+        # inside an experiment) are still reported as a one-line message.
+        import repro.cli as cli
+
+        def boom(args):
+            raise ValueError("deep experiment failure")
+
+        monkeypatch.setitem(cli._COMMANDS, "fig7", boom)
+        exit_code = main(["fig7"])
+        assert exit_code == 2
+        assert "deep experiment failure" in capsys.readouterr().err

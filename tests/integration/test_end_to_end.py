@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.cost_model import CostParameters, StorageScenario
+from repro.core.cost_model import CostParameters
 from repro.evaluation.experiments import point_enclosing_experiment, selectivity_sweep
 from repro.evaluation.harness import ExperimentHarness
 from repro.workloads.queries import generate_query_workload

@@ -7,6 +7,7 @@ from repro.geometry.relations import SpatialRelation
 from repro.workloads.pubsub import (
     AttributeSpec,
     PublishSubscribeScenario,
+    StreamOp,
     apartment_ads_scenario,
 )
 
@@ -115,6 +116,88 @@ class TestScenario:
         outside = scenario.event_from_values({"price": 700, "rooms": 5, "distance": 50})
         assert subscription.contains(inside)
         assert not subscription.contains(outside)
+
+
+class TestEventStream:
+    def test_event_ops_number_their_own_sequence(self, scenario):
+        operations = scenario.generate_event_stream(80, range(10))
+        events = [op for op in operations if op.kind == "event"]
+        assert [op.op_id for op in events] == list(range(80))
+        assert all(op.box is not None and op.box.is_point() for op in events)
+
+    def test_churn_ops_are_consistent(self, scenario):
+        operations = scenario.generate_event_stream(
+            400,
+            range(50),
+            subscribe_probability=0.3,
+            unsubscribe_probability=0.3,
+            resubscribe_probability=0.5,
+        )
+        active = set(range(50))
+        retired = set()
+        resubscribed = 0
+        for op in operations:
+            if op.kind == "unsubscribe":
+                assert op.op_id in active
+                assert op.box is None
+                active.remove(op.op_id)
+                retired.add(op.op_id)
+            elif op.kind == "subscribe":
+                assert op.op_id not in active
+                assert op.box is not None
+                assert np.all(op.box.lows >= 0.0) and np.all(op.box.highs <= 1.0)
+                if op.op_id in retired:
+                    resubscribed += 1
+                    retired.remove(op.op_id)
+                active.add(op.op_id)
+        assert sum(op.kind == "unsubscribe" for op in operations) > 0
+        assert sum(op.kind == "subscribe" for op in operations) > 0
+        assert resubscribed > 0  # delete-then-reinsert is exercised
+
+    def test_deterministic_for_a_seed(self):
+        attributes = [AttributeSpec("a", 0, 1), AttributeSpec("b", 0, 1)]
+        first = PublishSubscribeScenario(attributes, seed=9).generate_event_stream(
+            60, range(20), subscribe_probability=0.2, unsubscribe_probability=0.2
+        )
+        second = PublishSubscribeScenario(attributes, seed=9).generate_event_stream(
+            60, range(20), subscribe_probability=0.2, unsubscribe_probability=0.2
+        )
+        assert len(first) == len(second)
+        for op_a, op_b in zip(first, second):
+            assert (op_a.kind, op_a.op_id) == (op_b.kind, op_b.op_id)
+            if op_a.box is not None:
+                assert np.array_equal(op_a.box.lows, op_b.box.lows)
+                assert np.array_equal(op_a.box.highs, op_b.box.highs)
+
+    def test_range_events(self, scenario):
+        operations = scenario.generate_event_stream(30, range(5), range_fraction=0.2)
+        events = [op for op in operations if op.kind == "event"]
+        assert all(not op.box.is_point() for op in events)
+
+    def test_empty_initial_population(self, scenario):
+        operations = scenario.generate_event_stream(
+            40, [], subscribe_probability=0.5, unsubscribe_probability=0.5
+        )
+        # Identifiers start at zero and unsubscribes never precede their
+        # subscription.
+        active = set()
+        for op in operations:
+            if op.kind == "subscribe":
+                active.add(op.op_id)
+            elif op.kind == "unsubscribe":
+                assert op.op_id in active
+                active.remove(op.op_id)
+
+    def test_probability_validation(self, scenario):
+        with pytest.raises(ValueError):
+            scenario.generate_event_stream(10, [], subscribe_probability=1.5)
+        with pytest.raises(ValueError):
+            scenario.generate_event_stream(10, [], unsubscribe_probability=-0.1)
+
+    def test_stream_op_is_frozen(self):
+        operation = StreamOp("unsubscribe", 3)
+        with pytest.raises(AttributeError):
+            operation.op_id = 4
 
 
 class TestApartmentScenario:
