@@ -43,7 +43,4 @@ def test_fig8_memory_sweep(benchmark, results_dir):
         assert ac <= ss * 1.05
     # AC verifies fewer objects than RS on skewed data (paper: 4x fewer).
     for row in result.rows:
-        assert (
-            row.results["AC"].verified_fraction
-            <= row.results["RS"].verified_fraction + 0.05
-        )
+        assert row.results["AC"].verified_fraction <= row.results["RS"].verified_fraction + 0.05

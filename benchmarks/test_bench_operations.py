@@ -115,9 +115,7 @@ def fig7_dataset():
 
 @pytest.fixture(scope="module")
 def fig7_workload(fig7_dataset):
-    return generate_query_workload(
-        fig7_dataset, 50, target_selectivity=5e-5, seed=8
-    )
+    return generate_query_workload(fig7_dataset, 50, target_selectivity=5e-5, seed=8)
 
 
 @pytest.fixture(scope="module")
@@ -125,9 +123,7 @@ def fig7_adaptive(fig7_dataset, fig7_workload):
     cost = CostParameters.memory_defaults(DIMENSIONS)
     index = AdaptiveClusteringIndex(config=AdaptiveClusteringConfig(cost=cost))
     fig7_dataset.load_into(index)
-    warmup = [
-        fig7_workload.queries[i % len(fig7_workload.queries)] for i in range(600)
-    ]
+    warmup = [fig7_workload.queries[i % len(fig7_workload.queries)] for i in range(600)]
     index.query_batch(warmup, fig7_workload.relation)
     # One more query so the stacked matrices (invalidated by the final
     # warm-up reorganization) are rebuilt outside the measured window.
@@ -138,9 +134,9 @@ def fig7_adaptive(fig7_dataset, fig7_workload):
 def run_query_loop(index, workload):
     results, executions = [], []
     for query in workload.queries:
-        found, execution = index.query_with_stats(query, workload.relation)
-        results.append(found)
-        executions.append(execution)
+        result = index.execute(query, workload.relation)
+        results.append(result.ids)
+        executions.append(result.execution)
     return results, executions
 
 
@@ -151,7 +147,7 @@ class TestBatchQueryEngine:
 
     def test_query_batch(self, benchmark, fig7_adaptive, fig7_workload):
         benchmark(
-            fig7_adaptive.query_batch_with_stats,
+            fig7_adaptive.execute_batch,
             fig7_workload.queries,
             fig7_workload.relation,
         )
@@ -174,10 +170,10 @@ def test_batch_speedup_and_equivalence(fig7_adaptive, fig7_workload):
 
         batch_index = copy.deepcopy(fig7_adaptive)
         start = time.perf_counter()
-        batch_results, batch_execs = batch_index.query_batch_with_stats(
-            fig7_workload.queries, fig7_workload.relation
-        )
+        batch = batch_index.execute_batch(fig7_workload.queries, fig7_workload.relation)
         batch_times.append(time.perf_counter() - start)
+        batch_results = [result.ids for result in batch]
+        batch_execs = [result.execution for result in batch]
 
     for loop_ids, batch_ids in zip(loop_results, batch_results):
         assert loop_ids.tobytes() == batch_ids.tobytes()
@@ -239,9 +235,7 @@ class TestInsertionThroughput:
         boxes = self._boxes(seed=41)
 
         def build():
-            index = AdaptiveClusteringIndex(
-                config=AdaptiveClusteringConfig.for_memory(DIMENSIONS)
-            )
+            index = AdaptiveClusteringIndex(config=AdaptiveClusteringConfig.for_memory(DIMENSIONS))
             for object_id, box in boxes:
                 index.insert(object_id, box)
             return index.n_objects

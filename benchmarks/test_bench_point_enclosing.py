@@ -16,9 +16,7 @@ OBJECTS = scaled(15_000, 1_000_000)
 
 
 def _speedup(row):
-    return (
-        row.results["SS"].avg_modeled_time_ms / row.results["AC"].avg_modeled_time_ms
-    )
+    return row.results["SS"].avg_modeled_time_ms / row.results["AC"].avg_modeled_time_ms
 
 
 @pytest.mark.benchmark(group="point-enclosing")

@@ -12,10 +12,10 @@ import copy
 import time
 
 from benchmarks.conftest import scaled, write_report
+from repro.api import Database, create_backend
 from repro.core.config import AdaptiveClusteringConfig
 from repro.core.cost_model import CostParameters
-from repro.core.index import AdaptiveClusteringIndex
-from repro.engine import StreamingConfig, StreamingMatcher
+from repro.engine import StreamingConfig
 from repro.geometry.relations import SpatialRelation
 from repro.workloads.pubsub import apartment_ads_scenario
 
@@ -53,7 +53,7 @@ def stream(pubsub, subscriptions):
 
 @pytest.fixture(scope="module")
 def adapted_index(pubsub, subscriptions):
-    """An adaptive index loaded and adapted to the event distribution.
+    """A registry-created adaptive index adapted to the event distribution.
 
     The serving configuration reorganizes every 400 queries (the paper's
     measurement default of 100 re-evaluates every cluster's split/merge
@@ -61,8 +61,10 @@ def adapted_index(pubsub, subscriptions):
     both serving strategies use the same configuration).
     """
     cost = CostParameters.memory_defaults(pubsub.dimensions)
-    index = AdaptiveClusteringIndex(
-        config=AdaptiveClusteringConfig(cost=cost, reorganization_period=400)
+    index = create_backend(
+        "ac",
+        pubsub.dimensions,
+        config=AdaptiveClusteringConfig(cost=cost, reorganization_period=400),
     )
     subscriptions.load_into(index)
     warmup = pubsub.generate_events(1_200)
@@ -82,29 +84,26 @@ def run_per_event_loop(index, operations):
         elif operation.kind == "unsubscribe":
             index.delete(operation.op_id)
         else:
-            ids, _ = index.query_with_stats(operation.box, SpatialRelation.CONTAINS)
+            ids = index.execute(operation.box, SpatialRelation.CONTAINS).ids
             ids.sort()  # canonical delivery order, matching the engine's
             matches[operation.op_id] = ids
     return matches
 
 
 def run_streaming(index, operations):
-    """The serving loop under test: micro-batching matcher with cache."""
-    matcher = StreamingMatcher(
-        index,
+    """The serving loop under test: a Database-attached streaming session."""
+    matcher = Database(index).session(
         StreamingConfig(
             max_batch_size=256,
             cache_size=2_048,
             relation=SpatialRelation.CONTAINS,
-        ),
+        )
     )
     records = matcher.run(operations)
     return {record.event_id: record.matches for record in records}, matcher.stats
 
 
-def test_streaming_speedup_and_equivalence(
-    adapted_index, stream, results_dir
-):
+def test_streaming_speedup_and_equivalence(adapted_index, stream, results_dir):
     """Throughput gate with byte-identical match sets under churn.
 
     Every pass runs on a fresh deep copy of the same adapted index so both

@@ -16,7 +16,6 @@ from __future__ import annotations
 from repro import (
     AdaptiveClusteringConfig,
     AdaptiveClusteringIndex,
-    SpatialRelation,
     StorageScenario,
 )
 from repro.core.cost_model import CostParameters
@@ -41,7 +40,7 @@ def run_scenario(scenario: StorageScenario, dataset, workload) -> None:
     model = ModeledCostModel(cost)
     explored = verified = modeled = 0.0
     for query in workload.queries:
-        _, stats = index.query_with_stats(query, workload.relation)
+        stats = index.execute(query, workload.relation).execution
         explored += stats.groups_explored
         verified += stats.objects_verified
         modeled += model.query_time_ms(stats)
@@ -63,9 +62,7 @@ def run_scenario(scenario: StorageScenario, dataset, workload) -> None:
 
 def main() -> None:
     dataset = generate_uniform_dataset(OBJECTS, DIMENSIONS, seed=3)
-    workload = generate_query_workload(
-        dataset, count=60, target_selectivity=SELECTIVITY, seed=4
-    )
+    workload = generate_query_workload(dataset, count=60, target_selectivity=SELECTIVITY, seed=4)
     print(
         f"{OBJECTS} uniform {DIMENSIONS}-d objects, intersection queries at "
         f"~{SELECTIVITY:.1%} selectivity\n"

@@ -36,9 +36,7 @@ def main() -> None:
     subscriptions = scenario.generate_subscriptions(30_000)
     cost = CostParameters.memory_defaults(scenario.dimensions)
 
-    index = AdaptiveClusteringIndex(
-        config=AdaptiveClusteringConfig(cost=cost)
-    )
+    index = AdaptiveClusteringIndex(config=AdaptiveClusteringConfig(cost=cost))
     subscriptions.load_into(index)
 
     scan = SequentialScan(scenario.dimensions, cost=cost)
@@ -62,10 +60,7 @@ def main() -> None:
     warmup_events = scenario.generate_events(1_000)
     for event in warmup_events.queries:
         index.query(event, SpatialRelation.CONTAINS)
-    print(
-        f"index adapted: {index.n_clusters} clusters for "
-        f"{index.n_objects} subscriptions"
-    )
+    print(f"index adapted: {index.n_clusters} clusters for " f"{index.n_objects} subscriptions")
 
     # ------------------------------------------------------------------
     # Process a stream of offers and compare against the sequential scan.
@@ -78,16 +73,16 @@ def main() -> None:
     ac_wall = ss_wall = 0.0
     for event in events.queries:
         start = time.perf_counter()
-        matches, ac_stats = index.query_with_stats(event, SpatialRelation.CONTAINS)
+        ac_result = index.execute(event, SpatialRelation.CONTAINS)
         ac_wall += time.perf_counter() - start
         start = time.perf_counter()
-        scan_matches, ss_stats = scan.query_with_stats(event, SpatialRelation.CONTAINS)
+        ss_result = scan.execute(event, SpatialRelation.CONTAINS)
         ss_wall += time.perf_counter() - start
 
-        assert set(matches.tolist()) == set(scan_matches.tolist())
-        notified += matches.size
-        ac_model_ms += model.query_time_ms(ac_stats)
-        ss_model_ms += model.query_time_ms(ss_stats)
+        assert set(ac_result.ids.tolist()) == set(ss_result.ids.tolist())
+        notified += len(ac_result)
+        ac_model_ms += model.query_time_ms(ac_result.execution)
+        ss_model_ms += model.query_time_ms(ss_result.execution)
 
     count = len(events.queries)
     print(f"processed {count} events, {notified} notifications delivered")

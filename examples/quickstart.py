@@ -22,9 +22,7 @@ def main() -> None:
     dimensions = 6
 
     # An index over 6-dimensional extended objects, in-memory cost model.
-    index = AdaptiveClusteringIndex(
-        config=AdaptiveClusteringConfig.for_memory(dimensions)
-    )
+    index = AdaptiveClusteringIndex(config=AdaptiveClusteringConfig.for_memory(dimensions))
 
     # Insert 5,000 random hyper-rectangles.
     for object_id in range(5_000):
@@ -51,9 +49,7 @@ def main() -> None:
     for _ in range(500):
         center = rng.uniform(0.1, 0.9, size=dimensions)
         half_width = rng.uniform(0.05, 0.2, size=dimensions)
-        box = HyperRectangle(
-            np.clip(center - half_width, 0, 1), np.clip(center + half_width, 0, 1)
-        )
+        box = HyperRectangle(np.clip(center - half_width, 0, 1), np.clip(center + half_width, 0, 1))
         index.query(box, SpatialRelation.INTERSECTS)
 
     snapshot = index.snapshot()
@@ -63,8 +59,11 @@ def main() -> None:
         f"average {snapshot.average_cluster_size:.1f} objects per cluster"
     )
 
-    # Per-query work statistics are available for any query.
-    results, stats = index.query_with_stats(query, SpatialRelation.INTERSECTS)
+    # Per-query work statistics are available for any query: execute()
+    # returns a QueryResult carrying the ids and the execution counters.
+    # (It replaces the deprecated query_with_stats() tuple method.)
+    result = index.execute(query, SpatialRelation.INTERSECTS)
+    stats = result.execution
     print(
         f"last query explored {stats.groups_explored}/{index.n_clusters} clusters "
         f"and verified {stats.objects_verified}/{index.n_objects} objects "
@@ -83,28 +82,51 @@ def main() -> None:
                 np.clip(center - half_width, 0, 1), np.clip(center + half_width, 0, 1)
             )
         )
-    batch_results, batch_stats = index.query_batch_with_stats(
-        batch, SpatialRelation.INTERSECTS
-    )
-    total_verified = sum(s.objects_verified for s in batch_stats)
+    batch_results = index.execute_batch(batch, SpatialRelation.INTERSECTS)
+    total_verified = sum(r.execution.objects_verified for r in batch_results)
     print(
         f"batch of {len(batch)} queries returned "
-        f"{sum(r.size for r in batch_results)} results "
+        f"{sum(len(r) for r in batch_results)} results "
         f"({total_verified} member verifications, all vectorised)"
     )
 
     # ------------------------------------------------------------------
+    # The backend API: registry, capabilities and the Database facade.
+    # ------------------------------------------------------------------
+    # Every access method (the adaptive index and the SequentialScan /
+    # RStarTree baselines) satisfies the same SpatialBackend protocol and
+    # is constructible by registry name — "ac", "ss", "rs" or any alias.
+    from repro import Database, UnsupportedOperation, create_backend
+
+    scan = create_backend("ss", dimensions)
+    scan.bulk_load((object_id, index.get(object_id)) for object_id in range(100))
+    print(
+        f"registry backend {scan.capabilities.name!r} loaded "
+        f"{scan.n_objects} objects; persistence supported: "
+        f"{scan.capabilities.supports_persistence}"
+    )
+
+    # The Database facade composes a backend with persistence and
+    # streaming sessions; unsupported operations raise instead of
+    # failing deep inside duck-typed code.
+    database = Database(index)
+    try:
+        Database.create("rs", dimensions).save("unused.npz")
+    except UnsupportedOperation as error:
+        print(f"capability gate: {error}")
+
+    # ------------------------------------------------------------------
     # Streaming: serve a live event stream through the same index.
     # ------------------------------------------------------------------
-    # The StreamingMatcher micro-batches published events into query_batch
-    # calls, maps subscription churn to insert/delete (flushing pending
-    # events first, so every event sees exactly the subscriptions that
-    # were active when it arrived) and answers repeated events from an
-    # LRU result cache.
-    from repro import StreamingConfig, StreamingMatcher
+    # A session attached through the Database facade micro-batches
+    # published events into execute_batch calls, maps subscription churn
+    # to insert/delete (flushing pending events first, so every event
+    # sees exactly the subscriptions that were active when it arrived)
+    # and answers repeated events from an LRU result cache.
+    from repro import StreamingConfig
 
-    matcher = StreamingMatcher(
-        index, StreamingConfig(max_batch_size=32, relation=SpatialRelation.CONTAINS)
+    matcher = database.session(
+        StreamingConfig(max_batch_size=32, relation=SpatialRelation.CONTAINS)
     )
     matcher.register(10_000, HyperRectangle(np.zeros(dimensions), np.ones(dimensions)))
     delivered = []

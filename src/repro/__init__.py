@@ -20,17 +20,26 @@ Quickstart
 
 Whole workloads go through the vectorised batch engine — one call prunes
 every cluster for every query at once and returns per-query results (and,
-via ``query_batch_with_stats``, the per-query cost counters), identical to
-running the queries one at a time:
+via ``execute_batch``, the per-query cost counters), identical to running
+the queries one at a time:
 
 >>> queries = [HyperRectangle.from_point([0.2, 0.15, 0.2, 0.15]),
 ...            HyperRectangle.from_point([0.7, 0.6, 0.8, 0.7])]
 >>> [ids.tolist() for ids in index.query_batch(queries, SpatialRelation.CONTAINS)]
 [[1], [2]]
 
-``SequentialScan`` and ``RStarTree`` expose the same ``query_batch`` /
-``query_batch_with_stats`` API, and ``bulk_load`` routes whole insert
-batches with the same vectorised signature matching.
+Every access method satisfies the same :class:`~repro.api.SpatialBackend`
+protocol — ``insert`` / ``bulk_load`` / ``delete`` / ``delete_bulk`` /
+``query(_batch)`` / ``execute(_batch)`` — and is constructible by name
+through the backend registry:
+
+>>> from repro import create_backend
+>>> scan = create_backend("ss", dimensions=4)
+>>> scan.capabilities.supports_reorganization
+False
+
+The :class:`~repro.api.Database` facade composes a backend with snapshot
+persistence and attached streaming (pub/sub) sessions.
 """
 
 from repro.geometry import HyperRectangle, Interval, SpatialRelation
@@ -48,6 +57,21 @@ from repro.core import (
     save_index,
 )
 from repro.baselines import RStarTree, RStarTreeConfig, SequentialScan
+
+# The backend API package is imported after the core (it is already fully
+# loaded as a side effect of ``repro.core.index`` adopting the mixin; an
+# earlier import would leave ``repro.api.protocol`` partially initialized
+# when the core pulls it in).
+from repro.api import (
+    Capabilities,
+    Database,
+    QueryResult,
+    SpatialBackend,
+    UnsupportedOperation,
+    create_backend,
+    register_backend,
+    registered_backends,
+)
 from repro.storage import MemoryStorage, SimulatedDisk
 from repro.workloads import (
     Dataset,
@@ -78,6 +102,15 @@ __all__ = [
     "HyperRectangle",
     "Interval",
     "SpatialRelation",
+    # backend API
+    "SpatialBackend",
+    "Capabilities",
+    "QueryResult",
+    "UnsupportedOperation",
+    "Database",
+    "create_backend",
+    "register_backend",
+    "registered_backends",
     # core
     "AdaptiveClusteringIndex",
     "AdaptiveClusteringConfig",

@@ -1,0 +1,57 @@
+"""Unified backend API: protocol, capabilities, registry and facade.
+
+This package is the formal contract the rest of the system is written
+against:
+
+* :class:`~repro.api.protocol.SpatialBackend` — the lifecycle protocol
+  every access method satisfies (insert / bulk_load / delete /
+  delete_bulk / execute / execute_batch / query / query_batch).
+* :class:`~repro.api.protocol.QueryResult` — the unified query result
+  (ids + execution counters) replacing the deprecated ``*_with_stats``
+  tuple methods.
+* :class:`~repro.api.protocol.Capabilities` — per-backend feature
+  descriptor, so callers feature-detect instead of ``isinstance``-check.
+* :func:`~repro.api.registry.create_backend` /
+  :func:`~repro.api.registry.register_backend` — the name registry that
+  makes method strings ("ac", "ss", "rs" and their aliases) resolve
+  identically in the CLI, the harness, the experiments and the streaming
+  benchmarks.
+* :class:`~repro.api.database.Database` — a facade composing a backend
+  with persistence and attached streaming sessions.
+"""
+
+from repro.api.database import Database
+from repro.api.protocol import (
+    COST_COUNTERS,
+    BackendBase,
+    Capabilities,
+    QueryResult,
+    SpatialBackend,
+    UnsupportedOperation,
+)
+from repro.api.registry import (
+    BackendSpec,
+    backend_spec,
+    build_backend_for_dataset,
+    create_backend,
+    register_backend,
+    registered_backends,
+    resolve_method_label,
+)
+
+__all__ = [
+    "BackendBase",
+    "BackendSpec",
+    "COST_COUNTERS",
+    "Capabilities",
+    "Database",
+    "QueryResult",
+    "SpatialBackend",
+    "UnsupportedOperation",
+    "backend_spec",
+    "build_backend_for_dataset",
+    "create_backend",
+    "register_backend",
+    "registered_backends",
+    "resolve_method_label",
+]

@@ -1,0 +1,238 @@
+"""The ``Database`` facade: one handle over backend, persistence, streaming.
+
+The paper's system picture — a subscription database served by an adaptive
+access method — involves three collaborating pieces in this repository: a
+:class:`~repro.api.protocol.SpatialBackend` holding the objects, the
+snapshot persistence layer (for backends that advertise it) and the
+:class:`~repro.engine.StreamingMatcher` serving loop.  ``Database``
+composes them behind a single object::
+
+    from repro.api import Database
+
+    db = Database.create("ac", dimensions=16)
+    db.bulk_load(pairs)
+    result = db.execute(query, "intersects")   # QueryResult: ids + counters
+    db.save("subscriptions.npz")               # capability-gated
+
+    session = db.session()                     # attached StreamingMatcher
+    session.publish(1, event_box)
+
+Operations a backend does not advertise raise
+:class:`~repro.api.protocol.UnsupportedOperation` instead of failing with
+an :class:`AttributeError` deep inside duck-typed code.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.protocol import Capabilities, QueryResult, SpatialBackend
+from repro.api.registry import build_backend_for_dataset, create_backend
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cost_model import CostParameters
+    from repro.engine.matcher import MatchRecord, StreamingConfig, StreamingMatcher
+    from repro.storage import StorageBackend
+    from repro.workloads.datasets import Dataset
+
+
+class Database:
+    """A spatial database: a backend plus persistence and streaming sessions.
+
+    Construct one around an existing backend, or use the classmethod
+    constructors: :meth:`create` (empty, by registry name),
+    :meth:`from_dataset` (loaded the way the evaluation harness loads) and
+    :meth:`open` (recovered from a snapshot file).
+    """
+
+    def __init__(self, backend: SpatialBackend) -> None:
+        if not isinstance(backend, SpatialBackend):
+            raise TypeError(
+                "backend does not satisfy the SpatialBackend protocol; "
+                "see repro.api.protocol"
+            )
+        self._backend = backend
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        method: str,
+        dimensions: int,
+        *,
+        cost: "Optional[CostParameters]" = None,
+        config: Optional[object] = None,
+    ) -> "Database":
+        """Create an empty database over the backend registered as *method*."""
+        return cls(create_backend(method, dimensions, cost=cost, config=config))
+
+    @classmethod
+    def from_dataset(
+        cls,
+        method: str,
+        dataset: "Dataset",
+        *,
+        cost: "Optional[CostParameters]" = None,
+        config: Optional[object] = None,
+    ) -> "Database":
+        """Create a database pre-loaded with *dataset*."""
+        return cls(build_backend_for_dataset(method, dataset, cost, config))
+
+    @classmethod
+    def open(cls, path: "str | Path", storage: "Optional[StorageBackend]" = None) -> "Database":
+        """Recover a database from a snapshot written by :meth:`save`.
+
+        Snapshots are written only by backends advertising
+        ``supports_persistence`` (currently the adaptive clustering
+        index), so the recovered backend is always persistable.
+        """
+        from repro.core.persistence import load_index
+
+        return cls(load_index(path, storage=storage))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> SpatialBackend:
+        """The wrapped access method."""
+        return self._backend
+
+    @property
+    def capabilities(self) -> Capabilities:
+        """The backend's capability descriptor."""
+        return self._backend.capabilities
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the data space."""
+        return self._backend.dimensions
+
+    @property
+    def n_objects(self) -> int:
+        """Number of stored objects."""
+        return self._backend.n_objects
+
+    @property
+    def n_groups(self) -> int:
+        """Number of explorable groups (clusters / tree nodes / 1)."""
+        return self._backend.n_groups
+
+    def __len__(self) -> int:
+        return len(self._backend)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._backend
+
+    # ------------------------------------------------------------------
+    # Lifecycle (delegated)
+    # ------------------------------------------------------------------
+    def insert(self, object_id: int, obj: HyperRectangle) -> None:
+        """Insert one object."""
+        self._backend.insert(object_id, obj)
+
+    def bulk_load(self, objects: Iterable[Tuple[int, HyperRectangle]]) -> int:
+        """Insert many objects at once; returns the number loaded."""
+        return self._backend.bulk_load(objects)
+
+    def delete(self, object_id: int) -> bool:
+        """Remove one object; ``False`` when it was not stored."""
+        return self._backend.delete(object_id)
+
+    def delete_bulk(self, object_ids: Iterable[int]) -> int:
+        """Remove a batch of objects; returns the number actually removed."""
+        return self._backend.delete_bulk(object_ids)
+
+    def reorganize(self) -> object:
+        """Run the backend's reorganization pass (capability-gated)."""
+        return self._backend.reorganize()
+
+    # ------------------------------------------------------------------
+    # Query execution (delegated)
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> QueryResult:
+        """Execute one query; returns ids plus execution counters."""
+        return self._backend.execute(query, relation)
+
+    def execute_batch(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> List[QueryResult]:
+        """Execute a workload; one :class:`QueryResult` per query."""
+        return self._backend.execute_batch(queries, relation)
+
+    def query(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> np.ndarray:
+        """Execute one query and return the matching object ids."""
+        return self._backend.query(query, relation)
+
+    def query_batch(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> List[np.ndarray]:
+        """Execute a workload and return one identifier array per query."""
+        return self._backend.query_batch(queries, relation)
+
+    # ------------------------------------------------------------------
+    # Persistence (capability-gated)
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path", include_statistics: bool = True) -> Path:
+        """Write a crash-recovery snapshot of the backend to *path*.
+
+        Raises :class:`~repro.api.protocol.UnsupportedOperation` for
+        backends that do not advertise ``supports_persistence``.  The
+        snapshot format is the backend's own: persistence is part of the
+        backend contract (see the ``supports_persistence`` contract on
+        :class:`~repro.api.protocol.Capabilities`), not special-cased
+        here.
+        """
+        return self._backend.save(path, include_statistics=include_statistics)
+
+    def snapshot(self) -> object:
+        """Structural snapshot of a persistable backend (capability-gated)."""
+        return self._backend.snapshot()
+
+    # ------------------------------------------------------------------
+    # Streaming sessions
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        config: "Optional[StreamingConfig]" = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        on_match: "Optional[Callable[[MatchRecord], None]]" = None,
+    ) -> "StreamingMatcher":
+        """Attach a :class:`~repro.engine.StreamingMatcher` serving session.
+
+        The session shares the database's backend: subscriptions
+        registered through it are visible to direct queries and vice
+        versa.  Any number of sessions can be attached; they all serve the
+        same subscription set.
+        """
+        from repro.engine.matcher import StreamingMatcher
+
+        return StreamingMatcher(self._backend, config=config, clock=clock, on_match=on_match)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Database(method={self.capabilities.name!r}, "
+            f"objects={self.n_objects}, groups={self.n_groups})"
+        )

@@ -1,0 +1,353 @@
+"""The formal backend contract: protocol, capabilities and result types.
+
+Every access method in the library — the adaptive clustering index and the
+two baselines — implements the same lifecycle: objects are inserted (one at
+a time or in bulk), deleted (ditto) and queried (one query or a whole
+workload at once).  Before this module existed the contract was informal:
+each backend grew a near-identical ``query`` / ``query_with_stats`` /
+``query_batch(_with_stats)`` surface by convention, and callers probed it
+with ``hasattr`` / ``isinstance`` checks.
+
+This module makes the contract explicit:
+
+* :class:`SpatialBackend` — a :class:`typing.Protocol` (runtime checkable)
+  naming the full lifecycle.  Anything that satisfies it can be driven by
+  the evaluation harness, the streaming matcher and the
+  :class:`~repro.api.database.Database` facade.
+* :class:`QueryResult` — the unified stats-returning query result: the
+  matching object identifiers plus the :class:`QueryExecution` work
+  counters.  It replaces the parallel ``*_with_stats`` tuple methods.
+* :class:`Capabilities` — a static descriptor of what a backend supports
+  (bulk deletion, persistence, reorganization) and which cost-model
+  counters it populates, so callers feature-detect instead of
+  ``isinstance``-checking concrete classes.
+* :class:`BackendBase` — an ABC mixin deriving the convenience surface
+  (``query``, ``query_batch``) and the deprecated ``*_with_stats`` shims
+  from the two primitives a backend must implement: :meth:`execute` and
+  :meth:`execute_batch`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    ClassVar,
+    Iterable,
+    Iterator,
+    List,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.core.statistics import QueryExecution
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+
+#: Counter names a :class:`QueryExecution` may populate (the cost-model
+#: inputs; ``wall_time_ms`` is a measurement, not a counter).
+COST_COUNTERS: Tuple[str, ...] = (
+    "signature_checks",
+    "groups_explored",
+    "objects_verified",
+    "results",
+    "bytes_read",
+    "random_accesses",
+)
+
+
+class UnsupportedOperation(RuntimeError):
+    """An operation the backend's :class:`Capabilities` do not advertise."""
+
+
+@dataclass(frozen=True, eq=False)
+class QueryResult:
+    """The unified result of one executed query.
+
+    Replaces the ``(ids, execution)`` tuples of the deprecated
+    ``query_with_stats`` / ``query_batch_with_stats`` methods with a named
+    carrier for the two things every query produces: the matching object
+    identifiers and the work counters the cost model consumes.
+
+    ``eq=False``: the generated field-tuple ``__eq__`` would raise on the
+    ndarray field (ambiguous array truth value), so results compare by
+    identity; compare contents with ``np.array_equal(a.ids, b.ids)``.
+    """
+
+    #: Identifiers of the matching objects.
+    ids: np.ndarray
+    #: Work counters of the execution (cost-model inputs).
+    execution: QueryExecution = field(default_factory=QueryExecution)
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    def __iter__(self) -> Iterator[object]:
+        """Tuple-compatibility: ``ids, execution = backend.execute(...)``."""
+        yield self.ids
+        yield self.execution
+
+    def sorted_ids(self) -> np.ndarray:
+        """The matching identifiers in canonical ascending order (a copy)."""
+        return np.sort(self.ids)
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one backend supports, declared statically on its class.
+
+    Callers use this descriptor to feature-detect — "can I bulk-delete?",
+    "can I snapshot this to disk?" — instead of probing concrete types.
+    The conformance suite (``tests/test_backend_protocol.py``) keeps the
+    flags honest: advertised operations must work, unadvertised ones must
+    raise :class:`UnsupportedOperation`.
+    """
+
+    #: Canonical registry name ("ac", "ss", "rs").
+    name: str
+    #: Chart label the paper's evaluation uses ("AC", "SS", "RS").
+    label: str
+    #: ``delete_bulk`` removes a batch natively (not an insert/delete loop).
+    supports_delete_bulk: bool = True
+    #: The backend can be saved to / recovered from a snapshot file
+    #: (:meth:`repro.api.database.Database.save` / ``open``).  Advertising
+    #: this flag commits the backend to overriding the capability-gated
+    #: ``save(path)`` / ``snapshot()`` defaults of :class:`BackendBase`
+    #: and exposing a ``storage`` attribute with I/O statistics (reported
+    #: by the evaluation harness) — the conformance suite exercises the
+    #: flag, so a backend advertising it without the surface fails
+    #: ``tests/test_backend_protocol.py``.
+    supports_persistence: bool = False
+    #: The backend adapts its structure to the query stream
+    #: (``reorganize()`` is meaningful; warm-up queries change it).
+    supports_reorganization: bool = False
+    #: :class:`QueryExecution` counters this backend populates; counters
+    #: not listed are structurally zero for every query it executes.
+    cost_counters: Tuple[str, ...] = COST_COUNTERS
+
+    def __post_init__(self) -> None:
+        unknown = set(self.cost_counters) - set(COST_COUNTERS)
+        if unknown:
+            raise ValueError(f"unknown cost counters: {sorted(unknown)}")
+
+    def require(self, operation: str) -> None:
+        """Raise :class:`UnsupportedOperation` unless *operation* is supported.
+
+        *operation* names a capability flag without the ``supports_``
+        prefix, e.g. ``capabilities.require("persistence")``.
+        """
+        if not getattr(self, f"supports_{operation}"):
+            raise UnsupportedOperation(f"backend {self.name!r} does not support {operation}")
+
+
+@runtime_checkable
+class SpatialBackend(Protocol):
+    """The full lifecycle contract of a spatial access method.
+
+    The protocol is runtime checkable: ``isinstance(obj, SpatialBackend)``
+    verifies the surface (attribute presence, not signatures), which is how
+    the streaming matcher and the :class:`~repro.api.database.Database`
+    facade validate the backends handed to them.
+    """
+
+    # -- introspection --------------------------------------------------
+    @property
+    def dimensions(self) -> int: ...
+
+    @property
+    def n_objects(self) -> int: ...
+
+    @property
+    def n_groups(self) -> int: ...
+
+    @property
+    def capabilities(self) -> Capabilities: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, object_id: int) -> bool: ...
+
+    # -- lifecycle ------------------------------------------------------
+    def insert(self, object_id: int, obj: HyperRectangle) -> None: ...
+
+    def bulk_load(self, objects: Iterable[Tuple[int, HyperRectangle]]) -> int: ...
+
+    def delete(self, object_id: int) -> bool: ...
+
+    def delete_bulk(self, object_ids: Iterable[int]) -> int: ...
+
+    def reorganize(self) -> object: ...
+
+    def snapshot(self) -> object: ...
+
+    def save(self, path: "str | Path", include_statistics: bool = True) -> Path: ...
+
+    # -- query execution ------------------------------------------------
+    def execute(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = ...,
+    ) -> QueryResult: ...
+
+    def execute_batch(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = ...,
+    ) -> List[QueryResult]: ...
+
+    def query(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = ...,
+    ) -> np.ndarray: ...
+
+    def query_batch(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = ...,
+    ) -> List[np.ndarray]: ...
+
+
+class BackendBase(ABC):
+    """ABC mixin deriving the full :class:`SpatialBackend` surface.
+
+    A backend implements the two primitives — :meth:`execute` and
+    :meth:`execute_batch` — plus the lifecycle methods, declares its
+    :class:`Capabilities` as the ``CAPABILITIES`` class attribute, and the
+    mixin supplies the id-only conveniences, a loop-based ``delete_bulk``
+    fallback, the capability-gated ``reorganize`` default and the
+    deprecated ``*_with_stats`` shims.
+    """
+
+    #: Static capability declaration; concrete backends must override.
+    CAPABILITIES: ClassVar[Capabilities] = Capabilities(name="base", label="?")
+
+    # -- primitives (implemented by the backend) ------------------------
+    @abstractmethod
+    def execute(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> QueryResult:
+        """Execute one spatial selection and return ids plus counters."""
+
+    @abstractmethod
+    def execute_batch(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> List[QueryResult]:
+        """Execute a workload; one :class:`QueryResult` per query."""
+
+    @abstractmethod
+    def delete(self, object_id: int) -> bool:
+        """Remove one object; ``False`` when it was not stored."""
+
+    # -- derived surface ------------------------------------------------
+    @property
+    def capabilities(self) -> Capabilities:
+        """The backend's static capability descriptor."""
+        return type(self).CAPABILITIES
+
+    @property
+    def n_groups(self) -> int:
+        """Number of explorable groups (clusters / tree nodes / 1)."""
+        return 1
+
+    def query(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> np.ndarray:
+        """Execute a spatial selection and return the matching object ids."""
+        return self.execute(query, relation).ids
+
+    def query_batch(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> List[np.ndarray]:
+        """Execute a workload and return one identifier array per query."""
+        return [result.ids for result in self.execute_batch(queries, relation)]
+
+    def delete_bulk(self, object_ids: Iterable[int]) -> int:
+        """Remove a batch of objects; returns the number actually removed.
+
+        Fallback implementation for third-party backends: a plain loop
+        over :meth:`delete`.  The built-in backends override it with
+        vectorised variants.
+        """
+        return sum(1 for object_id in object_ids if self.delete(int(object_id)))
+
+    def reorganize(self) -> object:
+        """Adapt the backend's structure to the observed query stream.
+
+        Raises :class:`UnsupportedOperation` unless the backend advertises
+        ``supports_reorganization``; adaptive backends override this.
+        """
+        self.capabilities.require("reorganization")
+        raise NotImplementedError(  # pragma: no cover - mixin contract
+            "backends advertising reorganization must override reorganize()"
+        )
+
+    def snapshot(self) -> object:
+        """Structural snapshot of the backend (persistence introspection).
+
+        Raises :class:`UnsupportedOperation` unless the backend advertises
+        ``supports_persistence``; persistable backends override this (see
+        the ``supports_persistence`` contract on :class:`Capabilities`).
+        """
+        self.capabilities.require("persistence")
+        raise NotImplementedError(  # pragma: no cover - mixin contract
+            "backends advertising persistence must override snapshot()"
+        )
+
+    def save(self, path: "str | Path", include_statistics: bool = True) -> Path:
+        """Write a crash-recovery snapshot of the backend to *path*.
+
+        Raises :class:`UnsupportedOperation` unless the backend advertises
+        ``supports_persistence``; persistable backends override this with
+        their snapshot format (the adaptive index uses
+        :func:`repro.core.persistence.save_index`).
+        """
+        self.capabilities.require("persistence")
+        raise NotImplementedError(  # pragma: no cover - mixin contract
+            "backends advertising persistence must override save()"
+        )
+
+    # -- deprecated shims ------------------------------------------------
+    def query_with_stats(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> Tuple[np.ndarray, QueryExecution]:
+        """Deprecated alias of :meth:`execute` (returns a plain tuple)."""
+        warnings.warn(
+            "query_with_stats() is deprecated; use execute(), which returns "
+            "a QueryResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.execute(query, relation)
+        return result.ids, result.execution
+
+    def query_batch_with_stats(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> Tuple[List[np.ndarray], List[QueryExecution]]:
+        """Deprecated alias of :meth:`execute_batch` (returns plain lists)."""
+        warnings.warn(
+            "query_batch_with_stats() is deprecated; use execute_batch(), "
+            "which returns a list of QueryResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        results = self.execute_batch(queries, relation)
+        return [result.ids for result in results], [result.execution for result in results]

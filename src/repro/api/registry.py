@@ -1,0 +1,302 @@
+"""The backend registry: method strings resolve identically everywhere.
+
+The CLI, the evaluation harness, the experiment definitions and the
+streaming benchmarks all accept a *method* — historically a hard-coded
+``"AC" | "SS" | "RS"`` label wired to a builder function per call site.
+The registry centralises that mapping: every backend is registered once
+under a canonical short name (``"ac"``, ``"ss"``, ``"rs"``) with its chart
+label, aliases, capability descriptor and two constructors:
+
+* :func:`create_backend` — build an empty backend for a dimensionality
+  (the programmatic entry point, also used by the
+  :class:`~repro.api.database.Database` facade);
+* :func:`build_backend_for_dataset` — build and load a backend the way the
+  paper's experimental process does (STR bulk-loading large R*-trees,
+  loading the adaptive index's root cluster, ...).
+
+Name resolution is case-insensitive and accepts the chart labels, so
+``"ac"``, ``"AC"`` and ``"adaptive"`` all denote the same backend.  The
+heavy backend modules are imported lazily, on first construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.api.protocol import Capabilities, SpatialBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cost_model import CostParameters
+    from repro.workloads.datasets import Dataset
+
+#: ``factory(dimensions, cost, config)`` builds an empty backend.
+BackendFactory = Callable[[int, "Optional[CostParameters]", Optional[object]], SpatialBackend]
+#: ``loader(dataset, cost, config)`` builds a backend loaded with a dataset.
+DatasetLoader = Callable[["Dataset", "CostParameters", Optional[object]], SpatialBackend]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered backend: names, constructors and capabilities."""
+
+    #: Canonical short name used by the registry ("ac", "ss", "rs").
+    name: str
+    #: Chart label the paper's evaluation uses ("AC", "SS", "RS").
+    label: str
+    #: One-line description (shown in CLI help and error messages).
+    description: str
+    #: Builds an empty backend: ``factory(dimensions, cost, config)``.
+    factory: BackendFactory
+    #: Builds a dataset-loaded backend: ``loader(dataset, cost, config)``.
+    dataset_loader: DatasetLoader
+    #: Returns the backend's capability descriptor (deferred so that
+    #: registration does not import the backend module).
+    capabilities_loader: Callable[[], Capabilities]
+    #: Alternative names accepted by :func:`backend_spec` (case-insensitive).
+    aliases: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def capabilities(self) -> Capabilities:
+        """The backend's static capability descriptor."""
+        return self.capabilities_loader()
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_backend(spec: BackendSpec, replace: bool = False) -> BackendSpec:
+    """Register *spec* under its canonical name, label and aliases.
+
+    With ``replace=False`` (the default) re-registering a canonical name
+    raises :class:`ValueError`; passing ``replace=True`` swaps the spec
+    registered under ``spec.name`` (e.g. for an instrumented variant),
+    dropping the aliases of the replaced spec first.  A label or alias
+    owned by a *different* backend is always a collision — ``replace``
+    never steals names across backends.  Returns the registered spec.
+    """
+    names = [spec.name, spec.label, *spec.aliases]
+    for alias in names:
+        owner = _ALIASES.get(alias.lower())
+        if owner is not None and owner != spec.name:
+            raise ValueError(f"backend name {alias!r} is already registered to {owner!r}")
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None:
+        if not replace:
+            raise ValueError(f"backend {spec.name!r} is already registered")
+        # Drop the replaced spec's aliases so none keep resolving after a
+        # replacement that narrows the alias set.
+        for alias in (existing.name, existing.label, *existing.aliases):
+            if _ALIASES.get(alias.lower()) == spec.name:
+                del _ALIASES[alias.lower()]
+    _REGISTRY[spec.name] = spec
+    for alias in names:
+        _ALIASES[alias.lower()] = spec.name
+    return spec
+
+
+def registered_backends() -> List[str]:
+    """Canonical names of every registered backend, in registration order."""
+    return list(_REGISTRY)
+
+
+def backend_spec(name: str) -> BackendSpec:
+    """Resolve any accepted name (canonical, label or alias) to its spec."""
+    canonical = _ALIASES.get(str(name).lower())
+    if canonical is None:
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(sorted(_ALIASES))}"
+        )
+    return _REGISTRY[canonical]
+
+
+def resolve_method_label(name: str) -> str:
+    """Map any accepted backend name to its chart label ("AC", "SS", "RS")."""
+    return backend_spec(name).label
+
+
+def create_backend(
+    name: str,
+    dimensions: int,
+    *,
+    cost: "Optional[CostParameters]" = None,
+    config: Optional[object] = None,
+) -> SpatialBackend:
+    """Build an empty backend registered under *name*.
+
+    Parameters
+    ----------
+    name:
+        Any accepted backend name ("ac", "AC", "adaptive", ...).
+    dimensions:
+        Dimensionality of the data space.
+    cost:
+        Cost parameters (storage scenario); defaults to the in-memory
+        scenario of the requested dimensionality.
+    config:
+        Optional backend-specific configuration
+        (:class:`~repro.core.config.AdaptiveClusteringConfig` for "ac",
+        :class:`~repro.baselines.rtree.RStarTreeConfig` for "rs").
+    """
+    if dimensions <= 0:
+        raise ValueError("dimensions must be positive")
+    return backend_spec(name).factory(int(dimensions), cost, config)
+
+
+def build_backend_for_dataset(
+    name: str,
+    dataset: "Dataset",
+    cost: "Optional[CostParameters]" = None,
+    config: Optional[object] = None,
+) -> SpatialBackend:
+    """Build a backend loaded with *dataset*, the way the harness does."""
+    from repro.core.cost_model import CostParameters
+
+    if cost is None:
+        cost = CostParameters.memory_defaults(dataset.dimensions)
+    return backend_spec(name).dataset_loader(dataset, cost, config)
+
+
+# ----------------------------------------------------------------------
+# Built-in backends (lazily imported)
+# ----------------------------------------------------------------------
+def _create_adaptive(
+    dimensions: int,
+    cost: "Optional[CostParameters]",
+    config: Optional[object],
+) -> SpatialBackend:
+    from repro.core.config import AdaptiveClusteringConfig
+    from repro.core.cost_model import CostParameters
+    from repro.core.index import AdaptiveClusteringIndex
+
+    if config is None:
+        config = AdaptiveClusteringConfig(cost=cost or CostParameters.memory_defaults(dimensions))
+    elif not isinstance(config, AdaptiveClusteringConfig):
+        raise TypeError("config must be an AdaptiveClusteringConfig")
+    if config.dimensions != dimensions:
+        raise ValueError("config dimensionality disagrees with dimensions")
+    return AdaptiveClusteringIndex(config=config)
+
+
+def _create_sequential_scan(
+    dimensions: int,
+    cost: "Optional[CostParameters]",
+    config: Optional[object],
+) -> SpatialBackend:
+    from repro.baselines.sequential_scan import SequentialScan
+
+    if config is not None:
+        raise ValueError("the sequential scan takes no configuration")
+    return SequentialScan(dimensions, cost=cost)
+
+
+def _create_rstar_tree(
+    dimensions: int,
+    cost: "Optional[CostParameters]",
+    config: Optional[object],
+) -> SpatialBackend:
+    from repro.baselines.rtree import RStarTree, RStarTreeConfig
+
+    if config is None:
+        config = RStarTreeConfig(dimensions=dimensions)
+    elif not isinstance(config, RStarTreeConfig):
+        raise TypeError("config must be an RStarTreeConfig")
+    if config.dimensions != dimensions:
+        raise ValueError("config dimensionality disagrees with dimensions")
+    return RStarTree(config=config, cost=cost)
+
+
+def _load_adaptive(
+    dataset: "Dataset",
+    cost: "CostParameters",
+    config: Optional[object] = None,
+) -> SpatialBackend:
+    backend = _create_adaptive(dataset.dimensions, cost, config)
+    dataset.load_into(backend)
+    return backend
+
+
+def _load_sequential_scan(
+    dataset: "Dataset",
+    cost: "CostParameters",
+    config: Optional[object] = None,
+) -> SpatialBackend:
+    backend = _create_sequential_scan(dataset.dimensions, cost, config)
+    dataset.load_into(backend)
+    return backend
+
+
+#: Datasets up to this size are R*-tree-loaded by dynamic insertion
+#: (exercising the full R* machinery); larger ones are STR bulk-loaded to
+#: keep experiment set-up tractable in pure Python (see DESIGN.md §5).
+RSTAR_DYNAMIC_INSERT_THRESHOLD = 4_000
+
+
+def _load_rstar_tree(
+    dataset: "Dataset",
+    cost: "CostParameters",
+    config: Optional[object] = None,
+    dynamic_insert_threshold: int = RSTAR_DYNAMIC_INSERT_THRESHOLD,
+) -> SpatialBackend:
+    backend = _create_rstar_tree(dataset.dimensions, cost, config)
+    if dataset.size <= dynamic_insert_threshold:
+        for object_id, box in dataset.iter_objects():
+            backend.insert(object_id, box)
+    else:
+        backend.bulk_load(dataset.iter_objects())
+    return backend
+
+
+def _adaptive_capabilities() -> Capabilities:
+    from repro.core.index import AdaptiveClusteringIndex
+
+    return AdaptiveClusteringIndex.CAPABILITIES
+
+
+def _sequential_scan_capabilities() -> Capabilities:
+    from repro.baselines.sequential_scan import SequentialScan
+
+    return SequentialScan.CAPABILITIES
+
+
+def _rstar_tree_capabilities() -> Capabilities:
+    from repro.baselines.rtree import RStarTree
+
+    return RStarTree.CAPABILITIES
+
+
+register_backend(
+    BackendSpec(
+        name="ac",
+        label="AC",
+        description="adaptive cost-based clustering index (the paper's method)",
+        factory=_create_adaptive,
+        dataset_loader=_load_adaptive,
+        capabilities_loader=_adaptive_capabilities,
+        aliases=("adaptive", "adaptive-clustering", "clustering"),
+    )
+)
+register_backend(
+    BackendSpec(
+        name="ss",
+        label="SS",
+        description="sequential scan over one contiguous collection",
+        factory=_create_sequential_scan,
+        dataset_loader=_load_sequential_scan,
+        capabilities_loader=_sequential_scan_capabilities,
+        aliases=("scan", "sequential", "sequential-scan"),
+    )
+)
+register_backend(
+    BackendSpec(
+        name="rs",
+        label="RS",
+        description="R*-tree (Beckmann et al. 1990) with 16 KB pages",
+        factory=_create_rstar_tree,
+        dataset_loader=_load_rstar_tree,
+        capabilities_loader=_rstar_tree_capabilities,
+        aliases=("rstar", "r-star", "rtree", "r-tree", "rstar-tree"),
+    )
+)

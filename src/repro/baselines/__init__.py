@@ -7,9 +7,11 @@
   objects, configured with the paper's 16 KB node pages and 70 % storage
   utilization.
 
-Both expose the same ``insert`` / ``delete`` / ``query_with_stats``
-interface as :class:`~repro.core.index.AdaptiveClusteringIndex` so the
-evaluation harness can drive the three methods identically.
+Both satisfy the same :class:`~repro.api.protocol.SpatialBackend`
+protocol as :class:`~repro.core.index.AdaptiveClusteringIndex` — full
+insert / bulk / delete lifecycle plus ``execute(_batch)`` — so the
+evaluation harness drives the three methods identically (they are
+registered as ``"ss"`` and ``"rs"`` in :mod:`repro.api.registry`).
 """
 
 from repro.baselines.sequential_scan import SequentialScan

@@ -38,15 +38,11 @@ def _partition_rows(
     groups: List[np.ndarray] = []
     for start in range(0, order.shape[0], slab_size):
         slab = order[start : start + slab_size]
-        groups.extend(
-            _partition_rows(centers, slab, node_capacity, dimension + 1)
-        )
+        groups.extend(_partition_rows(centers, slab, node_capacity, dimension + 1))
     return groups
 
 
-def str_pack(
-    objects: Sequence[Tuple[int, HyperRectangle]], config: RStarTreeConfig
-) -> RTreeNode:
+def str_pack(objects: Sequence[Tuple[int, HyperRectangle]], config: RStarTreeConfig) -> RTreeNode:
     """Pack *objects* into an R-tree and return its root node."""
     if not objects:
         raise ValueError("cannot bulk-load an empty collection")
@@ -70,9 +66,7 @@ def str_pack(
     # Upper levels: pack nodes by the centres of their MBBs.
     level = 1
     while len(nodes) > 1:
-        node_centers = np.vstack(
-            [np.add(*node.mbb_bounds()) / 2.0 for node in nodes]
-        )
+        node_centers = np.vstack([np.add(*node.mbb_bounds()) / 2.0 for node in nodes])
         node_rows = np.arange(len(nodes))
         groups = _partition_rows(node_centers, node_rows, fill, dimension=0)
         parents: List[RTreeNode] = []

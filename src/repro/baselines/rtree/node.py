@@ -19,7 +19,16 @@ from repro.geometry.box import HyperRectangle
 class RTreeNode:
     """One R*-tree node (a simulated disk page)."""
 
-    __slots__ = ("level", "dimensions", "capacity", "lows", "highs", "object_ids", "children", "count")
+    __slots__ = (
+        "level",
+        "dimensions",
+        "capacity",
+        "lows",
+        "highs",
+        "object_ids",
+        "children",
+        "count",
+    )
 
     def __init__(self, level: int, dimensions: int, capacity: int) -> None:
         if level < 0:
@@ -79,9 +88,7 @@ class RTreeNode:
         """Minimum bounding box of all live entries."""
         if self.count == 0:
             raise ValueError("an empty node has no bounding box")
-        return HyperRectangle(
-            self.entry_lows().min(axis=0), self.entry_highs().max(axis=0)
-        )
+        return HyperRectangle(self.entry_lows().min(axis=0), self.entry_highs().max(axis=0))
 
     def mbb_bounds(self) -> "tuple[np.ndarray, np.ndarray]":
         """Minimum bounding box as ``(lows, highs)`` vectors."""
@@ -108,9 +115,7 @@ class RTreeNode:
         if self.is_leaf:
             raise ValueError("cannot add a child entry to a leaf node")
         if child.level != self.level - 1:
-            raise ValueError(
-                f"child level {child.level} does not fit under level {self.level}"
-            )
+            raise ValueError(f"child level {child.level} does not fit under level {self.level}")
         self._check_space()
         row = self.count
         child_lows, child_highs = child.mbb_bounds()
@@ -119,7 +124,9 @@ class RTreeNode:
         self.children.append(child)
         self.count += 1
 
-    def remove_entries(self, indices: Sequence[int]) -> "list[tuple[np.ndarray, np.ndarray, object]]":
+    def remove_entries(
+        self, indices: Sequence[int]
+    ) -> "list[tuple[np.ndarray, np.ndarray, object]]":
         """Remove the entries at *indices*; return ``(lows, highs, payload)`` tuples.
 
         The payload is the object identifier for leaves and the child node
@@ -167,9 +174,7 @@ class RTreeNode:
     # ------------------------------------------------------------------
     def _check_space(self) -> None:
         if self.count > self.capacity:
-            raise RuntimeError(
-                "node already overflowing; the tree must split or reinsert first"
-            )
+            raise RuntimeError("node already overflowing; the tree must split or reinsert first")
 
     def _compact(self, keep_rows: List[int]) -> None:
         new_count = len(keep_rows)

@@ -62,9 +62,7 @@ def _group_bounds_for_order(
     return split_positions, first_lows, first_highs, second_lows, second_highs
 
 
-def _margin_sum_for_axis(
-    lows: np.ndarray, highs: np.ndarray, axis: int, min_entries: int
-) -> float:
+def _margin_sum_for_axis(lows: np.ndarray, highs: np.ndarray, axis: int, min_entries: int) -> float:
     """Sum of group margins over all distributions of both sortings."""
     total_margin = 0.0
     for order in _axis_orders(lows, highs, axis):
@@ -120,9 +118,7 @@ def choose_split_index(
     return best_groups[0], best_groups[1], best[0], best[1]
 
 
-def rstar_split(
-    lows: np.ndarray, highs: np.ndarray, min_entries: int
-) -> SplitDecision:
+def rstar_split(lows: np.ndarray, highs: np.ndarray, min_entries: int) -> SplitDecision:
     """Split a set of entries into two groups following the R* heuristics.
 
     Parameters
@@ -137,9 +133,7 @@ def rstar_split(
         raise ValueError("cannot split fewer than two entries")
     min_entries = max(1, min(min_entries, total // 2))
     axis = choose_split_axis(lows, highs, min_entries)
-    group_one, group_two, overlap, total_area = choose_split_index(
-        lows, highs, axis, min_entries
-    )
+    group_one, group_two, overlap, total_area = choose_split_index(lows, highs, axis, min_entries)
     return SplitDecision(
         group_one=group_one,
         group_two=group_two,

@@ -1,10 +1,14 @@
 """The R*-tree access method.
 
 Implements dynamic insertion (ChooseSubtree, forced reinsertion, R* split),
-deletion with tree condensation, and spatial queries returning the same
-:class:`~repro.core.statistics.QueryExecution` counters as the other access
-methods.  Large datasets can also be bulk-loaded with the STR packing in
-:mod:`repro.baselines.rtree.bulk`.
+deletion with tree condensation (single and bulk), and spatial queries
+returning the same :class:`~repro.core.statistics.QueryExecution` counters
+as the other access methods.  Large datasets can also be bulk-loaded with
+the STR packing in :mod:`repro.baselines.rtree.bulk`.
+
+The class implements the full :class:`~repro.api.protocol.SpatialBackend`
+lifecycle (via :class:`~repro.api.protocol.BackendBase`); its capability
+descriptor advertises no persistence and no reorganization.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.api.protocol import BackendBase, Capabilities, QueryResult
 from repro.baselines.rtree.config import RStarTreeConfig
 from repro.baselines.rtree.metrics import (
     area,
@@ -28,9 +33,22 @@ from repro.geometry.box import HyperRectangle
 from repro.geometry.relations import SpatialRelation
 from repro.geometry.vectorized import batch_matching_mask, matching_mask
 
+#: Orphaned entries collected while condensing: ``(lows, highs, payload,
+#: level)`` — the payload is an object id at level 0 and a subtree root
+#: above it.
+_Orphan = Tuple[np.ndarray, np.ndarray, object, int]
 
-class RStarTree:
+
+class RStarTree(BackendBase):
     """R*-tree over multidimensional extended objects."""
+
+    CAPABILITIES = Capabilities(
+        name="rs",
+        label="RS",
+        supports_delete_bulk=True,
+        supports_persistence=False,
+        supports_reorganization=False,
+    )
 
     def __init__(
         self,
@@ -78,6 +96,11 @@ class RStarTree:
         return len(self._object_boxes)
 
     @property
+    def n_groups(self) -> int:
+        """Number of explorable groups: the tree's node (page) count."""
+        return self.node_count()
+
+    @property
     def height(self) -> int:
         """Height of the tree (a single leaf root has height 1)."""
         return self._root.level + 1
@@ -116,9 +139,7 @@ class RStarTree:
     def insert(self, object_id: int, obj: HyperRectangle) -> None:
         """Insert one object (R*-tree dynamic insertion)."""
         if obj.dimensions != self.dimensions:
-            raise ValueError(
-                f"object has {obj.dimensions} dimensions, expected {self.dimensions}"
-            )
+            raise ValueError(f"object has {obj.dimensions} dimensions, expected {self.dimensions}")
         if object_id in self._object_boxes:
             raise KeyError(f"object {object_id} is already indexed")
         self._object_boxes[object_id] = obj
@@ -162,9 +183,7 @@ class RStarTree:
         self._update_path_bounds(path)
         self._handle_overflow(path, len(path) - 1)
 
-    def _choose_path(
-        self, lows: np.ndarray, highs: np.ndarray, level: int
-    ) -> List[RTreeNode]:
+    def _choose_path(self, lows: np.ndarray, highs: np.ndarray, level: int) -> List[RTreeNode]:
         """Descend from the root to the node at *level* chosen for the entry."""
         path = [self._root]
         node = self._root
@@ -174,9 +193,7 @@ class RStarTree:
             path.append(node)
         return path
 
-    def _choose_subtree(
-        self, node: RTreeNode, lows: np.ndarray, highs: np.ndarray
-    ) -> int:
+    def _choose_subtree(self, node: RTreeNode, lows: np.ndarray, highs: np.ndarray) -> int:
         """R* ChooseSubtree: pick the child entry row to descend into."""
         entry_lows = node.entry_lows()
         entry_highs = node.entry_highs()
@@ -187,9 +204,7 @@ class RStarTree:
             # Children are leaves: minimise overlap enlargement, computed for
             # the `choose_subtree_candidates` entries with the smallest area
             # enlargement (the "nearly minimum overlap cost" optimisation).
-            candidate_count = min(
-                self.config.choose_subtree_candidates, node.count
-            )
+            candidate_count = min(self.config.choose_subtree_candidates, node.count)
             candidate_rows = np.argsort(enlargements, kind="stable")[:candidate_count]
             best_row = int(candidate_rows[0])
             best_key: Optional[Tuple[float, float, float]] = None
@@ -263,9 +278,7 @@ class RStarTree:
     def _split_root(self) -> None:
         old_root = self._root
         sibling = self._split_into_sibling(old_root)
-        new_root = RTreeNode(
-            old_root.level + 1, self.dimensions, self.config.max_entries
-        )
+        new_root = RTreeNode(old_root.level + 1, self.dimensions, self.config.max_entries)
         new_root.add_child_entry(old_root)
         new_root.add_child_entry(sibling)
         self._root = new_root
@@ -289,9 +302,7 @@ class RStarTree:
         return sibling
 
     @staticmethod
-    def _append_raw(
-        node: RTreeNode, lows: np.ndarray, highs: np.ndarray, payload: object
-    ) -> None:
+    def _append_raw(node: RTreeNode, lows: np.ndarray, highs: np.ndarray, payload: object) -> None:
         if node.is_leaf:
             node.add_leaf_entry(int(payload), lows, highs)
         else:
@@ -336,38 +347,119 @@ class RStarTree:
                 return found
         return None
 
+    def delete_bulk(self, object_ids: Iterable[int]) -> int:
+        """Remove a batch of objects; returns the number actually removed.
+
+        Identifiers that are not indexed are ignored.  The tree is walked
+        once for the whole batch, descending only into subtrees whose
+        bounds cover at least one doomed object (the same pruning
+        :meth:`delete` uses, evaluated for all targets at once): visited
+        leaves drop their matching entries with one vectorised membership
+        mask, underflowing nodes are condensed bottom-up in the same pass
+        (collecting their surviving entries), and the orphans are
+        reinserted once at the end — the standard condense-tree treatment,
+        amortised over the batch, costing O(k log N)-ish like the per-id
+        loop rather than a full-tree scan.
+        """
+        targets: Set[int] = set()
+        for object_id in object_ids:
+            object_id = int(object_id)
+            if object_id in self._object_boxes:
+                targets.add(object_id)
+        if not targets:
+            return 0
+        target_ids = np.fromiter(targets, dtype=np.int64)
+        target_lows = np.vstack([self._object_boxes[int(i)].lows for i in target_ids])
+        target_highs = np.vstack([self._object_boxes[int(i)].highs for i in target_ids])
+        for object_id in targets:
+            del self._object_boxes[object_id]
+        orphans: List[_Orphan] = []
+        self._bulk_remove(self._root, target_ids, target_lows, target_highs, orphans)
+        self._shrink_root()
+        self._reinsert_orphans(orphans)
+        return len(targets)
+
+    def _bulk_remove(
+        self,
+        node: RTreeNode,
+        target_ids: np.ndarray,
+        target_lows: np.ndarray,
+        target_highs: np.ndarray,
+        orphans: List[_Orphan],
+    ) -> None:
+        """Drop the targets under *node*; condense underflowing descendants."""
+        if node.is_leaf:
+            if node.count:
+                rows = np.flatnonzero(np.isin(node.entry_ids(), target_ids))
+                if rows.size:
+                    node.remove_entries([int(row) for row in rows])
+            return
+        entry_lows = node.entry_lows()
+        entry_highs = node.entry_highs()
+        # One (child, target, dimension) broadcast: which children's bounds
+        # cover at least one doomed box?  Untouched subtrees are skipped —
+        # they cannot contain targets and cannot newly underflow.
+        covers = np.any(
+            np.all(
+                (entry_lows[:, None, :] <= target_lows[None])
+                & (target_highs[None] <= entry_highs[:, None, :]),
+                axis=2,
+            ),
+            axis=1,
+        )
+        touched = [node.children[int(row)] for row in np.flatnonzero(covers)]
+        for child in touched:
+            self._bulk_remove(child, target_ids, target_lows, target_highs, orphans)
+        underflowing = [child for child in touched if child.count < self.config.min_entries]
+        for child in underflowing:
+            node.remove_entries([node.child_index(child)])
+            self._collect_orphans(child, orphans)
+        for child in touched:
+            if child.count and child in node.children:
+                node.update_child_bounds(child)
+
+    @staticmethod
+    def _collect_orphans(node: RTreeNode, orphans: List[_Orphan]) -> None:
+        """Append every entry of an underflowing *node* to *orphans*."""
+        level = node.level
+        for entry_row in range(node.count):
+            payload: object
+            if node.is_leaf:
+                payload = int(node.object_ids[entry_row])
+            else:
+                payload = node.children[entry_row]
+            orphans.append(
+                (
+                    node.lows[entry_row].copy(),
+                    node.highs[entry_row].copy(),
+                    payload,
+                    level,
+                )
+            )
+
     def _condense(self, path: List[RTreeNode]) -> None:
         """Propagate underflows upward, collecting orphaned entries."""
-        orphans: List[Tuple[np.ndarray, np.ndarray, object, int]] = []
+        orphans: List[_Orphan] = []
         for depth in range(len(path) - 1, 0, -1):
             node = path[depth]
             parent = path[depth - 1]
             if node.count < self.config.min_entries:
-                row = parent.child_index(node)
-                parent.remove_entries([row])
-                level = node.level
-                for entry_row in range(node.count):
-                    payload: object
-                    if node.is_leaf:
-                        payload = int(node.object_ids[entry_row])
-                    else:
-                        payload = node.children[entry_row]
-                    orphans.append(
-                        (
-                            node.lows[entry_row].copy(),
-                            node.highs[entry_row].copy(),
-                            payload,
-                            level,
-                        )
-                    )
+                parent.remove_entries([parent.child_index(node)])
+                self._collect_orphans(node, orphans)
             elif parent.count:
                 parent.update_child_bounds(node)
-        # Shrink the root if it became a trivial internal node.
+        self._shrink_root()
+        self._reinsert_orphans(orphans)
+
+    def _shrink_root(self) -> None:
+        """Collapse a trivial internal root after deletions."""
         while not self._root.is_leaf and self._root.count == 1:
             self._root = self._root.children[0]
-        if not self._root.is_leaf and self._root.count == 0:  # pragma: no cover
+        if not self._root.is_leaf and self._root.count == 0:
             self._root = RTreeNode(0, self.dimensions, self.config.max_entries)
 
+    def _reinsert_orphans(self, orphans: List[_Orphan]) -> None:
+        """Re-add the entries condensing removed from the tree."""
         self._reinserted_levels = set()
         for lows, highs, payload, level in orphans:
             if level == 0:
@@ -383,9 +475,7 @@ class RStarTree:
                 else:
                     self._insert_entry(lows, highs, payload, level=level)
 
-    def _collect_leaf_entries(
-        self, node: RTreeNode
-    ) -> List[Tuple[np.ndarray, np.ndarray, int]]:
+    def _collect_leaf_entries(self, node: RTreeNode) -> List[Tuple[np.ndarray, np.ndarray, int]]:
         entries: List[Tuple[np.ndarray, np.ndarray, int]] = []
         stack = [node]
         while stack:
@@ -406,26 +496,15 @@ class RStarTree:
     # ==================================================================
     # Query execution
     # ==================================================================
-    def query(
+    def execute(
         self,
         query: HyperRectangle,
         relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> np.ndarray:
-        """Return the ids of the objects satisfying *relation* w.r.t. *query*."""
-        results, _ = self.query_with_stats(query, relation)
-        return results
-
-    def query_with_stats(
-        self,
-        query: HyperRectangle,
-        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> Tuple[np.ndarray, QueryExecution]:
-        """Execute a spatial selection and return ``(object_ids, QueryExecution)``."""
+    ) -> QueryResult:
+        """Execute a spatial selection and return ids plus execution counters."""
         relation = SpatialRelation.parse(relation)
         if query.dimensions != self.dimensions:
-            raise ValueError(
-                f"query has {query.dimensions} dimensions, expected {self.dimensions}"
-            )
+            raise ValueError(f"query has {query.dimensions} dimensions, expected {self.dimensions}")
         start = time.perf_counter()
         execution = QueryExecution()
         matches: List[np.ndarray] = []
@@ -444,9 +523,7 @@ class RStarTree:
                 execution.objects_verified += node.count
                 execution.bytes_read += node.count * object_bytes
                 if node.count:
-                    mask = matching_mask(
-                        node.entry_lows(), node.entry_highs(), query, relation
-                    )
+                    mask = matching_mask(node.entry_lows(), node.entry_highs(), query, relation)
                     found = node.entry_ids()[mask]
                     if found.size:
                         matches.append(found.copy())
@@ -462,28 +539,17 @@ class RStarTree:
             for row in np.flatnonzero(visit):
                 stack.append(node.children[int(row)])
 
-        results = (
-            np.concatenate(matches) if matches else np.empty(0, dtype=np.int64)
-        )
+        results = np.concatenate(matches) if matches else np.empty(0, dtype=np.int64)
         execution.results = int(results.size)
         execution.wall_time_ms = (time.perf_counter() - start) * 1000.0
-        return results, execution
+        return QueryResult(ids=results, execution=execution)
 
-    def query_batch(
+    def execute_batch(
         self,
         queries: Sequence[HyperRectangle],
         relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> List[np.ndarray]:
-        """Execute a workload of spatial selections in one grouped traversal."""
-        results, _ = self.query_batch_with_stats(queries, relation)
-        return results
-
-    def query_batch_with_stats(
-        self,
-        queries: Sequence[HyperRectangle],
-        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> Tuple[List[np.ndarray], List[QueryExecution]]:
-        """Batch variant of :meth:`query_with_stats`.
+    ) -> List[QueryResult]:
+        """Batch variant of :meth:`execute`.
 
         The tree is traversed once for the whole batch: every node is
         visited at most once, carrying the set of queries that reach it,
@@ -501,7 +567,7 @@ class RStarTree:
                 )
         count = len(query_list)
         if count == 0:
-            return [], []
+            return []
         start = time.perf_counter()
         q_lows = np.vstack([query.lows for query in query_list])
         q_highs = np.vstack([query.highs for query in query_list])
@@ -551,24 +617,25 @@ class RStarTree:
                     stack.append((node.children[child_row], sub_rows))
 
         per_query_ms = (time.perf_counter() - start) * 1000.0 / count
-        results: List[np.ndarray] = []
-        executions: List[QueryExecution] = []
+        results: List[QueryResult] = []
         for row in range(count):
             found = matches_per_query[row]
             ids = np.concatenate(found) if found else np.empty(0, dtype=np.int64)
-            results.append(ids)
-            executions.append(
-                QueryExecution(
-                    signature_checks=int(signature_checks[row]),
-                    groups_explored=int(groups_explored[row]),
-                    objects_verified=int(objects_verified[row]),
-                    results=int(ids.size),
-                    bytes_read=int(bytes_read[row]),
-                    random_accesses=int(groups_explored[row]) if disk else 0,
-                    wall_time_ms=per_query_ms,
+            results.append(
+                QueryResult(
+                    ids=ids,
+                    execution=QueryExecution(
+                        signature_checks=int(signature_checks[row]),
+                        groups_explored=int(groups_explored[row]),
+                        objects_verified=int(objects_verified[row]),
+                        results=int(ids.size),
+                        bytes_read=int(bytes_read[row]),
+                        random_accesses=int(groups_explored[row]) if disk else 0,
+                        wall_time_ms=per_query_ms,
+                    ),
                 )
             )
-        return results, executions
+        return results
 
     # ==================================================================
     # Diagnostics
@@ -577,27 +644,17 @@ class RStarTree:
         """Verify structural invariants; raises :class:`AssertionError` on failure."""
         leaf_levels: Set[int] = set()
         total_objects = 0
-        stack: List[Tuple[RTreeNode, Optional[HyperRectangle], bool]] = [
-            (self._root, None, True)
-        ]
+        stack: List[Tuple[RTreeNode, Optional[HyperRectangle], bool]] = [(self._root, None, True)]
         while stack:
             node, parent_mbb, is_root = stack.pop()
             if node.count == 0 and not is_root:
                 raise AssertionError("non-root node with zero entries")
-            if (
-                not is_root
-                and not self._bulk_loaded
-                and node.count < self.config.min_entries
-            ):
+            if not is_root and not self._bulk_loaded and node.count < self.config.min_entries:
                 # STR-packed trees may leave a trailing node under-filled;
                 # dynamically built trees must respect the minimum fill.
-                raise AssertionError(
-                    f"node underflow: {node.count} < {self.config.min_entries}"
-                )
+                raise AssertionError(f"node underflow: {node.count} < {self.config.min_entries}")
             if node.count > self.config.max_entries:
-                raise AssertionError(
-                    f"node overflow: {node.count} > {self.config.max_entries}"
-                )
+                raise AssertionError(f"node overflow: {node.count} > {self.config.max_entries}")
             if node.count and parent_mbb is not None:
                 node_mbb = node.mbb()
                 if not parent_mbb.contains(node_mbb):

@@ -7,6 +7,11 @@ sequential transfer, which is why it beats tree-based structures in high
 dimensions (the paper's Section 7, and [Berchtold et al. 1998; Beyer et al.
 1999]).  The adaptive clustering's cost model guarantees it never performs
 worse than this baseline on average.
+
+The class implements the full :class:`~repro.api.protocol.SpatialBackend`
+lifecycle (via :class:`~repro.api.protocol.BackendBase`); its capability
+descriptor advertises no persistence and no reorganization — the scan has
+no structure to adapt or snapshot.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.protocol import BackendBase, Capabilities, QueryResult
 from repro.core.cost_model import CostParameters, StorageScenario
 from repro.core.object_store import ObjectStore
 from repro.core.statistics import QueryExecution
@@ -24,8 +30,25 @@ from repro.geometry.relations import SpatialRelation
 from repro.geometry.vectorized import batch_matching_mask, matching_mask
 
 
-class SequentialScan:
+class SequentialScan(BackendBase):
     """A single always-scanned cluster holding the whole database."""
+
+    CAPABILITIES = Capabilities(
+        name="ss",
+        label="SS",
+        supports_delete_bulk=True,
+        supports_persistence=False,
+        supports_reorganization=False,
+        # A scan never evaluates signatures: it explores its single group
+        # unconditionally and verifies every member.
+        cost_counters=(
+            "groups_explored",
+            "objects_verified",
+            "results",
+            "bytes_read",
+            "random_accesses",
+        ),
+    )
 
     def __init__(
         self,
@@ -73,9 +96,7 @@ class SequentialScan:
         if object_id in self._known_ids:
             raise KeyError(f"object {object_id} is already stored")
         if obj.dimensions != self.dimensions:
-            raise ValueError(
-                f"object has {obj.dimensions} dimensions, expected {self.dimensions}"
-            )
+            raise ValueError(f"object has {obj.dimensions} dimensions, expected {self.dimensions}")
         self._store.append(object_id, obj)
         self._known_ids[object_id] = True
 
@@ -95,27 +116,36 @@ class SequentialScan:
         del self._known_ids[object_id]
         return removed is not None
 
-    # ------------------------------------------------------------------
-    def query(
-        self,
-        query: HyperRectangle,
-        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> np.ndarray:
-        """Return the ids of the objects satisfying *relation* w.r.t. *query*."""
-        results, _ = self.query_with_stats(query, relation)
-        return results
+    def delete_bulk(self, object_ids: Iterable[int]) -> int:
+        """Remove a batch of objects; returns the number actually removed.
 
-    def query_with_stats(
+        Identifiers that are not stored are ignored.  The whole batch is
+        removed with one vectorised membership mask over the contiguous
+        store instead of one compaction per object.
+        """
+        targets = {int(object_id) for object_id in object_ids if int(object_id) in self._known_ids}
+        if not targets:
+            return 0
+        mask = np.isin(self._store.ids, np.fromiter(targets, dtype=np.int64))
+        removed_ids, _, _ = self._store.remove_mask(mask)
+        if removed_ids.size != len(targets):  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"store removed {removed_ids.size} of {len(targets)} tracked objects"
+            )
+        for object_id in targets:
+            del self._known_ids[object_id]
+        return int(removed_ids.size)
+
+    # ------------------------------------------------------------------
+    def execute(
         self,
         query: HyperRectangle,
         relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> Tuple[np.ndarray, QueryExecution]:
-        """Execute the scan and return ``(object_ids, QueryExecution)``."""
+    ) -> QueryResult:
+        """Execute the scan and return ids plus execution counters."""
         relation = SpatialRelation.parse(relation)
         if query.dimensions != self.dimensions:
-            raise ValueError(
-                f"query has {query.dimensions} dimensions, expected {self.dimensions}"
-            )
+            raise ValueError(f"query has {query.dimensions} dimensions, expected {self.dimensions}")
         start = time.perf_counter()
         n = self.n_objects
         if n:
@@ -134,23 +164,14 @@ class SequentialScan:
             else 0,
             wall_time_ms=(time.perf_counter() - start) * 1000.0,
         )
-        return results, execution
+        return QueryResult(ids=results, execution=execution)
 
-    def query_batch(
+    def execute_batch(
         self,
         queries: Sequence[HyperRectangle],
         relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> List[np.ndarray]:
-        """Execute a workload of scans in one vectorised pass."""
-        results, _ = self.query_batch_with_stats(queries, relation)
-        return results
-
-    def query_batch_with_stats(
-        self,
-        queries: Sequence[HyperRectangle],
-        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> Tuple[List[np.ndarray], List[QueryExecution]]:
-        """Batch variant of :meth:`query_with_stats`.
+    ) -> List[QueryResult]:
+        """Batch variant of :meth:`execute`.
 
         Every (query, object) pair is checked with one broadcasted
         comparison; results and counters match the per-query loop exactly.
@@ -164,7 +185,7 @@ class SequentialScan:
                     f"{self.dimensions}"
                 )
         if not query_list:
-            return [], []
+            return []
         start = time.perf_counter()
         n = self.n_objects
         if n:
@@ -178,22 +199,22 @@ class SequentialScan:
         else:
             results = [np.empty(0, dtype=np.int64) for _ in query_list]
         per_query_ms = (time.perf_counter() - start) * 1000.0 / len(query_list)
-        random_accesses = (
-            1 if self._cost.scenario is StorageScenario.DISK and n else 0
-        )
-        executions = [
-            QueryExecution(
-                signature_checks=0,
-                groups_explored=1,
-                objects_verified=n,
-                results=int(found.size),
-                bytes_read=n * self._cost.object_bytes,
-                random_accesses=random_accesses,
-                wall_time_ms=per_query_ms,
+        random_accesses = 1 if self._cost.scenario is StorageScenario.DISK and n else 0
+        return [
+            QueryResult(
+                ids=found,
+                execution=QueryExecution(
+                    signature_checks=0,
+                    groups_explored=1,
+                    objects_verified=n,
+                    results=int(found.size),
+                    bytes_read=n * self._cost.object_bytes,
+                    random_accesses=random_accesses,
+                    wall_time_ms=per_query_ms,
+                ),
             )
             for found in results
         ]
-        return results, executions
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"SequentialScan(dimensions={self.dimensions}, objects={self.n_objects})"

@@ -5,13 +5,16 @@ figures and tables from the terminal::
 
     repro-experiments fig7 --scenario memory --objects 20000
     repro-experiments fig8 --scenario disk --objects 5000
-    repro-experiments point-enclosing --scenario memory
+    repro-experiments point-enclosing --scenario memory --methods ac ss
     repro-experiments ablation-division-factor
     repro-experiments pubsub-bench --subscriptions 5000 --events 2000
 
 Every command prints a paper-style report (and optionally writes it to a
-file with ``--output``).  Invalid parameter values exit with status 2 and
-a one-line error message instead of a traceback.
+file with ``--output``).  Method names are resolved through the backend
+registry (:mod:`repro.api.registry`), so ``--methods`` accepts canonical
+names, chart labels and aliases ("ac", "AC", "adaptive", ...).  Invalid
+parameter values exit with status 2 and a one-line error message instead
+of a traceback.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.api.registry import backend_spec, registered_backends, resolve_method_label
 from repro.core.cost_model import StorageScenario
 from repro.evaluation.experiments import (
     PAPER_DIMENSIONALITIES,
@@ -35,21 +39,88 @@ from repro.evaluation.reporting import format_experiment_result, format_streamin
 from repro.evaluation.streaming import pubsub_streaming_bench
 
 
+# ----------------------------------------------------------------------
+# Shared argument helpers: every option is defined exactly once and the
+# subcommands compose the groups they need.
+# ----------------------------------------------------------------------
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        choices=[scenario.value for scenario in StorageScenario],
+        default=StorageScenario.MEMORY.value,
+        help="storage scenario of the cost model (default: memory)",
+    )
+
+
+def _add_methods_argument(parser: argparse.ArgumentParser) -> None:
+    names = ", ".join(
+        f"{name} ({backend_spec(name).description})" for name in registered_backends()
+    )
+    parser.add_argument(
+        "--methods",
+        nargs="+",
+        default=None,
+        metavar="METHOD",
+        help=f"access methods to run, by any registry name or alias: {names}",
+    )
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every subcommand: seeding and report output."""
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument("--output", type=str, default=None, help="write the report to this file")
+
+
 def _add_common_arguments(
-    parser: argparse.ArgumentParser, include_scenario: bool = True
+    parser: argparse.ArgumentParser,
+    include_scenario: bool = True,
+    include_methods: bool = True,
 ) -> None:
     if include_scenario:
-        parser.add_argument(
-            "--scenario",
-            choices=[scenario.value for scenario in StorageScenario],
-            default=StorageScenario.MEMORY.value,
-            help="storage scenario of the cost model (default: memory)",
-        )
+        _add_scenario_argument(parser)
+    if include_methods:
+        _add_methods_argument(parser)
     parser.add_argument("--objects", type=int, default=None, help="database size")
     parser.add_argument("--queries", type=int, default=None, help="measured queries per point")
     parser.add_argument("--warmup", type=int, default=None, help="warm-up queries")
-    parser.add_argument("--seed", type=int, default=None, help="random seed")
-    parser.add_argument("--output", type=str, default=None, help="write the report to this file")
+    _add_run_arguments(parser)
+
+
+def _add_pubsub_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_scenario_argument(parser)
+    _add_methods_argument(parser)
+    parser.add_argument(
+        "--subscriptions", type=int, default=None, help="initial subscription count"
+    )
+    parser.add_argument("--events", type=int, default=None, help="events to stream")
+    parser.add_argument("--batch-size", type=int, default=None, help="micro-batch flush size")
+    parser.add_argument(
+        "--cache-size", type=int, default=None, help="LRU result cache capacity (0 disables)"
+    )
+    parser.add_argument(
+        "--subscribe-prob", type=float, default=None, help="per-event subscribe probability"
+    )
+    parser.add_argument(
+        "--unsubscribe-prob",
+        type=float,
+        default=None,
+        help="per-event unsubscribe probability",
+    )
+    parser.add_argument(
+        "--repeat-prob",
+        type=float,
+        default=None,
+        help="probability an event re-publishes a recent offer (what the "
+        "result cache exploits; default 0.25)",
+    )
+    parser.add_argument(
+        "--range-fraction",
+        type=float,
+        default=None,
+        help="event interval width as a domain fraction (0 = point events)",
+    )
+    parser.add_argument("--warmup", type=int, default=None, help="warm-up events")
+    _add_run_arguments(parser)
 
 
 def _collect_kwargs(args: argparse.Namespace, mapping: Dict[str, str]) -> Dict[str, object]:
@@ -61,29 +132,22 @@ def _collect_kwargs(args: argparse.Namespace, mapping: Dict[str, str]) -> Dict[s
     return kwargs
 
 
+_SWEEP_ARGUMENTS = {
+    "objects": "object_count",
+    "queries": "queries_per_point",
+    "warmup": "warmup_queries",
+    "seed": "seed",
+    "methods": "methods",
+}
+
+
 def _run_fig7(args: argparse.Namespace):
-    kwargs = _collect_kwargs(
-        args,
-        {
-            "objects": "object_count",
-            "queries": "queries_per_point",
-            "warmup": "warmup_queries",
-            "seed": "seed",
-        },
-    )
+    kwargs = _collect_kwargs(args, _SWEEP_ARGUMENTS)
     return selectivity_sweep(scenario=args.scenario, **kwargs)
 
 
 def _run_fig8(args: argparse.Namespace):
-    kwargs = _collect_kwargs(
-        args,
-        {
-            "objects": "object_count",
-            "queries": "queries_per_point",
-            "warmup": "warmup_queries",
-            "seed": "seed",
-        },
-    )
+    kwargs = _collect_kwargs(args, _SWEEP_ARGUMENTS)
     return dimensionality_sweep(scenario=args.scenario, **kwargs)
 
 
@@ -95,6 +159,7 @@ def _run_point_enclosing(args: argparse.Namespace):
             "queries": "queries",
             "warmup": "warmup_queries",
             "seed": "seed",
+            "methods": "methods",
         },
     )
     return point_enclosing_experiment(scenario=args.scenario, **kwargs)
@@ -137,6 +202,7 @@ def _run_pubsub_bench(args: argparse.Namespace):
             "range_fraction": "range_fraction",
             "warmup": "warmup_events",
             "seed": "seed",
+            "methods": "methods",
         },
     )
     return pubsub_streaming_bench(scenario=args.scenario, **kwargs)
@@ -156,49 +222,15 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
 #: sweeps a disk cost constant).
 _SCENARIO_FIXED_COMMANDS = frozenset({"ablation-disk-access-time"})
 
-
-def _add_pubsub_bench_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--scenario",
-        choices=[scenario.value for scenario in StorageScenario],
-        default=StorageScenario.MEMORY.value,
-        help="storage scenario of the cost model (default: memory)",
-    )
-    parser.add_argument(
-        "--subscriptions", type=int, default=None, help="initial subscription count"
-    )
-    parser.add_argument("--events", type=int, default=None, help="events to stream")
-    parser.add_argument(
-        "--batch-size", type=int, default=None, help="micro-batch flush size"
-    )
-    parser.add_argument(
-        "--cache-size", type=int, default=None, help="LRU result cache capacity (0 disables)"
-    )
-    parser.add_argument(
-        "--subscribe-prob", type=float, default=None, help="per-event subscribe probability"
-    )
-    parser.add_argument(
-        "--unsubscribe-prob",
-        type=float,
-        default=None,
-        help="per-event unsubscribe probability",
-    )
-    parser.add_argument(
-        "--repeat-prob",
-        type=float,
-        default=None,
-        help="probability an event re-publishes a recent offer (what the "
-        "result cache exploits; default 0.25)",
-    )
-    parser.add_argument(
-        "--range-fraction",
-        type=float,
-        default=None,
-        help="event interval width as a domain fraction (0 = point events)",
-    )
-    parser.add_argument("--warmup", type=int, default=None, help="warm-up events")
-    parser.add_argument("--seed", type=int, default=None, help="random seed")
-    parser.add_argument("--output", type=str, default=None, help="write the report to this file")
+#: Ablations compare the adaptive index against the scan baseline by
+#: design, so they take no ``--methods``.
+_METHOD_FIXED_COMMANDS = frozenset(
+    {
+        "ablation-division-factor",
+        "ablation-reorganization-period",
+        "ablation-disk-access-time",
+    }
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -220,7 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
     }
     for name, runner in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=descriptions.get(name, name))
-        _add_common_arguments(sub, include_scenario=name not in _SCENARIO_FIXED_COMMANDS)
+        _add_common_arguments(
+            sub,
+            include_scenario=name not in _SCENARIO_FIXED_COMMANDS,
+            include_methods=name not in _METHOD_FIXED_COMMANDS,
+        )
         sub.set_defaults(runner=runner, formatter=format_experiment_result)
     bench = subparsers.add_parser(
         "pubsub-bench",
@@ -257,6 +293,11 @@ def _validate_args(args: argparse.Namespace) -> None:
     range_fraction = getattr(args, "range_fraction", None)
     if range_fraction is not None and not 0.0 <= range_fraction < 1.0:
         raise ValueError("--range-fraction must lie in [0, 1)")
+    methods = getattr(args, "methods", None)
+    if methods is not None:
+        # Resolve through the registry up front: an unknown method name is
+        # a parameter error (exit 2), and the runners receive chart labels.
+        args.methods = [resolve_method_label(name) for name in methods]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -137,9 +137,7 @@ class CandidateSet:
             & (obj_highs <= self.end_high[index])
         )
 
-    def query_match_mask(
-        self, query: HyperRectangle, relation: SpatialRelation
-    ) -> np.ndarray:
+    def query_match_mask(self, query: HyperRectangle, relation: SpatialRelation) -> np.ndarray:
         """Candidates whose signature is matched by *query*.
 
         The query is assumed to match the parent signature (query execution
@@ -223,9 +221,7 @@ class CandidateSet:
         """Return the full signature of candidate *index*."""
         return self.descriptor(index).signature(self.parent_signature)
 
-    def access_probabilities(
-        self, total_queries: int, smoothing: float = 0.0
-    ) -> np.ndarray:
+    def access_probabilities(self, total_queries: int, smoothing: float = 0.0) -> np.ndarray:
         """Estimated access probability of every candidate.
 
         ``p(s) = (q(s) + smoothing) / (total_queries + smoothing)`` — the
@@ -235,9 +231,7 @@ class CandidateSet:
         """
         if total_queries <= 0:
             return np.zeros(len(self), dtype=np.float64)
-        probabilities = (self.query_counts + smoothing) / (
-            float(total_queries) + smoothing
-        )
+        probabilities = (self.query_counts + smoothing) / (float(total_queries) + smoothing)
         return np.clip(probabilities, 0.0, 1.0)
 
     def validate_counts(self) -> None:

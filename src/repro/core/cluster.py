@@ -128,9 +128,7 @@ class Cluster:
         self.candidates.record_insertion(obj)
         return grew
 
-    def add_objects_bulk(
-        self, ids: np.ndarray, lows: np.ndarray, highs: np.ndarray
-    ) -> bool:
+    def add_objects_bulk(self, ids: np.ndarray, lows: np.ndarray, highs: np.ndarray) -> bool:
         """Insert a batch of members and update candidate statistics."""
         grew = self.store.extend(ids, lows, highs)
         self.candidates.add_object_counts(lows, highs)
@@ -185,9 +183,7 @@ class Cluster:
         """True when the cluster must be explored for this query."""
         return self.signature.matches_query(query, relation)
 
-    def verify_members(
-        self, query: HyperRectangle, relation: SpatialRelation
-    ) -> np.ndarray:
+    def verify_members(self, query: HyperRectangle, relation: SpatialRelation) -> np.ndarray:
         """Check every member against the selection criterion.
 
         Returns the identifiers of the qualifying members.
@@ -197,9 +193,7 @@ class Cluster:
         mask = matching_mask(self.store.lows, self.store.highs, query, relation)
         return self.store.ids[mask].copy()
 
-    def record_exploration(
-        self, query: HyperRectangle, relation: SpatialRelation
-    ) -> None:
+    def record_exploration(self, query: HyperRectangle, relation: SpatialRelation) -> None:
         """Update the cluster's and its candidates' query statistics."""
         self.query_count += 1
         self.candidates.record_query(query, relation)
@@ -230,13 +224,9 @@ class Cluster:
                 f"cluster {self.cluster_id} stores objects that do not match "
                 "its signature"
             )
-        expected = self.candidates.object_match_counts(
-            self.store.lows, self.store.highs
-        )
+        expected = self.candidates.object_match_counts(self.store.lows, self.store.highs)
         if not np.array_equal(expected, self.candidates.object_counts):
-            raise AssertionError(
-                f"cluster {self.cluster_id} candidate object counts are stale"
-            )
+            raise AssertionError(f"cluster {self.cluster_id} candidate object counts are stale")
         self.candidates.validate_counts()
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

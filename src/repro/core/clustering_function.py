@@ -43,9 +43,7 @@ class CandidateDescriptor:
 
     def variation(self) -> VariationInterval:
         """Return the candidate's constraint for its refined dimension."""
-        return VariationInterval(
-            self.start_low, self.start_high, self.end_low, self.end_high
-        )
+        return VariationInterval(self.start_low, self.start_high, self.end_low, self.end_high)
 
     def signature(self, parent: ClusterSignature) -> ClusterSignature:
         """Materialize the candidate's full signature from the parent's."""
@@ -103,22 +101,15 @@ class ClusteringFunction:
 
     def candidate_signatures(self, signature: ClusterSignature) -> List[ClusterSignature]:
         """Full signatures of every candidate (convenience for tests/examples)."""
-        return [
-            descriptor.signature(signature)
-            for descriptor in self.candidates_for(signature)
-        ]
+        return [descriptor.signature(signature) for descriptor in self.candidates_for(signature)]
 
     # ------------------------------------------------------------------
     def _candidates_for_dimension(
         self, signature: ClusterSignature, dimension: int
     ) -> List[CandidateDescriptor]:
         parent = signature.variation(dimension)
-        start_parts = _split_interval(
-            parent.start_low, parent.start_high, self.division_factor
-        )
-        end_parts = _split_interval(
-            parent.end_low, parent.end_high, self.division_factor
-        )
+        start_parts = _split_interval(parent.start_low, parent.start_high, self.division_factor)
+        end_parts = _split_interval(parent.end_low, parent.end_high, self.division_factor)
 
         parent_key = parent.as_tuple()
         seen: set = set()

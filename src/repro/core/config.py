@@ -96,9 +96,7 @@ class AdaptiveClusteringConfig:
         **overrides: object,
     ) -> "AdaptiveClusteringConfig":
         """Configuration for the in-memory storage scenario."""
-        return cls(
-            cost=CostParameters.memory_defaults(dimensions, constants), **overrides
-        )
+        return cls(cost=CostParameters.memory_defaults(dimensions, constants), **overrides)
 
     @classmethod
     def for_disk(
@@ -108,9 +106,7 @@ class AdaptiveClusteringConfig:
         **overrides: object,
     ) -> "AdaptiveClusteringConfig":
         """Configuration for the disk storage scenario."""
-        return cls(
-            cost=CostParameters.disk_defaults(dimensions, constants), **overrides
-        )
+        return cls(cost=CostParameters.disk_defaults(dimensions, constants), **overrides)
 
     # ------------------------------------------------------------------
     # Derived accessors

@@ -146,9 +146,7 @@ class SystemCostConstants:
         checks = 10000
         for _ in range(checks):
             bool(q_lows[0] <= q_highs[0])
-        signature_check_ms = max(
-            (time.perf_counter() - start) * 1000.0 / checks, 1e-12
-        )
+        signature_check_ms = max((time.perf_counter() - start) * 1000.0 / checks, 1e-12)
 
         return cls(
             verification_ms_per_byte=verification_ms_per_byte,

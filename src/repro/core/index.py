@@ -12,10 +12,11 @@ Public interface
     probability (Fig. 4 of the paper).
 ``delete(object_id)``
     Remove an object.
-``query(box, relation)`` / ``query_with_stats(box, relation)``
-    Execute a spatial selection (Fig. 5) and optionally return the
-    per-query work counters used by the evaluation harness.
-``query_batch(queries, relation)`` / ``query_batch_with_stats(...)``
+``query(box, relation)`` / ``execute(box, relation)``
+    Execute a spatial selection (Fig. 5); ``execute`` returns a
+    :class:`~repro.api.protocol.QueryResult` carrying the per-query work
+    counters used by the evaluation harness.
+``query_batch(queries, relation)`` / ``execute_batch(...)``
     Execute a whole workload in one vectorised pass: signatures of all
     clusters are pruned for all queries with one broadcasted comparison
     and member verification runs once per surviving cluster.  Results and
@@ -35,6 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.api.protocol import BackendBase, Capabilities, QueryResult
 from repro.core.cluster import Cluster
 from repro.core.clustering_function import ClusteringFunction
 from repro.core.config import AdaptiveClusteringConfig
@@ -58,8 +60,16 @@ _PAIR_BUDGET = 8_000_000
 _INCREMENTAL_REORG_LIMIT = 8
 
 
-class AdaptiveClusteringIndex:
+class AdaptiveClusteringIndex(BackendBase):
     """Adaptive cost-based clustering of multidimensional extended objects."""
+
+    CAPABILITIES = Capabilities(
+        name="ac",
+        label="AC",
+        supports_delete_bulk=True,
+        supports_persistence=True,
+        supports_reorganization=True,
+    )
 
     def __init__(
         self,
@@ -166,6 +176,11 @@ class AdaptiveClusteringIndex:
     def n_clusters(self) -> int:
         """Number of materialized clusters (including the root)."""
         return len(self._clusters)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of explorable groups: the materialized cluster count."""
+        return self.n_clusters
 
     @property
     def total_queries(self) -> int:
@@ -485,9 +500,7 @@ class AdaptiveClusteringIndex:
                 previous = 0
                 for row in ambiguous_rows:
                     row = int(row)
-                    counts += np.bincount(
-                        chunk_choice[previous:row], minlength=n_rows
-                    )
+                    counts += np.bincount(chunk_choice[previous:row], minlength=n_rows)
                     candidates = np.flatnonzero(ties[row])
                     chunk_choice[row] = candidates[np.argmin(counts[candidates])]
                     counts[chunk_choice[row]] += 1
@@ -508,21 +521,12 @@ class AdaptiveClusteringIndex:
     # ==================================================================
     # Query execution (Fig. 5)
     # ==================================================================
-    def query(
+    def execute(
         self,
         query: HyperRectangle,
         relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> np.ndarray:
-        """Execute a spatial selection and return the matching object ids."""
-        results, _ = self.query_with_stats(query, relation)
-        return results
-
-    def query_with_stats(
-        self,
-        query: HyperRectangle,
-        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> Tuple[np.ndarray, QueryExecution]:
-        """Execute a spatial selection and return ``(object_ids, QueryExecution)``."""
+    ) -> QueryResult:
+        """Execute a spatial selection and return ids plus execution counters."""
         relation = SpatialRelation.parse(relation)
         if query.dimensions != self.dimensions:
             raise ValueError(
@@ -548,41 +552,24 @@ class AdaptiveClusteringIndex:
                 matches.append(found)
             cluster.record_exploration(query, relation)
 
-        results = (
-            np.concatenate(matches) if matches else np.empty(0, dtype=np.int64)
-        )
+        results = np.concatenate(matches) if matches else np.empty(0, dtype=np.int64)
         execution.results = int(results.size)
         execution.wall_time_ms = (time.perf_counter() - start) * 1000.0
 
         self._total_queries += 1
         self._queries_since_reorganization += 1
         self.maybe_reorganize()
-        return results, execution
+        return QueryResult(ids=results, execution=execution)
 
     # ------------------------------------------------------------------
     # Batch query execution
     # ------------------------------------------------------------------
-    def query_batch(
+    def execute_batch(
         self,
         queries: Sequence[HyperRectangle],
         relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> List[np.ndarray]:
-        """Execute a workload of spatial selections in one vectorised pass.
-
-        Returns one identifier array per query, each identical to what
-        :meth:`query` would return for that query executed at the same
-        point of the query stream (including automatically triggered
-        reorganizations).
-        """
-        results, _ = self.query_batch_with_stats(queries, relation)
-        return results
-
-    def query_batch_with_stats(
-        self,
-        queries: Sequence[HyperRectangle],
-        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> Tuple[List[np.ndarray], List[QueryExecution]]:
-        """Batch variant of :meth:`query_with_stats`.
+    ) -> List[QueryResult]:
+        """Batch variant of :meth:`execute`.
 
         The workload is stacked into ``(m, Nd)`` arrays, every cluster is
         pruned for every query with one broadcasted signature comparison,
@@ -590,7 +577,8 @@ class AdaptiveClusteringIndex:
         its queries together.  Per-query :class:`QueryExecution` counters
         are produced exactly as the per-query loop would, and the batch is
         split at reorganization boundaries so automatic reorganizations
-        fire after the same query they would fire after in a loop.
+        fire after the same query they would fire after in a loop —
+        results are identical to executing the queries one at a time.
         """
         relation = SpatialRelation.parse(relation)
         query_list = list(queries)
@@ -604,7 +592,7 @@ class AdaptiveClusteringIndex:
         results: List[Optional[np.ndarray]] = [None] * total
         executions: List[Optional[QueryExecution]] = [None] * total
         if total == 0:
-            return [], []
+            return []
         q_lows = np.vstack([query.lows for query in query_list])
         q_highs = np.vstack([query.highs for query in query_list])
 
@@ -648,16 +636,17 @@ class AdaptiveClusteringIndex:
             self._queries_since_reorganization += chunk
             self.maybe_reorganize()
             position = end
-        return results, executions  # type: ignore[return-value]
+        return [
+            QueryResult(ids=ids, execution=execution)  # type: ignore[arg-type]
+            for ids, execution in zip(results, executions)
+        ]
 
     @staticmethod
     def _ragged_arange(lengths: np.ndarray, starts: np.ndarray) -> np.ndarray:
         """Concatenate ``[arange(s, s + l) for s, l in zip(starts, lengths)]``."""
         total = int(lengths.sum())
         block_starts = np.cumsum(lengths) - lengths
-        return np.arange(total, dtype=np.int64) + np.repeat(
-            starts - block_starts, lengths
-        )
+        return np.arange(total, dtype=np.int64) + np.repeat(starts - block_starts, lengths)
 
     def _execute_query_chunk(
         self,
@@ -716,9 +705,7 @@ class AdaptiveClusteringIndex:
         groups_explored = explore.sum(axis=1)
 
         cluster_list = [self._clusters[cid] for cid in self._signature_cluster_ids]
-        member_lows_t, member_highs_t, member_ids, member_starts = (
-            self._ensure_member_matrix()
-        )
+        member_lows_t, member_highs_t, member_ids, member_starts = self._ensure_member_matrix()
         sizes = np.empty(len(cluster_list), dtype=np.int64)
         sizes[:-1] = member_starts[1:] - member_starts[:-1]
         sizes[-1] = member_ids.shape[0] - member_starts[-1]
@@ -729,9 +716,7 @@ class AdaptiveClusteringIndex:
         visit_col, visit_q = np.nonzero(explore.T)
         visits_per_col = explore.sum(axis=0)
         explored_cols = np.flatnonzero(visits_per_col)
-        self._storage.on_cluster_reads_bulk(
-            sizes[explored_cols], visits_per_col[explored_cols]
-        )
+        self._storage.on_cluster_reads_bulk(sizes[explored_cols], visits_per_col[explored_cols])
         for column in explored_cols:
             cluster_list[int(column)].query_count += int(visits_per_col[column])
 
@@ -952,9 +937,7 @@ class AdaptiveClusteringIndex:
                 # Deferred maintenance after a reorganization pass: rows of
                 # other merged-away clusters are still pending removal.
                 continue
-            cluster.candidates.query_counts = stacked[
-                int(offsets[row]) : int(offsets[row + 1])
-            ]
+            cluster.candidates.query_counts = stacked[int(offsets[row]) : int(offsets[row + 1])]
 
     def _candidate_views_valid(self) -> bool:
         """True while every cluster's ``q(s)`` vector still aliases the buffer.
@@ -1046,21 +1029,15 @@ class AdaptiveClusteringIndex:
         cand_dim, cand_sl, cand_sh, cand_el, cand_eh = self._candidate_matrix
         offsets = self._candidate_offsets
         counts = offsets[1:] - offsets[:-1]
-        cand_row = np.repeat(
-            np.arange(len(self._signature_cluster_ids)), counts
-        )
+        cand_row = np.repeat(np.arange(len(self._signature_cluster_ids)), counts)
         if cand_dim.size == 0:
             empty = np.empty(0, dtype=np.int64)
             return (grid_s_low, grid_s_high, grid_e_low, grid_e_high, empty, empty)
 
         start_grid = grid_s_low[cand_row, cand_dim]  # (n_cand, f)
         end_grid = grid_e_high[cand_row, cand_dim]
-        i_idx = np.minimum(
-            (start_grid < cand_sl[:, None]).sum(axis=1), factor - 1
-        )
-        j_idx = np.minimum(
-            (end_grid < cand_eh[:, None]).sum(axis=1), factor - 1
-        )
+        i_idx = np.minimum((start_grid < cand_sl[:, None]).sum(axis=1), factor - 1)
+        j_idx = np.minimum((end_grid < cand_eh[:, None]).sum(axis=1), factor - 1)
         exact = (
             np.all(start_grid[np.arange(cand_dim.size), i_idx] == cand_sl)
             and np.all(grid_s_high[cand_row, cand_dim, i_idx] == cand_sh)
@@ -1152,9 +1129,7 @@ class AdaptiveClusteringIndex:
         keep = np.ones(len(self._signature_cluster_ids), dtype=bool)
         keep[row] = False
         start_low, start_high, end_low, end_high = self._signature_matrix
-        self._signature_matrix = (
-            start_low[keep], start_high[keep], end_low[keep], end_high[keep]
-        )
+        self._signature_matrix = (start_low[keep], start_high[keep], end_low[keep], end_high[keep])
         del self._signature_cluster_ids[row]
         self._signature_constrained = self._signature_constrained[keep]
         offsets = self._candidate_offsets
@@ -1167,14 +1142,10 @@ class AdaptiveClusteringIndex:
         self._candidate_offsets = np.concatenate(
             [offsets[:row + 1], offsets[row + 2:] - (last - first)]
         )
-        self._adopt_candidate_query_counts(
-            np.concatenate([stacked[:first], stacked[last:]])
-        )
+        self._adopt_candidate_query_counts(np.concatenate([stacked[:first], stacked[last:]]))
         self._candidate_grid = None
 
-    def _matching_clusters(
-        self, query: HyperRectangle, relation: SpatialRelation
-    ) -> List[Cluster]:
+    def _matching_clusters(self, query: HyperRectangle, relation: SpatialRelation) -> List[Cluster]:
         """Clusters whose signature is matched by the query (Fig. 5, step 2).
 
         Equivalent to calling ``cluster.matches_query`` on every cluster,
@@ -1194,10 +1165,7 @@ class AdaptiveClusteringIndex:
             mask = np.all((start_low <= q_lows) & (end_high >= q_highs), axis=1)
         else:  # pragma: no cover - relation is validated by the caller
             raise ValueError(f"unsupported relation: {relation!r}")
-        return [
-            self._clusters[self._signature_cluster_ids[row]]
-            for row in np.flatnonzero(mask)
-        ]
+        return [self._clusters[self._signature_cluster_ids[row]] for row in np.flatnonzero(mask)]
 
     # ==================================================================
     # Reorganization (Figs. 1-3)
@@ -1253,9 +1221,7 @@ class AdaptiveClusteringIndex:
     # ------------------------------------------------------------------
     # Reorganization mechanics (called by the Reorganizer)
     # ------------------------------------------------------------------
-    def _new_cluster(
-        self, signature: ClusterSignature, parent: Optional[Cluster]
-    ) -> Cluster:
+    def _new_cluster(self, signature: ClusterSignature, parent: Optional[Cluster]) -> Cluster:
         cluster = Cluster(
             cluster_id=self._next_cluster_id,
             signature=signature,
@@ -1333,6 +1299,17 @@ class AdaptiveClusteringIndex:
             total_queries=self._total_queries,
             clusters=clusters,
         )
+
+    def save(self, path: "str | Path", include_statistics: bool = True) -> "Path":
+        """Write a crash-recovery snapshot to *path* (see :mod:`repro.core.persistence`).
+
+        The persistable half of the :class:`~repro.api.protocol.SpatialBackend`
+        contract; recover with :func:`repro.core.persistence.load_index` or
+        :meth:`repro.api.Database.open`.
+        """
+        from repro.core.persistence import save_index
+
+        return save_index(self, path, include_statistics=include_statistics)
 
     def check_invariants(self) -> None:
         """Verify structural consistency; raises :class:`AssertionError` on failure.

@@ -119,9 +119,7 @@ class ObjectStore:
         self._size += 1
         return grew
 
-    def extend(
-        self, ids: np.ndarray, lows: np.ndarray, highs: np.ndarray
-    ) -> bool:
+    def extend(self, ids: np.ndarray, lows: np.ndarray, highs: np.ndarray) -> bool:
         """Append a batch of members given as arrays.
 
         Returns ``True`` when the arrays had to grow.
@@ -142,9 +140,7 @@ class ObjectStore:
         self._size = end
         return grew
 
-    def remove_mask(
-        self, mask: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def remove_mask(self, mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Remove every member selected by the boolean *mask*.
 
         Returns
@@ -203,9 +199,7 @@ class ObjectStore:
     def _ensure_capacity(self, needed: int) -> bool:
         if needed <= self.capacity:
             return False
-        new_capacity = max(
-            needed, int(np.ceil(self.capacity * self._growth)), _MIN_CAPACITY
-        )
+        new_capacity = max(needed, int(np.ceil(self.capacity * self._growth)), _MIN_CAPACITY)
         new_ids = np.empty(new_capacity, dtype=np.int64)
         new_lows = np.empty((new_capacity, self._dimensions), dtype=np.float64)
         new_highs = np.empty((new_capacity, self._dimensions), dtype=np.float64)

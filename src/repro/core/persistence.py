@@ -156,21 +156,15 @@ def save_index(
         arrays[f"lows_{cluster_id}"] = cluster.store.lows.copy()
         arrays[f"highs_{cluster_id}"] = cluster.store.highs.copy()
         if include_statistics:
-            arrays[f"candidate_queries_{cluster_id}"] = (
-                cluster.candidates.query_counts.copy()
-            )
-    arrays["directory"] = np.frombuffer(
-        json.dumps(directory).encode("utf-8"), dtype=np.uint8
-    )
+            arrays[f"candidate_queries_{cluster_id}"] = cluster.candidates.query_counts.copy()
+    arrays["directory"] = np.frombuffer(json.dumps(directory).encode("utf-8"), dtype=np.uint8)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "wb") as handle:
         np.savez_compressed(handle, **arrays)
     return path
 
 
-def load_index(
-    path: PathLike, storage: Optional[StorageBackend] = None
-) -> AdaptiveClusteringIndex:
+def load_index(path: PathLike, storage: Optional[StorageBackend] = None) -> AdaptiveClusteringIndex:
     """Recover an :class:`AdaptiveClusteringIndex` from a snapshot file.
 
     Candidate object counts are recomputed from the recovered members, so
@@ -183,9 +177,7 @@ def load_index(
     with np.load(path) as archive:
         directory = json.loads(bytes(archive["directory"].tobytes()).decode("utf-8"))
         if directory.get("format_version") != SNAPSHOT_FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported snapshot format: {directory.get('format_version')!r}"
-            )
+            raise ValueError(f"unsupported snapshot format: {directory.get('format_version')!r}")
         config = _config_from_dict(directory["config"])
         include_statistics = bool(directory.get("include_statistics", False))
 
@@ -252,9 +244,7 @@ def load_index(
     index._root_id = root_id
     index._next_cluster_id = max_cluster_id + 1
     index._total_queries = int(directory["total_queries"])
-    index._queries_since_reorganization = int(
-        directory["queries_since_reorganization"]
-    )
+    index._queries_since_reorganization = int(directory["queries_since_reorganization"])
     index._reorganization_count = int(directory["reorganization_count"])
     index._invalidate_signature_matrix()
     return index

@@ -96,9 +96,7 @@ class Reorganizer:
         self._try_split(index, cluster, report)
 
     # ------------------------------------------------------------------
-    def _merge_is_beneficial(
-        self, index: "AdaptiveClusteringIndex", cluster: "Cluster"
-    ) -> bool:
+    def _merge_is_beneficial(self, index: "AdaptiveClusteringIndex", cluster: "Cluster") -> bool:
         parent = index.get_cluster(cluster.parent_id)
         if parent is None:  # pragma: no cover - defensive
             return False
@@ -131,9 +129,7 @@ class Reorganizer:
             report.materializations += 1
             report.created_cluster_ids.append(new_cluster.cluster_id)
 
-    def _best_candidate(
-        self, index: "AdaptiveClusteringIndex", cluster: "Cluster"
-    ) -> "int | None":
+    def _best_candidate(self, index: "AdaptiveClusteringIndex", cluster: "Cluster") -> "int | None":
         """Return the index of the most profitable candidate, or ``None``."""
         total = index.total_queries
         cluster_probability = cluster.access_probability(total)

@@ -57,7 +57,9 @@ class VariationInterval:
 
     # ------------------------------------------------------------------
     @classmethod
-    def unconstrained(cls, domain_low: float = 0.0, domain_high: float = 1.0) -> "VariationInterval":
+    def unconstrained(
+        cls, domain_low: float = 0.0, domain_high: float = 1.0
+    ) -> "VariationInterval":
         """Variation interval accepting any interval within the domain."""
         return cls(domain_low, domain_high, domain_low, domain_high)
 
@@ -73,10 +75,7 @@ class VariationInterval:
     # ------------------------------------------------------------------
     def matches_interval(self, low: float, high: float) -> bool:
         """True when an object interval ``[low, high]`` satisfies the constraint."""
-        return (
-            self.start_low <= low <= self.start_high
-            and self.end_low <= high <= self.end_high
-        )
+        return self.start_low <= low <= self.start_high and self.end_low <= high <= self.end_high
 
     def admits_query_interval(
         self, query_low: float, query_high: float, relation: SpatialRelation
@@ -147,7 +146,9 @@ class ClusterSignature:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def root(cls, dimensions: int, domain_low: float = 0.0, domain_high: float = 1.0) -> "ClusterSignature":
+    def root(
+        cls, dimensions: int, domain_low: float = 0.0, domain_high: float = 1.0
+    ) -> "ClusterSignature":
         """The root cluster signature: unconstrained in every dimension."""
         if dimensions <= 0:
             raise ValueError("dimensions must be positive")
@@ -293,17 +294,11 @@ class ClusterSignature:
         q_lows = query.lows
         q_highs = query.highs
         if relation is SpatialRelation.INTERSECTS:
-            return bool(
-                np.all((self._start_low <= q_highs) & (self._end_high >= q_lows))
-            )
+            return bool(np.all((self._start_low <= q_highs) & (self._end_high >= q_lows)))
         if relation is SpatialRelation.CONTAINED_BY:
-            return bool(
-                np.all((self._start_high >= q_lows) & (self._end_low <= q_highs))
-            )
+            return bool(np.all((self._start_high >= q_lows) & (self._end_low <= q_highs)))
         if relation is SpatialRelation.CONTAINS:
-            return bool(
-                np.all((self._start_low <= q_lows) & (self._end_high >= q_highs))
-            )
+            return bool(np.all((self._start_low <= q_lows) & (self._end_high >= q_highs)))
         raise ValueError(f"unsupported relation: {relation!r}")
 
     # ------------------------------------------------------------------

@@ -1,10 +1,12 @@
 """Streaming pub/sub serving layer over the batch query engine.
 
 The paper's motivating SDI scenario as a running system: standing
-subscriptions live in an access method (the adaptive clustering index or
-one of the baselines), incoming events are micro-batched through the
-vectorised ``query_batch`` path, subscription churn maps to ``insert`` /
-``delete``, and repeated events are answered from an LRU result cache.
+subscriptions live in any :class:`~repro.api.protocol.SpatialBackend`
+(the adaptive clustering index or one of the baselines), incoming events
+are micro-batched through the vectorised ``execute_batch`` path,
+subscription churn maps to ``insert`` / ``delete``, and repeated events
+are answered from an LRU result cache.  Sessions are usually attached
+through :meth:`repro.api.Database.session`.
 """
 
 from repro.engine.cache import LRUResultCache, result_cache_key

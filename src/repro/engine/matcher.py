@@ -7,9 +7,9 @@ attributes — matched against a continuous stream of incoming events.  The
 that serving loop:
 
 * incoming events are **micro-batched**: they accumulate in a pending
-  buffer and are flushed through one ``query_batch_with_stats`` call when
-  the buffer reaches ``max_batch_size`` or the oldest pending event
-  exceeds ``max_delay_ms``;
+  buffer and are flushed through one ``execute_batch`` call when the
+  buffer reaches ``max_batch_size`` or the oldest pending event exceeds
+  ``max_delay_ms``;
 * **subscription churn** (``register`` / ``unregister``) maps to the
   index's ``insert`` / ``delete``.  A churn operation first flushes the
   pending events, so every event is matched against exactly the
@@ -22,9 +22,11 @@ that serving loop:
   cached match sets it matches, an unregistered one is removed from the
   sets containing it — so entries stay warm across churn.
 
-The engine is backend-agnostic: any access method exposing ``insert``,
-``delete`` and ``query_batch_with_stats`` works, which covers the adaptive
-clustering index and both baselines (``SequentialScan``, ``RStarTree``).
+The engine is backend-agnostic: any access method satisfying the
+:class:`~repro.api.protocol.SpatialBackend` protocol works, which covers
+the adaptive clustering index, both baselines (``SequentialScan``,
+``RStarTree``) and anything registered through
+:func:`repro.api.register_backend`.
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tu
 
 import numpy as np
 
+from repro.api.protocol import SpatialBackend
 from repro.core.statistics import QueryExecution
 from repro.engine.cache import LRUResultCache, result_cache_key
 from repro.geometry.box import HyperRectangle
@@ -185,7 +188,7 @@ class StreamingMatcher:
 
     def __init__(
         self,
-        backend: object,
+        backend: SpatialBackend,
         config: Optional[StreamingConfig] = None,
         clock: Callable[[], float] = time.perf_counter,
         on_match: Optional[Callable[[MatchRecord], None]] = None,
@@ -195,9 +198,9 @@ class StreamingMatcher:
         Parameters
         ----------
         backend:
-            Access method holding the subscriptions; must expose
-            ``insert(id, box)``, ``delete(id)`` and
-            ``query_batch_with_stats(queries, relation)``.
+            Access method holding the subscriptions; must satisfy the
+            :class:`~repro.api.protocol.SpatialBackend` protocol
+            (verified at construction).
         config:
             Batching / caching configuration; defaults to
             :class:`StreamingConfig`'s defaults.
@@ -207,9 +210,11 @@ class StreamingMatcher:
             Optional callback invoked with every delivered
             :class:`MatchRecord`, in delivery order.
         """
-        for attribute in ("insert", "delete", "query_batch_with_stats"):
-            if not hasattr(backend, attribute):
-                raise TypeError(f"backend does not provide {attribute}()")
+        if not isinstance(backend, SpatialBackend):
+            raise TypeError(
+                "backend does not satisfy the SpatialBackend protocol; "
+                "see repro.api.protocol"
+            )
         self._backend = backend
         self._config = config or StreamingConfig()
         self._clock = clock
@@ -223,7 +228,7 @@ class StreamingMatcher:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def backend(self) -> object:
+    def backend(self) -> SpatialBackend:
         """The wrapped access method."""
         return self._backend
 
@@ -294,25 +299,24 @@ class StreamingMatcher:
         applied: List[Tuple[int, HyperRectangle]] = []
         try:
             loaded = False
-            if hasattr(self._backend, "bulk_load"):
-                size_before = len(self._backend) if hasattr(self._backend, "__len__") else None
-                try:
-                    self._backend.bulk_load(pairs)
-                    applied.extend(pairs)
-                    loaded = True
-                except Exception as error:
-                    if size_before is None or len(self._backend) != size_before:
-                        # Unknown partial application: drop the cache rather
-                        # than serve match sets for an unknown subscription
-                        # set.
-                        self._cache.clear()
-                        raise
-                    if not isinstance(error, ValueError):
-                        raise
-                    # A ValueError with nothing applied is the loader's
-                    # precondition failing (the R*-tree's STR loader only
-                    # works from an empty tree); fall back to incremental
-                    # inserts.
+            size_before = len(self._backend)
+            try:
+                self._backend.bulk_load(pairs)
+                applied.extend(pairs)
+                loaded = True
+            except Exception as error:
+                if len(self._backend) != size_before:
+                    # Unknown partial application: drop the cache rather
+                    # than serve match sets for an unknown subscription
+                    # set.
+                    self._cache.clear()
+                    raise
+                if not isinstance(error, ValueError):
+                    raise
+                # A ValueError with nothing applied is the loader's
+                # precondition failing (the R*-tree's STR loader only
+                # works from an empty tree); fall back to incremental
+                # inserts.
             if not loaded:
                 for subscription_id, box in pairs:
                     self._backend.insert(subscription_id, box)
@@ -348,10 +352,7 @@ class StreamingMatcher:
             return []
         records = self._flush("churn") if self._pending else []
         start = self._clock()
-        if hasattr(self._backend, "delete_bulk"):
-            removed = int(self._backend.delete_bulk(ids))
-        else:
-            removed = sum(1 for subscription_id in ids if self._backend.delete(subscription_id))
+        removed = int(self._backend.delete_bulk(ids))
         if removed:
             # Identifiers that were not registered appear in no cached match
             # set, so patching every requested one is safe.
@@ -427,8 +428,8 @@ class StreamingMatcher:
     # Internals
     # ------------------------------------------------------------------
     def _validate_box(self, box: HyperRectangle) -> None:
-        dimensions = getattr(self._backend, "dimensions", None)
-        if dimensions is not None and box.dimensions != dimensions:
+        dimensions = self._backend.dimensions
+        if box.dimensions != dimensions:
             raise ValueError(
                 f"box has {box.dimensions} dimensions, backend expects "
                 f"{dimensions}"
@@ -443,11 +444,7 @@ class StreamingMatcher:
         raised exception would discard from the caller's return path).
         """
         self._validate_box(box)
-        try:
-            already = subscription_id in self._backend  # type: ignore[operator]
-        except TypeError:
-            return
-        if already:
+        if subscription_id in self._backend:
             raise KeyError(f"subscription {subscription_id} is already registered")
 
     def _sync_cache_stats(self) -> None:
@@ -501,7 +498,7 @@ class StreamingMatcher:
 
         if miss_boxes:
             try:
-                results, executions = self._backend.query_batch_with_stats(miss_boxes, relation)
+                query_results = self._backend.execute_batch(miss_boxes, relation)
             except Exception:
                 # Re-queue the batch ahead of anything published meanwhile
                 # (a failing backend call must not silently drop events)
@@ -511,10 +508,11 @@ class StreamingMatcher:
                 self._cache.hits = cache_hits_before
                 self._cache.misses = cache_misses_before
                 raise
-            for key, box, ids, execution in zip(miss_keys, miss_boxes, results, executions):
+            for key, box, result in zip(miss_keys, miss_boxes, query_results):
+                ids = result.ids
                 ids.sort()  # canonical delivery order (see MatchRecord)
                 self._cache.put(key, box, ids)
-                self._stats.total_execution = self._stats.total_execution.merge(execution)
+                self._stats.total_execution = self._stats.total_execution.merge(result.execution)
                 rows = miss_rows[key]
                 matches[rows[0]] = ids
                 for duplicate in rows[1:]:

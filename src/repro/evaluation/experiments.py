@@ -6,6 +6,10 @@ Every public function regenerates one of the paper's evaluation artifacts
 :class:`~repro.evaluation.metrics.MethodResult` for one x-axis point
 (selectivity, dimensionality, ...).  The reporting module renders these
 results as paper-style tables.
+
+The ``methods`` parameter of every experiment accepts any name the
+backend registry resolves — chart labels ("AC"), canonical names ("ac")
+or aliases ("adaptive") — and defaults to all registered backends.
 """
 
 from __future__ import annotations
@@ -19,7 +23,6 @@ from repro.evaluation.harness import ExperimentHarness
 from repro.evaluation.metrics import MethodResult
 from repro.geometry.relations import SpatialRelation
 from repro.workloads.queries import (
-    QueryWorkload,
     generate_point_queries,
     generate_query_workload,
 )
@@ -253,13 +256,9 @@ def point_enclosing_experiment(
     scenario = StorageScenario.parse(scenario)
     cost = _cost_for(scenario, dimensions, constants)
     if skewed:
-        dataset = generate_skewed_dataset(
-            object_count, dimensions, seed=seed, max_extent=0.4
-        )
+        dataset = generate_skewed_dataset(object_count, dimensions, seed=seed, max_extent=0.4)
     else:
-        dataset = generate_uniform_dataset(
-            object_count, dimensions, seed=seed, max_extent=0.4
-        )
+        dataset = generate_uniform_dataset(object_count, dimensions, seed=seed, max_extent=0.4)
     workload = generate_point_queries(queries, dimensions, seed=seed + 1)
     harness = ExperimentHarness(
         dataset=dataset,

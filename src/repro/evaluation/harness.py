@@ -11,6 +11,13 @@ Mirrors the paper's experimental process (Section 7.1):
   reorganization every ``reorganization_period`` queries; the clustering
   stabilises in fewer than ten reorganization steps when the query
   distribution is stable), and only then is the measured workload executed.
+
+Every method is built through the backend registry
+(:mod:`repro.api.registry`) and driven through the
+:class:`~repro.api.protocol.SpatialBackend` protocol — the harness never
+inspects concrete backend types; backend differences (does warm-up change
+the structure? is there a snapshot to report?) are read off the
+:class:`~repro.api.protocol.Capabilities` descriptor.
 """
 
 from __future__ import annotations
@@ -18,79 +25,76 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence
 
-from repro.baselines.rtree import RStarTree, RStarTreeConfig
-from repro.baselines.sequential_scan import SequentialScan
+from repro.api.protocol import SpatialBackend
+from repro.api.registry import (
+    RSTAR_DYNAMIC_INSERT_THRESHOLD,
+    backend_spec,
+    registered_backends,
+    resolve_method_label,
+)
 from repro.core.config import AdaptiveClusteringConfig
 from repro.core.cost_model import CostParameters
-from repro.core.index import AdaptiveClusteringIndex
 from repro.evaluation.metrics import MethodResult, aggregate_executions
 from repro.workloads.datasets import Dataset
 from repro.workloads.queries import QueryWorkload
 
 #: Builds an access method ready to be queried for a given dataset.
-MethodFactory = Callable[[Dataset, CostParameters], object]
+MethodFactory = Callable[[Dataset, CostParameters], SpatialBackend]
 
 
 def build_adaptive_clustering(
     dataset: Dataset,
     cost: CostParameters,
     config: Optional[AdaptiveClusteringConfig] = None,
-) -> AdaptiveClusteringIndex:
+) -> SpatialBackend:
     """Create and load an adaptive clustering index for *dataset*."""
-    if config is None:
-        config = AdaptiveClusteringConfig(cost=cost)
-    index = AdaptiveClusteringIndex(config=config)
-    dataset.load_into(index)
-    return index
+    return backend_spec("ac").dataset_loader(dataset, cost, config)
 
-def build_sequential_scan(dataset: Dataset, cost: CostParameters) -> SequentialScan:
+
+def build_sequential_scan(dataset: Dataset, cost: CostParameters) -> SpatialBackend:
     """Create and load a sequential scan baseline for *dataset*."""
-    scan = SequentialScan(dataset.dimensions, cost=cost)
-    dataset.load_into(scan)
-    return scan
+    return backend_spec("ss").dataset_loader(dataset, cost, None)
 
 
 def build_rstar_tree(
     dataset: Dataset,
     cost: CostParameters,
-    config: Optional[RStarTreeConfig] = None,
-    dynamic_insert_threshold: int = 4000,
-) -> RStarTree:
+    config: Optional[object] = None,
+    dynamic_insert_threshold: int = RSTAR_DYNAMIC_INSERT_THRESHOLD,
+) -> SpatialBackend:
     """Create and load an R*-tree for *dataset*.
 
     Small datasets are built by dynamic insertion (exercising the full R*
     machinery); larger ones are STR bulk-loaded to keep experiment set-up
     tractable in pure Python (see DESIGN.md §5).
     """
-    tree = RStarTree(config=config or RStarTreeConfig(dimensions=dataset.dimensions), cost=cost)
-    if dataset.size <= dynamic_insert_threshold:
-        for object_id, box in dataset.iter_objects():
-            tree.insert(object_id, box)
-    else:
-        tree.bulk_load(dataset.iter_objects())
-    return tree
+    return backend_spec("rs").dataset_loader(
+        dataset, cost, config, dynamic_insert_threshold=dynamic_insert_threshold
+    )
 
 
 def default_methods() -> Dict[str, MethodFactory]:
-    """The paper's three competitors keyed by their chart labels."""
-    return {
-        "AC": build_adaptive_clustering,
-        "SS": build_sequential_scan,
-        "RS": build_rstar_tree,
-    }
+    """Every registered backend keyed by its chart label (AC / SS / RS)."""
+
+    def factory_for(name: str) -> MethodFactory:
+        spec = backend_spec(name)
+        return lambda dataset, cost: spec.dataset_loader(dataset, cost, None)
+
+    return {backend_spec(name).label: factory_for(name) for name in registered_backends()}
 
 
-def _total_groups(method: object) -> int:
-    """Number of clusters / nodes of an access method (1 for the scan)."""
-    if isinstance(method, AdaptiveClusteringIndex):
-        return method.n_clusters
-    if isinstance(method, RStarTree):
-        return method.node_count()
-    return 1
+def _resolve_label(label: str, methods: Dict[str, MethodFactory]) -> str:
+    """Map *label* onto the harness's method table via the registry.
 
-
-def _total_objects(method: object) -> int:
-    return int(getattr(method, "n_objects", 0))
+    Registry names and aliases ("ac", "adaptive", ...) resolve to their
+    chart label; labels of user-supplied factories pass through unchanged.
+    """
+    if label in methods:
+        return label
+    try:
+        return resolve_method_label(label)
+    except ValueError:
+        return label
 
 
 @dataclass
@@ -104,7 +108,8 @@ class ExperimentHarness:
     cost:
         Cost parameters (storage scenario) shared by every method.
     methods:
-        Mapping from method label to factory; defaults to AC / SS / RS.
+        Mapping from method label to factory; defaults to every backend
+        registered in :mod:`repro.api.registry` (AC / SS / RS).
     warmup_queries:
         Number of warm-up queries executed before measurement starts (they
         drive the adaptive clustering's reorganization).  Warm-up queries
@@ -122,8 +127,9 @@ class ExperimentHarness:
     adaptive_config: Optional[AdaptiveClusteringConfig] = None
 
     # ------------------------------------------------------------------
-    def build_method(self, label: str) -> object:
+    def build_method(self, label: str) -> SpatialBackend:
         """Instantiate and load the access method registered under *label*."""
+        label = _resolve_label(label, self.methods)
         factory = self.methods[label]
         if label == "AC" and self.adaptive_config is not None:
             return build_adaptive_clustering(self.dataset, self.cost, self.adaptive_config)
@@ -133,7 +139,7 @@ class ExperimentHarness:
         self,
         label: str,
         workload: QueryWorkload,
-        method: Optional[object] = None,
+        method: Optional[SpatialBackend] = None,
     ) -> MethodResult:
         """Run *workload* against one method and aggregate the results.
 
@@ -141,10 +147,13 @@ class ExperimentHarness:
         it is shorter) are executed without being measured; the full
         workload is then measured.
         """
+        label = _resolve_label(label, self.methods)
         method = method if method is not None else self.build_method(label)
         relation = workload.relation
 
-        if self.warmup_queries > 0 and isinstance(method, AdaptiveClusteringIndex):
+        # Warm-up only changes backends that adapt their structure to the
+        # query stream; skipping it elsewhere keeps experiment set-up fast.
+        if self.warmup_queries > 0 and method.capabilities.supports_reorganization:
             queries = workload.queries
             if queries:
                 warmup = [queries[i % len(queries)] for i in range(self.warmup_queries)]
@@ -153,32 +162,27 @@ class ExperimentHarness:
                 # the last warm-up batch invalidates the index's cached
                 # matrices, and they should be rebuilt outside the measured
                 # window (measurement reflects steady-state execution).
-                method.query_batch(
-                    [queries[self.warmup_queries % len(queries)]], relation
-                )
+                method.query_batch([queries[self.warmup_queries % len(queries)]], relation)
 
-        # Measure through the batch engine when the method provides one
-        # (all built-in methods do); the per-query loop remains the
-        # fallback for user-supplied access methods.
-        if hasattr(method, "query_batch_with_stats"):
-            _, executions = method.query_batch_with_stats(workload.queries, relation)
-        else:
-            executions = []
-            for query in workload.queries:
-                _, execution = method.query_with_stats(query, relation)  # type: ignore[attr-defined]
-                executions.append(execution)
+        # Measure through the batch engine (part of the backend protocol);
+        # the unified QueryResult carries the per-query counters.
+        executions = [
+            result.execution for result in method.execute_batch(workload.queries, relation)
+        ]
 
         extra: Dict[str, object] = {}
-        if isinstance(method, AdaptiveClusteringIndex):
-            extra["snapshot"] = method.snapshot().as_dict()
-            extra["io"] = method.storage.stats.as_dict()
-            extra["io_time_ms"] = method.storage.io_time_ms
+        if method.capabilities.supports_persistence:
+            # Persistable backends expose the structural snapshot and the
+            # storage-layer I/O counters the paper's tables report.
+            extra["snapshot"] = method.snapshot().as_dict()  # type: ignore[attr-defined]
+            extra["io"] = method.storage.stats.as_dict()  # type: ignore[attr-defined]
+            extra["io_time_ms"] = method.storage.io_time_ms  # type: ignore[attr-defined]
         return aggregate_executions(
             method=label,
             executions=executions,
             cost=self.cost,
-            total_groups=_total_groups(method),
-            total_objects=_total_objects(method),
+            total_groups=method.n_groups,
+            total_objects=method.n_objects,
             extra=extra,
         )
 
@@ -187,6 +191,13 @@ class ExperimentHarness:
         workload: QueryWorkload,
         labels: Optional[Sequence[str]] = None,
     ) -> Dict[str, MethodResult]:
-        """Run the workload against several methods and return their results."""
-        labels = list(labels) if labels is not None else list(self.methods)
+        """Run the workload against several methods and return their results.
+
+        *labels* accepts chart labels and any registry name or alias
+        ("AC", "ac", "adaptive" all denote the adaptive index).
+        """
+        if labels is not None:
+            labels = [_resolve_label(label, self.methods) for label in labels]
+        else:
+            labels = list(self.methods)
         return {label: self.run_method(label, workload) for label in labels}

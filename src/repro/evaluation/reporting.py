@@ -44,9 +44,7 @@ def format_parameter(value: float, name: str) -> str:
     return f"{value:g}"
 
 
-def format_time_chart(
-    result: ExperimentResult, metric: str = "avg_modeled_time_ms"
-) -> str:
+def format_time_chart(result: ExperimentResult, metric: str = "avg_modeled_time_ms") -> str:
     """Chart-style table: one row per swept value, one column per method.
 
     This regenerates the *series* of the paper's charts (7-A, 7-B, 8-A,
@@ -61,9 +59,7 @@ def format_time_chart(
         cells: List[object] = [format_parameter(row.parameter, row.parameter_name)]
         for method in methods:
             method_result = row.results.get(method)
-            cells.append(
-                float(getattr(method_result, metric)) if method_result else float("nan")
-            )
+            cells.append(float(getattr(method_result, metric)) if method_result else float("nan"))
         rows.append(cells)
     return format_table(headers, rows)
 
@@ -107,9 +103,7 @@ def format_data_access_table(
     return format_table(headers, rows)
 
 
-def format_speedup_summary(
-    result: ExperimentResult, baseline: str = "SS"
-) -> str:
+def format_speedup_summary(result: ExperimentResult, baseline: str = "SS") -> str:
     """Per-row modeled-time speedups of every method relative to *baseline*."""
     methods = [m for m in result.methods() if m != baseline]
     headers = [result.rows[0].parameter_name if result.rows else "parameter"] + [

@@ -13,14 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.database import Database
+from repro.api.registry import registered_backends, resolve_method_label
 from repro.core.cost_model import CostParameters, StorageScenario, SystemCostConstants
-from repro.core.index import AdaptiveClusteringIndex
-from repro.engine import StreamingConfig, StreamingMatcher, StreamStats
-from repro.evaluation.harness import (
-    build_adaptive_clustering,
-    build_rstar_tree,
-    build_sequential_scan,
-)
+from repro.engine import StreamingConfig, StreamStats
 from repro.evaluation.metrics import ModeledCostModel
 from repro.geometry.relations import SpatialRelation
 from repro.workloads.pubsub import PublishSubscribeScenario, apartment_ads_scenario
@@ -82,13 +78,6 @@ class StreamingBenchResult:
     def methods(self) -> List[str]:
         """Method labels present in the result."""
         return list(self.results)
-
-
-_METHOD_BUILDERS = {
-    "AC": build_adaptive_clustering,
-    "SS": build_sequential_scan,
-    "RS": build_rstar_tree,
-}
 
 
 def pubsub_streaming_bench(
@@ -161,35 +150,30 @@ def pubsub_streaming_bench(
             "seed": seed,
         },
     )
-    labels = list(methods) if methods is not None else list(_METHOD_BUILDERS)
+    names = list(methods) if methods is not None else registered_backends()
+    labels = [resolve_method_label(name) for name in names]
     for label in labels:
-        try:
-            builder = _METHOD_BUILDERS[label]
-        except KeyError:
-            raise ValueError(
-                f"unknown method {label!r}; choose from "
-                f"{', '.join(_METHOD_BUILDERS)}"
-            ) from None
-        backend = builder(dataset, cost)
-        if warmup is not None and isinstance(backend, AdaptiveClusteringIndex):
-            backend.query_batch(warmup.queries, warmup.relation)
+        # The registry resolves the method string; the Database facade
+        # composes the loaded backend with its streaming session.
+        database = Database.from_dataset(label, dataset, cost=cost)
+        if warmup is not None and database.capabilities.supports_reorganization:
+            database.query_batch(warmup.queries, warmup.relation)
             # One extra unmeasured query rebuilds the cached matrices if the
             # last warm-up batch ended on a reorganization.
-            backend.query_batch([warmup.queries[0]], warmup.relation)
-        matcher = StreamingMatcher(
-            backend,
+            database.query_batch([warmup.queries[0]], warmup.relation)
+        matcher = database.session(
             StreamingConfig(
                 max_batch_size=batch_size,
                 cache_size=cache_size,
                 relation=SpatialRelation.CONTAINS,
-            ),
+            )
         )
         records = matcher.run(stream)
         result.results[label] = StreamingMethodResult(
             method=label,
             stats=matcher.stats,
             initial_subscriptions=dataset.size,
-            final_subscriptions=int(getattr(backend, "n_objects", 0)),
+            final_subscriptions=database.n_objects,
             notifications=sum(record.matches.size for record in records),
             modeled_time_ms=model.query_time_ms(matcher.stats.total_execution),
         )

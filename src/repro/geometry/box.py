@@ -146,16 +146,12 @@ class HyperRectangle:
     def intersects(self, other: "HyperRectangle") -> bool:
         """True when the two closed boxes share at least one point."""
         self._check_compatible(other)
-        return bool(
-            np.all(self._lows <= other._highs) and np.all(other._lows <= self._highs)
-        )
+        return bool(np.all(self._lows <= other._highs) and np.all(other._lows <= self._highs))
 
     def contains(self, other: "HyperRectangle") -> bool:
         """True when *other* lies entirely inside this box."""
         self._check_compatible(other)
-        return bool(
-            np.all(self._lows <= other._lows) and np.all(other._highs <= self._highs)
-        )
+        return bool(np.all(self._lows <= other._lows) and np.all(other._highs <= self._highs))
 
     def is_contained_by(self, other: "HyperRectangle") -> bool:
         """True when this box lies entirely inside *other*."""
@@ -254,9 +250,7 @@ class HyperRectangle:
     # ------------------------------------------------------------------
     def _check_compatible(self, other: "HyperRectangle") -> None:
         if self.dimensions != other.dimensions:
-            raise ValueError(
-                f"dimension mismatch: {self.dimensions} vs {other.dimensions}"
-            )
+            raise ValueError(f"dimension mismatch: {self.dimensions} vs {other.dimensions}")
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, HyperRectangle):
@@ -276,7 +270,5 @@ class HyperRectangle:
         return self.dimensions
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        parts = ", ".join(
-            f"[{lo:g}, {hi:g}]" for lo, hi in zip(self._lows, self._highs)
-        )
+        parts = ", ".join(f"[{lo:g}, {hi:g}]" for lo, hi in zip(self._lows, self._highs))
         return f"HyperRectangle({parts})"

@@ -37,9 +37,7 @@ class Interval:
 
     def __post_init__(self) -> None:
         if self.high < self.low:
-            raise ValueError(
-                f"invalid interval: high ({self.high}) < low ({self.low})"
-            )
+            raise ValueError(f"invalid interval: high ({self.high}) < low ({self.low})")
 
     # ------------------------------------------------------------------
     # Basic measures

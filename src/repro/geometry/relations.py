@@ -80,9 +80,7 @@ def satisfies(
     raise ValueError(f"unsupported relation: {relation!r}")
 
 
-def relate(
-    database_object: HyperRectangle, query_object: HyperRectangle
-) -> "set[SpatialRelation]":
+def relate(database_object: HyperRectangle, query_object: HyperRectangle) -> "set[SpatialRelation]":
     """Return the set of relations *database_object* satisfies w.r.t. the query.
 
     Convenience used by tests and examples to cross-check predicate

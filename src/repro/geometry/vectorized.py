@@ -73,9 +73,7 @@ def matching_mask(
     if lows.shape[0] == 0:
         return np.zeros(0, dtype=bool)
     if lows.shape[1] != query.dimensions:
-        raise ValueError(
-            f"objects have {lows.shape[1]} dimensions, query has {query.dimensions}"
-        )
+        raise ValueError(f"objects have {lows.shape[1]} dimensions, query has {query.dimensions}")
 
     q_lows = query.lows
     q_highs = query.highs

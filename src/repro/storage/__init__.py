@@ -50,9 +50,5 @@ def storage_for_scenario(scenario, cost_parameters, reserved_slot_fraction=0.25)
 
     parsed = StorageScenario.parse(scenario)
     if parsed is StorageScenario.DISK:
-        return SimulatedDisk(
-            cost_parameters, reserved_slot_fraction=reserved_slot_fraction
-        )
-    return MemoryStorage(
-        cost_parameters, reserved_slot_fraction=reserved_slot_fraction
-    )
+        return SimulatedDisk(cost_parameters, reserved_slot_fraction=reserved_slot_fraction)
+    return MemoryStorage(cost_parameters, reserved_slot_fraction=reserved_slot_fraction)

@@ -57,9 +57,7 @@ def clustered_bounds(
 
     centers = rng.random((hotspots, dimensions))
     assignment = rng.integers(0, hotspots, size=count)
-    object_centers = centers[assignment] + rng.normal(
-        0.0, hotspot_spread, size=(count, dimensions)
-    )
+    object_centers = centers[assignment] + rng.normal(0.0, hotspot_spread, size=(count, dimensions))
     background = rng.random(count) < background_fraction
     uniform_centers = rng.random((count, dimensions))
     object_centers = np.where(background[:, None], uniform_centers, object_centers)

@@ -107,7 +107,4 @@ class Dataset:
         return self.size
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        return (
-            f"Dataset(name={self.name!r}, size={self.size}, "
-            f"dimensions={self.dimensions})"
-        )
+        return f"Dataset(name={self.name!r}, size={self.size}, dimensions={self.dimensions})"

@@ -140,9 +140,7 @@ class PublishSubscribeScenario:
             highs[:, column] = np.where(wildcard, 1.0, starts + widths)
         return lows, np.minimum(highs, 1.0)
 
-    def _event_bounds(
-        self, count: int, range_fraction: float
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    def _event_bounds(self, count: int, range_fraction: float) -> Tuple[np.ndarray, np.ndarray]:
         """Draw the normalized bounds of *count* random events."""
         if not 0.0 <= range_fraction < 1.0:
             raise ValueError("range_fraction must lie in [0, 1)")
@@ -251,9 +249,7 @@ class PublishSubscribeScenario:
                     sub_id = next_id
                     next_id += 1
                 lows, highs = self._subscription_bounds(1)
-                operations.append(
-                    StreamOp("subscribe", sub_id, HyperRectangle(lows[0], highs[0]))
-                )
+                operations.append(StreamOp("subscribe", sub_id, HyperRectangle(lows[0], highs[0])))
                 active.append(sub_id)
             if recent and self._rng.random() < repeat_probability:
                 box = recent[int(self._rng.integers(len(recent)))]

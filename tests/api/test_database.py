@@ -1,0 +1,127 @@
+"""Unit tests for the :class:`repro.api.Database` facade."""
+
+import numpy as np
+import pytest
+
+from repro.api import Database, QueryResult, UnsupportedOperation
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters
+from repro.engine import StreamingConfig, StreamingMatcher
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+from repro.workloads.uniform import generate_uniform_dataset
+
+DIMENSIONS = 4
+
+
+def make_box(rng):
+    lows = rng.random(DIMENSIONS) * 0.7
+    return HyperRectangle(lows, np.minimum(lows + 0.2, 1.0))
+
+
+@pytest.fixture
+def database(rng):
+    database = Database.create("ac", DIMENSIONS)
+    database.bulk_load((object_id, make_box(rng)) for object_id in range(200))
+    return database
+
+
+class TestConstruction:
+    def test_create_by_any_registry_name(self):
+        for name in ("ac", "SS", "rstar"):
+            database = Database.create(name, DIMENSIONS)
+            assert database.dimensions == DIMENSIONS
+            assert database.n_objects == 0
+
+    def test_rejects_non_backend(self):
+        with pytest.raises(TypeError):
+            Database(object())
+
+    def test_from_dataset(self):
+        dataset = generate_uniform_dataset(150, DIMENSIONS, seed=9)
+        cost = CostParameters.memory_defaults(DIMENSIONS)
+        database = Database.from_dataset("ss", dataset, cost=cost)
+        assert database.n_objects == dataset.size
+        assert database.capabilities.name == "ss"
+
+    def test_create_with_config(self):
+        config = AdaptiveClusteringConfig.for_memory(DIMENSIONS, division_factor=2)
+        database = Database.create("ac", DIMENSIONS, config=config)
+        assert database.backend.config.division_factor == 2
+
+
+class TestDelegation:
+    def test_lifecycle_and_queries(self, database, rng):
+        everything = HyperRectangle.unit(DIMENSIONS)
+        assert len(database) == 200
+        assert 0 in database and 10_000 not in database
+        assert database.n_groups >= 1
+
+        result = database.execute(everything)
+        assert isinstance(result, QueryResult)
+        assert set(result.ids.tolist()) == set(range(200))
+
+        batch = database.execute_batch([everything, everything])
+        assert [sorted(r.ids.tolist()) for r in batch] == [sorted(result.ids.tolist())] * 2
+        assert [ids.tolist() for ids in database.query_batch([everything])] == [
+            database.query(everything).tolist()
+        ]
+
+        database.insert(500, make_box(rng))
+        assert database.delete(500) is True
+        assert database.delete_bulk([0, 1, 2]) == 3
+        assert database.n_objects == 197
+
+    def test_reorganize_delegates_capability_gate(self):
+        adaptive = Database.create("ac", DIMENSIONS)
+        assert adaptive.reorganize() is not None
+        with pytest.raises(UnsupportedOperation):
+            Database.create("rs", DIMENSIONS).reorganize()
+
+
+class TestPersistence:
+    def test_save_open_round_trip(self, database, tmp_path):
+        path = database.save(tmp_path / "db.npz")
+        recovered = Database.open(path)
+        everything = HyperRectangle.unit(DIMENSIONS)
+        assert sorted(recovered.query(everything).tolist()) == sorted(
+            database.query(everything).tolist()
+        )
+        assert recovered.capabilities.supports_persistence
+
+    def test_unsupported_backends_raise_before_touching_disk(self, tmp_path):
+        for name in ("ss", "rs"):
+            database = Database.create(name, DIMENSIONS)
+            with pytest.raises(UnsupportedOperation):
+                database.save(tmp_path / f"{name}.npz")
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestStreamingSessions:
+    def test_session_shares_the_backend(self, database, rng):
+        session = database.session(
+            StreamingConfig(max_batch_size=4, relation=SpatialRelation.CONTAINS)
+        )
+        assert isinstance(session, StreamingMatcher)
+        assert session.backend is database.backend
+
+        subscription = HyperRectangle(np.zeros(DIMENSIONS), np.full(DIMENSIONS, 0.5))
+        session.register(10_000, subscription)
+        assert 10_000 in database  # churn through the session is visible
+
+        records = []
+        for event_id in range(4):
+            records.extend(
+                session.publish(
+                    event_id,
+                    HyperRectangle.from_point(np.full(DIMENSIONS, 0.25)),
+                )
+            )
+        assert len(records) == 4
+        assert all(10_000 in record.matches for record in records)
+
+    def test_multiple_sessions_serve_one_subscription_set(self, database):
+        first = database.session()
+        second = database.session()
+        assert first is not second
+        assert first.backend is second.backend

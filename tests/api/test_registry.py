@@ -1,0 +1,163 @@
+"""Unit tests for the backend registry (:mod:`repro.api.registry`)."""
+
+import pytest
+
+from repro.api.protocol import Capabilities, SpatialBackend
+from repro.api.registry import (
+    BackendSpec,
+    backend_spec,
+    build_backend_for_dataset,
+    create_backend,
+    register_backend,
+    registered_backends,
+    resolve_method_label,
+)
+from repro.baselines.rtree import RStarTree, RStarTreeConfig
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters
+from repro.core.index import AdaptiveClusteringIndex
+from repro.workloads.uniform import generate_uniform_dataset
+
+
+class TestResolution:
+    def test_builtins_registered_in_order(self):
+        assert registered_backends() == ["ac", "ss", "rs"]
+
+    @pytest.mark.parametrize(
+        "name, canonical",
+        [
+            ("ac", "ac"),
+            ("AC", "ac"),
+            ("Adaptive", "ac"),
+            ("adaptive-clustering", "ac"),
+            ("ss", "ss"),
+            ("SCAN", "ss"),
+            ("sequential-scan", "ss"),
+            ("rs", "rs"),
+            ("RStar", "rs"),
+            ("r-tree", "rs"),
+        ],
+    )
+    def test_aliases_resolve(self, name, canonical):
+        assert backend_spec(name).name == canonical
+
+    def test_labels(self):
+        assert resolve_method_label("adaptive") == "AC"
+        assert resolve_method_label("scan") == "SS"
+        assert resolve_method_label("rtree") == "RS"
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            backend_spec("btree")
+
+    def test_spec_capabilities_reach_the_class(self):
+        assert backend_spec("ac").capabilities is AdaptiveClusteringIndex.CAPABILITIES
+        assert backend_spec("ss").capabilities is SequentialScan.CAPABILITIES
+        assert backend_spec("rs").capabilities is RStarTree.CAPABILITIES
+
+
+class TestCreateBackend:
+    def test_creates_expected_types(self):
+        assert isinstance(create_backend("ac", 4), AdaptiveClusteringIndex)
+        assert isinstance(create_backend("ss", 4), SequentialScan)
+        assert isinstance(create_backend("rs", 4), RStarTree)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            create_backend("ss", 0)
+
+    def test_cost_propagates(self):
+        cost = CostParameters.disk_defaults(6)
+        backend = create_backend("ac", 6, cost=cost)
+        assert backend.config.cost is cost
+
+    def test_config_propagates(self):
+        config = AdaptiveClusteringConfig.for_memory(5, division_factor=2)
+        backend = create_backend("ac", 5, config=config)
+        assert backend.config.division_factor == 2
+        tree = create_backend(
+            "rs", 5, config=RStarTreeConfig(dimensions=5, page_size_bytes=8 * 1024)
+        )
+        assert tree.config.page_size_bytes == 8 * 1024
+
+    def test_config_dimensionality_mismatch(self):
+        with pytest.raises(ValueError):
+            create_backend("ac", 4, config=AdaptiveClusteringConfig.for_memory(5))
+        with pytest.raises(ValueError):
+            create_backend("rs", 4, config=RStarTreeConfig(dimensions=5))
+
+    def test_scan_rejects_config(self):
+        with pytest.raises(ValueError):
+            create_backend("ss", 4, config=object())
+
+
+class TestDatasetLoaders:
+    def test_loads_every_backend(self):
+        dataset = generate_uniform_dataset(300, 4, seed=5)
+        for name in registered_backends():
+            backend = build_backend_for_dataset(name, dataset)
+            assert backend.n_objects == dataset.size
+
+    def test_rstar_loading_strategy_thresholds(self):
+        small = generate_uniform_dataset(50, 3, seed=6)
+        cost = CostParameters.memory_defaults(3)
+        spec = backend_spec("rs")
+        dynamic = spec.dataset_loader(small, cost, None, dynamic_insert_threshold=100)
+        bulk = spec.dataset_loader(small, cost, None, dynamic_insert_threshold=10)
+        assert dynamic.n_objects == bulk.n_objects == small.size
+        dynamic.check_invariants()
+        bulk.check_invariants()
+
+
+class TestRegistration:
+    def _spec(self, name="xx", label="XX", aliases=()):
+        return BackendSpec(
+            name=name,
+            label=label,
+            description="test backend",
+            factory=lambda dimensions, cost, config: SequentialScan(dimensions),
+            dataset_loader=lambda dataset, cost, config: SequentialScan(
+                dataset.dimensions
+            ),
+            capabilities_loader=lambda: Capabilities(name=name, label=label),
+            aliases=aliases,
+        )
+
+    def test_register_and_create(self):
+        try:
+            register_backend(self._spec(aliases=("experimental",)))
+            backend = create_backend("experimental", 4)
+            assert isinstance(backend, SpatialBackend)
+            assert resolve_method_label("xx") == "XX"
+        finally:
+            # Keep the global registry pristine for the other tests.
+            from repro.api import registry
+
+            registry._REGISTRY.pop("xx", None)
+            for alias in ("xx", "experimental"):
+                registry._ALIASES.pop(alias, None)
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(self._spec(name="ac2", label="AC"))
+
+    def test_replace_allows_reregistration(self):
+        original = backend_spec("ss")
+        try:
+            register_backend(self._spec(name="ss", label="SS"), replace=True)
+            assert backend_spec("ss").description == "test backend"
+            # The replacement narrowed the alias set, so the replaced
+            # spec's aliases must stop resolving instead of going stale.
+            with pytest.raises(ValueError, match="unknown backend"):
+                backend_spec("scan")
+        finally:
+            register_backend(original, replace=True)
+        assert backend_spec("ss") is original
+        assert backend_spec("scan") is original
+
+    def test_replace_never_steals_another_backends_alias(self):
+        spec = self._spec(name="yy", label="YY", aliases=("rtree",))
+        with pytest.raises(ValueError, match="already registered to 'rs'"):
+            register_backend(spec, replace=True)
+        assert backend_spec("rtree").name == "rs"

@@ -32,9 +32,7 @@ def workload(dataset):
 
 @pytest.fixture(scope="module")
 def scan(dataset):
-    scan = SequentialScan(
-        dataset.dimensions, cost=CostParameters.disk_defaults(dataset.dimensions)
-    )
+    scan = SequentialScan(dataset.dimensions, cost=CostParameters.disk_defaults(dataset.dimensions))
     dataset.load_into(scan)
     return scan
 
@@ -50,12 +48,12 @@ def tree(dataset):
 
 
 def assert_batch_matches_loop(method, queries, relation):
-    batch_results, batch_execs = method.query_batch_with_stats(queries, relation)
-    assert len(batch_results) == len(queries)
-    for query, batch_ids, batch_exec in zip(queries, batch_results, batch_execs):
-        loop_ids, loop_exec = method.query_with_stats(query, relation)
-        assert np.array_equal(loop_ids, batch_ids)
-        assert batch_exec.core_counters() == loop_exec.core_counters()
+    batch = method.execute_batch(queries, relation)
+    assert len(batch) == len(queries)
+    for query, batch_result in zip(queries, batch):
+        loop_result = method.execute(query, relation)
+        assert np.array_equal(loop_result.ids, batch_result.ids)
+        assert batch_result.execution.core_counters() == loop_result.execution.core_counters()
 
 
 class TestSequentialScanBatch:
@@ -68,8 +66,7 @@ class TestSequentialScanBatch:
         assert_batch_matches_loop(scan, points.queries, points.relation)
 
     def test_empty_batch(self, scan):
-        results, executions = scan.query_batch_with_stats([])
-        assert results == [] and executions == []
+        assert scan.execute_batch([]) == []
 
     def test_empty_scan(self):
         empty = SequentialScan(3)
@@ -96,8 +93,7 @@ class TestRStarTreeBatch:
         assert_batch_matches_loop(tree, workload.queries, workload.relation)
 
     def test_empty_batch(self, tree):
-        results, executions = tree.query_batch_with_stats([])
-        assert results == [] and executions == []
+        assert tree.execute_batch([]) == []
 
     def test_dimension_mismatch(self, tree):
         with pytest.raises(ValueError):

@@ -117,7 +117,9 @@ class TestNodeMutation:
     def _leaf_with_entries(self, count=5):
         node = RTreeNode(0, 2, 8)
         for i in range(count):
-            node.add_leaf_entry(i, np.array([i / 10, i / 10]), np.array([i / 10 + 0.05, i / 10 + 0.05]))
+            node.add_leaf_entry(
+                i, np.array([i / 10, i / 10]), np.array([i / 10 + 0.05, i / 10 + 0.05])
+            )
         return node
 
     def test_overflow_slot_allows_temporary_excess(self):

@@ -112,29 +112,23 @@ class TestQueries:
         rng = np.random.default_rng(8)
         for _ in range(15):
             point = HyperRectangle.from_point(rng.random(4))
-            expected = {
-                object_id
-                for object_id, box in boxes.items()
-                if box.contains(point)
-            }
+            expected = {object_id for object_id, box in boxes.items() if box.contains(point)}
             assert set(tree.query(point, SpatialRelation.CONTAINS).tolist()) == expected
 
     def test_query_stats_counters(self, built_tree):
         tree, _ = built_tree
         rng = np.random.default_rng(9)
-        _, stats = tree.query_with_stats(random_box(rng))
+        stats = tree.execute(random_box(rng)).execution
         assert 1 <= stats.groups_explored <= tree.node_count()
         assert stats.objects_verified <= tree.n_objects
         assert stats.results <= stats.objects_verified
         assert stats.random_accesses == 0  # memory-scenario cost parameters
 
     def test_disk_cost_counts_node_accesses(self, rng):
-        tree = RStarTree(
-            config=small_tree_config(4), cost=CostParameters.disk_defaults(4)
-        )
+        tree = RStarTree(config=small_tree_config(4), cost=CostParameters.disk_defaults(4))
         for object_id in range(100):
             tree.insert(object_id, random_box(rng))
-        _, stats = tree.query_with_stats(random_box(rng, max_extent=0.6))
+        stats = tree.execute(random_box(rng, max_extent=0.6)).execution
         assert stats.random_accesses == stats.groups_explored >= 1
 
     def test_query_dimension_mismatch(self, built_tree):
@@ -146,7 +140,7 @@ class TestQueries:
         """A tiny query must not visit every node of the tree."""
         tree, _ = built_tree
         point = HyperRectangle.from_point(np.full(4, 0.05))
-        _, stats = tree.query_with_stats(point, SpatialRelation.INTERSECTS)
+        stats = tree.execute(point, SpatialRelation.INTERSECTS).execution
         assert stats.groups_explored < tree.node_count()
 
 

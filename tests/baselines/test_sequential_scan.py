@@ -79,7 +79,7 @@ class TestQueries:
 
     def test_query_empty_scan(self):
         scan = SequentialScan(4)
-        results, stats = scan.query_with_stats(HyperRectangle.unit(4))
+        results, stats = scan.execute(HyperRectangle.unit(4))
         assert results.size == 0
         assert stats.objects_verified == 0
 
@@ -90,7 +90,7 @@ class TestQueries:
 
     def test_stats_reflect_full_scan(self, scan_with_objects, rng):
         scan, boxes = scan_with_objects
-        _, stats = scan.query_with_stats(random_box(rng))
+        stats = scan.execute(random_box(rng)).execution
         assert stats.groups_explored == 1
         assert stats.objects_verified == len(boxes)
         assert stats.bytes_read == len(boxes) * scan._cost.object_bytes
@@ -99,7 +99,7 @@ class TestQueries:
     def test_disk_scenario_counts_one_random_access(self, rng):
         scan = SequentialScan(4, cost=CostParameters.disk_defaults(4))
         scan.insert(0, random_box(rng))
-        _, stats = scan.query_with_stats(random_box(rng))
+        stats = scan.execute(random_box(rng)).execution
         assert stats.random_accesses == 1
 
     def test_relation_aliases(self, scan_with_objects):

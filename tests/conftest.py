@@ -61,9 +61,7 @@ def adapted_index(small_dataset, memory_config) -> AdaptiveClusteringIndex:
     """An index that has already adapted to a query workload."""
     index = AdaptiveClusteringIndex(config=memory_config)
     small_dataset.load_into(index)
-    workload = generate_query_workload(
-        small_dataset, count=20, target_selectivity=0.01, seed=3
-    )
+    workload = generate_query_workload(small_dataset, count=20, target_selectivity=0.01, seed=3)
     for i in range(200):
         index.query(workload.queries[i % len(workload.queries)], workload.relation)
     return index

@@ -65,9 +65,7 @@ class TestObjectMatching:
         counts = root_candidates.object_match_counts(lows, highs)
         manual = np.zeros(len(root_candidates), dtype=np.int64)
         for row in range(60):
-            manual += root_candidates.object_match_mask(
-                HyperRectangle(lows[row], highs[row])
-            )
+            manual += root_candidates.object_match_mask(HyperRectangle(lows[row], highs[row]))
         assert np.array_equal(counts, manual)
 
     def test_objects_matching_candidate(self, root_candidates, rng):
@@ -96,9 +94,7 @@ class TestQueryMatching:
             query = HyperRectangle(q_lows, np.minimum(q_highs, 1.0))
             mask = root_candidates.query_match_mask(query, relation)
             for candidate_index in range(len(root_candidates)):
-                expected = root_candidates.signature(candidate_index).matches_query(
-                    query, relation
-                )
+                expected = root_candidates.signature(candidate_index).matches_query(query, relation)
                 assert mask[candidate_index] == expected
 
 

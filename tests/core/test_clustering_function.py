@@ -48,9 +48,7 @@ class TestRootCandidates:
         descriptors = [d for d in function.candidates_for(root) if d.dimension == 0]
         assert len(descriptors) == 10
         starts = sorted({(d.start_low, d.start_high) for d in descriptors})
-        assert starts == [
-            (0.0, 0.25), (0.25, 0.5), (0.5, 0.75), (0.75, 1.0)
-        ]
+        assert starts == [(0.0, 0.25), (0.25, 0.5), (0.5, 0.75), (0.75, 1.0)]
         # The first start quarter combines with every end quarter.
         first_quarter = [d for d in descriptors if d.start_high == 0.25]
         assert len(first_quarter) == 4
@@ -65,9 +63,7 @@ class TestCandidateProperties:
     def test_backward_compatibility(self, rng):
         """Objects qualifying for a candidate also qualify for the parent (Section 3.3)."""
         function = ClusteringFunction(division_factor=4)
-        parent = ClusterSignature.root(3).with_dimension(
-            0, VariationInterval(0.0, 0.5, 0.0, 1.0)
-        )
+        parent = ClusterSignature.root(3).with_dimension(0, VariationInterval(0.0, 0.5, 0.0, 1.0))
         signatures = function.candidate_signatures(parent)
         assert signatures
         for signature in signatures:
@@ -97,18 +93,14 @@ class TestCandidateProperties:
     def test_non_symmetric_parent_yields_more_candidates(self):
         """When the start and end variation intervals differ, up to f² combos exist."""
         function = ClusteringFunction(division_factor=4)
-        parent = ClusterSignature.root(1).with_dimension(
-            0, VariationInterval(0.0, 0.25, 0.5, 1.0)
-        )
+        parent = ClusterSignature.root(1).with_dimension(0, VariationInterval(0.0, 0.25, 0.5, 1.0))
         candidates = function.candidates_for(parent)
         assert len(candidates) == 16  # all combinations are valid and distinct
 
     def test_parent_signature_never_regenerated(self):
         """A candidate identical to its parent would cause an infinite split loop."""
         function = ClusteringFunction(division_factor=4)
-        parent = ClusterSignature.root(2).with_dimension(
-            0, VariationInterval(0.2, 0.2, 0.7, 0.7)
-        )
+        parent = ClusterSignature.root(2).with_dimension(0, VariationInterval(0.2, 0.2, 0.7, 0.7))
         for descriptor in function.candidates_for(parent):
             assert descriptor.signature(parent) != parent
 

@@ -53,9 +53,7 @@ class TestSystemCostConstants:
             SystemCostConstants(disk_access_ms=-1.0)
 
     def test_calibrate_produces_positive_constants(self):
-        constants = SystemCostConstants.calibrate(
-            dimensions=4, sample_objects=200, repetitions=1
-        )
+        constants = SystemCostConstants.calibrate(dimensions=4, sample_objects=200, repetitions=1)
         assert constants.verification_ms_per_byte > 0
         assert constants.signature_check_ms > 0
         # The disk constants keep the paper's values (disk is simulated).
@@ -78,9 +76,7 @@ class TestCostParameters:
         constants = disk.constants
         assert disk.A == memory.A
         assert disk.B == pytest.approx(memory.B + constants.disk_access_ms)
-        assert disk.C == pytest.approx(
-            memory.C + constants.disk_transfer_ms_per_byte * 132
-        )
+        assert disk.C == pytest.approx(memory.C + constants.disk_transfer_ms_per_byte * 132)
 
     def test_for_scenario_string(self):
         cost = CostParameters.for_scenario("disk", 8)
@@ -100,15 +96,11 @@ class TestExpectedTime:
     def test_equation_one(self):
         cost = CostParameters.memory_defaults(16)
         p, n = 0.25, 1000
-        assert cost.expected_cluster_time(p, n) == pytest.approx(
-            cost.A + p * (cost.B + n * cost.C)
-        )
+        assert cost.expected_cluster_time(p, n) == pytest.approx(cost.A + p * (cost.B + n * cost.C))
 
     def test_sequential_scan_time_is_probability_one(self):
         cost = CostParameters.memory_defaults(16)
-        assert cost.sequential_scan_time(500) == pytest.approx(
-            cost.expected_cluster_time(1.0, 500)
-        )
+        assert cost.sequential_scan_time(500) == pytest.approx(cost.expected_cluster_time(1.0, 500))
 
     def test_time_grows_with_probability_and_size(self):
         cost = CostParameters.disk_defaults(16)

@@ -169,7 +169,7 @@ class TestQueryBasics:
     def test_query_with_stats_counts(self, rng):
         index = make_index()
         index.bulk_load([(i, random_box(rng)) for i in range(100)])
-        results, stats = index.query_with_stats(HyperRectangle.unit(3))
+        results, stats = index.execute(HyperRectangle.unit(3))
         assert stats.signature_checks == index.n_clusters
         assert stats.groups_explored >= 1
         assert stats.objects_verified == 100

@@ -55,10 +55,16 @@ def build_adapted_index(dataset, workload, scenario="memory", period=50, warmup=
 def run_loop(index, queries, relation):
     results, executions = [], []
     for query in queries:
-        found, execution = index.query_with_stats(query, relation)
-        results.append(found)
-        executions.append(execution)
+        result = index.execute(query, relation)
+        results.append(result.ids)
+        executions.append(result.execution)
     return results, executions
+
+
+def run_batch(index, queries, relation):
+    """Execute through the batch engine; unzip into (ids, executions)."""
+    batch = index.execute_batch(queries, relation)
+    return [r.ids for r in batch], [r.execution for r in batch]
 
 
 def assert_same_outcome(loop_results, loop_execs, batch_results, batch_execs):
@@ -73,19 +79,14 @@ def assert_same_outcome(loop_results, loop_execs, batch_results, batch_execs):
 def assert_same_index_state(loop_index, batch_index):
     assert batch_index.total_queries == loop_index.total_queries
     assert batch_index.reorganization_count == loop_index.reorganization_count
-    assert (
-        batch_index.queries_since_reorganization
-        == loop_index.queries_since_reorganization
-    )
+    assert batch_index.queries_since_reorganization == loop_index.queries_since_reorganization
     assert sorted(c.cluster_id for c in batch_index.clusters()) == sorted(
         c.cluster_id for c in loop_index.clusters()
     )
     for cluster in loop_index.clusters():
         twin = batch_index.get_cluster(cluster.cluster_id)
         assert twin.query_count == cluster.query_count
-        assert np.array_equal(
-            twin.candidates.query_counts, cluster.candidates.query_counts
-        )
+        assert np.array_equal(twin.candidates.query_counts, cluster.candidates.query_counts)
     batch_index.check_invariants()
 
 
@@ -97,9 +98,7 @@ class TestQueryBatchEquivalence:
         batch_index = copy.deepcopy(base)
 
         loop_results, loop_execs = run_loop(loop_index, workload.queries, relation)
-        batch_results, batch_execs = batch_index.query_batch_with_stats(
-            workload.queries, relation
-        )
+        batch_results, batch_execs = run_batch(batch_index, workload.queries, relation)
 
         assert_same_outcome(loop_results, loop_execs, batch_results, batch_execs)
         assert_same_index_state(loop_index, batch_index)
@@ -111,16 +110,12 @@ class TestQueryBatchEquivalence:
         # reorganization boundaries mid-batch.
         base = build_adapted_index(dataset, workload)
         assert base.queries_since_reorganization == 20
-        stream = [
-            workload.queries[i % len(workload.queries)] for i in range(100)
-        ]
+        stream = [workload.queries[i % len(workload.queries)] for i in range(100)]
         loop_index = copy.deepcopy(base)
         batch_index = copy.deepcopy(base)
 
         loop_results, loop_execs = run_loop(loop_index, stream, relation)
-        batch_results, batch_execs = batch_index.query_batch_with_stats(
-            stream, relation
-        )
+        batch_results, batch_execs = run_batch(batch_index, stream, relation)
 
         assert loop_index.reorganization_count > base.reorganization_count
         assert_same_outcome(loop_results, loop_execs, batch_results, batch_execs)
@@ -131,32 +126,22 @@ class TestQueryBatchEquivalence:
         loop_index = copy.deepcopy(base)
         batch_index = copy.deepcopy(base)
 
-        loop_results, loop_execs = run_loop(
-            loop_index, workload.queries, workload.relation
-        )
-        batch_results, batch_execs = batch_index.query_batch_with_stats(
-            workload.queries, workload.relation
-        )
+        loop_results, loop_execs = run_loop(loop_index, workload.queries, workload.relation)
+        batch_results, batch_execs = run_batch(batch_index, workload.queries, workload.relation)
 
         assert any(execution.random_accesses for execution in batch_execs)
         assert_same_outcome(loop_results, loop_execs, batch_results, batch_execs)
-        assert (
-            batch_index.storage.stats.cluster_reads
-            == loop_index.storage.stats.cluster_reads
-        )
+        assert batch_index.storage.stats.cluster_reads == loop_index.storage.stats.cluster_reads
         assert (
             batch_index.storage.stats.random_accesses
             == loop_index.storage.stats.random_accesses
         )
-        assert batch_index.storage.io_time_ms == pytest.approx(
-            loop_index.storage.io_time_ms
-        )
+        assert batch_index.storage.io_time_ms == pytest.approx(loop_index.storage.io_time_ms)
 
     def test_empty_batch(self, dataset, workload):
         index = build_adapted_index(dataset, workload)
         before = index.total_queries
-        results, executions = index.query_batch_with_stats([])
-        assert results == [] and executions == []
+        assert index.execute_batch([]) == []
         assert index.total_queries == before
 
     def test_single_query_batch(self, dataset, workload):
@@ -188,9 +173,7 @@ class TestBulkLoadRouting:
         assert base.n_clusters > 1  # routing is only interesting with splits
         extra = generate_uniform_dataset(400, 6, seed=73, max_extent=0.5)
         next_id = int(dataset.ids.max()) + 1
-        pairs = [
-            (next_id + row, extra.box(row)) for row in range(extra.size)
-        ]
+        pairs = [(next_id + row, extra.box(row)) for row in range(extra.size)]
 
         loop_index = copy.deepcopy(base)
         bulk_index = copy.deepcopy(base)
@@ -205,16 +188,12 @@ class TestBulkLoadRouting:
         for cluster in loop_index.clusters():
             twin = bulk_index.get_cluster(cluster.cluster_id)
             assert twin.n_objects == cluster.n_objects
-            assert np.array_equal(
-                twin.candidates.object_counts, cluster.candidates.object_counts
-            )
+            assert np.array_equal(twin.candidates.object_counts, cluster.candidates.object_counts)
         loop_index.check_invariants()
         bulk_index.check_invariants()
 
     def test_initial_load_goes_to_root(self, dataset):
-        config = AdaptiveClusteringConfig(
-            cost=CostParameters.memory_defaults(dataset.dimensions)
-        )
+        config = AdaptiveClusteringConfig(cost=CostParameters.memory_defaults(dataset.dimensions))
         index = AdaptiveClusteringIndex(config=config)
         loaded = index.bulk_load(list(dataset.iter_objects())[:200])
         assert loaded == 200

@@ -50,15 +50,11 @@ def churned_index(dataset, workload):
 def assert_batch_equals_loop(index, workload):
     batch_index = copy.deepcopy(index)
     loop_index = copy.deepcopy(index)
-    batch_results, batch_execs = batch_index.query_batch_with_stats(
-        workload.queries, workload.relation
-    )
-    for query, batch_ids, batch_exec in zip(
-        workload.queries, batch_results, batch_execs
-    ):
-        loop_ids, loop_exec = loop_index.query_with_stats(query, workload.relation)
-        assert batch_ids.tobytes() == loop_ids.tobytes()
-        assert batch_exec.core_counters() == loop_exec.core_counters()
+    batch = batch_index.execute_batch(workload.queries, workload.relation)
+    for query, batch_result in zip(workload.queries, batch):
+        loop_result = loop_index.execute(query, workload.relation)
+        assert batch_result.ids.tobytes() == loop_result.ids.tobytes()
+        assert batch_result.execution.core_counters() == loop_result.execution.core_counters()
 
 
 class TestDeleteThenQueryBatch:
@@ -70,9 +66,7 @@ class TestDeleteThenQueryBatch:
 
     def test_emptying_a_whole_cluster(self, churned_index, workload):
         clusters = churned_index.clusters()
-        victim = max(
-            (c for c in clusters if not c.is_root), key=lambda c: c.n_objects
-        )
+        victim = max((c for c in clusters if not c.is_root), key=lambda c: c.n_objects)
         for object_id in victim.store.ids.copy():
             assert churned_index.delete(int(object_id))
         assert victim.n_objects == 0
@@ -115,9 +109,7 @@ class TestDeleteBulk:
         # Bulk and sequential deletion leave equivalent indexes: identical
         # membership per cluster (order within a cluster may differ, the
         # store uses swap-remove) and identical query results.
-        for cluster_sequential, cluster_bulk in zip(
-            sequential.clusters(), bulk.clusters()
-        ):
+        for cluster_sequential, cluster_bulk in zip(sequential.clusters(), bulk.clusters()):
             assert cluster_sequential.cluster_id == cluster_bulk.cluster_id
             assert sorted(cluster_sequential.store.ids.tolist()) == sorted(
                 cluster_bulk.store.ids.tolist()

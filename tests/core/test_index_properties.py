@@ -17,12 +17,8 @@ box_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
 
 @st.composite
 def boxes(draw):
-    lows = np.array(
-        draw(st.lists(box_values, min_size=DIMENSIONS, max_size=DIMENSIONS))
-    )
-    extents = np.array(
-        draw(st.lists(box_values, min_size=DIMENSIONS, max_size=DIMENSIONS))
-    )
+    lows = np.array(draw(st.lists(box_values, min_size=DIMENSIONS, max_size=DIMENSIONS)))
+    extents = np.array(draw(st.lists(box_values, min_size=DIMENSIONS, max_size=DIMENSIONS)))
     highs = np.minimum(lows + extents, 1.0)
     return HyperRectangle(lows, highs)
 
@@ -111,7 +107,7 @@ def test_explored_count_bounded_by_cluster_count(scenario):
     index = build_index(objects)
     for warm_query in warmup:
         index.query(warm_query, relation)
-    _, stats = index.query_with_stats(query, relation)
+    stats = index.execute(query, relation).execution
     assert 0 <= stats.groups_explored <= index.n_clusters
     assert stats.signature_checks == index.n_clusters
     assert stats.objects_verified <= index.n_objects

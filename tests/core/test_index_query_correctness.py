@@ -126,11 +126,7 @@ def test_correctness_under_interleaved_updates(dataset, queries):
         else:
             query = queries[step % len(queries)]
             found = set(index.query(query).tolist())
-            expected = {
-                object_id
-                for object_id, box in live.items()
-                if box.intersects(query)
-            }
+            expected = {object_id for object_id, box in live.items() if box.intersects(query)}
             assert found == expected
     index.check_invariants()
     assert index.n_objects == len(live)

@@ -132,7 +132,7 @@ class TestAdaptation:
         scan_time = cost.sequential_scan_time(dataset.size)
         modeled = []
         for query in workload.queries:
-            _, stats = index.query_with_stats(query, workload.relation)
+            stats = index.execute(query, workload.relation).execution
             modeled.append(model.query_time_ms(stats))
         assert np.mean(modeled) <= scan_time * 1.05  # 5% tolerance for estimation noise
 

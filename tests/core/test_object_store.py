@@ -59,7 +59,9 @@ class TestAppend:
         highs = np.ones((5, 2))
         store.extend(ids, lows, highs)
         assert len(store) == 5
-        assert store.extend(np.empty(0, dtype=np.int64), np.empty((0, 2)), np.empty((0, 2))) is False
+        assert (
+            store.extend(np.empty(0, dtype=np.int64), np.empty((0, 2)), np.empty((0, 2))) is False
+        )
 
     def test_extend_shape_mismatch(self):
         store = ObjectStore(2)

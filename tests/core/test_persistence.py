@@ -57,9 +57,7 @@ class TestRoundTrip:
             twin = recovered.get_cluster(cluster.cluster_id)
             assert twin is not None
             assert twin.query_count == cluster.query_count
-            assert np.array_equal(
-                twin.candidates.query_counts, cluster.candidates.query_counts
-            )
+            assert np.array_equal(twin.candidates.query_counts, cluster.candidates.query_counts)
             assert twin.signature == cluster.signature
             assert twin.parent_id == cluster.parent_id
 
@@ -85,10 +83,7 @@ class TestRoundTrip:
         original = adapted_index(dataset, workload)
         recovered = load_index(save_index(original, tmp_path / "config.npz"))
         assert recovered.config.division_factor == original.config.division_factor
-        assert (
-            recovered.config.reorganization_period
-            == original.config.reorganization_period
-        )
+        assert recovered.config.reorganization_period == original.config.reorganization_period
         assert recovered.config.cost.constants == original.config.cost.constants
 
 
@@ -125,19 +120,13 @@ class TestReorganizationSchedule:
         assert original.queries_since_reorganization == 20
         assert original.reorganization_count == 6
         recovered = load_index(save_index(original, tmp_path / "sched.npz"))
-        assert (
-            recovered.queries_since_reorganization
-            == original.queries_since_reorganization
-        )
+        assert recovered.queries_since_reorganization == original.queries_since_reorganization
         assert recovered.reorganization_count == original.reorganization_count
 
     def test_recovered_index_reorganizes_on_schedule(self, dataset, workload, tmp_path):
         original = adapted_index(dataset, workload)
         recovered = load_index(save_index(original, tmp_path / "resume.npz"))
-        remaining = (
-            original.config.reorganization_period
-            - original.queries_since_reorganization
-        )
+        remaining = original.config.reorganization_period - original.queries_since_reorganization
         for i in range(remaining):
             original.query(workload.queries[i % len(workload.queries)], workload.relation)
             recovered.query(workload.queries[i % len(workload.queries)], workload.relation)

@@ -59,9 +59,7 @@ class TestSplitDecision:
             low = (object_id % 20) / 20.0
             index.insert(object_id, HyperRectangle([low, 0.0], [low + 0.04, 0.1]))
         # Very selective queries: each touches a narrow slice of dimension 0.
-        queries = [
-            HyperRectangle([i / 20.0, 0.0], [i / 20.0 + 0.01, 1.0]) for i in range(20)
-        ]
+        queries = [HyperRectangle([i / 20.0, 0.0], [i / 20.0 + 0.01, 1.0]) for i in range(20)]
         total_materializations = 0
         converged = False
         for _ in range(10):
@@ -83,9 +81,7 @@ class TestSplitDecision:
         for object_id in range(200):
             low = (object_id % 20) / 20.0
             index.insert(object_id, HyperRectangle([low, 0.0], [low + 0.04, 0.1]))
-        queries = [
-            HyperRectangle([i / 20.0, 0.0], [i / 20.0 + 0.01, 1.0]) for i in range(20)
-        ]
+        queries = [HyperRectangle([i / 20.0, 0.0], [i / 20.0 + 0.01, 1.0]) for i in range(20)]
         for query in queries:
             index.query(query, SpatialRelation.INTERSECTS)
         index.reorganize()
@@ -99,9 +95,7 @@ class TestMergeDecision:
         for object_id in range(200):
             low = (object_id % 20) / 20.0
             index.insert(object_id, HyperRectangle([low, 0.0], [low + 0.04, 0.1]))
-        selective = [
-            HyperRectangle([i / 20.0, 0.0], [i / 20.0 + 0.01, 1.0]) for i in range(20)
-        ]
+        selective = [HyperRectangle([i / 20.0, 0.0], [i / 20.0 + 0.01, 1.0]) for i in range(20)]
         for _ in range(5):
             for query in selective:
                 index.query(query, SpatialRelation.INTERSECTS)

@@ -100,9 +100,7 @@ class TestObjectMatching:
     @pytest.fixture
     def signature(self):
         # Dimension 0: start in [0, 0.25], end in [0, 0.5]; dimension 1 free.
-        return ClusterSignature.root(2).with_dimension(
-            0, VariationInterval(0.0, 0.25, 0.0, 0.5)
-        )
+        return ClusterSignature.root(2).with_dimension(0, VariationInterval(0.0, 0.25, 0.0, 0.5))
 
     def test_matching_object(self, signature):
         assert signature.matches_object(HyperRectangle([0.1, 0.7], [0.4, 0.9]))
@@ -183,9 +181,7 @@ class TestSignatureContainment:
 
     def test_containment_implies_object_compatibility(self, rng):
         """Backward compatibility: objects of the inner signature match the outer."""
-        outer = ClusterSignature.root(2).with_dimension(
-            0, VariationInterval(0.0, 0.5, 0.0, 1.0)
-        )
+        outer = ClusterSignature.root(2).with_dimension(0, VariationInterval(0.0, 0.5, 0.0, 1.0))
         inner = outer.with_dimension(0, VariationInterval(0.0, 0.25, 0.25, 0.5))
         assert outer.contains_signature(inner)
         for _ in range(100):

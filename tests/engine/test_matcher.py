@@ -3,11 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.baselines.rtree import RStarTree, RStarTreeConfig
-from repro.baselines.sequential_scan import SequentialScan
+from repro.api import create_backend
 from repro.core.config import AdaptiveClusteringConfig
 from repro.core.cost_model import CostParameters
-from repro.core.index import AdaptiveClusteringIndex
 from repro.engine import StreamingConfig, StreamingMatcher
 from repro.geometry.box import HyperRectangle
 from repro.geometry.relations import SpatialRelation
@@ -35,14 +33,12 @@ def subscriptions(scenario):
 
 def build_backend(label, subscriptions):
     cost = CostParameters.memory_defaults(DIMENSIONS)
-    if label == "ac":
-        backend = AdaptiveClusteringIndex(
-            config=AdaptiveClusteringConfig(cost=cost, reorganization_period=50)
-        )
-    elif label == "ss":
-        backend = SequentialScan(DIMENSIONS, cost=cost)
-    else:
-        backend = RStarTree(config=RStarTreeConfig(dimensions=DIMENSIONS), cost=cost)
+    config = (
+        AdaptiveClusteringConfig(cost=cost, reorganization_period=50)
+        if label == "ac"
+        else None
+    )
+    backend = create_backend(label, DIMENSIONS, cost=cost, config=config)
     subscriptions.load_into(backend)
     return backend
 
@@ -56,7 +52,7 @@ def reference_loop(backend, operations):
         elif operation.kind == "unsubscribe":
             backend.delete(operation.op_id)
         else:
-            ids, _ = backend.query_with_stats(operation.box, RELATION)
+            ids = backend.execute(operation.box, RELATION).ids
             matches[operation.op_id] = np.sort(ids)  # canonical delivery order
     return matches
 
@@ -229,9 +225,7 @@ class TestChurnSemantics:
         assert backend.n_objects == base + 3
         assert matcher.stats.unregistered == 2
         # The pending event saw all five batch-registered subscriptions.
-        assert {base + offset for offset in range(5)} <= set(
-            records[0].matches.tolist()
-        )
+        assert {base + offset for offset in range(5)} <= set(records[0].matches.tolist())
 
     def test_register_many_patches_cached_entries_in_one_pass(self, subscriptions):
         backend = build_backend("ss", subscriptions)
@@ -285,9 +279,7 @@ class TestChurnSemantics:
             matcher.publish(event_id, event)  # prime the cache
         next_sub = subscriptions.size
         for round_number in range(4):
-            box = HyperRectangle(
-                rng.random(DIMENSIONS) * 0.4, 0.6 + rng.random(DIMENSIONS) * 0.4
-            )
+            box = HyperRectangle(rng.random(DIMENSIONS) * 0.4, 0.6 + rng.random(DIMENSIONS) * 0.4)
             matcher.register(next_sub, box)
             reference.insert(next_sub, box)
             victim = int(rng.integers(subscriptions.size))
@@ -297,7 +289,7 @@ class TestChurnSemantics:
             for event_id, event in enumerate(events):
                 record = matcher.publish(100 * (round_number + 1) + event_id, event)[0]
                 assert record.cached
-                expected, _ = reference.query_with_stats(event, RELATION)
+                expected = reference.execute(event, RELATION).ids
                 assert record.matches.tolist() == sorted(expected.tolist())
 
 
@@ -344,9 +336,7 @@ class TestStreamEquivalence:
 
     @pytest.mark.parametrize("label", ["ac", "ss", "rs"])
     @pytest.mark.parametrize("cache_size", [0, 64])
-    def test_churn_stream_matches_reference(
-        self, scenario, subscriptions, label, cache_size
-    ):
+    def test_churn_stream_matches_reference(self, scenario, subscriptions, label, cache_size):
         operations = scenario.generate_event_stream(
             150,
             subscriptions.ids,
@@ -437,7 +427,7 @@ class TestValidation:
         matcher.publish(0, point(0.5, 0.5, 0.5, 0.5))
         matcher.publish(1, point(0.6, 0.6, 0.6, 0.6))
         matcher.publish(2, point(0.5, 0.5, 0.5, 0.5))  # in-batch duplicate
-        original = backend.query_batch_with_stats
+        original = backend.execute_batch
         calls = {"n": 0}
 
         def flaky(queries, relation):
@@ -446,7 +436,7 @@ class TestValidation:
                 raise RuntimeError("transient backend failure")
             return original(queries, relation)
 
-        backend.query_batch_with_stats = flaky
+        backend.execute_batch = flaky
         with pytest.raises(RuntimeError):
             matcher.flush()
         # Nothing was dropped: the events are pending again and a retry

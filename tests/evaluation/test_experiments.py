@@ -124,8 +124,6 @@ class TestAblations:
             warmup_queries=150,
         )
         assert result.scenario is StorageScenario.DISK
-        clusters = [
-            row.results["AC"].total_groups for row in result.rows
-        ]
+        clusters = [row.results["AC"].total_groups for row in result.rows]
         # A cheaper random access lets the cost model justify more clusters.
         assert clusters[0] >= clusters[1]

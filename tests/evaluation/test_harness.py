@@ -100,7 +100,4 @@ class TestHarness:
         """The paper's core claim at the harness level."""
         harness = ExperimentHarness(dataset=dataset, cost=cost, warmup_queries=300)
         results = harness.compare(workload, labels=["AC", "SS"])
-        assert (
-            results["AC"].avg_modeled_time_ms
-            <= results["SS"].avg_modeled_time_ms * 1.05
-        )
+        assert results["AC"].avg_modeled_time_ms <= results["SS"].avg_modeled_time_ms * 1.05

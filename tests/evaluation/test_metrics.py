@@ -23,9 +23,7 @@ class TestModeledCostModel:
         """A scan execution record reproduces the cost model's scan time."""
         model = ModeledCostModel(cost)
         execution = QueryExecution(signature_checks=0, groups_explored=1, objects_verified=10_000)
-        assert model.query_time_ms(execution) == pytest.approx(
-            cost.sequential_scan_time(10_000)
-        )
+        assert model.query_time_ms(execution) == pytest.approx(cost.sequential_scan_time(10_000))
 
     def test_disk_time_dominated_by_accesses(self):
         disk = CostParameters.disk_defaults(16)
@@ -45,7 +43,9 @@ class TestAggregation:
         ]
 
     def test_averages(self, cost):
-        result = aggregate_executions("AC", self._executions(), cost, total_groups=10, total_objects=1000)
+        result = aggregate_executions(
+            "AC", self._executions(), cost, total_groups=10, total_objects=1000
+        )
         assert result.method == "AC"
         assert result.n_queries == 2
         assert result.avg_groups_explored == pytest.approx(3.0)

@@ -55,9 +55,7 @@ class TestPubsubStreamingBench:
         )
         assert subset.methods() == ["SS"]
         with pytest.raises(ValueError):
-            pubsub_streaming_bench(
-                subscriptions=100, events=20, methods=["nope"]
-            )
+            pubsub_streaming_bench(subscriptions=100, events=20, methods=["nope"])
 
     def test_parameter_validation(self):
         with pytest.raises(ValueError):

@@ -30,6 +30,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args(["fig7", "--scenario", "tape"])
 
+    def test_methods_flag_accepts_any_registry_name(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig7", "--methods", "adaptive", "SCAN", "rs"])
+        assert args.methods == ["adaptive", "SCAN", "rs"]
+        args = parser.parse_args(["pubsub-bench", "--methods", "ac"])
+        assert args.methods == ["ac"]
+
+    def test_ablations_reject_methods(self, capsys):
+        # The ablations compare AC against the scan baseline by design.
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["ablation-division-factor", "--methods", "ac"])
+        assert "--methods" in capsys.readouterr().err
+
     def test_disk_access_ablation_rejects_scenario(self, capsys):
         # The disk-access-time ablation is disk-only by construction: it
         # sweeps a disk cost constant, so --scenario must not be accepted
@@ -69,6 +83,23 @@ class TestExecution:
         )
         assert exit_code == 0
         assert "point-enclosing-memory" in capsys.readouterr().out
+
+    def test_methods_subset_resolved_through_registry(self, capsys):
+        # Registry aliases select the methods; the report shows only their
+        # chart labels.
+        exit_code = main(
+            [
+                "point-enclosing",
+                "--objects", "500",
+                "--queries", "4",
+                "--warmup", "40",
+                "--methods", "adaptive", "scan",
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "AC" in printed and "SS" in printed
+        assert "RS" not in printed
 
     def test_pubsub_bench_tiny_run(self, capsys, tmp_path):
         output_file = tmp_path / "stream.txt"
@@ -110,6 +141,8 @@ class TestErrorPaths:
             ["pubsub-bench", "--unsubscribe-prob", "-0.1"],
             ["pubsub-bench", "--repeat-prob", "2.0"],
             ["pubsub-bench", "--range-fraction", "1.0"],
+            ["fig7", "--methods", "btree"],
+            ["pubsub-bench", "--methods", "ac", "nonsense"],
         ],
     )
     def test_invalid_values_exit_with_code_2(self, argv, capsys):

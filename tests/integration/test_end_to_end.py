@@ -72,10 +72,7 @@ class TestFigure7Shape:
     def test_rstar_loses_badly_on_disk(self, sweep_disk):
         """Paper: RS is much more expensive than SS on disk (random accesses)."""
         for row in sweep_disk.rows:
-            assert (
-                row.results["RS"].avg_modeled_time_ms
-                > row.results["SS"].avg_modeled_time_ms
-            )
+            assert row.results["RS"].avg_modeled_time_ms > row.results["SS"].avg_modeled_time_ms
 
     def test_disk_builds_fewer_clusters_than_memory(self, sweep_memory, sweep_disk):
         memory_clusters = sweep_memory.rows[0].results["AC"].total_groups
@@ -96,10 +93,7 @@ class TestPointEnclosingShape:
             methods=["AC", "SS"],
         )
         row = result.rows[0]
-        speedup = (
-            row.results["SS"].avg_modeled_time_ms
-            / row.results["AC"].avg_modeled_time_ms
-        )
+        speedup = row.results["SS"].avg_modeled_time_ms / row.results["AC"].avg_modeled_time_ms
         assert speedup > 1.5
 
 

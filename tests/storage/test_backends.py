@@ -22,9 +22,7 @@ class TestFactory:
         assert isinstance(backend, MemoryStorage)
 
     def test_disk(self):
-        backend = storage_for_scenario(
-            StorageScenario.DISK, CostParameters.disk_defaults(8)
-        )
+        backend = storage_for_scenario(StorageScenario.DISK, CostParameters.disk_defaults(8))
         assert isinstance(backend, SimulatedDisk)
 
 

@@ -1,0 +1,245 @@
+"""Backend conformance suite: every registered backend, one contract.
+
+Parametrised over the registry, so a backend added via
+``register_backend`` is automatically held to the same contract as the
+built-ins: full insert / delete / bulk lifecycle, ``execute_batch``
+equivalent to a per-query loop, honest capability flags (advertised
+operations work, unadvertised ones raise ``UnsupportedOperation``) and
+working deprecation shims.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    COST_COUNTERS,
+    Database,
+    QueryResult,
+    SpatialBackend,
+    UnsupportedOperation,
+    backend_spec,
+    create_backend,
+    registered_backends,
+)
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+
+DIMENSIONS = 5
+RELATIONS = (
+    SpatialRelation.INTERSECTS,
+    SpatialRelation.CONTAINS,
+    SpatialRelation.CONTAINED_BY,
+)
+
+
+def make_boxes(count, seed=0):
+    rng = np.random.default_rng(seed)
+    boxes = []
+    for _ in range(count):
+        lows = rng.random(DIMENSIONS) * 0.7
+        extents = rng.random(DIMENSIONS) * 0.25
+        boxes.append(HyperRectangle(lows, np.minimum(lows + extents, 1.0)))
+    return boxes
+
+
+@pytest.fixture(params=registered_backends())
+def backend_name(request):
+    return request.param
+
+
+@pytest.fixture
+def backend(backend_name):
+    return create_backend(backend_name, DIMENSIONS)
+
+
+@pytest.fixture
+def loaded_backend(backend):
+    for object_id, box in enumerate(make_boxes(120, seed=1)):
+        backend.insert(object_id, box)
+    return backend
+
+
+class TestProtocolSurface:
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, SpatialBackend)
+
+    def test_capabilities_identity(self, backend, backend_name):
+        spec = backend_spec(backend_name)
+        assert backend.capabilities is spec.capabilities
+        assert backend.capabilities.name == spec.name
+        assert backend.capabilities.label == spec.label
+
+    def test_empty_backend(self, backend):
+        assert backend.n_objects == 0
+        assert len(backend) == 0
+        assert 0 not in backend
+        assert backend.n_groups >= 0
+        result = backend.execute(HyperRectangle.unit(DIMENSIONS))
+        assert result.ids.size == 0
+
+    def test_dimension_validation(self, backend):
+        with pytest.raises(ValueError):
+            backend.insert(0, HyperRectangle.unit(DIMENSIONS + 1))
+        with pytest.raises(ValueError):
+            backend.execute(HyperRectangle.unit(DIMENSIONS + 1))
+
+
+class TestLifecycleRoundTrips:
+    def test_insert_query_delete_round_trip(self, loaded_backend):
+        everything = HyperRectangle.unit(DIMENSIONS)
+        assert loaded_backend.n_objects == 120
+        assert set(loaded_backend.query(everything).tolist()) == set(range(120))
+
+        assert loaded_backend.delete(7) is True
+        assert loaded_backend.delete(7) is False
+        assert 7 not in loaded_backend
+        assert set(loaded_backend.query(everything).tolist()) == (set(range(120)) - {7})
+
+    def test_duplicate_insert_rejected(self, loaded_backend):
+        with pytest.raises(KeyError):
+            loaded_backend.insert(0, HyperRectangle.unit(DIMENSIONS))
+
+    def test_bulk_load_round_trip(self, backend):
+        pairs = list(enumerate(make_boxes(80, seed=2)))
+        assert backend.bulk_load(pairs) == 80
+        assert backend.n_objects == 80
+        everything = HyperRectangle.unit(DIMENSIONS)
+        assert set(backend.query(everything).tolist()) == set(range(80))
+
+    def test_delete_bulk_round_trip(self, loaded_backend):
+        doomed = [3, 11, 17, 42, 99, 100, 101]
+        removed = loaded_backend.delete_bulk(doomed + [1_000, 2_000])
+        assert removed == len(doomed)
+        assert loaded_backend.n_objects == 120 - len(doomed)
+        everything = HyperRectangle.unit(DIMENSIONS)
+        assert set(loaded_backend.query(everything).tolist()) == (set(range(120)) - set(doomed))
+
+    def test_delete_bulk_of_nothing(self, loaded_backend):
+        assert loaded_backend.delete_bulk([]) == 0
+        assert loaded_backend.delete_bulk([10_000]) == 0
+        assert loaded_backend.n_objects == 120
+
+    def test_delete_bulk_everything(self, loaded_backend):
+        assert loaded_backend.delete_bulk(range(120)) == 120
+        assert loaded_backend.n_objects == 0
+        assert loaded_backend.query(HyperRectangle.unit(DIMENSIONS)).size == 0
+        # The emptied backend accepts new objects.
+        loaded_backend.insert(500, HyperRectangle.unit(DIMENSIONS))
+        assert loaded_backend.query(HyperRectangle.unit(DIMENSIONS)).tolist() == [500]
+
+    def test_delete_bulk_equals_delete_loop(self, backend_name):
+        bulk = create_backend(backend_name, DIMENSIONS)
+        loop = create_backend(backend_name, DIMENSIONS)
+        pairs = list(enumerate(make_boxes(90, seed=3)))
+        for object_id, box in pairs:
+            bulk.insert(object_id, box)
+            loop.insert(object_id, box)
+        doomed = list(range(0, 90, 3))
+        assert bulk.delete_bulk(doomed) == sum(1 for object_id in doomed if loop.delete(object_id))
+        for relation in RELATIONS:
+            for query in make_boxes(15, seed=4):
+                assert sorted(bulk.query(query, relation).tolist()) == sorted(
+                    loop.query(query, relation).tolist()
+                )
+
+
+class TestExecutionEquivalence:
+    @pytest.mark.parametrize("relation", RELATIONS)
+    def test_batch_equals_per_query_loop(self, loaded_backend, relation):
+        # Adaptive backends evolve with every executed query, so both
+        # strategies run on identical deep copies of the loaded backend.
+        queries = make_boxes(25, seed=5)
+        batch_backend = copy.deepcopy(loaded_backend)
+        loop_backend = copy.deepcopy(loaded_backend)
+        batch = batch_backend.execute_batch(queries, relation)
+        assert len(batch) == len(queries)
+        for query, batch_result in zip(queries, batch):
+            loop_result = loop_backend.execute(query, relation)
+            assert np.array_equal(np.sort(batch_result.ids), np.sort(loop_result.ids))
+            assert batch_result.execution.core_counters() == loop_result.execution.core_counters()
+
+    def test_query_batch_strips_executions(self, loaded_backend):
+        queries = make_boxes(10, seed=6)
+        id_lists = loaded_backend.query_batch(queries)
+        batch = loaded_backend.execute_batch(queries)
+        for ids, result in zip(id_lists, batch):
+            assert np.array_equal(np.sort(ids), np.sort(result.ids))
+
+    def test_empty_batch(self, loaded_backend):
+        assert loaded_backend.execute_batch([]) == []
+
+    def test_query_result_shape(self, loaded_backend):
+        result = loaded_backend.execute(HyperRectangle.unit(DIMENSIONS))
+        assert isinstance(result, QueryResult)
+        assert result.ids.dtype == np.int64
+        assert len(result) == result.ids.size == result.execution.results
+        # Tuple-compatibility with the deprecated API's return shape.
+        ids, execution = result
+        assert ids is result.ids and execution is result.execution
+        assert np.array_equal(result.sorted_ids(), np.sort(result.ids))
+
+    def test_only_advertised_counters_populated(self, loaded_backend):
+        advertised = set(loaded_backend.capabilities.cost_counters)
+        for relation in RELATIONS:
+            for query in make_boxes(10, seed=7):
+                counters = loaded_backend.execute(query, relation).execution
+                populated = {name for name in COST_COUNTERS if getattr(counters, name)}
+                assert populated <= advertised
+
+
+class TestCapabilityHonesty:
+    def test_reorganization_flag(self, loaded_backend):
+        if loaded_backend.capabilities.supports_reorganization:
+            report = loaded_backend.reorganize()
+            assert report is not None
+        else:
+            with pytest.raises(UnsupportedOperation):
+                loaded_backend.reorganize()
+
+    def test_persistence_flag(self, loaded_backend, tmp_path):
+        database = Database(loaded_backend)
+        path = tmp_path / "snapshot.npz"
+        if loaded_backend.capabilities.supports_persistence:
+            database.save(path)
+            recovered = Database.open(path)
+            everything = HyperRectangle.unit(DIMENSIONS)
+            assert sorted(recovered.query(everything).tolist()) == sorted(
+                database.query(everything).tolist()
+            )
+            assert database.snapshot() is not None
+        else:
+            with pytest.raises(UnsupportedOperation):
+                database.save(path)
+            with pytest.raises(UnsupportedOperation):
+                database.snapshot()
+            with pytest.raises(UnsupportedOperation):
+                loaded_backend.snapshot()
+            assert not path.exists()
+
+    def test_delete_bulk_flag(self, loaded_backend):
+        # All built-ins advertise bulk deletion; the advertised operation
+        # must actually work (exercised throughout this suite), and the
+        # flag must match the declared capability descriptor.
+        assert loaded_backend.capabilities.supports_delete_bulk is True
+
+
+class TestDeprecatedShims:
+    def test_query_with_stats_warns_and_matches_execute(self, loaded_backend):
+        query = HyperRectangle.unit(DIMENSIONS)
+        with pytest.warns(DeprecationWarning):
+            ids, execution = loaded_backend.query_with_stats(query)
+        result = loaded_backend.execute(query)
+        assert np.array_equal(np.sort(ids), np.sort(result.ids))
+        assert execution.results == result.execution.results
+
+    def test_query_batch_with_stats_warns_and_matches(self, loaded_backend):
+        queries = make_boxes(5, seed=8)
+        with pytest.warns(DeprecationWarning):
+            id_lists, executions = loaded_backend.query_batch_with_stats(queries)
+        batch = loaded_backend.execute_batch(queries)
+        assert len(id_lists) == len(executions) == len(batch)
+        for ids, execution, result in zip(id_lists, executions, batch):
+            assert np.array_equal(np.sort(ids), np.sort(result.ids))
+            assert execution.core_counters() == result.execution.core_counters()

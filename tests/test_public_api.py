@@ -29,6 +29,15 @@ class TestExports:
             "generate_query_workload",
             "ExperimentHarness",
             "format_experiment_result",
+            # the backend API
+            "SpatialBackend",
+            "Capabilities",
+            "QueryResult",
+            "UnsupportedOperation",
+            "Database",
+            "create_backend",
+            "register_backend",
+            "registered_backends",
         ):
             assert name in repro.__all__
 
@@ -64,6 +73,7 @@ class TestUniformMethodInterface:
         return repro.RStarTree(dimensions)
 
     def test_insert_query_delete_cycle(self, method, rng):
+        assert isinstance(method, repro.SpatialBackend)
         boxes = {}
         for object_id in range(60):
             lows = rng.random(4) * 0.6
@@ -75,8 +85,10 @@ class TestUniformMethodInterface:
         assert 10 in method
 
         query = repro.HyperRectangle.unit(4)
-        results, stats = method.query_with_stats(query)
-        assert set(results.tolist()) == set(boxes)
+        result = method.execute(query)
+        assert isinstance(result, repro.QueryResult)
+        assert set(result.ids.tolist()) == set(boxes)
+        stats = result.execution
         assert stats.results == 60
         assert stats.objects_verified >= stats.results
 
@@ -84,3 +96,10 @@ class TestUniformMethodInterface:
         assert method.delete(10) is False
         assert 10 not in method
         assert set(method.query(query).tolist()) == set(boxes) - {10}
+
+    def test_deprecated_stats_shim_still_works(self, method):
+        method.insert(0, repro.HyperRectangle.unit(4))
+        with pytest.warns(DeprecationWarning):
+            results, stats = method.query_with_stats(repro.HyperRectangle.unit(4))
+        assert results.tolist() == [0]
+        assert stats.results == 1

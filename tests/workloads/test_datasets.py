@@ -13,7 +13,9 @@ from repro.workloads.datasets import Dataset
 def dataset(rng):
     lows = rng.random((40, 3)) * 0.5
     highs = lows + rng.random((40, 3)) * 0.5
-    return Dataset(ids=np.arange(40, dtype=np.int64), lows=lows, highs=np.minimum(highs, 1.0), name="test")
+    return Dataset(
+        ids=np.arange(40, dtype=np.int64), lows=lows, highs=np.minimum(highs, 1.0), name="test"
+    )
 
 
 class TestConstruction:

@@ -48,9 +48,7 @@ class TestScenario:
         with pytest.raises(ValueError):
             PublishSubscribeScenario([])
         with pytest.raises(ValueError):
-            PublishSubscribeScenario(
-                [AttributeSpec("a", 0, 1), AttributeSpec("a", 0, 1)]
-            )
+            PublishSubscribeScenario([AttributeSpec("a", 0, 1), AttributeSpec("a", 0, 1)])
 
     def test_generate_subscriptions(self, scenario):
         subscriptions = scenario.generate_subscriptions(500)
@@ -212,9 +210,5 @@ class TestApartmentScenario:
         events = scenario.generate_events(20)
         # Matching by brute force never raises and yields sane counts.
         for event in events.queries:
-            matches = sum(
-                1
-                for _, box in subscriptions.iter_objects()
-                if box.contains(event)
-            )
+            matches = sum(1 for _, box in subscriptions.iter_objects() if box.contains(event))
             assert 0 <= matches <= 200

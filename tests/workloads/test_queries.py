@@ -48,9 +48,7 @@ class TestMeasureSelectivity:
     def test_sampling_approximates_full_measurement(self, dataset):
         queries = [HyperRectangle(np.full(8, 0.2), np.full(8, 0.8))]
         full = measure_selectivity(dataset, queries, SpatialRelation.INTERSECTS)
-        sampled = measure_selectivity(
-            dataset, queries, SpatialRelation.INTERSECTS, sample_size=800
-        )
+        sampled = measure_selectivity(dataset, queries, SpatialRelation.INTERSECTS, sample_size=800)
         assert sampled == pytest.approx(full, abs=0.1)
 
 
@@ -60,9 +58,7 @@ class TestCalibration:
         extent = calibrate_extent_for_selectivity(dataset, target, seed=5)
         assert 0.0 <= extent <= 1.0
         workload = generate_query_workload(dataset, 20, target, seed=5)
-        measured = measure_selectivity(
-            dataset, workload.queries, SpatialRelation.INTERSECTS
-        )
+        measured = measure_selectivity(dataset, workload.queries, SpatialRelation.INTERSECTS)
         # Within a factor ~3 of the target (the calibration uses sampling).
         assert measured == pytest.approx(target, rel=2.0, abs=0.002)
 
