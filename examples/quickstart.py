@@ -143,6 +143,56 @@ def main() -> None:
         f"p95 latency {stats.latency_percentiles()['p95']:.2f} ms"
     )
 
+    # ------------------------------------------------------------------
+    # Sharding: scatter-gather over N registry-created backends.
+    # ------------------------------------------------------------------
+    # A ShardedDatabase satisfies the same SpatialBackend protocol, so it
+    # slots behind the facade (and its streaming sessions) unchanged.  A
+    # router assigns every object to exactly one shard — "hash" spreads
+    # identifiers evenly, "spatial" stripes the domain by box centroid —
+    # while queries scatter to every shard and gather into merged
+    # ascending-id results with summed cost counters.
+    from repro import ShardedDatabase
+
+    sharded = Database.create("ac", dimensions, shards=4, router="spatial")
+    sharded.bulk_load(
+        (object_id, index.get(object_id)) for object_id in range(2_000)
+    )
+    merged = sharded.execute(query)
+    print(
+        f"sharded database: {sharded.backend.n_shards} shards holding "
+        f"{sharded.n_objects} objects returned {merged.ids.size} results "
+        f"(ids ascending: {bool(np.all(np.diff(merged.ids) > 0))})"
+    )
+
+    # Mixed member backends work too, and persistence (all shards must
+    # support it) writes a manifest plus one snapshot file per shard;
+    # Database.open dispatches on the layout.
+    mixed = ShardedDatabase.create(["ac", "ac", "rs"], dimensions)
+    print(f"mixed shards: {mixed.capabilities.name}")
+
+    # ------------------------------------------------------------------
+    # Async serving: many concurrent callers, one batch engine.
+    # ------------------------------------------------------------------
+    # AsyncDatabase micro-batches concurrent query/publish/subscribe
+    # requests across callers into single execute_batch / matcher flushes
+    # per tick; each caller awaits exactly the result a sequential
+    # execution would produce.
+    import asyncio
+
+    from repro import AsyncDatabase
+
+    async def serve_concurrently() -> int:
+        async with AsyncDatabase(sharded) as served:
+            results = await asyncio.gather(
+                *(served.query(box) for box in batch[:32])
+            )
+            return sum(len(result) for result in results)
+
+    total = asyncio.run(serve_concurrently())
+    served_stats = f"{total} results from 32 concurrent clients"
+    print(f"async front-end: {served_stats}")
+
 
 if __name__ == "__main__":
     main()

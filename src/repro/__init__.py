@@ -63,9 +63,12 @@ from repro.baselines import RStarTree, RStarTreeConfig, SequentialScan
 # earlier import would leave ``repro.api.protocol`` partially initialized
 # when the core pulls it in).
 from repro.api import (
+    AsyncDatabase,
     Capabilities,
     Database,
     QueryResult,
+    ServingConfig,
+    ShardedDatabase,
     SpatialBackend,
     UnsupportedOperation,
     create_backend,
@@ -108,6 +111,9 @@ __all__ = [
     "QueryResult",
     "UnsupportedOperation",
     "Database",
+    "ShardedDatabase",
+    "AsyncDatabase",
+    "ServingConfig",
     "create_backend",
     "register_backend",
     "registered_backends",

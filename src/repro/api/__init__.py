@@ -38,20 +38,46 @@ from repro.api.registry import (
     registered_backends,
     resolve_method_label,
 )
+from repro.api.serving import (
+    AsyncDatabase,
+    ServingConfig,
+    ServingStats,
+    run_round_robin,
+    serve_requests,
+)
+from repro.api.sharding import (
+    HashShardRouter,
+    ShardedDatabase,
+    ShardedSnapshot,
+    ShardRouter,
+    SpatialShardRouter,
+    create_router,
+)
 
 __all__ = [
+    "AsyncDatabase",
     "BackendBase",
     "BackendSpec",
     "COST_COUNTERS",
     "Capabilities",
     "Database",
+    "HashShardRouter",
     "QueryResult",
+    "ServingConfig",
+    "ServingStats",
+    "ShardRouter",
+    "ShardedDatabase",
+    "ShardedSnapshot",
     "SpatialBackend",
+    "SpatialShardRouter",
     "UnsupportedOperation",
     "backend_spec",
     "build_backend_for_dataset",
     "create_backend",
+    "create_router",
     "register_backend",
     "registered_backends",
     "resolve_method_label",
+    "run_round_robin",
+    "serve_requests",
 ]

@@ -36,6 +36,7 @@ from repro.geometry.box import HyperRectangle
 from repro.geometry.relations import SpatialRelation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.sharding import ShardRouter
     from repro.core.cost_model import CostParameters
     from repro.engine.matcher import MatchRecord, StreamingConfig, StreamingMatcher
     from repro.storage import StorageBackend
@@ -65,13 +66,44 @@ class Database:
     @classmethod
     def create(
         cls,
-        method: str,
+        method: "str | Sequence[str]",
         dimensions: int,
         *,
         cost: "Optional[CostParameters]" = None,
         config: Optional[object] = None,
+        shards: Optional[int] = None,
+        router: "ShardRouter | str" = "hash",
+        max_workers: Optional[int] = None,
     ) -> "Database":
-        """Create an empty database over the backend registered as *method*."""
+        """Create an empty database over the backend registered as *method*.
+
+        Passing ``shards`` (or a sequence of method names) builds a
+        :class:`~repro.api.sharding.ShardedDatabase` composing one
+        registry-created backend per shard behind the same facade::
+
+            db = Database.create("ac", 16, shards=4, router="spatial")
+        """
+        if shards is not None or not isinstance(method, str):
+            from repro.api.sharding import ShardedDatabase
+
+            return cls(
+                ShardedDatabase.create(
+                    method,
+                    dimensions,
+                    shards=shards,
+                    router=router,
+                    cost=cost,
+                    config=config,
+                    max_workers=max_workers,
+                )
+            )
+        if router != "hash" or max_workers is not None:
+            # Sharding-only options on an unsharded create would be
+            # silently discarded; fail instead of mislabeling the result.
+            raise ValueError(
+                "router and max_workers apply to sharded databases only; "
+                "pass shards=N (or a sequence of method names)"
+            )
         return cls(create_backend(method, dimensions, cost=cost, config=config))
 
     @classmethod
@@ -82,18 +114,59 @@ class Database:
         *,
         cost: "Optional[CostParameters]" = None,
         config: Optional[object] = None,
+        shards: Optional[int] = None,
+        router: "ShardRouter | str" = "hash",
+        max_workers: Optional[int] = None,
     ) -> "Database":
-        """Create a database pre-loaded with *dataset*."""
+        """Create a database pre-loaded with *dataset*.
+
+        With ``shards >= 2`` the dataset is routed into a
+        :class:`~repro.api.sharding.ShardedDatabase` of that many
+        *method* backends (each shard bulk-loads its partition with its
+        own loading strategy); otherwise the backend's registered dataset
+        loader runs, the way the evaluation harness loads.
+        """
+        if shards is not None and shards > 1:
+            from repro.api.sharding import ShardedDatabase
+
+            backend = ShardedDatabase.create(
+                method,
+                dataset.dimensions,
+                shards=shards,
+                router=router,
+                cost=cost,
+                config=config,
+                max_workers=max_workers,
+            )
+            backend.bulk_load(dataset.iter_objects())
+            return cls(backend)
+        if router != "hash" or max_workers is not None:
+            raise ValueError(
+                "router and max_workers apply to sharded databases only; "
+                "pass shards >= 2"
+            )
         return cls(build_backend_for_dataset(method, dataset, cost, config))
 
     @classmethod
     def open(cls, path: "str | Path", storage: "Optional[StorageBackend]" = None) -> "Database":
         """Recover a database from a snapshot written by :meth:`save`.
 
+        Dispatches on the snapshot layout: a directory holding a shard
+        manifest reopens as a :class:`~repro.api.sharding.ShardedDatabase`;
+        a single snapshot file reopens the backend that wrote it.
         Snapshots are written only by backends advertising
         ``supports_persistence`` (currently the adaptive clustering
         index), so the recovered backend is always persistable.
         """
+        from repro.api.sharding import ShardedDatabase, is_sharded_snapshot
+
+        if is_sharded_snapshot(path):
+            if storage is not None:
+                raise ValueError(
+                    "storage cannot be overridden when opening a sharded "
+                    "snapshot; each shard restores its own storage backend"
+                )
+            return cls(ShardedDatabase.open(path))
         from repro.core.persistence import load_index
 
         return cls(load_index(path, storage=storage))

@@ -1,0 +1,565 @@
+"""Asynchronous serving front-end: many concurrent callers, one batch engine.
+
+The batch engine (PR 1) and the streaming matcher (PR 2) assume a single
+driver feeding them whole workloads.  A notification system serving
+millions of users looks different: many independent clients each submit
+*one* query, publication or subscription at a time, concurrently.
+:class:`AsyncDatabase` is the asyncio front-end that turns that traffic
+shape back into batches:
+
+* every request (``query`` / ``publish`` / ``subscribe`` / ``unsubscribe``)
+  enqueues onto one FIFO and immediately returns an awaitable future;
+* a single worker drains the queue in **ticks**: a tick begins with the
+  first waiting request and closes when ``max_batch_size`` requests have
+  accumulated or the first request has waited ``max_delay_ms`` — the same
+  size-or-deadline micro-batching discipline as the streaming matcher;
+* the tick is processed on a worker thread (the NumPy verification kernels
+  release the GIL, so the event loop keeps accepting requests): runs of
+  adjacent queries sharing a relation collapse into one ``execute_batch``
+  call, and pub/sub requests drive an attached
+  :class:`~repro.engine.matcher.StreamingMatcher` session;
+* requests are processed strictly in arrival order, so every caller
+  observes exactly the result a sequential execution of the same request
+  sequence would produce (``tests/api/test_serving.py`` pins this).
+
+The front-end is backend-agnostic: wrap a :class:`~repro.api.database.Database`
+over any protocol-satisfying backend, including a
+:class:`~repro.api.sharding.ShardedDatabase` — concurrent clients, batched
+scatter-gather execution, one awaitable per request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.api.database import Database
+from repro.api.protocol import QueryResult, SpatialBackend
+from repro.engine.matcher import MatchRecord, StreamingConfig, StreamingMatcher
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tuning knobs of the asynchronous front-end.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Number of waiting requests that closes a tick immediately.
+    max_delay_ms:
+        How long the first request of a tick may additionally wait for
+        company once the queue has gone idle.  The default 0 is **greedy
+        batching**: a tick collects everything already queued (plus
+        whatever runnable tasks enqueue when the worker yields once) and
+        is served immediately — concurrent callers still coalesce, and a
+        lone caller never waits.  Positive values trade latency for bigger
+        ticks under open-loop traffic (callers that fire and move on);
+        they hurt closed-loop callers, which cannot submit again until the
+        tick they are waiting on is served.
+    relation:
+        Default spatial relation of ``query`` requests (overridable per
+        call).
+    matcher:
+        Configuration of the attached pub/sub session.  Defaults to a
+        matcher that never flushes on its own (the front-end controls
+        flushing per tick); its ``relation`` governs event matching.
+    """
+
+    max_batch_size: int = 256
+    max_delay_ms: float = 0.0
+    relation: SpatialRelation = SpatialRelation.INTERSECTS
+    matcher: Optional[StreamingConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        object.__setattr__(self, "relation", SpatialRelation.parse(self.relation))
+
+
+@dataclass
+class ServingStats:
+    """Aggregate statistics of one front-end's lifetime."""
+
+    #: Requests completed, by kind.
+    queries: int = 0
+    publishes: int = 0
+    subscribes: int = 0
+    unsubscribes: int = 0
+    #: Requests that finished with an exception instead of a result.
+    failed: int = 0
+    #: Ticks processed (a tick is one drained micro-batch of requests).
+    ticks: int = 0
+    #: ``execute_batch`` calls issued (coalesced query runs).
+    query_batches: int = 0
+    #: Ticks closed by the size trigger vs the deadline trigger.
+    size_ticks: int = 0
+    deadline_ticks: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total requests completed (including failed ones)."""
+        return self.queries + self.publishes + self.subscribes + self.unsubscribes
+
+    def average_tick_size(self) -> float:
+        """Mean number of requests per processed tick."""
+        if self.ticks == 0:
+            return 0.0
+        return self.requests / self.ticks
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the statistics for reporting / JSON."""
+        return {
+            "requests": self.requests,
+            "queries": self.queries,
+            "publishes": self.publishes,
+            "subscribes": self.subscribes,
+            "unsubscribes": self.unsubscribes,
+            "failed": self.failed,
+            "ticks": self.ticks,
+            "query_batches": self.query_batches,
+            "size_ticks": self.size_ticks,
+            "deadline_ticks": self.deadline_ticks,
+            "average_tick_size": self.average_tick_size(),
+        }
+
+
+#: One enqueued request: (kind, payload, future).  Payloads by kind:
+#: ``query`` → (box, relation); ``publish`` → (event_id, box);
+#: ``subscribe`` → (subscription_id, box); ``unsubscribe`` → subscription_id.
+_Request = Tuple[str, object, "asyncio.Future[object]"]
+
+
+class AsyncDatabase:
+    """Micro-batching asyncio front-end over one (possibly sharded) database.
+
+    Use as an async context manager::
+
+        async with AsyncDatabase(db) as served:
+            result = await served.query(box)
+            record = await served.publish(1, event_box)
+
+    or call :meth:`start` / :meth:`close` explicitly.  All request methods
+    are safe to call concurrently from any number of tasks on the same
+    event loop; each returns when its request (and everything queued before
+    it) has been processed.
+    """
+
+    def __init__(
+        self,
+        database: "Database | SpatialBackend",
+        config: Optional[ServingConfig] = None,
+    ) -> None:
+        if not isinstance(database, Database):
+            database = Database(database)
+        self._database = database
+        self._config = config or ServingConfig()
+        matcher_config = self._config.matcher or StreamingConfig(
+            # The front-end flushes once per tick; disable the matcher's own
+            # size trigger so one tick delivers exactly one backend flush.
+            max_batch_size=1_000_000_000,
+            relation=SpatialRelation.CONTAINS,
+        )
+        self._matcher = database.session(matcher_config, on_match=self._deliver_match)
+        #: Futures of in-flight publishes, resolved in delivery order.
+        self._match_futures: "List[asyncio.Future[object]]" = []
+        self._queue: "Optional[asyncio.Queue[Optional[_Request]]]" = None
+        self._worker: "Optional[asyncio.Task[None]]" = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+        self._stats = ServingStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> Database:
+        """The served database facade."""
+        return self._database
+
+    @property
+    def config(self) -> ServingConfig:
+        """The serving configuration."""
+        return self._config
+
+    @property
+    def stats(self) -> ServingStats:
+        """Aggregate statistics (mutated as ticks are processed)."""
+        return self._stats
+
+    @property
+    def matcher(self) -> StreamingMatcher:
+        """The attached pub/sub session (for its cache / churn statistics)."""
+        return self._matcher
+
+    @property
+    def started(self) -> bool:
+        """True between :meth:`start` and :meth:`close`."""
+        return self._worker is not None and not self._closed
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AsyncDatabase":
+        """Start the worker; idempotent until :meth:`close`."""
+        if self._closed:
+            raise RuntimeError("AsyncDatabase is closed")
+        if self._worker is None:
+            self._loop = asyncio.get_running_loop()
+            self._queue = asyncio.Queue()
+            self._worker = self._loop.create_task(self._serve())
+        return self
+
+    async def close(self) -> None:
+        """Drain every queued request, then stop the worker."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._worker is not None:
+            assert self._queue is not None
+            await self._queue.put(None)
+            await self._worker
+            self._worker = None
+
+    async def __aenter__(self) -> "AsyncDatabase":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def query(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str | None" = None,
+    ) -> QueryResult:
+        """Execute one query; batched with concurrently submitted requests."""
+        parsed = (
+            self._config.relation if relation is None else SpatialRelation.parse(relation)
+        )
+        result = await self._submit("query", (query, parsed))
+        assert isinstance(result, QueryResult)
+        return result
+
+    async def query_many(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str | None" = None,
+    ) -> List[QueryResult]:
+        """Submit several queries at once and await all their results."""
+        return list(
+            await asyncio.gather(*(self.query(query, relation) for query in queries))
+        )
+
+    async def publish(self, event_id: int, box: HyperRectangle) -> MatchRecord:
+        """Publish one event; resolves with its delivered :class:`MatchRecord`."""
+        result = await self._submit("publish", (int(event_id), box))
+        assert isinstance(result, MatchRecord)
+        return result
+
+    async def subscribe(self, subscription_id: int, box: HyperRectangle) -> None:
+        """Register a standing subscription."""
+        await self._submit("subscribe", (int(subscription_id), box))
+
+    async def unsubscribe(self, subscription_id: int) -> None:
+        """Drop a standing subscription (ignored when not registered)."""
+        await self._submit("unsubscribe", int(subscription_id))
+
+    async def _submit(self, kind: str, payload: object) -> object:
+        if self._worker is None or self._closed:
+            raise RuntimeError(
+                "AsyncDatabase is not serving; use 'async with AsyncDatabase(...)' "
+                "or call start()"
+            )
+        assert self._loop is not None and self._queue is not None
+        future: "asyncio.Future[object]" = self._loop.create_future()
+        await self._queue.put((kind, payload, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    # The serving loop
+    # ------------------------------------------------------------------
+    async def _serve(self) -> None:
+        assert self._loop is not None and self._queue is not None
+        queue = self._queue
+        # One persistent getter task survives tick deadlines: cancelling a
+        # timed ``queue.get`` can race its completion and lose the item, so
+        # a get that outlives its tick is simply carried into the next one.
+        getter: "Optional[asyncio.Task[Optional[_Request]]]" = None
+        stop = False
+        while not stop:
+            if getter is None:
+                getter = self._loop.create_task(queue.get())
+            first = await getter
+            getter = None
+            if first is None:
+                break
+            batch: List[_Request] = [first]
+            trigger = "deadline"
+            deadline = self._loop.time() + self._config.max_delay_ms / 1000.0
+            yielded = False
+            while len(batch) < self._config.max_batch_size:
+                item: Optional[_Request] = None
+                if getter is not None and getter.done():
+                    # A timed get from an earlier wait completed meanwhile.
+                    item = getter.result()
+                    getter = None
+                elif getter is None and not queue.empty():
+                    item = queue.get_nowait()
+                elif getter is None and not yielded:
+                    # Greedy batching: one event-loop cycle lets every
+                    # runnable submitter enqueue before the tick closes.
+                    yielded = True
+                    await asyncio.sleep(0)
+                    continue
+                else:
+                    # Nothing ready.  Wait out the configured deadline for
+                    # open-loop company; with the default max_delay_ms=0
+                    # the tick is served immediately instead.
+                    timeout = deadline - self._loop.time()
+                    if timeout <= 0:
+                        break
+                    if getter is None:
+                        getter = self._loop.create_task(queue.get())
+                    done: Set["asyncio.Task[Optional[_Request]]"] = (
+                        await asyncio.wait({getter}, timeout=timeout)
+                    )[0]
+                    if not done:
+                        break  # deadline hit; the pending get carries over
+                    item = getter.result()
+                    getter = None
+                if item is None:
+                    stop = True
+                    break
+                batch.append(item)
+                yielded = False
+            else:
+                trigger = "size"
+            await self._loop.run_in_executor(None, self._process_tick, batch, trigger)
+        if getter is not None:
+            if getter.done():
+                item = getter.result()
+                if item is not None:
+                    await self._loop.run_in_executor(
+                        None, self._process_tick, [item], "close"
+                    )
+            else:
+                getter.cancel()
+        # Drain anything enqueued between the close sentinel and worker exit.
+        leftovers: List[_Request] = []
+        while not queue.empty():
+            item = queue.get_nowait()
+            if item is not None:
+                leftovers.append(item)
+        if leftovers:
+            await self._loop.run_in_executor(None, self._process_tick, leftovers, "close")
+
+    def _process_tick(self, batch: List[_Request], trigger: str) -> None:
+        """Process one drained micro-batch, in arrival order, on a thread.
+
+        Runs of adjacent queries sharing a relation collapse into one
+        ``execute_batch``; pub/sub requests drive the attached matcher,
+        whose churn-flush discipline keeps event/churn ordering exact.  A
+        failing request resolves its own future with the exception and the
+        tick carries on — one bad request cannot stall its neighbours.
+        """
+        self._stats.ticks += 1
+        if trigger == "size":
+            self._stats.size_ticks += 1
+        elif trigger == "deadline":
+            self._stats.deadline_ticks += 1
+        position = 0
+        while position < len(batch):
+            kind = batch[position][0]
+            if kind == "query":
+                stop = position
+                relation = batch[position][1][1]  # type: ignore[index]
+                while (
+                    stop < len(batch)
+                    and batch[stop][0] == "query"
+                    and batch[stop][1][1] is relation  # type: ignore[index]
+                ):
+                    stop += 1
+                self._run_query_run(batch[position:stop], relation)
+                position = stop
+            else:
+                self._run_pubsub(batch[position])
+                position += 1
+        # Deliver the tick's pending events: the matcher's on_match callback
+        # resolves the publish futures in delivery order.
+        try:
+            self._matcher.flush()
+        except Exception as error:
+            # The matcher re-queued the batch for retry; these callers get
+            # the error instead, so the re-queued events must be discarded
+            # to keep later records aligned with later futures.
+            self._matcher.discard_pending()
+            self._fail_pending_publishes(error)
+
+    def _run_query_run(self, run: List[_Request], relation: SpatialRelation) -> None:
+        boxes = [request[1][0] for request in run]  # type: ignore[index]
+        try:
+            results = self._database.execute_batch(boxes, relation)
+        except Exception:
+            # Batched execution failed as a whole (e.g. one malformed box).
+            # Retry each query alone so only the offender fails.
+            for request in run:
+                try:
+                    result: object = self._database.execute(
+                        request[1][0],  # type: ignore[index]
+                        relation,
+                    )
+                except Exception as single_error:
+                    self._resolve(request[2], error=single_error)
+                else:
+                    self._resolve(request[2], result=result)
+        else:
+            self._stats.query_batches += 1
+            for request, outcome in zip(run, results):
+                self._resolve(request[2], result=outcome)
+        self._stats.queries += len(run)
+
+    def _run_pubsub(self, request: _Request) -> None:
+        kind, payload, future = request
+        try:
+            if kind == "publish":
+                event_id, box = payload  # type: ignore[misc]
+                self._match_futures.append(future)
+                pending_before = self._matcher.pending_events
+                try:
+                    self._matcher.publish(event_id, box)
+                except Exception as error:
+                    if self._matcher.pending_events > pending_before:
+                        # The event was enqueued and a flush it triggered
+                        # failed: the matcher re-queued the whole buffer,
+                        # so every in-flight publish (this one included)
+                        # gets the error and the re-queued events are
+                        # discarded — otherwise later deliveries would
+                        # pair with the wrong futures.
+                        self._matcher.discard_pending()
+                        self._fail_pending_publishes(error)
+                        return
+                    # Rejected before enqueueing (validation): only this
+                    # request fails.
+                    self._match_futures.remove(future)
+                    raise
+                self._stats.publishes += 1
+                return  # resolved later by _deliver_match
+            if kind == "subscribe":
+                subscription_id, box = payload  # type: ignore[misc]
+                self._matcher.register(subscription_id, box)
+                self._stats.subscribes += 1
+            elif kind == "unsubscribe":
+                self._matcher.unregister(int(payload))  # type: ignore[arg-type]
+                self._stats.unsubscribes += 1
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown request kind: {kind!r}")
+        except Exception as error:
+            self._resolve(future, error=error)
+        else:
+            self._resolve(future, result=None)
+
+    def _deliver_match(self, record: MatchRecord) -> None:
+        """Matcher ``on_match`` hook: resolve the oldest publish future.
+
+        The matcher delivers records in publish order (the pending buffer
+        is a FIFO and churn flushes preserve it), so pairing records with
+        futures positionally is exact.
+        """
+        if self._match_futures:
+            self._resolve(self._match_futures.pop(0), result=record)
+
+    def _fail_pending_publishes(self, error: BaseException) -> None:
+        pending, self._match_futures = self._match_futures, []
+        for future in pending:
+            self._resolve(future, error=error)
+
+    def _resolve(
+        self,
+        future: "asyncio.Future[object]",
+        result: object = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        assert self._loop is not None
+        if error is not None:
+            self._stats.failed += 1
+            self._loop.call_soon_threadsafe(_set_future_exception, future, error)
+        else:
+            self._loop.call_soon_threadsafe(_set_future_result, future, result)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"AsyncDatabase(requests={self._stats.requests}, "
+            f"ticks={self._stats.ticks}, started={self.started})"
+        )
+
+
+def _set_future_result(future: "asyncio.Future[object]", result: object) -> None:
+    if not future.done():
+        future.set_result(result)
+
+
+def _set_future_exception(future: "asyncio.Future[object]", error: BaseException) -> None:
+    if not future.done():
+        future.set_exception(error)
+
+
+async def run_round_robin(
+    served: AsyncDatabase,
+    requests: Sequence[Tuple[str, object]],
+    clients: int = 1,
+) -> List[object]:
+    """Deal *requests* round-robin to *clients* concurrent tasks on *served*.
+
+    Each task awaits its requests in order; the returned list is aligned
+    with *requests*.  Each request is a ``(kind, payload)`` pair using the
+    payload shapes of the request methods (``("query", (box, relation))``,
+    ``("publish", (event_id, box))``, ...).  The caller owns *served* —
+    read ``served.stats`` afterwards for the tick shape.
+    """
+    if clients < 1:
+        raise ValueError("clients must be at least 1")
+    results: List[object] = [None] * len(requests)
+
+    async def run_client(offset: int) -> None:
+        for position in range(offset, len(requests), clients):
+            kind, payload = requests[position]
+            if kind == "query":
+                box, relation = payload  # type: ignore[misc]
+                results[position] = await served.query(box, relation)
+            elif kind == "publish":
+                event_id, box = payload  # type: ignore[misc]
+                results[position] = await served.publish(event_id, box)
+            elif kind == "subscribe":
+                subscription_id, box = payload  # type: ignore[misc]
+                results[position] = await served.subscribe(subscription_id, box)
+            elif kind == "unsubscribe":
+                results[position] = await served.unsubscribe(payload)  # type: ignore[arg-type]
+            else:
+                raise ValueError(f"unknown request kind: {kind!r}")
+
+    await asyncio.gather(*(run_client(offset) for offset in range(clients)))
+    return results
+
+
+async def serve_requests(
+    database: "Database | SpatialBackend",
+    requests: Sequence[Tuple[str, object]],
+    config: Optional[ServingConfig] = None,
+    clients: int = 1,
+) -> List[object]:
+    """Drive *requests* through a fresh :class:`AsyncDatabase` and close it.
+
+    One-shot convenience over :func:`run_round_robin` for tests and
+    examples that do not need the serving statistics afterwards.
+    """
+    if clients < 1:
+        raise ValueError("clients must be at least 1")
+    async with AsyncDatabase(database, config) as served:
+        return await run_round_robin(served, requests, clients)

@@ -1,0 +1,776 @@
+"""Sharded scatter-gather database over registry-created backends.
+
+One :class:`~repro.api.protocol.SpatialBackend` can only grow as far as one
+process core and one snapshot file carry it.  :class:`ShardedDatabase`
+composes *N* independent backends — homogeneous (``["ac", "ac"]``) or mixed
+(``["ac", "rs"]``) — behind the same backend surface, so everything written
+against the protocol (the :class:`~repro.api.database.Database` facade, the
+streaming matcher, the evaluation harness) serves a partitioned object set
+without noticing:
+
+* **routing** — a pluggable :class:`ShardRouter` assigns every object to
+  exactly one shard.  :class:`HashShardRouter` (the default) mixes the
+  object identifier through a 64-bit finalizer for an even spread;
+  :class:`SpatialShardRouter` stripes the domain into equal-width grid
+  slices and routes by box centroid, keeping spatially close objects on the
+  same shard.
+* **scatter-gather** — ``execute`` / ``execute_batch`` send each query (or
+  the whole workload) to *every* shard, run the shards serially or on a
+  thread pool (the NumPy verification kernels release the GIL), and merge
+  the per-shard :class:`~repro.api.protocol.QueryResult`\\ s into one result
+  per query: identifiers in canonical ascending order, work counters summed
+  element-wise.  Sharding is invisible: the merged identifier sets are
+  byte-identical to an unsharded backend holding the same objects, and the
+  merged counters are exactly the sum of what the shards report
+  individually (``tests/test_backend_protocol.py`` pins both).
+* **per-shard persistence** — ``save`` writes one directory holding a JSON
+  manifest (shard count, router, per-shard statistics) plus one
+  capability-gated snapshot file per shard; :meth:`ShardedDatabase.open`
+  validates the manifest and fails with a clean :class:`ValueError` on a
+  missing or corrupt shard snapshot instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+import numpy as np
+
+from repro.api.protocol import (
+    COST_COUNTERS,
+    BackendBase,
+    Capabilities,
+    QueryResult,
+    SpatialBackend,
+)
+from repro.api.registry import create_backend
+from repro.core.statistics import QueryExecution
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.iostats import IOStatistics
+
+#: File name of the shard directory manifest inside a sharded snapshot.
+SHARD_MANIFEST_NAME = "manifest.json"
+
+#: Version tag written into every shard manifest (bump on layout changes).
+SHARD_MANIFEST_VERSION = 1
+
+_T = TypeVar("_T")
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer: spreads consecutive identifiers evenly."""
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+# ----------------------------------------------------------------------
+# Routers
+# ----------------------------------------------------------------------
+class ShardRouter(ABC):
+    """Assigns every object to exactly one shard.
+
+    A router is a pure function of the object (identifier and box): the
+    same object always routes to the same shard, so deletes and duplicate
+    checks can find it again.  Routers serialise themselves into the shard
+    manifest (:meth:`manifest`) so a reopened database routes identically.
+    """
+
+    #: Manifest tag of the router implementation ("hash", "spatial").
+    kind: str = "abstract"
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError("a sharded database needs at least one shard")
+        self._n_shards = int(n_shards)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards this router distributes over."""
+        return self._n_shards
+
+    @abstractmethod
+    def shard_of(self, object_id: int, box: HyperRectangle) -> int:
+        """Shard index of an object being inserted."""
+
+    def shard_of_id(self, object_id: int) -> Optional[int]:
+        """Shard index derivable from the identifier alone, or ``None``.
+
+        Routers that partition on the identifier (hash) answer directly so
+        deletes skip the membership probe; spatial routers return ``None``
+        and the database locates the owner by probing the shards.
+        """
+        return None
+
+    def manifest(self) -> Dict[str, object]:
+        """JSON-serialisable description, inverted by :func:`router_from_manifest`."""
+        return {"kind": self.kind}
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(n_shards={self._n_shards})"
+
+
+class HashShardRouter(ShardRouter):
+    """Identifier-hash partitioning: mixed 64-bit hash modulo shard count."""
+
+    kind = "hash"
+
+    def shard_of(self, object_id: int, box: HyperRectangle) -> int:
+        return _mix64(int(object_id)) % self._n_shards
+
+    def shard_of_id(self, object_id: int) -> Optional[int]:
+        return _mix64(int(object_id)) % self._n_shards
+
+
+class SpatialShardRouter(ShardRouter):
+    """Grid partitioning: equal-width slices of one dimension, by centroid.
+
+    Objects whose centroid falls in the same slice of *dimension* land on
+    the same shard, preserving spatial locality (queries touching a small
+    region mostly hit one shard's clusters).  Centroids outside the unit
+    domain are clamped into the boundary slices.
+    """
+
+    kind = "spatial"
+
+    def __init__(self, n_shards: int, dimension: int = 0) -> None:
+        super().__init__(n_shards)
+        if dimension < 0:
+            raise ValueError("dimension must be non-negative")
+        self._dimension = int(dimension)
+
+    @property
+    def dimension(self) -> int:
+        """The dimension whose centroid coordinate selects the shard."""
+        return self._dimension
+
+    def shard_of(self, object_id: int, box: HyperRectangle) -> int:
+        if self._dimension >= box.dimensions:
+            raise ValueError(
+                f"spatial router stripes dimension {self._dimension}, box has "
+                f"only {box.dimensions}"
+            )
+        coordinate = float(box.center[self._dimension])
+        slice_index = int(coordinate * self._n_shards)
+        return min(max(slice_index, 0), self._n_shards - 1)
+
+    def manifest(self) -> Dict[str, object]:
+        return {"kind": self.kind, "dimension": self._dimension}
+
+
+#: ``factory(n_shards, manifest_data)`` builds a router from its manifest.
+_ROUTER_KINDS: Dict[str, Callable[[int, Dict[str, object]], ShardRouter]] = {
+    "hash": lambda n_shards, data: HashShardRouter(n_shards),
+    "spatial": lambda n_shards, data: SpatialShardRouter(
+        n_shards, dimension=int(data.get("dimension", 0))
+    ),
+}
+
+
+def create_router(kind: "ShardRouter | str", n_shards: int) -> ShardRouter:
+    """Build a router by manifest tag ("hash", "spatial"), or pass one through."""
+    if isinstance(kind, ShardRouter):
+        if kind.n_shards != n_shards:
+            raise ValueError(
+                f"router distributes over {kind.n_shards} shards, database "
+                f"has {n_shards}"
+            )
+        return kind
+    return router_from_manifest({"kind": str(kind)}, n_shards)
+
+
+def router_from_manifest(data: Dict[str, object], n_shards: int) -> ShardRouter:
+    """Rebuild a :class:`ShardRouter` from its :meth:`~ShardRouter.manifest`."""
+    kind = str(data.get("kind", ""))
+    factory = _ROUTER_KINDS.get(kind)
+    if factory is None:
+        raise ValueError(
+            f"unknown shard router {kind!r}; known routers: "
+            f"{', '.join(sorted(_ROUTER_KINDS))}"
+        )
+    return factory(n_shards, data)
+
+
+# ----------------------------------------------------------------------
+# Snapshot and storage descriptors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardedSnapshot:
+    """Read-only description of a sharded database (persistence introspection)."""
+
+    #: Router manifest tag ("hash", "spatial").
+    router_kind: str
+    #: Objects per shard, in shard order.
+    shard_sizes: Tuple[int, ...]
+    #: The shards' own structural snapshots, in shard order.
+    shards: Tuple[object, ...] = field(default_factory=tuple)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_sizes)
+
+    @property
+    def n_objects(self) -> int:
+        return sum(self.shard_sizes)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the snapshot for reporting / JSON (harness contract)."""
+        return {
+            "router": self.router_kind,
+            "n_shards": self.n_shards,
+            "n_objects": self.n_objects,
+            "shards": [
+                shard.as_dict() if hasattr(shard, "as_dict") else {"n_objects": size}
+                for shard, size in zip(self.shards, self.shard_sizes)
+            ],
+        }
+
+
+class ShardedStorageView:
+    """Read-only aggregate over the shards' storage backends.
+
+    Advertising ``supports_persistence`` commits a backend to exposing a
+    ``storage`` attribute with I/O statistics (see the contract on
+    :class:`~repro.api.protocol.Capabilities`); the evaluation harness
+    reports ``storage.stats`` and ``storage.io_time_ms`` for persistable
+    backends.  The composite view sums the member shards' counters.
+    """
+
+    def __init__(self, shards: Sequence[SpatialBackend]) -> None:
+        self._shards = list(shards)
+
+    @property
+    def stats(self) -> "IOStatistics":
+        """Element-wise sum of every shard's I/O statistics."""
+        from repro.storage.iostats import IOStatistics
+
+        total = IOStatistics()
+        for shard in self._shards:
+            total = total.merge(shard.storage.stats)  # type: ignore[attr-defined]
+        return total
+
+    @property
+    def io_time_ms(self) -> float:
+        """Summed modeled I/O time across the shards."""
+        return float(
+            sum(shard.storage.io_time_ms for shard in self._shards)  # type: ignore[attr-defined]
+        )
+
+
+# ----------------------------------------------------------------------
+# The sharded database
+# ----------------------------------------------------------------------
+class ShardedDatabase(BackendBase):
+    """N registry-created backends behind one ``SpatialBackend`` surface.
+
+    Satisfies the full backend protocol, so it slots everywhere a single
+    backend does: ``Database(ShardedDatabase.create("ac", 16, shards=4))``
+    gives the facade (and its streaming sessions) a partitioned object set.
+
+    Parameters
+    ----------
+    shards:
+        The member backends.  All must satisfy the protocol and agree on
+        dimensionality.
+    router:
+        A :class:`ShardRouter` (whose shard count must match) or a manifest
+        tag ("hash", "spatial").
+    max_workers:
+        When given (> 1) and there is more than one shard, ``execute`` /
+        ``execute_batch`` scatter over a thread pool of at most this many
+        workers; ``None`` (default) runs the shards serially.  Results are
+        identical either way — gathering is deterministic.
+    """
+
+    CAPABILITIES = Capabilities(name="sharded", label="SH")
+
+    def __init__(
+        self,
+        shards: Sequence[SpatialBackend],
+        router: "ShardRouter | str" = "hash",
+        *,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        shard_list = list(shards)
+        if not shard_list:
+            raise ValueError("a sharded database needs at least one shard")
+        for position, shard in enumerate(shard_list):
+            if not isinstance(shard, SpatialBackend):
+                raise TypeError(
+                    f"shard {position} does not satisfy the SpatialBackend "
+                    "protocol; see repro.api.protocol"
+                )
+        dimensions = shard_list[0].dimensions
+        for position, shard in enumerate(shard_list):
+            if shard.dimensions != dimensions:
+                raise ValueError(
+                    f"shard {position} has {shard.dimensions} dimensions, "
+                    f"shard 0 has {dimensions}"
+                )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._shards: List[SpatialBackend] = shard_list
+        self._dimensions = int(dimensions)
+        self._router = create_router(router, len(shard_list))
+        self._max_workers = max_workers
+        #: Lazily created, then reused across scatters (thread start-up on
+        #: every query would rival small per-shard workloads).
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._capabilities = self._derive_capabilities()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        methods: "str | Sequence[str]",
+        dimensions: int,
+        *,
+        shards: Optional[int] = None,
+        router: "ShardRouter | str" = "hash",
+        cost: Optional[object] = None,
+        config: Optional[object] = None,
+        max_workers: Optional[int] = None,
+    ) -> "ShardedDatabase":
+        """Create empty shards through the backend registry.
+
+        *methods* is either one registry name replicated over *shards*
+        backends (``create("ac", 16, shards=4)``) or an explicit per-shard
+        sequence, possibly mixed (``create(["ac", "ac", "rs"], 16)``).
+        """
+        if isinstance(methods, str):
+            names = [methods] * (shards if shards is not None else 1)
+        else:
+            names = list(methods)
+            if shards is not None and shards != len(names):
+                raise ValueError(
+                    f"shards={shards} disagrees with {len(names)} method names"
+                )
+        if not names:
+            raise ValueError("a sharded database needs at least one shard")
+        backends = [
+            create_backend(name, dimensions, cost=cost, config=config)  # type: ignore[arg-type]
+            for name in names
+        ]
+        return cls(backends, router=router, max_workers=max_workers)
+
+    @classmethod
+    def open(
+        cls,
+        path: "str | Path",
+        *,
+        max_workers: Optional[int] = None,
+    ) -> "ShardedDatabase":
+        """Recover a sharded database from a directory written by :meth:`save`.
+
+        Raises a clean :class:`ValueError` (never a traceback from the
+        archive layer) when the manifest is corrupt, references a missing
+        shard snapshot, disagrees with the stored shard count, or a shard
+        snapshot itself fails to load.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no sharded snapshot at {path}")
+        manifest_path = path / SHARD_MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ValueError(
+                f"{path} is not a sharded-database snapshot: no "
+                f"{SHARD_MANIFEST_NAME}"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ValueError(f"corrupt shard manifest {manifest_path}: {error}") from error
+        if manifest.get("format_version") != SHARD_MANIFEST_VERSION:
+            raise ValueError(
+                "unsupported shard manifest format: "
+                f"{manifest.get('format_version')!r}"
+            )
+        entries = manifest.get("shards")
+        shard_count = manifest.get("shard_count")
+        if not isinstance(entries, list) or not entries:
+            raise ValueError(f"corrupt shard manifest {manifest_path}: no shard entries")
+        if shard_count != len(entries):
+            raise ValueError(
+                f"corrupt shard manifest {manifest_path}: shard_count "
+                f"{shard_count!r} disagrees with {len(entries)} shard entries"
+            )
+        shards: List[SpatialBackend] = []
+        for position, entry in enumerate(entries):
+            if not isinstance(entry, dict) or "file" not in entry:
+                raise ValueError(
+                    f"corrupt shard manifest {manifest_path}: shard entry "
+                    f"{position} has no snapshot file"
+                )
+            shard_file = path / str(entry["file"])
+            if not shard_file.is_file():
+                raise ValueError(
+                    f"missing shard snapshot {shard_file.name} (shard "
+                    f"{position} of {len(entries)}) in {path}"
+                )
+            try:
+                shard = _load_shard_snapshot(shard_file)
+            except Exception as error:
+                raise ValueError(
+                    f"corrupt shard snapshot {shard_file.name} (shard "
+                    f"{position} of {len(entries)}): {error}"
+                ) from error
+            recorded = entry.get("n_objects")
+            if recorded is not None and int(recorded) != shard.n_objects:
+                raise ValueError(
+                    f"corrupt shard snapshot {shard_file.name}: manifest "
+                    f"records {recorded} objects, snapshot holds "
+                    f"{shard.n_objects}"
+                )
+            shards.append(shard)
+        router_data = manifest.get("router")
+        if not isinstance(router_data, dict):
+            raise ValueError(f"corrupt shard manifest {manifest_path}: no router entry")
+        router = router_from_manifest(router_data, len(shards))
+        return cls(shards, router=router, max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capabilities(self) -> Capabilities:
+        """Capabilities derived from the member shards (see :meth:`_derive_capabilities`)."""
+        return self._capabilities
+
+    @property
+    def shards(self) -> Tuple[SpatialBackend, ...]:
+        """The member backends, in shard order."""
+        return tuple(self._shards)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of member shards."""
+        return len(self._shards)
+
+    @property
+    def router(self) -> ShardRouter:
+        """The router assigning objects to shards."""
+        return self._router
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        """Thread-pool width of the scatter phase (``None`` = serial)."""
+        return self._max_workers
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the data space."""
+        return self._dimensions
+
+    @property
+    def n_objects(self) -> int:
+        """Total number of stored objects across all shards."""
+        return sum(shard.n_objects for shard in self._shards)
+
+    @property
+    def n_groups(self) -> int:
+        """Total number of explorable groups across all shards."""
+        return sum(shard.n_groups for shard in self._shards)
+
+    def __len__(self) -> int:
+        return self.n_objects
+
+    def __contains__(self, object_id: int) -> bool:
+        owner = self._router.shard_of_id(int(object_id))
+        if owner is not None:
+            return int(object_id) in self._shards[owner]
+        return any(int(object_id) in shard for shard in self._shards)
+
+    def _derive_capabilities(self) -> Capabilities:
+        """One descriptor for the composite, derived from the members.
+
+        Persistence and bulk deletion need every shard to play along (a
+        half-persistable database cannot be recovered); reorganization is
+        meaningful as soon as one shard adapts.  The composite populates
+        the union of the members' cost counters.
+        """
+        members = [shard.capabilities for shard in self._shards]
+        populated = {name for caps in members for name in caps.cost_counters}
+        return Capabilities(
+            name="sharded[" + ",".join(caps.name for caps in members) + "]",
+            label="SH",
+            supports_delete_bulk=all(caps.supports_delete_bulk for caps in members),
+            supports_persistence=all(caps.supports_persistence for caps in members),
+            supports_reorganization=any(caps.supports_reorganization for caps in members),
+            cost_counters=tuple(name for name in COST_COUNTERS if name in populated),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle (routed)
+    # ------------------------------------------------------------------
+    def _validate_box(self, box: HyperRectangle) -> None:
+        if box.dimensions != self._dimensions:
+            raise ValueError(
+                f"object has {box.dimensions} dimensions, database expects "
+                f"{self._dimensions}"
+            )
+
+    def insert(self, object_id: int, obj: HyperRectangle) -> None:
+        """Insert one object into the shard the router assigns it to.
+
+        The duplicate check spans every shard: a spatial router would route
+        a re-inserted identifier with a different box to a different shard,
+        which must fail exactly like the single-backend re-insert does.
+        """
+        object_id = int(object_id)
+        self._validate_box(obj)
+        if object_id in self:
+            raise KeyError(f"object {object_id} is already stored")
+        self._shards[self._router.shard_of(object_id, obj)].insert(object_id, obj)
+
+    def bulk_load(self, objects: Iterable[Tuple[int, HyperRectangle]]) -> int:
+        """Partition a batch by the router and bulk-load every shard once."""
+        pairs = [(int(object_id), box) for object_id, box in objects]
+        if not pairs:
+            return 0
+        seen: set = set()
+        for object_id, box in pairs:
+            self._validate_box(box)
+            if object_id in seen or object_id in self:
+                raise KeyError(f"object {object_id} is already stored")
+            seen.add(object_id)
+        groups: List[List[Tuple[int, HyperRectangle]]] = [[] for _ in self._shards]
+        for object_id, box in pairs:
+            groups[self._router.shard_of(object_id, box)].append((object_id, box))
+        loaded = 0
+        for shard, group in zip(self._shards, groups):
+            if group:
+                loaded += shard.bulk_load(group)
+        return loaded
+
+    def _owner_of(self, object_id: int) -> Optional[int]:
+        owner = self._router.shard_of_id(object_id)
+        if owner is not None:
+            return owner if object_id in self._shards[owner] else None
+        for position, shard in enumerate(self._shards):
+            if object_id in shard:
+                return position
+        return None
+
+    def delete(self, object_id: int) -> bool:
+        """Remove one object from its owning shard; ``False`` when absent."""
+        owner = self._owner_of(int(object_id))
+        if owner is None:
+            return False
+        return self._shards[owner].delete(int(object_id))
+
+    def delete_bulk(self, object_ids: Iterable[int]) -> int:
+        """Group a deletion batch by owning shard, one bulk delete per shard."""
+        groups: List[List[int]] = [[] for _ in self._shards]
+        for object_id in object_ids:
+            owner = self._owner_of(int(object_id))
+            if owner is not None:
+                groups[owner].append(int(object_id))
+        removed = 0
+        for shard, group in zip(self._shards, groups):
+            if group:
+                removed += int(shard.delete_bulk(group))
+        return removed
+
+    def reorganize(self) -> List[object]:
+        """Run the reorganization pass of every shard that supports one."""
+        self.capabilities.require("reorganization")
+        return [
+            shard.reorganize()
+            for shard in self._shards
+            if shard.capabilities.supports_reorganization
+        ]
+
+    # ------------------------------------------------------------------
+    # Scatter-gather query execution
+    # ------------------------------------------------------------------
+    def _scatter(self, operation: Callable[[SpatialBackend], _T]) -> List[_T]:
+        """Run *operation* on every shard, serially or on the thread pool.
+
+        The pool is created once (bounded by ``max_workers`` and the shard
+        count) and reused across scatters; gather order is always shard
+        order, so merging is deterministic regardless of scheduling.
+        """
+        if self._max_workers is not None and self._max_workers > 1 and len(self._shards) > 1:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=min(self._max_workers, len(self._shards)),
+                    thread_name_prefix="repro-shard",
+                )
+            return list(self._executor.map(operation, self._shards))
+        return [operation(shard) for shard in self._shards]
+
+    def close(self) -> None:
+        """Shut down the scatter thread pool (no-op when serial or unused)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __deepcopy__(self, memo: Dict[int, object]) -> "ShardedDatabase":
+        """Deep-copy the shards and router; the thread pool is not copyable
+        (and must not be shared), so the copy starts with a fresh one."""
+        import copy as _copy
+
+        return ShardedDatabase(
+            [_copy.deepcopy(shard, memo) for shard in self._shards],
+            router=_copy.deepcopy(self._router, memo),
+            max_workers=self._max_workers,
+        )
+
+    @staticmethod
+    def _merge(results: Sequence[QueryResult]) -> QueryResult:
+        """Gather per-shard results: ascending-id union, summed counters.
+
+        Identifiers live on exactly one shard, so the union is a plain
+        concatenation; sorting makes the merged order canonical (and
+        byte-identical to a sorted unsharded result).  Counters sum
+        element-wise — including ``wall_time_ms``, which therefore reports
+        aggregate shard work, not scatter wall-clock time.
+        """
+        arrays = [result.ids for result in results if result.ids.size]
+        if arrays:
+            ids = np.concatenate(arrays)
+            ids.sort()
+        else:
+            ids = np.empty(0, dtype=np.int64)
+        execution = QueryExecution()
+        for result in results:
+            execution = execution.merge(result.execution)
+        return QueryResult(ids=ids, execution=execution)
+
+    def execute(
+        self,
+        query: HyperRectangle,
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> QueryResult:
+        """Scatter one query to every shard and gather the merged result."""
+        parsed = SpatialRelation.parse(relation)
+        if query.dimensions != self._dimensions:
+            raise ValueError(
+                f"query has {query.dimensions} dimensions, database expects "
+                f"{self._dimensions}"
+            )
+        return self._merge(self._scatter(lambda shard: shard.execute(query, parsed)))
+
+    def execute_batch(
+        self,
+        queries: Sequence[HyperRectangle],
+        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    ) -> List[QueryResult]:
+        """Scatter a whole workload to every shard and gather per query."""
+        parsed = SpatialRelation.parse(relation)
+        query_list = list(queries)
+        for query in query_list:
+            if query.dimensions != self._dimensions:
+                raise ValueError(
+                    f"query has {query.dimensions} dimensions, database "
+                    f"expects {self._dimensions}"
+                )
+        if not query_list:
+            return []
+        per_shard = self._scatter(lambda shard: shard.execute_batch(query_list, parsed))
+        return [self._merge(row) for row in zip(*per_shard)]
+
+    # ------------------------------------------------------------------
+    # Persistence (capability-gated)
+    # ------------------------------------------------------------------
+    @property
+    def storage(self) -> ShardedStorageView:
+        """Aggregate I/O view over the shards (persistence contract).
+
+        Raises :class:`~repro.api.protocol.UnsupportedOperation` unless
+        every shard is persistable — exactly when ``supports_persistence``
+        is advertised, which is what commits a backend to this attribute.
+        """
+        self.capabilities.require("persistence")
+        return ShardedStorageView(self._shards)
+
+    def snapshot(self) -> ShardedSnapshot:
+        """Structural snapshot: router kind plus every shard's own snapshot."""
+        self.capabilities.require("persistence")
+        return ShardedSnapshot(
+            router_kind=self._router.kind,
+            shard_sizes=tuple(shard.n_objects for shard in self._shards),
+            shards=tuple(shard.snapshot() for shard in self._shards),
+        )
+
+    def save(self, path: "str | Path", include_statistics: bool = True) -> Path:
+        """Write a manifest + one snapshot file per shard under *path*.
+
+        *path* becomes a directory: ``manifest.json`` records the shard
+        count, the router and per-shard statistics; ``shard_NNN.npz`` holds
+        each shard's own capability-gated snapshot.  Recover with
+        :meth:`open` (or :meth:`repro.api.Database.open`, which dispatches
+        on the manifest).
+        """
+        self.capabilities.require("persistence")
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        entries: List[Dict[str, object]] = []
+        for position, shard in enumerate(self._shards):
+            file_name = f"shard_{position:03d}.npz"
+            shard.save(path / file_name, include_statistics=include_statistics)
+            entries.append(
+                {
+                    "file": file_name,
+                    "method": shard.capabilities.name,
+                    "n_objects": shard.n_objects,
+                    "n_groups": shard.n_groups,
+                }
+            )
+        manifest = {
+            "format_version": SHARD_MANIFEST_VERSION,
+            "kind": "sharded-database",
+            "dimensions": self._dimensions,
+            "shard_count": len(self._shards),
+            "router": self._router.manifest(),
+            "include_statistics": include_statistics,
+            "shards": entries,
+        }
+        manifest_path = path / SHARD_MANIFEST_NAME
+        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ShardedDatabase(shards={self.n_shards}, "
+            f"router={self._router.kind!r}, objects={self.n_objects})"
+        )
+
+
+def is_sharded_snapshot(path: "str | Path") -> bool:
+    """True when *path* is a directory written by :meth:`ShardedDatabase.save`."""
+    return (Path(path) / SHARD_MANIFEST_NAME).is_file()
+
+
+def _load_shard_snapshot(path: Path) -> SpatialBackend:
+    """Load one shard's snapshot file.
+
+    Only backends advertising ``supports_persistence`` write snapshots, and
+    the adaptive clustering index is currently the only such backend, so a
+    shard snapshot is always an index snapshot.
+    """
+    from repro.core.persistence import load_index
+
+    return load_index(path)

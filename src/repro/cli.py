@@ -8,6 +8,7 @@ figures and tables from the terminal::
     repro-experiments point-enclosing --scenario memory --methods ac ss
     repro-experiments ablation-division-factor
     repro-experiments pubsub-bench --subscriptions 5000 --events 2000
+    repro-experiments serve-bench --clients 16 --shards 4 --router spatial
 
 Every command prints a paper-style report (and optionally writes it to a
 file with ``--output``).  Method names are resolved through the backend
@@ -35,7 +36,12 @@ from repro.evaluation.experiments import (
     point_enclosing_experiment,
     selectivity_sweep,
 )
-from repro.evaluation.reporting import format_experiment_result, format_streaming_result
+from repro.evaluation.reporting import (
+    format_experiment_result,
+    format_serving_result,
+    format_streaming_result,
+)
+from repro.evaluation.serving import async_serving_bench
 from repro.evaluation.streaming import pubsub_streaming_bench
 
 
@@ -86,9 +92,48 @@ def _add_common_arguments(
     _add_run_arguments(parser)
 
 
+def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
+    """Sharded serving options shared by the serving-shaped subcommands."""
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve from a sharded database of this many shards (default: unsharded)",
+    )
+    parser.add_argument(
+        "--router",
+        choices=["hash", "spatial"],
+        default=None,
+        help="shard router: identifier hash or spatial grid (default: hash)",
+    )
+
+
+def _add_serve_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_scenario_argument(parser)
+    _add_methods_argument(parser)
+    _add_sharding_arguments(parser)
+    parser.add_argument(
+        "--subscriptions", type=int, default=None, help="initial subscription count"
+    )
+    parser.add_argument("--requests", type=int, default=None, help="query requests to serve")
+    parser.add_argument(
+        "--clients", type=int, default=None, help="concurrent client tasks (default 8)"
+    )
+    parser.add_argument("--batch-size", type=int, default=None, help="micro-batch tick size")
+    parser.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=None,
+        help="tick deadline: how long the first request waits for company",
+    )
+    parser.add_argument("--warmup", type=int, default=None, help="warm-up events")
+    _add_run_arguments(parser)
+
+
 def _add_pubsub_bench_arguments(parser: argparse.ArgumentParser) -> None:
     _add_scenario_argument(parser)
     _add_methods_argument(parser)
+    _add_sharding_arguments(parser)
     parser.add_argument(
         "--subscriptions", type=int, default=None, help="initial subscription count"
     )
@@ -201,11 +246,32 @@ def _run_pubsub_bench(args: argparse.Namespace):
             "repeat_prob": "repeat_probability",
             "range_fraction": "range_fraction",
             "warmup": "warmup_events",
+            "shards": "shards",
+            "router": "router",
             "seed": "seed",
             "methods": "methods",
         },
     )
     return pubsub_streaming_bench(scenario=args.scenario, **kwargs)
+
+
+def _run_serve_bench(args: argparse.Namespace):
+    kwargs = _collect_kwargs(
+        args,
+        {
+            "subscriptions": "subscriptions",
+            "requests": "requests",
+            "clients": "clients",
+            "batch_size": "batch_size",
+            "max_delay_ms": "max_delay_ms",
+            "shards": "shards",
+            "router": "router",
+            "warmup": "warmup_events",
+            "seed": "seed",
+            "methods": "methods",
+        },
+    )
+    return async_serving_bench(scenario=args.scenario, **kwargs)
 
 
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
@@ -265,6 +331,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pubsub_bench_arguments(bench)
     bench.set_defaults(runner=_run_pubsub_bench, formatter=format_streaming_result)
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="Async serving benchmark: concurrent clients micro-batched "
+        "through the asyncio front-end (optionally over a sharded database)",
+    )
+    _add_serve_bench_arguments(serve)
+    serve.set_defaults(runner=_run_serve_bench, formatter=format_serving_result)
     return parser
 
 
@@ -272,8 +345,17 @@ def build_parser() -> argparse.ArgumentParser:
 #: float arguments that must be probabilities, checked before the runner
 #: starts so a bad value produces a one-line error instead of a traceback
 #: from deep inside a generator.
-_POSITIVE_ARGUMENTS = ("objects", "queries", "subscriptions", "events", "batch_size")
-_NON_NEGATIVE_ARGUMENTS = ("warmup", "cache_size")
+_POSITIVE_ARGUMENTS = (
+    "objects",
+    "queries",
+    "subscriptions",
+    "events",
+    "batch_size",
+    "requests",
+    "clients",
+    "shards",
+)
+_NON_NEGATIVE_ARGUMENTS = ("warmup", "cache_size", "max_delay_ms")
 _PROBABILITY_ARGUMENTS = ("subscribe_prob", "unsubscribe_prob", "repeat_prob")
 
 

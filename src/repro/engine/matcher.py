@@ -25,8 +25,13 @@ that serving loop:
 The engine is backend-agnostic: any access method satisfying the
 :class:`~repro.api.protocol.SpatialBackend` protocol works, which covers
 the adaptive clustering index, both baselines (``SequentialScan``,
-``RStarTree``) and anything registered through
-:func:`repro.api.register_backend`.
+``RStarTree``), the scatter-gather
+:class:`~repro.api.sharding.ShardedDatabase` composite (whose merged
+ascending-id results are already in the engine's canonical delivery
+order) and anything registered through
+:func:`repro.api.register_backend`.  Sessions stay correct over a
+backend recovered from a snapshot — ``tests/engine/test_matcher_restore.py``
+pins serving-after-``Database.open()`` equivalence, sharded included.
 """
 
 from __future__ import annotations
@@ -400,6 +405,20 @@ class StreamingMatcher:
     def flush(self) -> List[MatchRecord]:
         """Deliver every pending event now, regardless of batch size."""
         return self._flush("manual")
+
+    def discard_pending(self) -> int:
+        """Drop every pending event without delivering it; returns the count.
+
+        A failing :meth:`flush` re-queues its batch so no event is silently
+        lost on a transient backend error.  A front-end that instead
+        *reports* the failure to its callers (the asyncio serving layer
+        fails the affected publish futures) must then discard the
+        re-queued events, or the next flush would deliver records for
+        events whose callers already saw an error — misaligning every
+        later delivery.
+        """
+        discarded, self._pending = len(self._pending), []
+        return discarded
 
     def run(self, operations: Iterable[object]) -> List[MatchRecord]:
         """Drive the matcher from a stream of operations and drain it.

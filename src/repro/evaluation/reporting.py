@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.evaluation.experiments import ExperimentResult
+from repro.evaluation.serving import ServingBenchResult
 from repro.evaluation.streaming import StreamingBenchResult
 
 
@@ -224,6 +225,50 @@ def format_streaming_result(result: StreamingBenchResult) -> str:
                 "modeled ms/event",
             ],
             cost_rows,
+        ),
+    ]
+    return "\n".join(sections)
+
+
+def format_serving_result(result: ServingBenchResult) -> str:
+    """Full text report of one async serving benchmark run."""
+    rows: List[List[object]] = []
+    for label, method in result.results.items():
+        stats = method.stats
+        rows.append(
+            [
+                label,
+                method.requests,
+                method.clients,
+                round(method.sequential_rps, 1),
+                round(method.async_rps, 1),
+                round(method.speedup, 2),
+                stats.ticks,
+                round(stats.average_tick_size(), 1),
+                "yes" if method.identical else "NO",
+                round(method.modeled_time_ms, 2),
+            ]
+        )
+    sections = [
+        f"== {result.experiment_id}: {result.title} ==",
+        f"scenario: {result.scenario.value}",
+        f"parameters: {result.parameters}",
+        "",
+        "-- concurrent clients vs per-request loop --",
+        format_table(
+            [
+                "method",
+                "requests",
+                "clients",
+                "sequential req/s",
+                "async req/s",
+                "speedup",
+                "ticks",
+                "avg tick",
+                "identical",
+                "modeled ms",
+            ],
+            rows,
         ),
     ]
     return "\n".join(sections)

@@ -91,6 +91,8 @@ def pubsub_streaming_bench(
     repeat_probability: float = 0.25,
     range_fraction: float = 0.0,
     warmup_events: int = 200,
+    shards: int = 1,
+    router: str = "hash",
     seed: int = 0,
     methods: Optional[Sequence[str]] = None,
     pubsub_scenario: Optional[PublishSubscribeScenario] = None,
@@ -106,7 +108,10 @@ def pubsub_streaming_bench(
     :class:`~repro.engine.StreamingMatcher` per method.  The default
     *repeat_probability* re-publishes a quarter of the events (realistic
     notification feeds repeat offers), which is what the result cache
-    exploits; set it to 0 to measure pure micro-batching.
+    exploits; set it to 0 to measure pure micro-batching.  With
+    ``shards > 1`` every method serves from a
+    :class:`~repro.api.sharding.ShardedDatabase` of that many shards
+    (match sets are unaffected — sharding is invisible).
     """
     if subscriptions <= 0:
         raise ValueError("subscriptions must be positive")
@@ -114,6 +119,10 @@ def pubsub_streaming_bench(
         raise ValueError("events must be positive")
     if warmup_events < 0:
         raise ValueError("warmup_events must be non-negative")
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if shards == 1 and router != "hash":
+        raise ValueError("router applies to sharded serving only; pass shards >= 2")
     scenario = StorageScenario.parse(scenario)
     pubsub = pubsub_scenario or apartment_ads_scenario(seed=seed)
     cost = CostParameters.for_scenario(scenario, pubsub.dimensions, constants)
@@ -147,6 +156,8 @@ def pubsub_streaming_bench(
             "repeat_probability": repeat_probability,
             "range_fraction": range_fraction,
             "warmup_events": warmup_events,
+            "shards": shards,
+            "router": router,
             "seed": seed,
         },
     )
@@ -154,8 +165,11 @@ def pubsub_streaming_bench(
     labels = [resolve_method_label(name) for name in names]
     for label in labels:
         # The registry resolves the method string; the Database facade
-        # composes the loaded backend with its streaming session.
-        database = Database.from_dataset(label, dataset, cost=cost)
+        # composes the loaded (possibly sharded) backend with its
+        # streaming session.
+        database = Database.from_dataset(
+            label, dataset, cost=cost, shards=shards if shards > 1 else None, router=router
+        )
         if warmup is not None and database.capabilities.supports_reorganization:
             database.query_batch(warmup.queries, warmup.relation)
             # One extra unmeasured query rebuilds the cached matrices if the

@@ -1,0 +1,363 @@
+"""Tests of the asyncio serving front-end (`repro.api.serving`)."""
+
+import asyncio
+import copy
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AsyncDatabase,
+    Database,
+    QueryResult,
+    ServingConfig,
+    ShardedDatabase,
+    serve_requests,
+)
+from repro.engine import StreamingConfig
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+
+DIMENSIONS = 4
+
+
+def make_box(rng, extent=0.25):
+    lows = rng.random(DIMENSIONS) * 0.7
+    return HyperRectangle(lows, np.minimum(lows + extent, 1.0))
+
+
+def make_pairs(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [(object_id, make_box(rng)) for object_id in range(count)]
+
+
+@pytest.fixture
+def database():
+    database = Database.create("ac", DIMENSIONS)
+    database.bulk_load(make_pairs(150, seed=1))
+    return database
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            ServingConfig(max_delay_ms=-1.0)
+        assert ServingConfig(relation="contains").relation is SpatialRelation.CONTAINS
+
+    def test_wraps_raw_backends(self):
+        served = AsyncDatabase(ShardedDatabase.create("ss", DIMENSIONS, shards=2))
+        assert isinstance(served.database, Database)
+        assert not served.started
+
+
+class TestQueries:
+    def test_concurrent_clients_match_sequential_execution(self, database):
+        rng = np.random.default_rng(2)
+        queries = [make_box(rng) for _ in range(60)]
+        expected = [
+            np.sort(copy.deepcopy(database).execute(query).ids) for query in queries
+        ]
+
+        async def main():
+            results = [None] * len(queries)
+
+            async def client(offset, served, clients):
+                for position in range(offset, len(queries), clients):
+                    outcome = await served.query(queries[position])
+                    results[position] = outcome.ids
+
+            async with AsyncDatabase(copy.deepcopy(database)) as served:
+                await asyncio.gather(*(client(i, served, 6) for i in range(6)))
+                return results, served.stats
+
+        results, stats = asyncio.run(main())
+        for got, want in zip(results, expected):
+            assert np.array_equal(np.sort(got), want)
+        assert stats.queries == len(queries)
+        assert stats.failed == 0
+        # Micro-batching happened: far fewer ticks than requests.
+        assert stats.ticks < len(queries)
+        assert stats.average_tick_size() > 1.0
+
+    def test_single_caller_is_served_immediately(self, database):
+        async def main():
+            async with AsyncDatabase(database) as served:
+                result = await served.query(HyperRectangle.unit(DIMENSIONS))
+                assert isinstance(result, QueryResult)
+                return result
+
+        result = asyncio.run(main())
+        assert result.ids.size == 150
+
+    def test_query_many_and_relation_override(self, database):
+        rng = np.random.default_rng(3)
+        queries = [make_box(rng) for _ in range(10)]
+        reference = copy.deepcopy(database)
+        expected = [
+            np.sort(reference.execute(query, "contained_by").ids) for query in queries
+        ]
+
+        async def main():
+            async with AsyncDatabase(database) as served:
+                return await served.query_many(queries, "contained_by")
+
+        results = asyncio.run(main())
+        for got, want in zip(results, expected):
+            assert np.array_equal(np.sort(got.ids), want)
+
+    def test_per_request_errors_do_not_poison_the_tick(self, database):
+        async def main():
+            async with AsyncDatabase(database) as served:
+                good = asyncio.ensure_future(served.query(HyperRectangle.unit(DIMENSIONS)))
+                bad = asyncio.ensure_future(served.query(HyperRectangle.unit(DIMENSIONS + 2)))
+                outcomes = await asyncio.gather(good, bad, return_exceptions=True)
+                return outcomes, served.stats.failed
+
+        (good, bad), failed = asyncio.run(main())
+        assert isinstance(good, QueryResult) and good.ids.size == 150
+        assert isinstance(bad, ValueError)
+        assert failed == 1
+
+    def test_sharded_backend_composes(self):
+        backend = ShardedDatabase.create("ac", DIMENSIONS, shards=3, router="spatial")
+        backend.bulk_load(make_pairs(90, seed=4))
+        expected = np.arange(90, dtype=np.int64)
+
+        async def main():
+            async with AsyncDatabase(backend) as served:
+                result = await served.query(HyperRectangle.unit(DIMENSIONS))
+                return result
+
+        result = asyncio.run(main())
+        assert np.array_equal(result.ids, expected)
+
+
+class TestPubSub:
+    def test_publish_subscribe_flow(self, database):
+        subscription = HyperRectangle(np.zeros(DIMENSIONS), np.full(DIMENSIONS, 0.5))
+        inside = HyperRectangle.from_point(np.full(DIMENSIONS, 0.25))
+
+        async def main():
+            async with AsyncDatabase(database) as served:
+                await served.subscribe(10_000, subscription)
+                first = await served.publish(1, inside)
+                await served.unsubscribe(10_000)
+                second = await served.publish(2, inside)
+                return first, second, served.stats
+
+        first, second, stats = asyncio.run(main())
+        assert 10_000 in first.matches
+        assert 10_000 not in second.matches
+        assert first.event_id == 1 and second.event_id == 2
+        assert stats.publishes == 2 and stats.subscribes == 1 and stats.unsubscribes == 1
+
+    def test_publish_results_equal_streaming_matcher(self, database):
+        """Concurrent publishes match a sequential StreamingMatcher run."""
+        rng = np.random.default_rng(5)
+        events = [(event_id, make_box(rng, extent=0.05)) for event_id in range(40)]
+        matcher = copy.deepcopy(database).session(
+            StreamingConfig(max_batch_size=1, relation="contains")
+        )
+        expected = {}
+        for event_id, box in events:
+            for record in matcher.publish(event_id, box):
+                expected[record.event_id] = record.matches
+
+        async def main():
+            delivered = {}
+
+            async def client(offset, served, clients):
+                for position in range(offset, len(events), clients):
+                    event_id, box = events[position]
+                    record = await served.publish(event_id, box)
+                    delivered[record.event_id] = record.matches
+
+            async with AsyncDatabase(copy.deepcopy(database)) as served:
+                await asyncio.gather(*(client(i, served, 5) for i in range(5)))
+            return delivered
+
+        delivered = asyncio.run(main())
+        assert delivered.keys() == expected.keys()
+        for event_id, matches in expected.items():
+            assert np.array_equal(delivered[event_id], matches)
+
+    def test_failed_flush_keeps_later_publishes_aligned(self, database):
+        """A transient backend failure fails exactly the affected publishes;
+        later publishes pair with their own records, not stale ones."""
+
+        class FlakyBackend:
+            """Delegating backend whose execute_batch fails once on demand."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.fail_next = False
+
+            def execute_batch(self, queries, relation):
+                if self.fail_next:
+                    self.fail_next = False
+                    raise RuntimeError("transient backend failure")
+                return self._inner.execute_batch(queries, relation)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def __contains__(self, object_id):
+                return object_id in self._inner
+
+            def __len__(self):
+                return len(self._inner)
+
+        flaky = FlakyBackend(database.backend)
+        subscription = HyperRectangle(np.zeros(DIMENSIONS), np.full(DIMENSIONS, 0.5))
+        inside = HyperRectangle.from_point(np.full(DIMENSIONS, 0.25))
+
+        async def main():
+            async with AsyncDatabase(flaky) as served:
+                await served.subscribe(60_000, subscription)
+                flaky.fail_next = True
+                with pytest.raises(RuntimeError, match="transient"):
+                    await served.publish(1, inside)
+                record = await served.publish(2, inside)
+                return record, served.stats.failed
+
+        record, failed = asyncio.run(main())
+        assert record.event_id == 2
+        assert 60_000 in record.matches
+        assert failed == 1
+
+    def test_flush_failure_inside_publish_fails_all_inflight_publishes(self, database):
+        """With a small matcher batch size, a publish can itself trigger the
+        failing flush: every in-flight publish of that buffer gets the
+        error, and the stream realigns afterwards."""
+        from repro.engine import StreamingConfig
+
+        class FlakyBackend:
+            def __init__(self, inner):
+                self._inner = inner
+                self.fail_next = False
+
+            def execute_batch(self, queries, relation):
+                if self.fail_next:
+                    self.fail_next = False
+                    raise RuntimeError("transient backend failure")
+                return self._inner.execute_batch(queries, relation)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def __contains__(self, object_id):
+                return object_id in self._inner
+
+            def __len__(self):
+                return len(self._inner)
+
+        flaky = FlakyBackend(database.backend)
+        subscription = HyperRectangle(np.zeros(DIMENSIONS), np.full(DIMENSIONS, 0.5))
+        inside = HyperRectangle.from_point(np.full(DIMENSIONS, 0.25))
+        nearby = HyperRectangle.from_point(np.full(DIMENSIONS, 0.3))
+        config = ServingConfig(
+            matcher=StreamingConfig(max_batch_size=2, relation="contains")
+        )
+
+        async def main():
+            async with AsyncDatabase(flaky, config) as served:
+                await served.subscribe(61_000, subscription)
+                flaky.fail_next = True
+                # Two publishes fill the matcher's buffer; the second
+                # triggers the failing size-flush, so both must error.
+                first = asyncio.ensure_future(served.publish(1, inside))
+                second = asyncio.ensure_future(served.publish(2, nearby))
+                outcomes = await asyncio.gather(first, second, return_exceptions=True)
+                # The stream realigns: the next publish pairs with its own
+                # record, not a stale one.
+                record = await served.publish(3, inside)
+                return outcomes, record
+
+        (first, second), record = asyncio.run(main())
+        assert isinstance(first, RuntimeError) and isinstance(second, RuntimeError)
+        assert record.event_id == 3
+        assert 61_000 in record.matches
+
+    def test_duplicate_subscription_fails_only_that_request(self, database):
+        async def main():
+            async with AsyncDatabase(database) as served:
+                await served.subscribe(77_000, HyperRectangle.unit(DIMENSIONS))
+                with pytest.raises(KeyError):
+                    await served.subscribe(77_000, HyperRectangle.unit(DIMENSIONS))
+                # The worker is still serving.
+                result = await served.query(HyperRectangle.unit(DIMENSIONS))
+                return result
+
+        result = asyncio.run(main())
+        assert result.ids.size == 151  # 150 objects + the subscription
+
+
+class TestLifecycle:
+    def test_close_drains_queued_requests(self, database):
+        async def main():
+            served = await AsyncDatabase(database).start()
+            futures = [
+                asyncio.ensure_future(served.query(HyperRectangle.unit(DIMENSIONS)))
+                for _ in range(10)
+            ]
+            await asyncio.sleep(0)  # let the requests enqueue
+            await served.close()
+            return await asyncio.gather(*futures)
+
+        results = asyncio.run(main())
+        assert len(results) == 10
+        assert all(result.ids.size == 150 for result in results)
+
+    def test_requests_after_close_are_rejected(self, database):
+        async def main():
+            served = await AsyncDatabase(database).start()
+            await served.close()
+            with pytest.raises(RuntimeError):
+                await served.query(HyperRectangle.unit(DIMENSIONS))
+
+        asyncio.run(main())
+
+    def test_requests_without_start_are_rejected(self, database):
+        async def main():
+            served = AsyncDatabase(database)
+            with pytest.raises(RuntimeError):
+                await served.query(HyperRectangle.unit(DIMENSIONS))
+
+        asyncio.run(main())
+
+    def test_close_is_idempotent_and_start_after_close_fails(self, database):
+        async def main():
+            served = await AsyncDatabase(database).start()
+            await served.close()
+            await served.close()
+            with pytest.raises(RuntimeError):
+                await served.start()
+
+        asyncio.run(main())
+
+
+class TestServeRequests:
+    def test_mixed_request_stream(self, database):
+        rng = np.random.default_rng(6)
+        sub_box = HyperRectangle(np.zeros(DIMENSIONS), np.full(DIMENSIONS, 0.4))
+        inside = HyperRectangle.from_point(np.full(DIMENSIONS, 0.2))
+        requests = [
+            ("subscribe", (90_000, sub_box)),
+            ("publish", (1, inside)),
+            ("query", (make_box(rng), SpatialRelation.INTERSECTS)),
+            ("unsubscribe", 90_000),
+            ("publish", (2, inside)),
+        ]
+        results = asyncio.run(serve_requests(database, requests, clients=1))
+        assert results[0] is None
+        assert 90_000 in results[1].matches
+        assert isinstance(results[2], QueryResult)
+        assert 90_000 not in results[4].matches
+
+    def test_rejects_bad_inputs(self, database):
+        with pytest.raises(ValueError):
+            asyncio.run(serve_requests(database, [], clients=0))
+        with pytest.raises(ValueError):
+            asyncio.run(serve_requests(database, [("nonsense", None)]))

@@ -1,0 +1,177 @@
+"""Property/fuzz suite: sharded and unsharded databases never diverge.
+
+Random interleavings of ``insert`` / ``delete`` / ``delete_bulk`` /
+``query_batch`` / ``save``+``open`` run against a sharded database and an
+unsharded reference holding the same objects.  After every step the two
+sides must agree on membership, object count and (for queries) the exact
+ascending identifier sets.
+
+On failure the assertion message carries the full operation log in a
+compact one-op-per-line form, so a diverging interleaving can be replayed
+(and hand-shrunk by deleting lines) without re-running the fuzzer::
+
+    step 17: ('delete_bulk', [3, 9, 12])
+    ...
+    DIVERGED at step 23 ('query', 2): sharded=[1, 4] reference=[1, 4, 9]
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ShardedDatabase, create_backend
+from repro.geometry.box import HyperRectangle
+
+DIMENSIONS = 4
+STEPS = 120
+
+#: The fuzz matrix: every router, shard counts 2 and 4, adaptive and mixed
+#: member sets, several seeds each.
+CASES = [
+    pytest.param(router, methods, seed, id=f"{router}-{'+'.join(methods)}-s{seed}")
+    for router in ("hash", "spatial")
+    for methods in (["ac", "ac"], ["ac", "ss", "rs", "ac"])
+    for seed in (0, 1, 2)
+]
+
+
+class OpLog:
+    """Operation recorder whose ``str`` is the replayable failure log."""
+
+    def __init__(self):
+        self.ops = []
+
+    def record(self, op):
+        self.ops.append(op)
+
+    def fail(self, message):
+        lines = [f"step {index}: {op!r}" for index, op in enumerate(self.ops)]
+        lines.append(message)
+        return "\n".join(lines)
+
+
+def make_box(rng):
+    lows = rng.random(DIMENSIONS) * 0.75
+    return HyperRectangle(lows, np.minimum(lows + rng.random(DIMENSIONS) * 0.3, 1.0))
+
+
+def build_pair(router, methods, rng):
+    sharded = ShardedDatabase.create(methods, DIMENSIONS, router=router)
+    # The reference backend: same method when homogeneous (counters and
+    # adaptation behave identically per shard), exhaustive scan otherwise.
+    reference = create_backend(
+        methods[0] if len(set(methods)) == 1 else "ss", DIMENSIONS
+    )
+    pairs = [(object_id, make_box(rng)) for object_id in range(40)]
+    sharded.bulk_load(pairs)
+    reference.bulk_load(pairs)
+    return sharded, reference
+
+
+def check_agreement(sharded, reference, log, step, detail=""):
+    __tracebackhide__ = True
+    if sharded.n_objects != reference.n_objects:
+        pytest.fail(
+            log.fail(
+                f"DIVERGED at step {step}{detail}: n_objects "
+                f"sharded={sharded.n_objects} reference={reference.n_objects}"
+            )
+        )
+
+
+@pytest.mark.parametrize("router, methods, seed", CASES)
+def test_random_interleavings_never_diverge(router, methods, seed, tmp_path):
+    rng = np.random.default_rng(1_000 + seed)
+    log = OpLog()
+    sharded, reference = build_pair(router, methods, rng)
+    persistable = sharded.capabilities.supports_persistence
+    alive = {object_id for object_id in range(40)}
+    next_id = 40
+    reopened = 0
+
+    for step in range(STEPS):
+        choice = rng.random()
+        if choice < 0.30:
+            box = make_box(rng)
+            op = ("insert", next_id)
+            log.record(op)
+            sharded.insert(next_id, box)
+            reference.insert(next_id, box)
+            alive.add(next_id)
+            next_id += 1
+        elif choice < 0.45 and alive:
+            object_id = int(rng.choice(sorted(alive)))
+            op = ("delete", object_id)
+            log.record(op)
+            removed_sharded = sharded.delete(object_id)
+            removed_reference = reference.delete(object_id)
+            if removed_sharded is not removed_reference:
+                pytest.fail(
+                    log.fail(
+                        f"DIVERGED at step {step} {op!r}: delete returned "
+                        f"sharded={removed_sharded} reference={removed_reference}"
+                    )
+                )
+            alive.discard(object_id)
+        elif choice < 0.55 and alive:
+            count = int(rng.integers(1, max(len(alive) // 3, 2)))
+            doomed = [int(x) for x in rng.choice(sorted(alive), size=count, replace=False)]
+            # Sprinkle in identifiers that are absent on both sides.
+            doomed.append(int(next_id + 500))
+            op = ("delete_bulk", doomed)
+            log.record(op)
+            removed_sharded = sharded.delete_bulk(doomed)
+            removed_reference = reference.delete_bulk(doomed)
+            if removed_sharded != removed_reference:
+                pytest.fail(
+                    log.fail(
+                        f"DIVERGED at step {step} {op!r}: delete_bulk removed "
+                        f"sharded={removed_sharded} reference={removed_reference}"
+                    )
+                )
+            alive.difference_update(doomed)
+        elif choice < 0.90:
+            queries = [make_box(rng) for _ in range(int(rng.integers(1, 6)))]
+            relation = ("intersects", "contains", "contained_by")[int(rng.integers(3))]
+            op = ("query_batch", len(queries), relation)
+            log.record(op)
+            sharded_results = sharded.execute_batch(queries, relation)
+            reference_results = reference.execute_batch(queries, relation)
+            for row, (one, two) in enumerate(zip(sharded_results, reference_results)):
+                if one.ids.tobytes() != np.sort(two.ids).tobytes():
+                    pytest.fail(
+                        log.fail(
+                            f"DIVERGED at step {step} query {row} ({relation}): "
+                            f"sharded={one.ids.tolist()} "
+                            f"reference={sorted(two.ids.tolist())}"
+                        )
+                    )
+        elif persistable:
+            op = ("save_open", reopened)
+            log.record(op)
+            path = tmp_path / f"roundtrip_{reopened}"
+            sharded.save(path)
+            sharded = ShardedDatabase.open(path)
+            reopened += 1
+        check_agreement(sharded, reference, log, step)
+
+    # Final sweep: the full extent query returns exactly the live set.
+    everything = HyperRectangle.unit(DIMENSIONS)
+    final = sharded.execute(everything).ids.tolist()
+    if final != sorted(alive):
+        pytest.fail(
+            log.fail(
+                f"DIVERGED at final sweep: sharded={final} expected={sorted(alive)}"
+            )
+        )
+
+
+def test_op_log_renders_replayable_lines():
+    log = OpLog()
+    log.record(("insert", 3))
+    log.record(("delete_bulk", [1, 2]))
+    message = log.fail("DIVERGED at step 2")
+    assert message.splitlines() == [
+        "step 0: ('insert', 3)",
+        "step 1: ('delete_bulk', [1, 2])",
+        "DIVERGED at step 2",
+    ]

@@ -1,0 +1,137 @@
+"""Streaming sessions over a freshly recovered backend.
+
+The serving story of the paper's Section 6 is save → crash → open →
+*keep serving*: a matcher attached to a ``Database.open()``-ed backend
+must deliver exactly the match sets a matcher over the never-persisted
+original delivers, including through churn and reorganization after the
+restore.  Before this module the engine suite only ever attached sessions
+to freshly built backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Database, ShardedDatabase
+from repro.engine import StreamingConfig
+from repro.geometry.box import HyperRectangle
+
+DIMENSIONS = 4
+
+
+def make_subscription(rng):
+    lows = rng.random(DIMENSIONS) * 0.6
+    return HyperRectangle(lows, np.minimum(lows + 0.35, 1.0))
+
+
+def make_event(rng):
+    return HyperRectangle.from_point(rng.random(DIMENSIONS))
+
+
+@pytest.fixture
+def adapted_database():
+    """An adaptive database that has already materialized clusters."""
+    rng = np.random.default_rng(31)
+    database = Database.create("ac", DIMENSIONS)
+    database.bulk_load(
+        (object_id, make_subscription(rng)) for object_id in range(400)
+    )
+    # Adapt: enough point queries to cross several reorganization periods.
+    for _ in range(150):
+        database.execute(make_event(rng), "contains")
+    return database
+
+
+def drive(matcher, operations):
+    """Run a schedule of ("sub"/"unsub"/"event", ...) ops; map event -> matches."""
+    delivered = {}
+
+    def collect(records):
+        for record in records:
+            delivered[record.event_id] = record.matches
+
+    for operation in operations:
+        kind = operation[0]
+        if kind == "sub":
+            collect(matcher.register(operation[1], operation[2]))
+        elif kind == "unsub":
+            collect(matcher.unregister(operation[1]))
+        else:
+            collect(matcher.publish(operation[1], operation[2]))
+    collect(matcher.flush())
+    return delivered
+
+
+def make_schedule(seed, first_id=10_000):
+    rng = np.random.default_rng(seed)
+    operations = []
+    next_id = first_id
+    registered = []
+    for position in range(120):
+        choice = rng.random()
+        if choice < 0.15:
+            operations.append(("sub", next_id, make_subscription(rng)))
+            registered.append(next_id)
+            next_id += 1
+        elif choice < 0.25 and registered:
+            operations.append(("unsub", registered.pop(0)))
+        else:
+            operations.append(("event", position, make_event(rng)))
+    return operations
+
+
+@pytest.mark.parametrize("config", [
+    StreamingConfig(max_batch_size=16, relation="contains"),
+    StreamingConfig(max_batch_size=16, cache_size=0, relation="contains"),
+])
+def test_restored_session_matches_original(adapted_database, tmp_path, config):
+    path = adapted_database.save(tmp_path / "serving.npz")
+    restored = Database.open(path)
+    schedule = make_schedule(seed=32)
+
+    original_matches = drive(adapted_database.session(config), schedule)
+    restored_matches = drive(restored.session(config), schedule)
+
+    assert restored_matches.keys() == original_matches.keys()
+    for event_id, matches in original_matches.items():
+        assert restored_matches[event_id].tobytes() == matches.tobytes()
+
+
+def test_restored_session_survives_reorganization_churn(adapted_database, tmp_path):
+    """Heavy churn right after restore: the recovered statistics must keep
+    the index consistent through further automatic reorganizations."""
+    path = adapted_database.save(tmp_path / "churny.npz")
+    restored = Database.open(path)
+    config = StreamingConfig(max_batch_size=8, relation="contains")
+    session = restored.session(config)
+    rng = np.random.default_rng(33)
+    for wave in range(3):
+        fresh = [(50_000 + wave * 100 + offset, make_subscription(rng)) for offset in range(40)]
+        session.register_many(fresh)
+        for event_id in range(30):
+            session.publish(wave * 1_000 + event_id, make_event(rng))
+        session.flush()
+        session.unregister_many([pair[0] for pair in fresh[:20]])
+    restored.backend.check_invariants()
+    assert restored.n_objects == 400 + 3 * 20
+
+
+def test_restored_sharded_session_matches_original(tmp_path):
+    """The same serving-after-restore contract holds for a sharded backend."""
+    rng = np.random.default_rng(34)
+    backend = ShardedDatabase.create("ac", DIMENSIONS, shards=2, router="spatial")
+    backend.bulk_load((object_id, make_subscription(rng)) for object_id in range(300))
+    database = Database(backend)
+    for _ in range(60):
+        database.execute(make_event(rng), "contains")
+
+    path = database.save(tmp_path / "sharded-serving")
+    restored = Database.open(path)
+    config = StreamingConfig(max_batch_size=16, relation="contains")
+    schedule = make_schedule(seed=35)
+
+    original_matches = drive(database.session(config), schedule)
+    restored_matches = drive(restored.session(config), schedule)
+
+    assert restored_matches.keys() == original_matches.keys()
+    for event_id, matches in original_matches.items():
+        assert restored_matches[event_id].tobytes() == matches.tobytes()

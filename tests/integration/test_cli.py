@@ -121,6 +121,43 @@ class TestExecution:
         assert "subscription churn" in printed
         assert "events/s" in output_file.read_text()
 
+    def test_pubsub_bench_sharded_tiny_run(self, capsys):
+        exit_code = main(
+            [
+                "pubsub-bench",
+                "--subscriptions", "300",
+                "--events", "60",
+                "--shards", "2",
+                "--router", "spatial",
+                "--methods", "ac",
+                "--seed", "3",
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "'shards': 2" in printed and "'router': 'spatial'" in printed
+
+    def test_serve_bench_tiny_run(self, capsys, tmp_path):
+        output_file = tmp_path / "serve.txt"
+        exit_code = main(
+            [
+                "serve-bench",
+                "--subscriptions", "300",
+                "--requests", "80",
+                "--clients", "4",
+                "--warmup", "20",
+                "--methods", "ac", "ss",
+                "--seed", "3",
+                "--output", str(output_file),
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "serve-bench-memory" in printed
+        assert "async req/s" in printed
+        assert "identical" in printed
+        assert "async req/s" in output_file.read_text()
+
 
 class TestErrorPaths:
     """Bad parameter values exit non-zero with a message, not a traceback."""
@@ -143,6 +180,14 @@ class TestErrorPaths:
             ["pubsub-bench", "--range-fraction", "1.0"],
             ["fig7", "--methods", "btree"],
             ["pubsub-bench", "--methods", "ac", "nonsense"],
+            ["pubsub-bench", "--shards", "0"],
+            # --router without --shards would silently run unsharded while
+            # labelling the report with the requested router.
+            ["pubsub-bench", "--router", "spatial"],
+            ["serve-bench", "--requests", "0"],
+            ["serve-bench", "--clients", "-2"],
+            ["serve-bench", "--max-delay-ms", "-1"],
+            ["serve-bench", "--router", "spatial"],
         ],
     )
     def test_invalid_values_exit_with_code_2(self, argv, capsys):

@@ -6,6 +6,14 @@ built-ins: full insert / delete / bulk lifecycle, ``execute_batch``
 equivalent to a per-query loop, honest capability flags (advertised
 operations work, unadvertised ones raise ``UnsupportedOperation``) and
 working deprecation shims.
+
+``ShardedDatabase`` satisfies the same protocol, so a matrix of sharded
+variants — hash and spatial routers, 1/2/4 shards, homogeneous and mixed
+member backends — runs through every case as well, and
+``TestShardedEquivalence`` additionally pins sharding invisibility:
+byte-identical ascending identifiers and exactly-summed work counters
+versus the unsharded single-backend run, through churn (delete +
+reinsert) and mid-batch reorganization.
 """
 
 import copy
@@ -17,12 +25,14 @@ from repro.api import (
     COST_COUNTERS,
     Database,
     QueryResult,
+    ShardedDatabase,
     SpatialBackend,
     UnsupportedOperation,
     backend_spec,
     create_backend,
     registered_backends,
 )
+from repro.core.statistics import QueryExecution
 from repro.geometry.box import HyperRectangle
 from repro.geometry.relations import SpatialRelation
 
@@ -32,6 +42,34 @@ RELATIONS = (
     SpatialRelation.CONTAINS,
     SpatialRelation.CONTAINED_BY,
 )
+
+#: Sharded conformance matrix: ``sharded:<router>:<methods, one per shard>``.
+#: Covers both routers, 1/2/4 shards, and homogeneous + mixed backends.
+SHARDED_VARIANTS = (
+    "sharded:hash:ac",
+    "sharded:hash:ac+ac",
+    "sharded:spatial:ac+ac",
+    "sharded:hash:ss+ss+ss+ss",
+    "sharded:spatial:rs+rs+rs+rs",
+    "sharded:hash:ac+rs",
+    "sharded:spatial:ac+ss+rs",
+)
+
+ALL_BACKEND_NAMES = tuple(registered_backends()) + SHARDED_VARIANTS
+
+
+def parse_sharded_name(name):
+    """``"sharded:hash:ac+rs"`` → ``("hash", ["ac", "rs"])``."""
+    _, router, methods = name.split(":")
+    return router, methods.split("+")
+
+
+def make_backend(name, dimensions=DIMENSIONS):
+    """Build a registry backend or one of the sharded conformance variants."""
+    if name.startswith("sharded:"):
+        router, methods = parse_sharded_name(name)
+        return ShardedDatabase.create(methods, dimensions, router=router)
+    return create_backend(name, dimensions)
 
 
 def make_boxes(count, seed=0):
@@ -44,14 +82,14 @@ def make_boxes(count, seed=0):
     return boxes
 
 
-@pytest.fixture(params=registered_backends())
+@pytest.fixture(params=ALL_BACKEND_NAMES)
 def backend_name(request):
     return request.param
 
 
 @pytest.fixture
 def backend(backend_name):
-    return create_backend(backend_name, DIMENSIONS)
+    return make_backend(backend_name)
 
 
 @pytest.fixture
@@ -66,6 +104,24 @@ class TestProtocolSurface:
         assert isinstance(backend, SpatialBackend)
 
     def test_capabilities_identity(self, backend, backend_name):
+        if backend_name.startswith("sharded:"):
+            # Sharded capabilities are derived from the members: persistence
+            # and bulk deletion need every shard, reorganization any shard,
+            # and the composite populates the union of member counters.
+            _, methods = parse_sharded_name(backend_name)
+            members = [backend_spec(method).capabilities for method in methods]
+            caps = backend.capabilities
+            assert caps.name == "sharded[" + ",".join(m.name for m in members) + "]"
+            assert caps.label == "SH"
+            assert caps.supports_delete_bulk == all(m.supports_delete_bulk for m in members)
+            assert caps.supports_persistence == all(m.supports_persistence for m in members)
+            assert caps.supports_reorganization == any(
+                m.supports_reorganization for m in members
+            )
+            assert set(caps.cost_counters) == {
+                counter for m in members for counter in m.cost_counters
+            }
+            return
         spec = backend_spec(backend_name)
         assert backend.capabilities is spec.capabilities
         assert backend.capabilities.name == spec.name
@@ -130,8 +186,8 @@ class TestLifecycleRoundTrips:
         assert loaded_backend.query(HyperRectangle.unit(DIMENSIONS)).tolist() == [500]
 
     def test_delete_bulk_equals_delete_loop(self, backend_name):
-        bulk = create_backend(backend_name, DIMENSIONS)
-        loop = create_backend(backend_name, DIMENSIONS)
+        bulk = make_backend(backend_name)
+        loop = make_backend(backend_name)
         pairs = list(enumerate(make_boxes(90, seed=3)))
         for object_id, box in pairs:
             bulk.insert(object_id, box)
@@ -243,3 +299,155 @@ class TestDeprecatedShims:
         for ids, execution, result in zip(id_lists, executions, batch):
             assert np.array_equal(np.sort(ids), np.sort(result.ids))
             assert execution.core_counters() == result.execution.core_counters()
+
+
+# ----------------------------------------------------------------------
+# Sharding invisibility
+# ----------------------------------------------------------------------
+def summed_counters(results_per_shard, row):
+    """Element-wise sum of the shards' counters for one query row."""
+    total = QueryExecution()
+    for shard_results in results_per_shard:
+        total = total.merge(shard_results[row].execution)
+    return total.core_counters()
+
+
+def oracle_name(methods):
+    """Single-backend comparator: the method itself when homogeneous, the
+    exhaustive scan for mixed shards (all methods agree on results)."""
+    return methods[0] if len(set(methods)) == 1 else "ss"
+
+
+@pytest.fixture(params=SHARDED_VARIANTS)
+def sharded_variant(request):
+    return request.param
+
+
+class TestShardedEquivalence:
+    """Sharding is invisible: same ids, exactly accounted counters."""
+
+    def test_matches_unsharded_run(self, sharded_variant):
+        router, methods = parse_sharded_name(sharded_variant)
+        sharded = make_backend(sharded_variant)
+        unsharded = make_backend(oracle_name(methods))
+        pairs = list(enumerate(make_boxes(150, seed=20)))
+        sharded.bulk_load(pairs)
+        unsharded.bulk_load(pairs)
+        for relation in RELATIONS:
+            queries = make_boxes(12, seed=21)
+            for merged, single in zip(
+                sharded.execute_batch(queries, relation),
+                unsharded.execute_batch(queries, relation),
+            ):
+                # Byte-identical ascending identifiers, and the summed
+                # `results` counter agrees with the single-backend run.
+                assert merged.ids.tobytes() == np.sort(single.ids).tobytes()
+                assert merged.execution.results == single.execution.results
+
+    def test_counters_sum_over_shards(self, sharded_variant):
+        """Scatter-gather accounting is exact: the merged counters equal the
+        element-wise sum of the same workload run on each shard alone."""
+        sharded = make_backend(sharded_variant)
+        sharded.bulk_load(list(enumerate(make_boxes(150, seed=20))))
+        mirrors = [copy.deepcopy(shard) for shard in sharded.shards]
+        queries = make_boxes(15, seed=22)
+        merged_results = sharded.execute_batch(queries)
+        per_shard = [mirror.execute_batch(queries) for mirror in mirrors]
+        for row, merged in enumerate(merged_results):
+            assert merged.execution.core_counters() == summed_counters(per_shard, row)
+            shard_ids = np.concatenate([shard[row].ids for shard in per_shard])
+            assert np.array_equal(merged.ids, np.sort(shard_ids))
+
+    def test_batch_equals_per_query_loop_on_sharded(self, sharded_variant):
+        """The batch path over shards is invisible, counters included."""
+        sharded = make_backend(sharded_variant)
+        sharded.bulk_load(list(enumerate(make_boxes(150, seed=20))))
+        queries = make_boxes(20, seed=23)
+        batch_db = copy.deepcopy(sharded)
+        loop_db = copy.deepcopy(sharded)
+        for query, merged in zip(queries, batch_db.execute_batch(queries)):
+            single = loop_db.execute(query)
+            assert merged.ids.tobytes() == single.ids.tobytes()
+            assert merged.execution.core_counters() == single.execution.core_counters()
+
+    def test_churn_stays_equivalent(self, sharded_variant):
+        """Delete + reinsert churn: sharded and unsharded never diverge."""
+        _, methods = parse_sharded_name(sharded_variant)
+        sharded = make_backend(sharded_variant)
+        unsharded = make_backend(oracle_name(methods))
+        boxes = make_boxes(150, seed=24)
+        pairs = list(enumerate(boxes))
+        sharded.bulk_load(pairs)
+        unsharded.bulk_load(pairs)
+        rng = np.random.default_rng(25)
+        queries = make_boxes(6, seed=26)
+        for round_index in range(4):
+            doomed = rng.choice(150, size=25, replace=False).tolist()
+            assert sharded.delete_bulk(doomed) == unsharded.delete_bulk(doomed)
+            reborn = doomed[: 12 + round_index]
+            for object_id in reborn:
+                sharded.insert(object_id, boxes[object_id])
+                unsharded.insert(object_id, boxes[object_id])
+            assert sharded.n_objects == unsharded.n_objects
+            for merged, single in zip(
+                sharded.execute_batch(queries), unsharded.execute_batch(queries)
+            ):
+                assert merged.ids.tobytes() == np.sort(single.ids).tobytes()
+            missing = [object_id for object_id in doomed if object_id not in reborn]
+            for object_id in missing:
+                sharded.insert(object_id, boxes[object_id])
+                unsharded.insert(object_id, boxes[object_id])
+
+    def test_mid_batch_reorganization(self, sharded_variant):
+        """A batch spanning automatic reorganizations stays invisible."""
+        router, methods = parse_sharded_name(sharded_variant)
+        if not any(
+            backend_spec(method).capabilities.supports_reorganization
+            for method in methods
+        ):
+            pytest.skip("no adaptive shard to reorganize")
+        from repro.core.config import AdaptiveClusteringConfig
+        from repro.core.cost_model import CostParameters
+
+        config = AdaptiveClusteringConfig(
+            cost=CostParameters.memory_defaults(DIMENSIONS),
+            reorganization_period=10,
+        )
+
+        def build(methods_list):
+            backends = [
+                create_backend(
+                    method,
+                    DIMENSIONS,
+                    config=config if method == "ac" else None,
+                )
+                for method in methods_list
+            ]
+            return backends
+
+        sharded = ShardedDatabase(build(methods), router=router)
+        unsharded = (
+            build([methods[0]])[0] if len(set(methods)) == 1 else create_backend("ss", DIMENSIONS)
+        )
+        pairs = list(enumerate(make_boxes(150, seed=27)))
+        sharded.bulk_load(pairs)
+        unsharded.bulk_load(pairs)
+        # 35 queries over period-10 shards: at least three reorganizations
+        # fire inside the batch on every adaptive shard.
+        queries = make_boxes(35, seed=28)
+        loop_mirror = copy.deepcopy(sharded)
+        batch = sharded.execute_batch(queries)
+        for query, merged, single in zip(
+            queries, batch, unsharded.execute_batch(queries)
+        ):
+            looped = loop_mirror.execute(query)
+            assert merged.ids.tobytes() == np.sort(single.ids).tobytes()
+            assert merged.ids.tobytes() == looped.ids.tobytes()
+            assert merged.execution.core_counters() == looped.execution.core_counters()
+        if any(method == "ac" for method in methods):
+            adaptive_shards = [
+                shard
+                for shard in sharded.shards
+                if shard.capabilities.supports_reorganization
+            ]
+            assert all(shard.reorganization_count >= 3 for shard in adaptive_shards)
