@@ -1,0 +1,69 @@
+"""WAL durability gates: bounded write-path overhead, exact recovery.
+
+Two claims are gated (memory scenario, single-object inserts — the WAL's
+worst case, one record per mutation):
+
+* **bounded overhead** — group-committed durable inserts (one fsync per
+  batch, the cadence the asyncio front-end uses per tick) stay within
+  ``OVERHEAD_CEILING`` of the plain non-durable insert path.  The ceiling
+  is deliberately loose: fsync latency is hardware- and filesystem-bound
+  (CI runners vary wildly), so the gate catches structural regressions
+  (per-insert fsyncs sneaking back in, snapshot work on the mutation
+  path), not micro-variance.  Per-operation-fsync throughput and the
+  recovery replay rate are *reported*, not gated — they measure the disk,
+  not the code.
+* **exact recovery** — recovering the WAL directory (checkpoint load +
+  tail replay) yields a store whose full-sweep identifiers are
+  byte-identical to the live one, for both the plain and a 2-shard
+  spatial-routed database.
+
+Single-core note: both sides of the overhead ratio are sequential, so the
+gate is valid on 1-CPU hosts; measurements are warmed by construction
+(the timed stream runs against an already-loaded database).
+"""
+
+from benchmarks.conftest import scaled, write_report
+from repro.evaluation.durability import wal_durability_bench
+from repro.evaluation.reporting import format_durability_result
+
+OBJECTS = scaled(5_000, 20_000)
+MUTATIONS = max(OBJECTS // 8, 100)
+BATCH_SIZE = 64
+
+#: Structural-regression ceiling on group-commit overhead vs plain inserts
+#: (measured ~1.3-1.5x on 1-core CI hardware at full and smoke scale).
+OVERHEAD_CEILING = 5.0
+
+
+def test_wal_overhead_bounded_and_recovery_exact(results_dir):
+    result = wal_durability_bench(
+        objects=OBJECTS,
+        mutations=MUTATIONS,
+        batch_size=BATCH_SIZE,
+        seed=11,
+    )
+    write_report(results_dir, "wal_bench", format_durability_result(result))
+    assert result.identical, "recovered store diverged from the live one"
+    assert result.replayed_records == MUTATIONS
+    assert result.durable_group_ops_per_s > 0
+    assert result.group_overhead <= OVERHEAD_CEILING, (
+        f"group-committed durable inserts are {result.group_overhead:.2f}x "
+        f"slower than plain (ceiling {OVERHEAD_CEILING}x): "
+        f"{result.durable_group_ops_per_s:.0f} vs "
+        f"{result.plain_ops_per_s:.0f} ops/s"
+    )
+
+
+def test_wal_sharded_recovery_exact(results_dir):
+    result = wal_durability_bench(
+        objects=max(OBJECTS // 2, 100),
+        mutations=max(MUTATIONS // 2, 50),
+        batch_size=BATCH_SIZE,
+        shards=2,
+        router="spatial",
+        seed=12,
+    )
+    write_report(results_dir, "wal_bench_sharded", format_durability_result(result))
+    assert result.identical, "sharded recovered store diverged from the live one"
+    assert result.replayed_records == max(MUTATIONS // 2, 50)
+    assert result.group_overhead <= OVERHEAD_CEILING

@@ -7,8 +7,8 @@ against:
   every access method satisfies (insert / bulk_load / delete /
   delete_bulk / execute / execute_batch / query / query_batch).
 * :class:`~repro.api.protocol.QueryResult` — the unified query result
-  (ids + execution counters) replacing the deprecated ``*_with_stats``
-  tuple methods.
+  (ids + execution counters); tuple-unpackable, which replaced the
+  long-gone ``*_with_stats`` tuple methods.
 * :class:`~repro.api.protocol.Capabilities` — per-backend feature
   descriptor, so callers feature-detect instead of ``isinstance``-check.
 * :func:`~repro.api.registry.create_backend` /
@@ -21,6 +21,7 @@ against:
 """
 
 from repro.api.database import Database
+from repro.api.durability import DurabilityStats, DurableBackend
 from repro.api.protocol import (
     COST_COUNTERS,
     BackendBase,
@@ -61,6 +62,8 @@ __all__ = [
     "COST_COUNTERS",
     "Capabilities",
     "Database",
+    "DurabilityStats",
+    "DurableBackend",
     "HashShardRouter",
     "QueryResult",
     "ServingConfig",

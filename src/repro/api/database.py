@@ -74,6 +74,8 @@ class Database:
         shards: Optional[int] = None,
         router: "ShardRouter | str" = "hash",
         max_workers: Optional[int] = None,
+        durable: bool = False,
+        wal_dir: "str | Path | None" = None,
     ) -> "Database":
         """Create an empty database over the backend registered as *method*.
 
@@ -82,29 +84,43 @@ class Database:
         registry-created backend per shard behind the same facade::
 
             db = Database.create("ac", 16, shards=4, router="spatial")
+
+        Passing ``durable=True`` (with a ``wal_dir``) — or a ``wal_dir``
+        alone — wraps the backend in a
+        :class:`~repro.api.durability.DurableBackend`: every mutation is
+        write-ahead logged (one WAL per shard) and survives a crash;
+        reopen with :meth:`recover` and checkpoint with
+        :meth:`checkpoint`.  Durability requires a persistable backend.
         """
+        if durable and wal_dir is None:
+            raise ValueError("durable=True requires a wal_dir to log into")
+        backend: SpatialBackend
         if shards is not None or not isinstance(method, str):
             from repro.api.sharding import ShardedDatabase
 
-            return cls(
-                ShardedDatabase.create(
-                    method,
-                    dimensions,
-                    shards=shards,
-                    router=router,
-                    cost=cost,
-                    config=config,
-                    max_workers=max_workers,
+            backend = ShardedDatabase.create(
+                method,
+                dimensions,
+                shards=shards,
+                router=router,
+                cost=cost,
+                config=config,
+                max_workers=max_workers,
+            )
+        else:
+            if router != "hash" or max_workers is not None:
+                # Sharding-only options on an unsharded create would be
+                # silently discarded; fail instead of mislabeling the result.
+                raise ValueError(
+                    "router and max_workers apply to sharded databases only; "
+                    "pass shards=N (or a sequence of method names)"
                 )
-            )
-        if router != "hash" or max_workers is not None:
-            # Sharding-only options on an unsharded create would be
-            # silently discarded; fail instead of mislabeling the result.
-            raise ValueError(
-                "router and max_workers apply to sharded databases only; "
-                "pass shards=N (or a sequence of method names)"
-            )
-        return cls(create_backend(method, dimensions, cost=cost, config=config))
+            backend = create_backend(method, dimensions, cost=cost, config=config)
+        if wal_dir is not None:
+            from repro.api.durability import DurableBackend
+
+            backend = DurableBackend.create(backend, wal_dir)
+        return cls(backend)
 
     @classmethod
     def from_dataset(
@@ -117,6 +133,8 @@ class Database:
         shards: Optional[int] = None,
         router: "ShardRouter | str" = "hash",
         max_workers: Optional[int] = None,
+        durable: bool = False,
+        wal_dir: "str | Path | None" = None,
     ) -> "Database":
         """Create a database pre-loaded with *dataset*.
 
@@ -124,8 +142,14 @@ class Database:
         :class:`~repro.api.sharding.ShardedDatabase` of that many
         *method* backends (each shard bulk-loads its partition with its
         own loading strategy); otherwise the backend's registered dataset
-        loader runs, the way the evaluation harness loads.
+        loader runs, the way the evaluation harness loads.  ``durable=True``
+        / ``wal_dir=`` wraps the loaded backend the way :meth:`create`
+        does (the load itself is captured by the initial checkpoint, not
+        logged operation by operation).
         """
+        if durable and wal_dir is None:
+            raise ValueError("durable=True requires a wal_dir to log into")
+        backend: SpatialBackend
         if shards is not None and shards > 1:
             from repro.api.sharding import ShardedDatabase
 
@@ -139,13 +163,18 @@ class Database:
                 max_workers=max_workers,
             )
             backend.bulk_load(dataset.iter_objects())
-            return cls(backend)
-        if router != "hash" or max_workers is not None:
-            raise ValueError(
-                "router and max_workers apply to sharded databases only; "
-                "pass shards >= 2"
-            )
-        return cls(build_backend_for_dataset(method, dataset, cost, config))
+        else:
+            if router != "hash" or max_workers is not None:
+                raise ValueError(
+                    "router and max_workers apply to sharded databases only; "
+                    "pass shards >= 2"
+                )
+            backend = build_backend_for_dataset(method, dataset, cost, config)
+        if wal_dir is not None:
+            from repro.api.durability import DurableBackend
+
+            backend = DurableBackend.create(backend, wal_dir)
+        return cls(backend)
 
     @classmethod
     def open(cls, path: "str | Path", storage: "Optional[StorageBackend]" = None) -> "Database":
@@ -167,9 +196,31 @@ class Database:
                     "snapshot; each shard restores its own storage backend"
                 )
             return cls(ShardedDatabase.open(path))
+        from repro.api.durability import CHECKPOINT_MANIFEST_NAME
+
+        if (Path(path) / CHECKPOINT_MANIFEST_NAME).is_file():
+            raise ValueError(
+                f"{path} is a durable database directory; reopen it with "
+                "Database.recover()"
+            )
         from repro.core.persistence import load_index
 
         return cls(load_index(path, storage=storage))
+
+    @classmethod
+    def recover(cls, wal_dir: "str | Path") -> "Database":
+        """Recover a durable database (checkpoint + WAL replay) from *wal_dir*.
+
+        Loads the newest complete checkpoint, replays the write-ahead log
+        tails (truncating torn trailing records), completes any staged
+        multi-shard operation, and returns a facade over a
+        :class:`~repro.api.durability.DurableBackend` that keeps logging
+        into the same directory.  See :mod:`repro.api.durability` for the
+        crash-equivalence contract.
+        """
+        from repro.api.durability import DurableBackend
+
+        return cls(DurableBackend.recover(wal_dir))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -281,6 +332,30 @@ class Database:
     def snapshot(self) -> object:
         """Structural snapshot of a persistable backend (capability-gated)."""
         return self._backend.snapshot()
+
+    def checkpoint(self) -> Path:
+        """Commit an atomic durability checkpoint and reset the WALs.
+
+        Only meaningful for durable databases (created with
+        ``durable=True`` / ``wal_dir=`` or reopened via :meth:`recover`);
+        raises :class:`~repro.api.protocol.UnsupportedOperation` otherwise.
+        """
+        from repro.api.durability import DurableBackend
+        from repro.api.protocol import UnsupportedOperation
+
+        if not isinstance(self._backend, DurableBackend):
+            raise UnsupportedOperation(
+                "checkpoint() requires a durable database; create one with "
+                "Database.create(..., durable=True, wal_dir=...)"
+            )
+        return self._backend.checkpoint()
+
+    @property
+    def durable(self) -> bool:
+        """True when mutations are write-ahead logged (crash-consistent)."""
+        from repro.api.durability import DurableBackend
+
+        return isinstance(self._backend, DurableBackend)
 
     # ------------------------------------------------------------------
     # Streaming sessions

@@ -16,20 +16,21 @@ This module makes the contract explicit:
   :class:`~repro.api.database.Database` facade.
 * :class:`QueryResult` — the unified stats-returning query result: the
   matching object identifiers plus the :class:`QueryExecution` work
-  counters.  It replaces the parallel ``*_with_stats`` tuple methods.
+  counters.  It replaced the parallel ``*_with_stats`` tuple methods,
+  which have since been removed; ``QueryResult`` tuple-unpacks
+  (``ids, execution = backend.execute(...)``) so the old call shape still
+  reads naturally.
 * :class:`Capabilities` — a static descriptor of what a backend supports
   (bulk deletion, persistence, reorganization) and which cost-model
   counters it populates, so callers feature-detect instead of
   ``isinstance``-checking concrete classes.
 * :class:`BackendBase` — an ABC mixin deriving the convenience surface
-  (``query``, ``query_batch``) and the deprecated ``*_with_stats`` shims
-  from the two primitives a backend must implement: :meth:`execute` and
-  :meth:`execute_batch`.
+  (``query``, ``query_batch``) from the two primitives a backend must
+  implement: :meth:`execute` and :meth:`execute_batch`.
 """
 
 from __future__ import annotations
 
-import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -70,10 +71,11 @@ class UnsupportedOperation(RuntimeError):
 class QueryResult:
     """The unified result of one executed query.
 
-    Replaces the ``(ids, execution)`` tuples of the deprecated
-    ``query_with_stats`` / ``query_batch_with_stats`` methods with a named
-    carrier for the two things every query produces: the matching object
-    identifiers and the work counters the cost model consumes.
+    A named carrier for the two things every query produces: the matching
+    object identifiers and the work counters the cost model consumes.
+    Tuple-unpackable (``ids, execution = backend.execute(...)``), which is
+    also how the call sites of the removed ``query_with_stats`` /
+    ``query_batch_with_stats`` tuple methods migrated.
 
     ``eq=False``: the generated field-tuple ``__eq__`` would raise on the
     ndarray field (ambiguous array truth value), so results compare by
@@ -221,8 +223,7 @@ class BackendBase(ABC):
     :meth:`execute_batch` — plus the lifecycle methods, declares its
     :class:`Capabilities` as the ``CAPABILITIES`` class attribute, and the
     mixin supplies the id-only conveniences, a loop-based ``delete_bulk``
-    fallback, the capability-gated ``reorganize`` default and the
-    deprecated ``*_with_stats`` shims.
+    fallback and the capability-gated ``reorganize`` default.
     """
 
     #: Static capability declaration; concrete backends must override.
@@ -321,33 +322,3 @@ class BackendBase(ABC):
             "backends advertising persistence must override save()"
         )
 
-    # -- deprecated shims ------------------------------------------------
-    def query_with_stats(
-        self,
-        query: HyperRectangle,
-        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> Tuple[np.ndarray, QueryExecution]:
-        """Deprecated alias of :meth:`execute` (returns a plain tuple)."""
-        warnings.warn(
-            "query_with_stats() is deprecated; use execute(), which returns "
-            "a QueryResult",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        result = self.execute(query, relation)
-        return result.ids, result.execution
-
-    def query_batch_with_stats(
-        self,
-        queries: Sequence[HyperRectangle],
-        relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
-    ) -> Tuple[List[np.ndarray], List[QueryExecution]]:
-        """Deprecated alias of :meth:`execute_batch` (returns plain lists)."""
-        warnings.warn(
-            "query_batch_with_stats() is deprecated; use execute_batch(), "
-            "which returns a list of QueryResult",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        results = self.execute_batch(queries, relation)
-        return [result.ids for result in results], [result.execution for result in results]

@@ -62,6 +62,7 @@ from repro.api.registry import create_backend
 from repro.core.statistics import QueryExecution
 from repro.geometry.box import HyperRectangle
 from repro.geometry.relations import SpatialRelation
+from repro.storage.wal import REAL_FS, FileSystem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.iostats import IOStatistics
@@ -564,7 +565,13 @@ class ShardedDatabase(BackendBase):
                 loaded += shard.bulk_load(group)
         return loaded
 
-    def _owner_of(self, object_id: int) -> Optional[int]:
+    def owner_of(self, object_id: int) -> Optional[int]:
+        """Shard index currently holding *object_id*, or ``None`` when absent.
+
+        Hash-routed identifiers resolve directly; spatial routers locate
+        the owner by membership probe.  The durability layer uses this to
+        route deletion records into the owning shard's write-ahead log.
+        """
         owner = self._router.shard_of_id(object_id)
         if owner is not None:
             return owner if object_id in self._shards[owner] else None
@@ -575,7 +582,7 @@ class ShardedDatabase(BackendBase):
 
     def delete(self, object_id: int) -> bool:
         """Remove one object from its owning shard; ``False`` when absent."""
-        owner = self._owner_of(int(object_id))
+        owner = self.owner_of(int(object_id))
         if owner is None:
             return False
         return self._shards[owner].delete(int(object_id))
@@ -584,7 +591,7 @@ class ShardedDatabase(BackendBase):
         """Group a deletion batch by owning shard, one bulk delete per shard."""
         groups: List[List[int]] = [[] for _ in self._shards]
         for object_id in object_ids:
-            owner = self._owner_of(int(object_id))
+            owner = self.owner_of(int(object_id))
             if owner is not None:
                 groups[owner].append(int(object_id))
         removed = 0
@@ -715,25 +722,45 @@ class ShardedDatabase(BackendBase):
             shards=tuple(shard.snapshot() for shard in self._shards),
         )
 
-    def save(self, path: "str | Path", include_statistics: bool = True) -> Path:
+    def save(
+        self,
+        path: "str | Path",
+        include_statistics: bool = True,
+        *,
+        fs: FileSystem = REAL_FS,
+    ) -> Path:
         """Write a manifest + one snapshot file per shard under *path*.
 
         *path* becomes a directory: ``manifest.json`` records the shard
-        count, the router and per-shard statistics; ``shard_NNN.npz`` holds
-        each shard's own capability-gated snapshot.  Recover with
-        :meth:`open` (or :meth:`repro.api.Database.open`, which dispatches
-        on the manifest).
+        count, the router and per-shard statistics;
+        ``gen-NNNNNN/shard_NNN.npz`` holds each shard's own
+        capability-gated snapshot.  Recover with :meth:`open` (or
+        :meth:`repro.api.Database.open`, which dispatches on the manifest).
+
+        The snapshot commits atomically.  Shard files are written into a
+        fresh generation directory (each through its own temp-file →
+        fsync → rename commit), and only then is the manifest — the single
+        commit point — atomically replaced to reference the new
+        generation.  A crash anywhere mid-save leaves the manifest
+        pointing at a fully written generation (the previous one, or none
+        at all for a first save); it can never reference truncated shard
+        files.  Superseded generations are deleted after the commit.
         """
         self.capabilities.require("persistence")
         path = Path(path)
-        path.mkdir(parents=True, exist_ok=True)
+        fs.mkdir(path)
+        generation = _next_generation(path)
+        gen_name = f"gen-{generation:06d}"
+        fs.mkdir(path / gen_name)
         entries: List[Dict[str, object]] = []
         for position, shard in enumerate(self._shards):
             file_name = f"shard_{position:03d}.npz"
-            shard.save(path / file_name, include_statistics=include_statistics)
+            _save_shard_snapshot(
+                shard, path / gen_name / file_name, include_statistics, fs
+            )
             entries.append(
                 {
-                    "file": file_name,
+                    "file": f"{gen_name}/{file_name}",
                     "method": shard.capabilities.name,
                     "n_objects": shard.n_objects,
                     "n_groups": shard.n_groups,
@@ -746,10 +773,21 @@ class ShardedDatabase(BackendBase):
             "shard_count": len(self._shards),
             "router": self._router.manifest(),
             "include_statistics": include_statistics,
+            "generation": generation,
             "shards": entries,
         }
-        manifest_path = path / SHARD_MANIFEST_NAME
-        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+        fs.barrier("sharded-save-commit")
+        fs.write_file(
+            path / SHARD_MANIFEST_NAME,
+            (json.dumps(manifest, indent=2) + "\n").encode("utf-8"),
+        )
+        # The commit is durable; superseded generations (and top-level
+        # shard files from the pre-generation layout) are garbage now.
+        for stale in sorted(path.glob("gen-*")):
+            if stale.is_dir() and stale.name != gen_name:
+                fs.rmtree(stale)
+        for legacy in sorted(path.glob("shard_*.npz")):
+            fs.remove(legacy)
         return path
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -774,3 +812,37 @@ def _load_shard_snapshot(path: Path) -> SpatialBackend:
     from repro.core.persistence import load_index
 
     return load_index(path)
+
+
+def _next_generation(path: Path) -> int:
+    """Next unused snapshot generation number under *path*.
+
+    Uncommitted generation directories left behind by a crashed save count
+    too — a fresh save must never write into a directory a previous
+    attempt may have partially filled.
+    """
+    latest = 0
+    for entry in path.glob("gen-*"):
+        try:
+            latest = max(latest, int(entry.name[4:]))
+        except ValueError:
+            continue
+    return latest + 1
+
+
+def _save_shard_snapshot(
+    shard: SpatialBackend, target: Path, include_statistics: bool, fs: FileSystem
+) -> None:
+    """Write one shard's snapshot with an atomic temp-file commit.
+
+    The adaptive index saves through :func:`repro.core.persistence.save_index`
+    so the fault-injection seam covers its fsync/rename commit; any other
+    persistable backend commits through its own ``save``.
+    """
+    from repro.core.index import AdaptiveClusteringIndex
+    from repro.core.persistence import save_index
+
+    if isinstance(shard, AdaptiveClusteringIndex):
+        save_index(shard, target, include_statistics, fs=fs)
+    else:
+        shard.save(target, include_statistics=include_statistics)

@@ -9,6 +9,7 @@ figures and tables from the terminal::
     repro-experiments ablation-division-factor
     repro-experiments pubsub-bench --subscriptions 5000 --events 2000
     repro-experiments serve-bench --clients 16 --shards 4 --router spatial
+    repro-experiments wal-bench --objects 5000 --mutations 1500 --shards 2
 
 Every command prints a paper-style report (and optionally writes it to a
 file with ``--output``).  Method names are resolved through the backend
@@ -36,7 +37,9 @@ from repro.evaluation.experiments import (
     point_enclosing_experiment,
     selectivity_sweep,
 )
+from repro.evaluation.durability import wal_durability_bench
 from repro.evaluation.reporting import (
+    format_durability_result,
     format_experiment_result,
     format_serving_result,
     format_streaming_result,
@@ -108,10 +111,30 @@ def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_wal_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_scenario_argument(parser)
+    _add_sharding_arguments(parser)
+    parser.add_argument("--objects", type=int, default=None, help="pre-loaded database size")
+    parser.add_argument(
+        "--mutations", type=int, default=None, help="logged single-object inserts per mode"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="mutations per group-commit fsync"
+    )
+    _add_run_arguments(parser)
+
+
 def _add_serve_bench_arguments(parser: argparse.ArgumentParser) -> None:
     _add_scenario_argument(parser)
     _add_methods_argument(parser)
     _add_sharding_arguments(parser)
+    parser.add_argument(
+        "--durable",
+        action="store_true",
+        help="serve from a write-ahead-logged database (WAL in a temp "
+        "directory); measures the durability wrapper's serving-path "
+        "pass-through — write-path costs are wal-bench's job",
+    )
     parser.add_argument(
         "--subscriptions", type=int, default=None, help="initial subscription count"
     )
@@ -269,9 +292,25 @@ def _run_serve_bench(args: argparse.Namespace):
             "warmup": "warmup_events",
             "seed": "seed",
             "methods": "methods",
+            "durable": "durable",
         },
     )
     return async_serving_bench(scenario=args.scenario, **kwargs)
+
+
+def _run_wal_bench(args: argparse.Namespace):
+    kwargs = _collect_kwargs(
+        args,
+        {
+            "objects": "objects",
+            "mutations": "mutations",
+            "batch_size": "batch_size",
+            "shards": "shards",
+            "router": "router",
+            "seed": "seed",
+        },
+    )
+    return wal_durability_bench(scenario=args.scenario, **kwargs)
 
 
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
@@ -338,6 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serve_bench_arguments(serve)
     serve.set_defaults(runner=_run_serve_bench, formatter=format_serving_result)
+    wal = subparsers.add_parser(
+        "wal-bench",
+        help="WAL durability benchmark: write-path overhead (plain vs "
+        "group-commit vs per-op fsync) and recovery replay throughput",
+    )
+    _add_wal_bench_arguments(wal)
+    wal.set_defaults(runner=_run_wal_bench, formatter=format_durability_result)
     return parser
 
 
@@ -354,6 +400,7 @@ _POSITIVE_ARGUMENTS = (
     "requests",
     "clients",
     "shards",
+    "mutations",
 )
 _NON_NEGATIVE_ARGUMENTS = ("warmup", "cache_size", "max_delay_ms")
 _PROBABILITY_ARGUMENTS = ("subscribe_prob", "unsubscribe_prob", "repeat_prob")

@@ -33,6 +33,7 @@ from repro.core.cost_model import CostParameters, StorageScenario, SystemCostCon
 from repro.core.index import AdaptiveClusteringIndex
 from repro.core.signature import ClusterSignature
 from repro.storage import StorageBackend, storage_for_scenario
+from repro.storage.wal import REAL_FS, FileSystem
 
 #: Version tag written into every snapshot (bump on format changes).
 #: Version 2 added the reorganization-schedule counters
@@ -108,8 +109,15 @@ def save_index(
     index: AdaptiveClusteringIndex,
     path: PathLike,
     include_statistics: bool = True,
+    *,
+    fs: FileSystem = REAL_FS,
 ) -> Path:
     """Write a crash-recovery snapshot of *index* to *path*.
+
+    The snapshot is committed atomically: the archive is written to a
+    temporary sibling file, fsynced, and renamed over *path*, so a crash
+    mid-save leaves either the previous snapshot or the new one — never a
+    truncated archive at the final name.
 
     Parameters
     ----------
@@ -123,6 +131,8 @@ def save_index(
         probability estimates; when ``False`` only the structure and the
         member objects are saved (the paper points out the statistics can
         simply be regathered).
+    fs:
+        Filesystem seam for the commit steps (fault-injection hook).
 
     Returns
     -------
@@ -159,8 +169,11 @@ def save_index(
             arrays[f"candidate_queries_{cluster_id}"] = cluster.candidates.query_counts.copy()
     arrays["directory"] = np.frombuffer(json.dumps(directory).encode("utf-8"), dtype=np.uint8)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
         np.savez_compressed(handle, **arrays)
+    fs.fsync_path(tmp)
+    fs.replace(tmp, path)
     return path
 
 

@@ -8,6 +8,7 @@ clusters explored, fraction of objects verified).
 """
 
 from repro.evaluation.metrics import MethodResult, ModeledCostModel, aggregate_executions
+from repro.evaluation.durability import DurabilityBenchResult, wal_durability_bench
 from repro.evaluation.harness import ExperimentHarness, MethodFactory, default_methods
 from repro.evaluation.experiments import (
     ExperimentRow,
@@ -21,6 +22,7 @@ from repro.evaluation.experiments import (
 )
 from repro.evaluation.reporting import (
     format_data_access_table,
+    format_durability_result,
     format_experiment_result,
     format_streaming_result,
     format_table,
@@ -49,10 +51,13 @@ __all__ = [
     "ablation_disk_access_time",
     "format_table",
     "format_data_access_table",
+    "format_durability_result",
     "format_time_chart",
     "format_experiment_result",
     "format_streaming_result",
+    "DurabilityBenchResult",
     "StreamingBenchResult",
     "StreamingMethodResult",
     "pubsub_streaming_bench",
+    "wal_durability_bench",
 ]

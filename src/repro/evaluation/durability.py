@@ -1,0 +1,225 @@
+"""WAL durability benchmark: logging overhead and recovery replay speed.
+
+``wal_durability_bench`` answers the two questions the durability
+subsystem (:mod:`repro.api.durability`) raises operationally:
+
+* **What does durability cost on the write path?**  The same mutation
+  stream (single-object inserts, the WAL's worst case) runs against a
+  plain in-memory database, a durable database with per-operation fsyncs,
+  and a durable database committing in groups (one fsync per
+  ``batch_size`` mutations — the cadence the asyncio front-end uses per
+  tick).
+* **How fast does recovery replay the log?**  After the mutations, the
+  durable store is recovered from disk — checkpoint load plus WAL-tail
+  replay — and the replayed records/s and end-to-end recovery time are
+  reported.  The recovered store must be query-equivalent to the live one
+  (full-sweep ids byte-identical); the flag is part of the result and the
+  benchmark gate asserts it.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.database import Database
+from repro.api.durability import DurableBackend
+from repro.core.cost_model import CostParameters, StorageScenario, SystemCostConstants
+from repro.geometry.box import HyperRectangle
+from repro.workloads.uniform import generate_uniform_dataset
+
+
+@dataclass
+class DurabilityBenchResult:
+    """Result of one WAL durability benchmark run."""
+
+    experiment_id: str
+    title: str
+    scenario: StorageScenario
+    parameters: Dict[str, object] = field(default_factory=dict)
+    #: Mutations per second by write mode.
+    plain_ops_per_s: float = 0.0
+    durable_group_ops_per_s: float = 0.0
+    durable_fsync_ops_per_s: float = 0.0
+    #: Checkpoint commit latency (snapshot + manifest + WAL reset), ms.
+    checkpoint_ms: float = 0.0
+    #: Recovery: end-to-end time, WAL records replayed, and replay rate.
+    recovery_ms: float = 0.0
+    replayed_records: int = 0
+    replay_records_per_s: float = 0.0
+    #: True when the recovered store is query-equivalent to the live one.
+    identical: bool = False
+
+    @property
+    def group_overhead(self) -> float:
+        """Slowdown factor of group-committed durable writes vs plain."""
+        if self.durable_group_ops_per_s <= 0.0:
+            return float("inf")
+        return self.plain_ops_per_s / self.durable_group_ops_per_s
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the result for reporting / JSON."""
+        return {
+            "experiment_id": self.experiment_id,
+            "scenario": self.scenario.value,
+            "parameters": dict(self.parameters),
+            "plain_ops_per_s": self.plain_ops_per_s,
+            "durable_group_ops_per_s": self.durable_group_ops_per_s,
+            "durable_fsync_ops_per_s": self.durable_fsync_ops_per_s,
+            "group_overhead": self.group_overhead,
+            "checkpoint_ms": self.checkpoint_ms,
+            "recovery_ms": self.recovery_ms,
+            "replayed_records": self.replayed_records,
+            "replay_records_per_s": self.replay_records_per_s,
+            "identical": self.identical,
+        }
+
+
+def _mutation_stream(count: int, dimensions: int, seed: int) -> List[Tuple[int, HyperRectangle]]:
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for offset in range(count):
+        lows = rng.random(dimensions) * 0.75
+        pairs.append(
+            (1_000_000 + offset, HyperRectangle(lows, np.minimum(lows + 0.2, 1.0)))
+        )
+    return pairs
+
+
+def _timed_inserts(database: Database, pairs, group_size: int = 0) -> float:
+    """Insert *pairs* one by one; returns elapsed seconds.
+
+    ``group_size > 0`` wraps runs of that many inserts in
+    ``group_commit`` blocks (durable backends only).
+    """
+    backend = database.backend
+    start = time.perf_counter()
+    if group_size and isinstance(backend, DurableBackend):
+        for begin in range(0, len(pairs), group_size):
+            with backend.group_commit():
+                for object_id, box in pairs[begin : begin + group_size]:
+                    backend.insert(object_id, box)
+    else:
+        for object_id, box in pairs:
+            database.insert(object_id, box)
+    return time.perf_counter() - start
+
+
+def _sweep(database: Database, dimensions: int) -> bytes:
+    return np.sort(database.execute(HyperRectangle.unit(dimensions)).ids).tobytes()
+
+
+def wal_durability_bench(
+    scenario: "StorageScenario | str" = StorageScenario.MEMORY,
+    objects: int = 2_000,
+    mutations: int = 600,
+    batch_size: int = 64,
+    dimensions: int = 8,
+    shards: int = 1,
+    router: str = "hash",
+    seed: int = 0,
+    wal_dir: "str | Path | None" = None,
+    constants: Optional[SystemCostConstants] = None,
+) -> DurabilityBenchResult:
+    """Measure durable-write overhead and recovery replay throughput.
+
+    A uniform dataset of *objects* boxes is loaded (captured by the
+    durable database's initial checkpoint, the way a production store
+    would bulk-provision), then *mutations* single inserts run in each
+    write mode.  The per-operation-fsync mode runs at most 200 mutations —
+    its cost is per-operation and extrapolates; the point of measuring it
+    is the contrast with group commit, not statistics.
+    """
+    if objects <= 0:
+        raise ValueError("objects must be positive")
+    if mutations <= 0:
+        raise ValueError("mutations must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if shards == 1 and router != "hash":
+        raise ValueError("router applies to sharded databases only; pass shards >= 2")
+    scenario = StorageScenario.parse(scenario)
+    cost = CostParameters.for_scenario(scenario, dimensions, constants)
+    dataset = generate_uniform_dataset(objects, dimensions, seed=seed, max_extent=0.4)
+    stream = _mutation_stream(mutations, dimensions, seed=seed + 1)
+    sharding = {"shards": shards if shards > 1 else None, "router": router}
+
+    result = DurabilityBenchResult(
+        experiment_id=f"wal-bench-{scenario.value}",
+        title="WAL durability: write-path overhead and recovery replay",
+        scenario=scenario,
+        parameters={
+            "objects": objects,
+            "mutations": mutations,
+            "batch_size": batch_size,
+            "dimensions": dimensions,
+            "shards": shards,
+            "router": router,
+            "seed": seed,
+        },
+    )
+
+    # Plain baseline (no WAL).
+    plain = Database.from_dataset("AC", dataset, cost=cost, **sharding)
+    plain_seconds = _timed_inserts(plain, stream)
+    result.plain_ops_per_s = mutations / plain_seconds if plain_seconds else 0.0
+
+    scratch = None
+    if wal_dir is None:
+        scratch = tempfile.mkdtemp(prefix="repro-wal-bench-")
+        wal_dir = scratch
+    wal_dir = Path(wal_dir)
+    try:
+        # Durable, group commit (the serving cadence): one fsync per batch.
+        group_db = Database.from_dataset(
+            "AC", dataset, cost=cost, wal_dir=wal_dir / "group", **sharding
+        )
+        group_seconds = _timed_inserts(group_db, stream, group_size=batch_size)
+        result.durable_group_ops_per_s = mutations / group_seconds if group_seconds else 0.0
+
+        # Durable, per-operation fsync (the strictest acknowledgement).
+        strict = stream[: min(mutations, 200)]
+        fsync_db = Database.from_dataset(
+            "AC", dataset, cost=cost, wal_dir=wal_dir / "fsync", **sharding
+        )
+        fsync_seconds = _timed_inserts(fsync_db, strict)
+        result.durable_fsync_ops_per_s = len(strict) / fsync_seconds if fsync_seconds else 0.0
+
+        # Checkpoint latency on the group-committed store.
+        start = time.perf_counter()
+        group_db.checkpoint()
+        result.checkpoint_ms = (time.perf_counter() - start) * 1_000.0
+
+        # Recovery replay: log a fresh tail after the checkpoint, recover,
+        # and compare against the live store.
+        tail = _mutation_stream(mutations, dimensions, seed=seed + 2)
+        for begin in range(0, len(tail), batch_size):
+            backend = group_db.backend
+            assert isinstance(backend, DurableBackend)
+            with backend.group_commit():
+                for object_id, box in tail[begin : begin + batch_size]:
+                    backend.insert(2_000_000 + object_id, box)
+        live_sweep = _sweep(group_db, dimensions)
+        start = time.perf_counter()
+        recovered = Database.recover(wal_dir / "group")
+        recovery_seconds = time.perf_counter() - start
+        backend = recovered.backend
+        assert isinstance(backend, DurableBackend)
+        result.recovery_ms = recovery_seconds * 1_000.0
+        result.replayed_records = backend.stats.replayed_records
+        result.replay_records_per_s = (
+            backend.stats.replayed_records / recovery_seconds if recovery_seconds else 0.0
+        )
+        result.identical = _sweep(recovered, dimensions) == live_sweep
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return result

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.evaluation.durability import DurabilityBenchResult
 from repro.evaluation.experiments import ExperimentResult
 from repro.evaluation.serving import ServingBenchResult
 from repro.evaluation.streaming import StreamingBenchResult
@@ -269,6 +270,47 @@ def format_serving_result(result: ServingBenchResult) -> str:
                 "modeled ms",
             ],
             rows,
+        ),
+    ]
+    return "\n".join(sections)
+
+
+def format_durability_result(result: DurabilityBenchResult) -> str:
+    """Full text report of one WAL durability benchmark run."""
+    write_rows = [
+        ["plain (no WAL)", round(result.plain_ops_per_s, 1), "-"],
+        [
+            "durable, group commit",
+            round(result.durable_group_ops_per_s, 1),
+            f"{result.group_overhead:.2f}x",
+        ],
+        [
+            "durable, fsync per op",
+            round(result.durable_fsync_ops_per_s, 1),
+            "-",
+        ],
+    ]
+    recovery_rows = [
+        [
+            round(result.checkpoint_ms, 2),
+            round(result.recovery_ms, 2),
+            result.replayed_records,
+            round(result.replay_records_per_s, 1),
+            "yes" if result.identical else "NO",
+        ]
+    ]
+    sections = [
+        f"== {result.experiment_id}: {result.title} ==",
+        f"scenario: {result.scenario.value}",
+        f"parameters: {result.parameters}",
+        "",
+        "-- write path (single-object inserts) --",
+        format_table(["mode", "ops/s", "overhead vs plain"], write_rows),
+        "",
+        "-- checkpoint and recovery --",
+        format_table(
+            ["checkpoint ms", "recovery ms", "replayed", "replay rec/s", "identical"],
+            recovery_rows,
         ),
     ]
     return "\n".join(sections)

@@ -151,6 +151,7 @@ def async_serving_bench(
     methods: Optional[Sequence[str]] = None,
     pubsub_scenario: Optional[PublishSubscribeScenario] = None,
     constants: Optional[SystemCostConstants] = None,
+    durable: bool = False,
 ) -> ServingBenchResult:
     """Benchmark the async front-end against a per-request serving loop.
 
@@ -159,6 +160,16 @@ def async_serving_bench(
     from the event distribution, and each method serves them twice: one
     sequential ``execute`` loop, then *clients* concurrent tasks over the
     micro-batching front-end.  Results are verified identical per request.
+
+    With ``durable=True`` both sides serve from a write-ahead-logged
+    database (WAL directories in a temp dir, deleted afterwards).  The
+    request stream is read-only, so this measures the durability
+    wrapper's *serving-path* pass-through cost — reads are not logged and
+    the pre-loaded subscriptions land in the initial checkpoint; the
+    write-path cost (per-operation fsync vs per-tick group commit) is
+    measured by ``wal-bench``, and the group-commit-per-tick behavior is
+    pinned by ``tests/api/test_durability.py``.  Requires a persistable
+    method ("AC").
     """
     if subscriptions <= 0:
         raise ValueError("subscriptions must be positive")
@@ -206,6 +217,7 @@ def async_serving_bench(
             "range_fraction": range_fraction,
             "warmup_events": warmup_events,
             "seed": seed,
+            "durable": durable,
         },
     )
     names = list(methods) if methods is not None else registered_backends()
@@ -219,23 +231,48 @@ def async_serving_bench(
             router=router,
             max_workers=max_workers,
         )
+        if durable and not database.capabilities.supports_persistence:
+            raise ValueError(
+                f"--durable requires persistable methods; {label} does not "
+                "support persistence (run with --methods ac)"
+            )
         if database.capabilities.supports_reorganization and warmup is not None:
             database.query_batch(warmup.queries, warmup.relation)
             database.query_batch([warmup.queries[0]], warmup.relation)
 
-        sequential_db = copy.deepcopy(database)
-        start = time.perf_counter()
-        expected, total_execution = run_sequential(
-            sequential_db, workload.queries, workload.relation
-        )
-        sequential_seconds = time.perf_counter() - start
+        scratch: Optional[str] = None
+        try:
+            sequential_db = copy.deepcopy(database)
+            async_db = copy.deepcopy(database)
+            if durable:
+                import tempfile
+                from pathlib import Path
 
-        async_db = copy.deepcopy(database)
-        start = time.perf_counter()
-        served, stats = run_async_clients(
-            async_db, workload.queries, workload.relation, clients, config
-        )
-        async_seconds = time.perf_counter() - start
+                from repro.api.durability import DurableBackend
+
+                scratch = tempfile.mkdtemp(prefix="repro-serve-wal-")
+                sequential_db = Database(
+                    DurableBackend.create(sequential_db.backend, Path(scratch) / "seq")
+                )
+                async_db = Database(
+                    DurableBackend.create(async_db.backend, Path(scratch) / "async")
+                )
+            start = time.perf_counter()
+            expected, total_execution = run_sequential(
+                sequential_db, workload.queries, workload.relation
+            )
+            sequential_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            served, stats = run_async_clients(
+                async_db, workload.queries, workload.relation, clients, config
+            )
+            async_seconds = time.perf_counter() - start
+        finally:
+            if scratch is not None:
+                import shutil
+
+                shutil.rmtree(scratch, ignore_errors=True)
 
         identical = all(
             np.array_equal(got, want) for got, want in zip(served, expected)

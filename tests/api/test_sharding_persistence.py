@@ -38,6 +38,12 @@ def snapshot_path(sharded, tmp_path):
     return sharded.save(tmp_path / "db.shards")
 
 
+def shard_file(snapshot_path, position):
+    """Resolve one shard's snapshot file through the manifest."""
+    manifest = json.loads((snapshot_path / SHARD_MANIFEST_NAME).read_text())
+    return snapshot_path / manifest["shards"][position]["file"]
+
+
 class TestRoundTrip:
     def test_restores_shard_count_router_and_statistics(self, sharded, snapshot_path):
         recovered = ShardedDatabase.open(snapshot_path)
@@ -65,10 +71,23 @@ class TestRoundTrip:
         manifest = json.loads((snapshot_path / SHARD_MANIFEST_NAME).read_text())
         assert manifest["shard_count"] == 3
         assert manifest["router"] == {"kind": "spatial", "dimension": 0}
+        assert manifest["generation"] == 1
         files = sorted(entry["file"] for entry in manifest["shards"])
-        assert files == ["shard_000.npz", "shard_001.npz", "shard_002.npz"]
+        assert files == [
+            "gen-000001/shard_000.npz",
+            "gen-000001/shard_001.npz",
+            "gen-000001/shard_002.npz",
+        ]
         for entry in manifest["shards"]:
             assert (snapshot_path / entry["file"]).is_file()
+
+    def test_resave_bumps_generation_and_cleans_the_old_one(self, sharded, snapshot_path):
+        sharded.insert(9_000, make_pairs(1, seed=9)[0][1])
+        sharded.save(snapshot_path)
+        manifest = json.loads((snapshot_path / SHARD_MANIFEST_NAME).read_text())
+        assert manifest["generation"] == 2
+        assert not (snapshot_path / "gen-000001").exists()
+        assert ShardedDatabase.open(snapshot_path).n_objects == sharded.n_objects
 
     def test_database_facade_dispatches_on_manifest(self, sharded, snapshot_path):
         database = Database(sharded)
@@ -114,17 +133,17 @@ class TestFailureModes:
             ShardedDatabase.open(empty)
 
     def test_missing_shard_file_is_a_clean_error(self, snapshot_path):
-        (snapshot_path / "shard_001.npz").unlink()
+        shard_file(snapshot_path, 1).unlink()
         with pytest.raises(ValueError, match="missing shard snapshot shard_001.npz"):
             ShardedDatabase.open(snapshot_path)
 
     def test_corrupt_shard_file_is_a_clean_error(self, snapshot_path):
-        (snapshot_path / "shard_002.npz").write_bytes(b"this is not a snapshot")
+        shard_file(snapshot_path, 2).write_bytes(b"this is not a snapshot")
         with pytest.raises(ValueError, match="corrupt shard snapshot shard_002.npz"):
             ShardedDatabase.open(snapshot_path)
 
     def test_truncated_shard_file_is_a_clean_error(self, snapshot_path):
-        target = snapshot_path / "shard_000.npz"
+        target = shard_file(snapshot_path, 0)
         target.write_bytes(target.read_bytes()[: target.stat().st_size // 2])
         with pytest.raises(ValueError, match="corrupt shard snapshot shard_000.npz"):
             ShardedDatabase.open(snapshot_path)

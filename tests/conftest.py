@@ -1,6 +1,20 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, including the fault-injection FS.
+
+The durability layer (:mod:`repro.storage.wal`, :mod:`repro.api.durability`)
+routes every crash-critical file operation through a
+:class:`repro.storage.wal.FileSystem` seam.  :class:`FaultyFS` below wraps
+that seam with a deterministic crash machine: it counts operations, models
+an OS page cache (bytes written but not fsynced may be lost — wholly or
+partially — at a crash) and kills the "process" at an enumerated operation
+index by raising :class:`InjectedCrash`.  The fault suites
+(``tests/api/test_durability_faults.py``) enumerate every operation index
+as a crash point and assert recovery lands on exactly the pre-op or
+post-op state.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -8,8 +22,216 @@ import pytest
 from repro.core.config import AdaptiveClusteringConfig
 from repro.core.cost_model import CostParameters
 from repro.core.index import AdaptiveClusteringIndex
+from repro.storage.wal import FileSystem
 from repro.workloads.queries import generate_query_workload
 from repro.workloads.uniform import generate_uniform_dataset
+
+
+class InjectedCrash(Exception):
+    """The simulated power failure raised by :class:`FaultyFS`."""
+
+
+class _TrackedHandle:
+    """File handle wrapper reporting writes to the owning :class:`FaultyFS`."""
+
+    def __init__(self, fs, path, handle):
+        self._fs = fs
+        self.path = path
+        self.handle = handle
+
+    def write(self, data):
+        self._fs.on_write(self.path, len(data))
+        return self.handle.write(data)
+
+    def flush(self):
+        self.handle.flush()
+
+    def fileno(self):
+        return self.handle.fileno()
+
+    def close(self):
+        self._fs.on_close(self.path)
+        self.handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+class FaultyFS(FileSystem):
+    """Deterministic crash-point wrapper around the durability FS seam.
+
+    Parameters
+    ----------
+    crash_at:
+        Operation index (0-based) at which to crash: that operation is
+        *not* performed.  ``None`` disables crashing (counting pass).
+        May be re-armed at any time by assigning the attribute.
+    mode:
+        What survives of unsynced (page-cache) bytes at the crash:
+        ``"none"`` — the cache is lost entirely; ``"half"`` — a prefix
+        survives (a torn write); ``"all"`` — the cache happened to be
+        flushed just in time.  Synced bytes always survive; renames are
+        assumed atomic and durable (journaled-metadata filesystem).
+
+    After the crash every further operation raises immediately — the
+    process is dead; only recovery (with a fresh filesystem) may proceed.
+    """
+
+    MODES = ("none", "half", "all")
+
+    def __init__(self, crash_at=None, mode="none"):
+        if mode not in self.MODES:
+            raise ValueError(f"unknown survival mode {mode!r}")
+        self.crash_at = crash_at
+        self.mode = mode
+        self.ops = 0
+        self.op_log = []
+        self.crashed = False
+        #: path -> byte length guaranteed on stable storage
+        self._synced = {}
+        #: path -> byte length written (stable + page cache)
+        self._written = {}
+        #: path -> open tracked handle (flushed, then closed, at the crash)
+        self._handles = {}
+
+    # -- crash machinery -------------------------------------------------
+    def _tick(self, op, path=""):
+        if self.crashed:
+            raise InjectedCrash("operation after the crash (process is dead)")
+        if self.crash_at is not None and self.ops == self.crash_at:
+            self._crash()
+        self.ops += 1
+        self.op_log.append((op, str(path)))
+
+    def _crash(self):
+        self.crashed = True
+        # Whatever sits in a Python-level buffer is part of the modelled
+        # page cache: push it to the OS so the survival mode below decides
+        # its fate deterministically.
+        for handle in list(self._handles.values()):
+            try:
+                handle.handle.flush()
+            except ValueError:  # pragma: no cover - already closed
+                pass
+            handle.handle.close()
+        self._handles.clear()
+        for path, written in self._written.items():
+            synced = self._synced.get(path, 0)
+            if written <= synced or not os.path.exists(path):
+                continue
+            unsynced = written - synced
+            if self.mode == "none":
+                keep = 0
+            elif self.mode == "half":
+                keep = unsynced // 2
+            else:
+                keep = unsynced
+            actual = os.path.getsize(path)
+            with open(path, "rb+") as handle:
+                handle.truncate(min(synced + keep, actual))
+        raise InjectedCrash(f"crash injected at operation {self.ops} ({self.mode})")
+
+    # -- bookkeeping hooks ------------------------------------------------
+    def on_write(self, path, nbytes):
+        self._tick("write", path)
+        self._written[path] = self._written.get(path, 0) + nbytes
+
+    def on_close(self, path):
+        # Closing does NOT sync: unsynced bytes stay at the cache's mercy.
+        self._handles.pop(path, None)
+
+    def _track_open(self, path, size):
+        path = str(path)
+        if path not in self._written:
+            self._written[path] = size
+            self._synced[path] = size
+
+    # -- the seam ---------------------------------------------------------
+    def open_append(self, path):
+        if self.crashed:
+            raise InjectedCrash("operation after the crash (process is dead)")
+        size = os.path.getsize(path) if os.path.exists(path) else 0
+        self._track_open(path, size)
+        handle = _TrackedHandle(self, str(path), open(path, "ab"))
+        self._handles[str(path)] = handle
+        return handle
+
+    def open_write(self, path):
+        if self.crashed:
+            raise InjectedCrash("operation after the crash (process is dead)")
+        path = str(path)
+        self._written[path] = 0
+        self._synced[path] = 0
+        handle = _TrackedHandle(self, path, open(path, "wb"))
+        self._handles[path] = handle
+        return handle
+
+    def fsync(self, handle):
+        self._tick("fsync", handle.path)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._synced[handle.path] = self._written.get(handle.path, 0)
+
+    def fsync_path(self, path):
+        self._tick("fsync_path", path)
+        with open(path, "rb+") as handle:
+            os.fsync(handle.fileno())
+        size = os.path.getsize(path)
+        self._written[str(path)] = size
+        self._synced[str(path)] = size
+
+    def replace(self, src, dst):
+        self._tick("replace", dst)
+        os.replace(src, dst)
+        src, dst = str(src), str(dst)
+        self._written[dst] = self._written.pop(src, self._written.get(dst, 0))
+        self._synced[dst] = self._synced.pop(src, self._synced.get(dst, 0))
+        self._handles.pop(src, None)
+
+    def remove(self, path):
+        self._tick("remove", path)
+        os.remove(path)
+        self._written.pop(str(path), None)
+        self._synced.pop(str(path), None)
+
+    def rmtree(self, path):
+        self._tick("rmtree", path)
+        import shutil
+
+        shutil.rmtree(path)
+
+    def truncate(self, path, size):
+        self._tick("truncate", path)
+        with open(path, "rb+") as handle:
+            handle.truncate(size)
+        self._written[str(path)] = size
+        self._synced[str(path)] = min(self._synced.get(str(path), size), size)
+
+    def mkdir(self, path):
+        # Directory creation is not an enumerated crash point: the layer
+        # only creates directories that are invisible until a later rename
+        # or manifest write commits them.
+        if self.crashed:
+            raise InjectedCrash("operation after the crash (process is dead)")
+        super().mkdir(path)
+
+    def barrier(self, label):
+        self._tick(f"barrier:{label}")
+
+
+@pytest.fixture
+def faulty_fs_cls():
+    """The :class:`FaultyFS` crash-point wrapper (class, not instance)."""
+    return FaultyFS
+
+
+@pytest.fixture
+def injected_crash_cls():
+    """The exception :class:`FaultyFS` raises at its crash point."""
+    return InjectedCrash
 
 
 @pytest.fixture

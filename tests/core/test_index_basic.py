@@ -166,7 +166,7 @@ class TestQueryBasics:
         with pytest.raises(ValueError):
             index.query(HyperRectangle.unit(2))
 
-    def test_query_with_stats_counts(self, rng):
+    def test_execute_counters(self, rng):
         index = make_index()
         index.bulk_load([(i, random_box(rng)) for i in range(100)])
         results, stats = index.execute(HyperRectangle.unit(3))

@@ -158,6 +158,56 @@ class TestExecution:
         assert "identical" in printed
         assert "async req/s" in output_file.read_text()
 
+    def test_serve_bench_durable_tiny_run(self, capsys):
+        exit_code = main(
+            [
+                "serve-bench",
+                "--subscriptions", "200",
+                "--requests", "40",
+                "--clients", "2",
+                "--warmup", "10",
+                "--methods", "ac",
+                "--durable",
+                "--seed", "4",
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "'durable': True" in printed
+
+    def test_wal_bench_tiny_run(self, capsys, tmp_path):
+        output_file = tmp_path / "wal.txt"
+        exit_code = main(
+            [
+                "wal-bench",
+                "--objects", "400",
+                "--mutations", "80",
+                "--batch-size", "16",
+                "--seed", "5",
+                "--output", str(output_file),
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "wal-bench-memory" in printed
+        assert "group commit" in printed
+        assert "replay rec/s" in printed
+        assert "group commit" in output_file.read_text()
+
+    def test_wal_bench_sharded_tiny_run(self, capsys):
+        exit_code = main(
+            [
+                "wal-bench",
+                "--objects", "300",
+                "--mutations", "60",
+                "--shards", "2",
+                "--router", "spatial",
+                "--seed", "6",
+            ]
+        )
+        assert exit_code == 0
+        assert "'shards': 2" in capsys.readouterr().out
+
 
 class TestErrorPaths:
     """Bad parameter values exit non-zero with a message, not a traceback."""
@@ -188,6 +238,14 @@ class TestErrorPaths:
             ["serve-bench", "--clients", "-2"],
             ["serve-bench", "--max-delay-ms", "-1"],
             ["serve-bench", "--router", "spatial"],
+            ["wal-bench", "--mutations", "0"],
+            ["wal-bench", "--objects", "-1"],
+            ["wal-bench", "--batch-size", "0"],
+            ["wal-bench", "--router", "spatial"],
+            # --durable over a method without snapshot persistence cannot
+            # checkpoint; it must fail upfront, not deep in the bench.
+            ["serve-bench", "--subscriptions", "50", "--requests", "5",
+             "--methods", "ss", "--durable"],
         ],
     )
     def test_invalid_values_exit_with_code_2(self, argv, capsys):

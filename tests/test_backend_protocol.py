@@ -5,7 +5,8 @@ Parametrised over the registry, so a backend added via
 built-ins: full insert / delete / bulk lifecycle, ``execute_batch``
 equivalent to a per-query loop, honest capability flags (advertised
 operations work, unadvertised ones raise ``UnsupportedOperation``) and
-working deprecation shims.
+no resurrected ``*_with_stats`` shims (removed after their deprecation
+cycle; ``QueryResult`` unpacking covers the old call shape).
 
 ``ShardedDatabase`` satisfies the same protocol, so a matrix of sharded
 variants — hash and spatial routers, 1/2/4 shards, homogeneous and mixed
@@ -13,10 +14,15 @@ member backends — runs through every case as well, and
 ``TestShardedEquivalence`` additionally pins sharding invisibility:
 byte-identical ascending identifiers and exactly-summed work counters
 versus the unsharded single-backend run, through churn (delete +
-reinsert) and mid-batch reorganization.
+reinsert) and mid-batch reorganization.  ``DurableBackend`` wrappers
+(WAL-logged plain and sharded stores) run through every case too — the
+durability layer must be invisible to the protocol surface.
 """
 
 import copy
+import itertools
+import tempfile
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -55,7 +61,18 @@ SHARDED_VARIANTS = (
     "sharded:spatial:ac+ss+rs",
 )
 
-ALL_BACKEND_NAMES = tuple(registered_backends()) + SHARDED_VARIANTS
+#: Durable conformance variants: the WAL wrapper over a plain and a
+#: sharded store must be protocol-invisible.
+DURABLE_VARIANTS = (
+    "durable:ac",
+    "durable:sharded:spatial:ac+ac",
+)
+
+ALL_BACKEND_NAMES = tuple(registered_backends()) + SHARDED_VARIANTS + DURABLE_VARIANTS
+
+#: One scratch root for every durable conformance store (cleaned at exit).
+_DURABLE_SCRATCH = tempfile.TemporaryDirectory(prefix="repro-conformance-wal-")
+_DURABLE_COUNTER = itertools.count()
 
 
 def parse_sharded_name(name):
@@ -65,7 +82,13 @@ def parse_sharded_name(name):
 
 
 def make_backend(name, dimensions=DIMENSIONS):
-    """Build a registry backend or one of the sharded conformance variants."""
+    """Build a registry backend or one of the conformance variants."""
+    if name.startswith("durable:"):
+        from repro.api import DurableBackend
+
+        inner = make_backend(name.split(":", 1)[1], dimensions)
+        wal_dir = Path(_DURABLE_SCRATCH.name) / f"store-{next(_DURABLE_COUNTER)}"
+        return DurableBackend.create(inner, wal_dir)
     if name.startswith("sharded:"):
         router, methods = parse_sharded_name(name)
         return ShardedDatabase.create(methods, dimensions, router=router)
@@ -104,6 +127,12 @@ class TestProtocolSurface:
         assert isinstance(backend, SpatialBackend)
 
     def test_capabilities_identity(self, backend, backend_name):
+        if backend_name.startswith("durable:"):
+            # The durability wrapper adds no capabilities of its own: it
+            # exposes the wrapped backend's descriptor untouched.
+            assert backend.capabilities is backend.inner.capabilities
+            assert backend.capabilities.supports_persistence is True
+            return
         if backend_name.startswith("sharded:"):
             # Sharded capabilities are derived from the members: persistence
             # and bulk deletion need every shard, reorganization any shard,
@@ -281,24 +310,27 @@ class TestCapabilityHonesty:
         assert loaded_backend.capabilities.supports_delete_bulk is True
 
 
-class TestDeprecatedShims:
-    def test_query_with_stats_warns_and_matches_execute(self, loaded_backend):
+class TestRemovedShims:
+    def test_with_stats_shims_are_gone(self, loaded_backend):
+        # The deprecated tuple methods were removed after their deprecation
+        # cycle; the public names must not resurface on any backend.
+        assert not hasattr(loaded_backend, "query_with_stats")
+        assert not hasattr(loaded_backend, "query_batch_with_stats")
+
+    def test_query_result_unpacking_covers_the_old_call_shape(self, loaded_backend):
+        # Old call sites migrated by unpacking QueryResult in place of the
+        # removed tuple returns; both shapes must agree.
         query = HyperRectangle.unit(DIMENSIONS)
-        with pytest.warns(DeprecationWarning):
-            ids, execution = loaded_backend.query_with_stats(query)
+        ids, execution = loaded_backend.execute(query)
         result = loaded_backend.execute(query)
         assert np.array_equal(np.sort(ids), np.sort(result.ids))
         assert execution.results == result.execution.results
-
-    def test_query_batch_with_stats_warns_and_matches(self, loaded_backend):
-        queries = make_boxes(5, seed=8)
-        with pytest.warns(DeprecationWarning):
-            id_lists, executions = loaded_backend.query_batch_with_stats(queries)
-        batch = loaded_backend.execute_batch(queries)
-        assert len(id_lists) == len(executions) == len(batch)
-        for ids, execution, result in zip(id_lists, executions, batch):
-            assert np.array_equal(np.sort(ids), np.sort(result.ids))
-            assert execution.core_counters() == result.execution.core_counters()
+        for unpacked, result in zip(
+            [tuple(item) for item in loaded_backend.execute_batch(make_boxes(5, seed=8))],
+            loaded_backend.execute_batch(make_boxes(5, seed=8)),
+        ):
+            assert np.array_equal(np.sort(unpacked[0]), np.sort(result.ids))
+            assert unpacked[1].results == result.execution.results
 
 
 # ----------------------------------------------------------------------

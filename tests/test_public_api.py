@@ -97,9 +97,11 @@ class TestUniformMethodInterface:
         assert 10 not in method
         assert set(method.query(query).tolist()) == set(boxes) - {10}
 
-    def test_deprecated_stats_shim_still_works(self, method):
+    def test_stats_shims_are_gone_and_unpacking_replaces_them(self, method):
         method.insert(0, repro.HyperRectangle.unit(4))
-        with pytest.warns(DeprecationWarning):
-            results, stats = method.query_with_stats(repro.HyperRectangle.unit(4))
+        assert not hasattr(method, "query_with_stats")
+        assert not hasattr(method, "query_batch_with_stats")
+        # QueryResult tuple-unpacks, covering the removed tuple call shape.
+        results, stats = method.execute(repro.HyperRectangle.unit(4))
         assert results.tolist() == [0]
         assert stats.results == 1
