@@ -1,0 +1,48 @@
+"""``repro lint``: AST-based checker of the repository's invariants.
+
+The durability, capability and determinism disciplines this codebase
+depends on are conventions no stock linter knows about: file operations
+in the durability-critical modules must flow through the ``FileSystem``
+seam, optional backend operations must be capability-gated, futures may
+not resolve before the group-commit barrier, measured paths may not read
+wall clocks or global random state.  This package encodes them as
+:class:`~repro.analysis.rules.Rule` subclasses over the stdlib ``ast``
+and runs them from the CLI (``repro lint``), from pytest, and from CI.
+
+Importable API::
+
+    from repro.analysis import run_lint
+
+    report = run_lint(["src"])
+    assert report.exit_code == 0, report.to_human()
+
+Intentional exceptions are suppressed inline — with a mandatory
+justification — via ``# repro-lint: disable=RL001 -- why this is safe``.
+"""
+
+from repro.analysis.diagnostics import META_CODE, Diagnostic, LintReport
+from repro.analysis.rules import (
+    Rule,
+    build_rules,
+    register_rule,
+    registered_rules,
+    rule_codes,
+)
+
+# Importing the module registers the built-in rules.
+from repro.analysis import invariants as _invariants  # noqa: F401  (registration)
+from repro.analysis.runner import check_file, iter_python_files, run_lint
+
+__all__ = [
+    "META_CODE",
+    "Diagnostic",
+    "LintReport",
+    "Rule",
+    "build_rules",
+    "check_file",
+    "iter_python_files",
+    "register_rule",
+    "registered_rules",
+    "rule_codes",
+    "run_lint",
+]

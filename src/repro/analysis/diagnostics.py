@@ -1,0 +1,87 @@
+"""Diagnostic records and report rendering for the invariant checker.
+
+A :class:`Diagnostic` pins one rule violation to a file, line and column.
+:class:`LintReport` aggregates the diagnostics of a whole run together
+with the bookkeeping the CLI and CI need: how many files were scanned,
+how many violations were silenced by justified suppressions, and the
+process exit code (0 clean, 1 violations found).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Code attached to meta-problems of the lint pass itself: malformed or
+#: unjustified suppression comments, unknown rule codes in a suppression,
+#: files that fail to parse.  ``RL000`` diagnostics cannot be suppressed.
+META_CODE = "RL000"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering: by file, then location, then rule code."""
+        return (self.path, self.line, self.column, self.code)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten for the JSON report."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One human-readable line, in the familiar compiler format."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one lint run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status: 0 when clean, 1 when violations remain."""
+        return 1 if self.diagnostics else 0
+
+    def sorted_diagnostics(self) -> List[Diagnostic]:
+        """The diagnostics in stable (path, line, column, code) order."""
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def to_json(self) -> str:
+        """Machine-readable report (the CI artifact format)."""
+        payload = {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "violations": len(self.diagnostics),
+            "diagnostics": [diag.as_dict() for diag in self.sorted_diagnostics()],
+        }
+        return json.dumps(payload, indent=2)
+
+    def to_human(self) -> str:
+        """Human-readable report: one line per diagnostic plus a summary."""
+        lines = [diag.render() for diag in self.sorted_diagnostics()]
+        noun = "violation" if len(self.diagnostics) == 1 else "violations"
+        lines.append(
+            f"{len(self.diagnostics)} {noun} in {self.files_checked} files "
+            f"({self.suppressed} suppressed)"
+        )
+        return "\n".join(lines)

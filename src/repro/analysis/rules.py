@@ -1,0 +1,150 @@
+"""Rule framework of the invariant checker.
+
+A rule is a class with a stable ``code`` (``RL``-prefixed, used in
+reports and suppression comments), a short ``name``, a human
+``description``, a path predicate saying where the invariant applies,
+and a ``check`` method that walks a parsed module and yields
+diagnostics.  Rules self-register through the :func:`register_rule`
+decorator; the runner instantiates every registered rule, so adding a
+rule is one new class in :mod:`repro.analysis.invariants` (or any module
+imported before the run) — no dispatch table to edit.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from pathlib import PurePath
+from typing import ClassVar, Dict, FrozenSet, List, Sequence, Type
+
+from repro.analysis.diagnostics import Diagnostic
+
+
+class Rule(abc.ABC):
+    """One invariant: where it applies and how it is checked."""
+
+    #: Stable diagnostic code (``RL001``...), used in suppressions.
+    code: ClassVar[str]
+    #: Short kebab-case name for listings.
+    name: ClassVar[str]
+    #: One-line statement of the invariant the rule enforces.
+    description: ClassVar[str]
+
+    def applies_to(self, path: PurePath) -> bool:
+        """Whether the invariant covers *path* (default: every file)."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, tree: ast.Module, path: PurePath) -> List[Diagnostic]:
+        """Return every violation found in the parsed module."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers for concrete rules
+    # ------------------------------------------------------------------
+    def diagnostic(self, path: PurePath, node: ast.AST, message: str) -> Diagnostic:
+        """Build a diagnostic of this rule anchored at *node*."""
+        return Diagnostic(
+            path=str(path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *rule_class* to the global rule registry."""
+    code = rule_class.code
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"rule code {code!r} is already registered to {existing.__name__}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """The registry as a code -> rule-class mapping (copy)."""
+    return dict(_REGISTRY)
+
+
+def rule_codes() -> FrozenSet[str]:
+    """Every registered rule code."""
+    return frozenset(_REGISTRY)
+
+
+def build_rules(select: "Sequence[str] | None" = None) -> List[Rule]:
+    """Instantiate the selected rules (all of them by default).
+
+    Raises :class:`ValueError` on an unknown code so the CLI can exit 2
+    with a one-line message, consistent with the other subcommands.
+    """
+    if select is None:
+        wanted = sorted(_REGISTRY)
+    else:
+        wanted = []
+        for raw in select:
+            code = raw.strip().upper()
+            if code not in _REGISTRY:
+                known = ", ".join(sorted(_REGISTRY))
+                raise ValueError(f"unknown rule code {raw!r} (known: {known})")
+            if code not in wanted:
+                wanted.append(code)
+    return [_REGISTRY[code]() for code in wanted]
+
+
+# ----------------------------------------------------------------------
+# AST and path helpers shared by the concrete rules
+# ----------------------------------------------------------------------
+def adjacent_parts(parts: Sequence[str], first: str, second: str) -> bool:
+    """True when ``.../first/second/...`` appears in the path parts."""
+    return any(a == first and b == second for a, b in zip(parts, parts[1:]))
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute chains; empty string for other shapes."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def terminal_name(node: ast.AST) -> str:
+    """The last identifier of a name or attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def annotation_mentions(annotation: "ast.AST | None", target: str) -> bool:
+    """True when *annotation* names *target* (directly, dotted, or quoted)."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return target in annotation.value
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id == target:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == target:
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str) and target in node.value:
+            return True
+    return False
+
+
+def function_nodes(tree: ast.Module) -> "List[ast.FunctionDef | ast.AsyncFunctionDef]":
+    """Every function and method definition in the module."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]

@@ -1,0 +1,130 @@
+"""File collection and the lint entry point.
+
+:func:`run_lint` is the importable API the CLI, the tests and CI all
+share: collect Python files (honoring the same exclusions as ruff, so
+neither tool scans generated artifacts), parse each one, run every
+applicable rule, filter justified suppressions, and aggregate a
+:class:`~repro.analysis.diagnostics.LintReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path, PurePath
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import META_CODE, Diagnostic, LintReport
+from repro.analysis.rules import Rule, adjacent_parts, build_rules, rule_codes
+from repro.analysis.suppressions import parse_suppressions
+
+#: Directory names never scanned, wherever they appear.
+EXCLUDED_DIR_NAMES = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".venv",
+        "venv",
+        "build",
+        "dist",
+        ".ruff_cache",
+        ".mypy_cache",
+        ".pytest_cache",
+        ".hypothesis",
+    }
+)
+
+#: Directory *pairs* never scanned: generated artifacts that live inside
+#: otherwise-linted trees.  Kept in lockstep with ruff's
+#: ``extend-exclude`` in pyproject.toml (a test asserts the agreement).
+EXCLUDED_DIR_PAIRS: Tuple[Tuple[str, str], ...] = (("benchmarks", "results"),)
+
+
+def is_excluded(path: PurePath) -> bool:
+    """Whether *path* falls under a default exclusion."""
+    parts = path.parts
+    if any(part in EXCLUDED_DIR_NAMES for part in parts):
+        return True
+    return any(adjacent_parts(parts, first, second) for first, second in EXCLUDED_DIR_PAIRS)
+
+
+def iter_python_files(paths: Sequence["str | Path"]) -> List[Path]:
+    """Expand *paths* (files or directories) into the Python files to lint.
+
+    Raises :class:`ValueError` — mapped to exit status 2 by the CLI — for
+    paths that do not exist or are not Python source, consistent with how
+    the experiment subcommands reject bad parameters.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ValueError(f"no such file or directory: {raw}")
+        if path.is_file():
+            if path.suffix != ".py":
+                raise ValueError(f"not a Python source file: {raw}")
+            files.append(path)
+        else:
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not is_excluded(candidate)
+            )
+    unique: List[Path] = []
+    seen = set()
+    for file in files:
+        key = str(file)
+        if key not in seen:
+            seen.add(key)
+            unique.append(file)
+    return unique
+
+
+def check_file(path: Path, rules: Sequence[Rule]) -> Tuple[List[Diagnostic], int]:
+    """Lint one file: returns (diagnostics, suppressed-violation count)."""
+    source = path.read_text(encoding="utf-8")
+    name = str(path)
+    suppressions = parse_suppressions(source, name, rule_codes())
+    diagnostics: List[Diagnostic] = list(suppressions.problems)
+    try:
+        tree = ast.parse(source, filename=name)
+    except SyntaxError as error:
+        diagnostics.append(
+            Diagnostic(
+                path=name,
+                line=error.lineno or 1,
+                column=error.offset or 0,
+                code=META_CODE,
+                message=f"file does not parse: {error.msg}",
+            )
+        )
+        return diagnostics, 0
+    pure = PurePath(path)
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(pure):
+            continue
+        for diagnostic in dict.fromkeys(rule.check(tree, pure)):
+            if suppressions.is_suppressed(diagnostic.line, diagnostic.code):
+                suppressed += 1
+            else:
+                diagnostics.append(diagnostic)
+    return diagnostics, suppressed
+
+
+def run_lint(
+    paths: Sequence["str | Path"],
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the invariant checker over *paths* and aggregate a report.
+
+    ``select`` restricts the run to specific rule codes; unknown codes
+    and bad paths raise :class:`ValueError` (CLI exit status 2).
+    """
+    rules = build_rules(select)
+    files = iter_python_files(paths)
+    report = LintReport(files_checked=len(files))
+    for file in files:
+        diagnostics, suppressed = check_file(file, rules)
+        report.diagnostics.extend(diagnostics)
+        report.suppressed += suppressed
+    return report

@@ -1,0 +1,168 @@
+"""Inline suppression comments: ``# repro-lint: disable=RL001 -- why``.
+
+A suppression silences specific rule codes on one source line.  The
+justification after ``--`` is **required**: a suppression is a claim that
+a flagged construct is intentionally exempt from an invariant, and that
+claim must be auditable in place.  A suppression without a justification
+does not suppress anything and is itself reported (``RL000``), as is a
+suppression naming an unknown rule code.
+
+Placement follows the convention of trailing ``noqa``-style markers with
+one addition for long lines: a comment that has the whole line to itself
+applies to the next following line that holds code::
+
+    os.replace(tmp, final)  # repro-lint: disable=RL001 -- bootstrap copy
+
+    # repro-lint: disable=RL002 -- replay path; capability checked at log time
+    backend.delete_bulk(ids)
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.analysis.diagnostics import META_CODE, Diagnostic
+
+#: Matches the whole suppression comment.  The justification group is
+#: everything after a ``--`` separator (optional in the grammar so that a
+#: missing justification can be reported rather than silently ignored).
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9,\s]+?)\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+_CODE_RE = re.compile(r"^RL\d{3}$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression: the codes it silences and its anchor line."""
+
+    line: int
+    codes: FrozenSet[str]
+    justification: str
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions of one file, keyed by the line they apply to."""
+
+    by_line: Dict[int, List[Suppression]] = field(default_factory=dict)
+    #: Problems with the suppression comments themselves (RL000).
+    problems: List[Diagnostic] = field(default_factory=list)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """True when *code* is silenced on *line* by a justified suppression."""
+        if code == META_CODE:
+            return False
+        return any(code in entry.codes for entry in self.by_line.get(line, []))
+
+
+def _anchor_line(lines: List[str], comment_line: int) -> int:
+    """The code line a suppression comment applies to (1-based).
+
+    A trailing comment anchors to its own line; a comment-only line
+    anchors to the next non-blank, non-comment line below it.
+    """
+    index = comment_line - 1
+    before = lines[index].split("#", 1)[0] if index < len(lines) else ""
+    if before.strip():
+        return comment_line
+    for next_index in range(comment_line, len(lines)):
+        stripped = lines[next_index].strip()
+        if stripped and not stripped.startswith("#"):
+            return next_index + 1
+    return comment_line
+
+
+def parse_suppressions(source: str, path: str, known_codes: FrozenSet[str]) -> SuppressionIndex:
+    """Extract every suppression comment of *source*.
+
+    Comments are read with :mod:`tokenize` so that string literals that
+    merely *look* like suppressions are never honored.  Files the
+    tokenizer rejects contribute no suppressions; the caller reports the
+    syntax error from the parse step instead.
+    """
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return index
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT or "repro-lint" not in token.string:
+            continue
+        comment_line, column = token.start
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            index.problems.append(
+                Diagnostic(
+                    path=path,
+                    line=comment_line,
+                    column=column,
+                    code=META_CODE,
+                    message=(
+                        "malformed suppression comment; expected "
+                        "'# repro-lint: disable=RL00X -- justification'"
+                    ),
+                )
+            )
+            continue
+        codes, problems = _parse_codes(
+            match.group("codes"), known_codes, path, comment_line, column
+        )
+        index.problems.extend(problems)
+        justification = (match.group("why") or "").strip()
+        if not justification:
+            index.problems.append(
+                Diagnostic(
+                    path=path,
+                    line=comment_line,
+                    column=column,
+                    code=META_CODE,
+                    message=(
+                        "suppression without justification; append "
+                        "'-- <why this line is exempt>' (unjustified "
+                        "suppressions do not suppress)"
+                    ),
+                )
+            )
+            continue
+        if not codes:
+            continue
+        anchor = _anchor_line(lines, comment_line)
+        index.by_line.setdefault(anchor, []).append(
+            Suppression(line=anchor, codes=frozenset(codes), justification=justification)
+        )
+    return index
+
+
+def _parse_codes(
+    raw: str,
+    known_codes: FrozenSet[str],
+    path: str,
+    line: int,
+    column: int,
+) -> Tuple[List[str], List[Diagnostic]]:
+    codes: List[str] = []
+    problems: List[Diagnostic] = []
+    for part in raw.split(","):
+        code = part.strip().upper()
+        if not code:
+            continue
+        if not _CODE_RE.match(code) or (known_codes and code not in known_codes):
+            problems.append(
+                Diagnostic(
+                    path=path,
+                    line=line,
+                    column=column,
+                    code=META_CODE,
+                    message=f"suppression names unknown rule code {code!r}",
+                )
+            )
+            continue
+        codes.append(code)
+    return codes, problems

@@ -273,10 +273,12 @@ class Database:
 
     def delete_bulk(self, object_ids: Iterable[int]) -> int:
         """Remove a batch of objects; returns the number actually removed."""
+        # repro-lint: disable=RL002 -- facade delegation: the backend raises UnsupportedOperation
         return self._backend.delete_bulk(object_ids)
 
     def reorganize(self) -> object:
         """Run the backend's reorganization pass (capability-gated)."""
+        # repro-lint: disable=RL002 -- facade delegation: the backend raises UnsupportedOperation
         return self._backend.reorganize()
 
     # ------------------------------------------------------------------
@@ -327,10 +329,12 @@ class Database:
         :class:`~repro.api.protocol.Capabilities`), not special-cased
         here.
         """
+        # repro-lint: disable=RL002 -- facade delegation: the backend raises UnsupportedOperation
         return self._backend.save(path, include_statistics=include_statistics)
 
     def snapshot(self) -> object:
         """Structural snapshot of a persistable backend (capability-gated)."""
+        # repro-lint: disable=RL002 -- facade delegation: the backend raises UnsupportedOperation
         return self._backend.snapshot()
 
     def checkpoint(self) -> Path:

@@ -298,6 +298,25 @@ def _run_serve_bench(args: argparse.Namespace):
     return async_serving_bench(scenario=args.scenario, **kwargs)
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """Run the invariant checker; prints its own report, returns exit status.
+
+    Unlike the experiment subcommands this returns the lint status (0
+    clean, 1 violations) rather than a result object for a formatter —
+    bad paths and unknown rule codes still raise :class:`ValueError` and
+    exit 2 like every other parameter error.
+    """
+    from repro.analysis import run_lint
+
+    report = run_lint(args.paths, select=args.select)
+    rendered = report.to_json() if args.format == "json" else report.to_human()
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return report.exit_code
+
+
 def _run_wal_bench(args: argparse.Namespace):
     kwargs = _collect_kwargs(
         args,
@@ -384,6 +403,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_wal_bench_arguments(wal)
     wal.set_defaults(runner=_run_wal_bench, formatter=format_durability_result)
+    lint = subparsers.add_parser(
+        "lint",
+        help="check the repository invariants (seam discipline, capability "
+        "gating, determinism, fsync-before-ack) with the AST analyzer",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="report format (default: human)",
+    )
+    lint.add_argument(
+        "--select",
+        nargs="+",
+        default=None,
+        metavar="CODE",
+        help="restrict the run to these rule codes (e.g. RL001 RL004)",
+    )
+    lint.add_argument("--output", type=str, default=None, help="write the report to this file")
+    lint.set_defaults(runner=_run_lint, formatter=None)
     return parser
 
 
@@ -448,6 +494,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # keeps its traceback.
         print(f"{parser.prog}: error: {error}", file=sys.stderr)
         return 2
+    if args.formatter is None:
+        # Self-reporting subcommands (lint) print their own output and
+        # return their exit status directly.
+        return int(result)
     report = args.formatter(result)
     print(report)
     if args.output:

@@ -18,7 +18,7 @@ interleave.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -76,7 +76,7 @@ class LRUResultCache:
         #: Stacked ``(keys, q_lows, q_highs)`` of every entry, memoized for
         #: the churn patches; invalidated whenever the entry *set* changes
         #: (patching match sets or recency order does not touch bounds).
-        self._stacked: Optional[Tuple[list, np.ndarray, np.ndarray]] = None
+        self._stacked: Optional[Tuple[List[bytes], np.ndarray, np.ndarray]] = None
         #: Lookup / maintenance counters, exposed through the streaming
         #: statistics.
         self.hits = 0

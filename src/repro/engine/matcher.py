@@ -39,7 +39,18 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -89,6 +100,24 @@ class StreamingConfig:
         if self.cache_size < 0:
             raise ValueError("cache_size must be non-negative")
         object.__setattr__(self, "relation", SpatialRelation.parse(self.relation))
+
+
+class StreamOperation(Protocol):
+    """Structural shape of one stream operation, as :meth:`StreamingMatcher.run`
+    consumes it — :class:`repro.workloads.pubsub.StreamOp` satisfies it.
+
+    Read-only properties rather than attributes, so frozen dataclasses
+    conform.
+    """
+
+    @property
+    def kind(self) -> str: ...
+
+    @property
+    def op_id(self) -> int: ...
+
+    @property
+    def box(self) -> Optional[HyperRectangle]: ...
 
 
 @dataclass(frozen=True)
@@ -293,7 +322,7 @@ class StreamingMatcher:
         pairs = [(int(subscription_id), box) for subscription_id, box in subscriptions]
         if not pairs:
             return []
-        seen = set()
+        seen: Set[int] = set()
         for subscription_id, box in pairs:
             self._reject_invalid_registration(subscription_id, box)
             if subscription_id in seen:
@@ -351,13 +380,22 @@ class StreamingMatcher:
         return records
 
     def unregister_many(self, subscription_ids: Iterable[int]) -> List[MatchRecord]:
-        """Drop a batch of subscriptions with one flush and one bulk delete."""
+        """Drop a batch of subscriptions with one flush and one bulk delete.
+
+        A backend that does not advertise ``supports_delete_bulk`` is
+        served by per-identifier deletes behind the same single flush.
+        """
         ids = [int(subscription_id) for subscription_id in subscription_ids]
         if not ids:
             return []
         records = self._flush("churn") if self._pending else []
         start = self._clock()
-        removed = int(self._backend.delete_bulk(ids))
+        if self._backend.capabilities.supports_delete_bulk:
+            removed = int(self._backend.delete_bulk(ids))
+        else:
+            removed = sum(
+                1 for subscription_id in ids if self._backend.delete(subscription_id)
+            )
         if removed:
             # Identifiers that were not registered appear in no cached match
             # set, so patching every requested one is safe.
@@ -420,26 +458,31 @@ class StreamingMatcher:
         discarded, self._pending = len(self._pending), []
         return discarded
 
-    def run(self, operations: Iterable[object]) -> List[MatchRecord]:
+    def run(self, operations: Iterable[StreamOperation]) -> List[MatchRecord]:
         """Drive the matcher from a stream of operations and drain it.
 
         Every operation must expose ``kind`` (``"subscribe"``,
         ``"unsubscribe"`` or ``"event"``), ``op_id`` and — except for
-        unsubscriptions — ``box``, which is exactly the shape of
-        :class:`repro.workloads.pubsub.StreamOp`.  Returns every delivered
-        record in delivery order, including the final drain.
+        unsubscriptions — ``box``: the :class:`StreamOperation` shape,
+        which :class:`repro.workloads.pubsub.StreamOp` satisfies.  Returns
+        every delivered record in delivery order, including the final
+        drain.
         """
         delivered: List[MatchRecord] = []
         for operation in operations:
             kind = operation.kind
-            if kind == "event":
-                delivered.extend(self.publish(operation.op_id, operation.box))
-            elif kind == "subscribe":
-                delivered.extend(self.register(operation.op_id, operation.box))
-            elif kind == "unsubscribe":
+            if kind == "unsubscribe":
                 delivered.extend(self.unregister(operation.op_id))
-            else:
+                continue
+            if kind not in ("event", "subscribe"):
                 raise ValueError(f"unknown stream operation kind: {kind!r}")
+            box = operation.box
+            if box is None:
+                raise ValueError(f"stream operation {operation.op_id} ({kind}) has no box")
+            if kind == "event":
+                delivered.extend(self.publish(operation.op_id, box))
+            else:
+                delivered.extend(self.register(operation.op_id, box))
         delivered.extend(self.flush())
         return delivered
 
@@ -539,15 +582,19 @@ class StreamingMatcher:
         self._stats.deduplicated += deduplicated
 
         now = self._clock()
-        records = [
-            MatchRecord(
-                event_id=event_id,
-                matches=found,
-                latency_ms=(now - submitted) * 1000.0,
-                cached=was_cached,
+        records: List[MatchRecord] = []
+        for (event_id, _, submitted), found, was_cached in zip(pending, matches, cached_rows):
+            # Every row was resolved above: from the cache, by the backend
+            # call, or by sharing a duplicate's result.
+            assert found is not None
+            records.append(
+                MatchRecord(
+                    event_id=event_id,
+                    matches=found,
+                    latency_ms=(now - submitted) * 1000.0,
+                    cached=was_cached,
+                )
             )
-            for (event_id, _, submitted), found, was_cached in zip(pending, matches, cached_rows)
-        ]
 
         self._stats.events += len(records)
         self._stats.batches += 1

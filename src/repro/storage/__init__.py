@@ -14,12 +14,17 @@ own published constants.  The resulting I/O time and counters feed the
 experiment reports exactly like real measurements would.
 """
 
+from typing import TYPE_CHECKING
+
 from repro.storage.simclock import SimulatedClock
 from repro.storage.iostats import IOStatistics
 from repro.storage.base import StorageBackend
 from repro.storage.layout import ClusterExtent, DiskLayout
 from repro.storage.memory import MemoryStorage
 from repro.storage.disk import SimulatedDisk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cost_model import CostParameters, StorageScenario
 
 __all__ = [
     "SimulatedClock",
@@ -32,7 +37,11 @@ __all__ = [
 ]
 
 
-def storage_for_scenario(scenario, cost_parameters, reserved_slot_fraction=0.25):
+def storage_for_scenario(
+    scenario: "StorageScenario | str",
+    cost_parameters: "CostParameters",
+    reserved_slot_fraction: float = 0.25,
+) -> StorageBackend:
     """Build the storage backend matching a cost-model scenario.
 
     Parameters

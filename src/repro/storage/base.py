@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from repro.core.cost_model import CostParameters
 from repro.storage.iostats import IOStatistics
 from repro.storage.layout import DiskLayout
@@ -87,7 +89,7 @@ class StorageBackend(abc.ABC):
         self.stats.bytes_read += n_objects * self.object_bytes
         self._charge_read(n_objects)
 
-    def on_cluster_reads_bulk(self, n_objects, counts) -> None:
+    def on_cluster_reads_bulk(self, n_objects: np.ndarray, counts: np.ndarray) -> None:
         """Batch-execution accounting for many clusters at once.
 
         ``n_objects`` and ``counts`` are aligned arrays: cluster ``i`` was
@@ -102,7 +104,7 @@ class StorageBackend(abc.ABC):
         self.stats.bytes_read += int((counts * n_objects).sum()) * self.object_bytes
         self._charge_reads_bulk(n_objects, counts)
 
-    def _charge_reads_bulk(self, n_objects, counts) -> None:
+    def _charge_reads_bulk(self, n_objects: np.ndarray, counts: np.ndarray) -> None:
         """Charge the cost of the read pattern described by the two arrays."""
         for size, count in zip(n_objects, counts):
             for _ in range(int(count)):

@@ -11,6 +11,8 @@ using the paper's own constants.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.cost_model import CostParameters
 from repro.storage.base import StorageBackend
 
@@ -33,7 +35,7 @@ class SimulatedDisk(StorageBackend):
         transfer = n_objects * self.object_bytes * self._transfer_ms_per_byte
         self.clock.charge(self._access_ms + transfer)
 
-    def _charge_reads_bulk(self, n_objects, counts) -> None:
+    def _charge_reads_bulk(self, n_objects: np.ndarray, counts: np.ndarray) -> None:
         total_reads = int(counts.sum())
         self.stats.random_accesses += total_reads
         transfer_bytes = int((counts * n_objects).sum()) * self.object_bytes

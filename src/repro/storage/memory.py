@@ -9,6 +9,8 @@ byte counters, but charges no I/O time.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.cost_model import CostParameters
 from repro.storage.base import StorageBackend
 
@@ -28,7 +30,7 @@ class MemoryStorage(StorageBackend):
         # is charged by the cost model (parameter C), not by the backend.
         return None
 
-    def _charge_reads_bulk(self, n_objects, counts) -> None:
+    def _charge_reads_bulk(self, n_objects: np.ndarray, counts: np.ndarray) -> None:
         return None
 
     def _charge_write(self, n_objects: int) -> None:

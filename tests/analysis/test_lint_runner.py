@@ -1,0 +1,194 @@
+"""Runner, CLI and repository self-check tests for ``repro lint``.
+
+Covers file collection (exclusions shared with ruff, bad-path errors),
+report rendering (human and JSON), the CLI exit-code contract (0 clean,
+1 violations, 2 parameter errors) and the acceptance self-check: the
+analyzer exits 0 on the repository's own source tree, with every
+remaining suppression justified.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    META_CODE,
+    build_rules,
+    iter_python_files,
+    registered_rules,
+    rule_codes,
+    run_lint,
+)
+from repro.analysis.runner import EXCLUDED_DIR_NAMES, EXCLUDED_DIR_PAIRS, is_excluded
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+VIOLATING_SOURCE = "import os\n\n\ndef swap(path):\n    os.replace(path, path)\n"
+CLEAN_SOURCE = "def swap(path, fs):\n    fs.replace(path, path)\n"
+
+
+def write_module(tmp_path, relative, source):
+    target = tmp_path / relative
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+class TestRuleRegistry:
+    def test_all_six_invariants_are_registered(self):
+        assert rule_codes() == frozenset({f"RL00{i}" for i in range(1, 7)})
+
+    def test_every_rule_carries_metadata(self):
+        for code, rule_class in registered_rules().items():
+            assert rule_class.code == code
+            assert rule_class.name
+            assert rule_class.description
+
+    def test_unknown_code_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown rule code"):
+            build_rules(["RL999"])
+
+    def test_select_normalizes_case_and_duplicates(self):
+        rules = build_rules(["rl004", "RL004"])
+        assert [rule.code for rule in rules] == ["RL004"]
+
+
+class TestFileCollection:
+    def test_directories_are_expanded_recursively(self, tmp_path):
+        write_module(tmp_path, "pkg/a.py", "A = 1\n")
+        write_module(tmp_path, "pkg/sub/b.py", "B = 1\n")
+        names = {path.name for path in iter_python_files([tmp_path])}
+        assert names == {"a.py", "b.py"}
+
+    def test_generated_and_cache_directories_are_excluded(self, tmp_path):
+        write_module(tmp_path, "benchmarks/results/report.py", "R = 1\n")
+        write_module(tmp_path, "pkg/__pycache__/a.py", "A = 1\n")
+        write_module(tmp_path, "benchmarks/bench.py", "B = 1\n")
+        names = {path.name for path in iter_python_files([tmp_path])}
+        assert names == {"bench.py"}
+
+    def test_explicit_files_are_deduplicated(self, tmp_path):
+        target = write_module(tmp_path, "pkg/a.py", "A = 1\n")
+        files = iter_python_files([target, target])
+        assert files == [target]
+
+    def test_missing_path_raises_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="no such file or directory"):
+            iter_python_files([tmp_path / "absent"])
+
+    def test_non_python_file_raises_value_error(self, tmp_path):
+        other = write_module(tmp_path, "notes.txt", "hello\n")
+        with pytest.raises(ValueError, match="not a Python source file"):
+            iter_python_files([other])
+
+    def test_exclusion_predicate_matches_pairs_only_adjacent(self):
+        assert is_excluded(Path("benchmarks/results/report.py"))
+        assert not is_excluded(Path("benchmarks/report.py"))
+        assert not is_excluded(Path("results/report.py"))
+
+
+class TestRuffAgreement:
+    """The analyzer and ruff must skip the same generated directories."""
+
+    def test_extend_exclude_matches_excluded_dir_pairs(self):
+        text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+        match = re.search(r"extend-exclude\s*=\s*\[(?P<body>[^\]]*)\]", text)
+        assert match is not None, "pyproject.toml lost its ruff extend-exclude"
+        ruff_excluded = set(re.findall(r'"([^"]+)"', match.group("body")))
+        analyzer_excluded = {"/".join(pair) for pair in EXCLUDED_DIR_PAIRS}
+        assert ruff_excluded == analyzer_excluded
+
+    def test_common_tool_caches_stay_excluded(self):
+        assert {".ruff_cache", ".mypy_cache", "__pycache__"} <= set(EXCLUDED_DIR_NAMES)
+
+
+class TestReportFormats:
+    def test_json_payload_shape(self, tmp_path):
+        target = write_module(tmp_path, "repro/storage/swap.py", VIOLATING_SOURCE)
+        report = run_lint([target])
+        payload = json.loads(report.to_json())
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["violations"] == 1
+        (entry,) = payload["diagnostics"]
+        assert entry["code"] == "RL001"
+        assert entry["line"] == 5
+        assert entry["path"].endswith("swap.py")
+
+    def test_human_report_has_compiler_format_and_summary(self, tmp_path):
+        target = write_module(tmp_path, "repro/storage/swap.py", VIOLATING_SOURCE)
+        report = run_lint([target])
+        lines = report.to_human().splitlines()
+        assert lines[0].startswith(f"{target}:5:")
+        assert " RL001 " in lines[0]
+        assert lines[-1] == "1 violation in 1 files (0 suppressed)"
+
+    def test_exit_code_tracks_diagnostics(self, tmp_path):
+        dirty = write_module(tmp_path, "repro/storage/dirty.py", VIOLATING_SOURCE)
+        clean = write_module(tmp_path, "repro/storage/clean.py", CLEAN_SOURCE)
+        assert run_lint([dirty]).exit_code == 1
+        assert run_lint([clean]).exit_code == 0
+
+
+class TestCommandLine:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = write_module(tmp_path, "repro/storage/clean.py", CLEAN_SOURCE)
+        assert main(["lint", str(target)]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        target = write_module(tmp_path, "repro/storage/dirty.py", VIOLATING_SOURCE)
+        assert main(["lint", str(target)]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+    def test_bad_path_exits_two_with_one_line_message(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent")]) == 2
+        error = capsys.readouterr().err
+        assert "no such file or directory" in error
+        assert len(error.strip().splitlines()) == 1
+
+    def test_unknown_rule_code_exits_two(self, tmp_path, capsys):
+        target = write_module(tmp_path, "repro/storage/clean.py", CLEAN_SOURCE)
+        assert main(["lint", str(target), "--select", "RL999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_json_report_is_written_to_output_file(self, tmp_path, capsys):
+        target = write_module(tmp_path, "repro/storage/dirty.py", VIOLATING_SOURCE)
+        output = tmp_path / "lint-report.json"
+        code = main(["lint", str(target), "--format", "json", "--output", str(output)])
+        assert code == 1
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["violations"] == 1
+        # The report also goes to stdout (the CI job reads the artifact,
+        # a human reads the log).
+        assert json.loads(capsys.readouterr().out)["violations"] == 1
+
+    def test_select_restricts_the_rules_run(self, tmp_path, capsys):
+        target = write_module(tmp_path, "repro/storage/dirty.py", VIOLATING_SOURCE)
+        assert main(["lint", str(target), "--select", "RL004"]) == 0
+        capsys.readouterr()
+
+
+class TestRepositorySelfCheck:
+    """Acceptance: the analyzer passes on the repository's own code."""
+
+    def test_src_tree_is_clean(self):
+        report = run_lint([REPO_ROOT / "src"])
+        assert report.files_checked > 50
+        offending = [diag.render() for diag in report.sorted_diagnostics()]
+        assert offending == []
+        assert report.exit_code == 0
+
+    def test_full_ci_surface_is_clean(self):
+        # The exact invocation of CI's lint-invariants job.
+        paths = [REPO_ROOT / name for name in ("src", "benchmarks", "examples")]
+        report = run_lint([path for path in paths if path.exists()])
+        assert report.exit_code == 0, report.to_human()
+
+    def test_meta_code_is_stable(self):
+        # Documented in README and the suppression grammar; a rename would
+        # silently orphan existing suppressions.
+        assert META_CODE == "RL000"
