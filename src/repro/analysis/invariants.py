@@ -1,4 +1,4 @@
-"""The repository's invariant rules (RL001-RL006).
+"""The repository's invariant rules (RL001-RL007).
 
 Each rule encodes a convention the codebase depends on but no stock tool
 enforces; every one of them has been violated at least once and caught
@@ -315,11 +315,12 @@ class NoIsinstanceProbingRule(Rule):
             "RStarTree",
             "ShardedDatabase",
             "DurableBackend",
+            "ReplicatedBackend",
         }
     )
     #: The api-layer composites may structurally dispatch on each other
     #: (e.g. DurableBackend fanning its WAL out per shard).
-    _COMPOSITES = frozenset({"ShardedDatabase", "DurableBackend"})
+    _COMPOSITES = frozenset({"ShardedDatabase", "DurableBackend", "ReplicatedBackend"})
 
     def applies_to(self, path: PurePath) -> bool:
         if "tests" in path.parts or path.name.startswith("test_"):
@@ -470,7 +471,11 @@ class FsyncBeforeAckRule(Rule):
 
     def applies_to(self, path: PurePath) -> bool:
         parts = path.parts
-        return _adjacent(parts, "repro", "api") and path.name in {"serving.py", "durability.py"}
+        return _adjacent(parts, "repro", "api") and path.name in {
+            "serving.py",
+            "durability.py",
+            "replication.py",
+        }
 
     def check(self, tree: ast.Module, path: PurePath) -> List[Diagnostic]:
         diagnostics: List[Diagnostic] = []
@@ -576,3 +581,98 @@ class ExceptionHygieneRule(Rule):
                     )
                 )
         return diagnostics
+
+
+# ----------------------------------------------------------------------
+# RL007: replication seam discipline
+# ----------------------------------------------------------------------
+@register_rule
+class ReplicationSeamRule(Rule):
+    """Replication I/O is confined to the transports and the FileSystem seam.
+
+    ``api/replication.py`` touches two worlds the fault harness must be
+    able to interpose on: the *wire* (sockets) and the *disk* (replica
+    directories).  Raw socket calls are allowed only inside the transport
+    layer — :class:`SocketTransport`, :class:`ReplicaServer` and the two
+    ``_recv_*`` framing helpers they share — so every other component
+    (primary, node, promotion) stays transport-agnostic and testable over
+    the in-process transport.  Durability-critical file *writes* must flow
+    through the ``FileSystem`` seam exactly as in the durability layer
+    (RL001); a raw write would be invisible to ``FaultyFS`` and silently
+    escape the crash-point enumeration of the replication fault suite.
+    """
+
+    code = "RL007"
+    name = "replication-seam"
+    description = (
+        "in api/replication.py, raw socket use is confined to the transport "
+        "classes and file writes must go through the FileSystem seam"
+    )
+
+    #: The transport layer: the only scopes that may touch sockets.
+    _SOCKET_SCOPES = frozenset({"SocketTransport", "ReplicaServer", "_recv_exact", "_recv_message"})
+    _OS_FUNCTIONS = SeamDisciplineRule._OS_FUNCTIONS
+    _SHUTIL_FUNCTIONS = SeamDisciplineRule._SHUTIL_FUNCTIONS
+    _PATH_METHODS = SeamDisciplineRule._PATH_METHODS
+    _SEAM_RECEIVERS = SeamDisciplineRule._SEAM_RECEIVERS
+
+    def applies_to(self, path: PurePath) -> bool:
+        return _adjacent(path.parts, "repro", "api") and path.name == "replication.py"
+
+    def check(self, tree: ast.Module, path: PurePath) -> List[Diagnostic]:
+        transport_spans = self._transport_spans(tree)
+        diagnostics: List[Diagnostic] = []
+        rule = self
+
+        def in_transport(node: ast.AST) -> bool:
+            line = getattr(node, "lineno", 0)
+            return any(start <= line <= end for start, end in transport_spans)
+
+        class Visitor(ast.NodeVisitor):
+            def visit_Attribute(self, node: ast.Attribute) -> None:
+                dotted = dotted_name(node)
+                root, _, attr = dotted.partition(".")
+                if root == "socket" and not in_transport(node):
+                    diagnostics.append(
+                        rule.diagnostic(
+                            path,
+                            node,
+                            f"raw socket use '{dotted}' outside the transport "
+                            "layer; route peer I/O through a ReplicationTransport",
+                        )
+                    )
+                elif root == "os" and attr in rule._OS_FUNCTIONS:
+                    diagnostics.append(rule._flag_file(path, node, dotted))
+                elif root == "shutil" and attr in rule._SHUTIL_FUNCTIONS:
+                    diagnostics.append(rule._flag_file(path, node, dotted))
+                self.generic_visit(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                if isinstance(node.func, ast.Name) and node.func.id == "open":
+                    if not SeamDisciplineRule._is_read_only_open(node):
+                        diagnostics.append(rule._flag_file(path, node, "open"))
+                elif isinstance(node.func, ast.Attribute):
+                    attr = node.func.attr
+                    receiver = terminal_name(node.func.value)
+                    if attr in rule._PATH_METHODS and receiver not in rule._SEAM_RECEIVERS:
+                        diagnostics.append(rule._flag_file(path, node, f"{receiver}.{attr}"))
+                self.generic_visit(node)
+
+        Visitor().visit(tree)
+        return diagnostics
+
+    def _transport_spans(self, tree: ast.Module) -> List[Tuple[int, int]]:
+        spans: List[Tuple[int, int]] = []
+        for node in tree.body:
+            if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in self._SOCKET_SCOPES:
+                    spans.append((node.lineno, node.end_lineno or node.lineno))
+        return spans
+
+    def _flag_file(self, path: PurePath, node: ast.AST, operation: str) -> Diagnostic:
+        return self.diagnostic(
+            path,
+            node,
+            f"raw file operation '{operation}' outside the FileSystem seam; "
+            "route it through the fs parameter so FaultyFS covers it",
+        )

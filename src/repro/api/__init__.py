@@ -20,6 +20,7 @@ against:
   with persistence and attached streaming sessions.
 """
 
+from repro.api.config import DatabaseConfig, ReplicationOptions
 from repro.api.database import Database
 from repro.api.durability import DurabilityStats, DurableBackend
 from repro.api.protocol import (
@@ -38,6 +39,19 @@ from repro.api.registry import (
     register_backend,
     registered_backends,
     resolve_method_label,
+)
+from repro.api.replication import (
+    InProcessTransport,
+    ReplicatedBackend,
+    ReplicationError,
+    ReplicationTransport,
+    ReplicaNode,
+    ReplicaServer,
+    SocketTransport,
+    choose_promotion_target,
+    durable_lsns,
+    is_replica_directory,
+    promote,
 )
 from repro.api.serving import (
     AsyncDatabase,
@@ -62,22 +76,35 @@ __all__ = [
     "COST_COUNTERS",
     "Capabilities",
     "Database",
+    "DatabaseConfig",
     "DurabilityStats",
     "DurableBackend",
     "HashShardRouter",
+    "InProcessTransport",
     "QueryResult",
+    "ReplicaNode",
+    "ReplicaServer",
+    "ReplicatedBackend",
+    "ReplicationError",
+    "ReplicationOptions",
+    "ReplicationTransport",
     "ServingConfig",
     "ServingStats",
     "ShardRouter",
     "ShardedDatabase",
     "ShardedSnapshot",
+    "SocketTransport",
     "SpatialBackend",
     "SpatialShardRouter",
     "UnsupportedOperation",
     "backend_spec",
     "build_backend_for_dataset",
+    "choose_promotion_target",
     "create_backend",
     "create_router",
+    "durable_lsns",
+    "is_replica_directory",
+    "promote",
     "register_backend",
     "registered_backends",
     "resolve_method_label",

@@ -1,0 +1,183 @@
+"""Frozen database configuration: one validated description of a deployment.
+
+``Database.create`` / ``Database.from_dataset`` grew one keyword at a time
+— method, shards, router, max_workers, durability, and now replication —
+and every caller (CLI, benchmarks, tests) re-spelled the same kwarg sprawl
+with the same implicit validity rules.  :class:`DatabaseConfig` lifts that
+surface into a single frozen dataclass validated in one place:
+
+* what backend(s) to build (``method``, ``dimensions``, ``cost``,
+  ``backend_config``),
+* how to shard them (``shards``, ``router``, ``max_workers``),
+* whether mutations are write-ahead logged (``durable``, ``wal_dir``,
+  ``fsync``),
+* and whether the WAL streams to followers
+  (:class:`ReplicationOptions`: role, mode, peers).
+
+A config is inert data — hashable, comparable, printable — so benches can
+put it in their parameter dicts and tests can build variants with
+:func:`dataclasses.replace`.  ``Database.from_config`` turns one into a
+live database; the legacy keyword constructors remain as thin shims that
+build a config and delegate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+from repro.api.replication import REPLICATION_MODES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.sharding import ShardRouter
+    from repro.core.cost_model import CostParameters
+
+#: Roles a node can play in a replicated deployment.
+REPLICATION_ROLES = ("primary", "replica")
+
+
+@dataclass(frozen=True)
+class ReplicationOptions:
+    """How a durable database participates in WAL-shipping replication.
+
+    ``role="primary"`` streams the write-ahead log to the *peers* —
+    ``"host:port"`` addresses of running
+    :class:`~repro.api.replication.ReplicaServer` processes — in the given
+    acknowledgement *mode*.  ``role="replica"`` only validates; followers
+    are constructed as :class:`~repro.api.replication.ReplicaNode` servers
+    and promoted through :meth:`Database.attach`, not built by config.
+    """
+
+    role: str = "primary"
+    mode: str = "semi-sync"
+    peers: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.role not in REPLICATION_ROLES:
+            raise ValueError(
+                f"unknown replication role {self.role!r}; expected one of "
+                f"{', '.join(REPLICATION_ROLES)}"
+            )
+        if self.mode not in REPLICATION_MODES:
+            raise ValueError(
+                f"unknown replication mode {self.mode!r}; expected one of "
+                f"{', '.join(REPLICATION_MODES)}"
+            )
+        object.__setattr__(self, "peers", tuple(str(peer) for peer in self.peers))
+        if self.role == "replica" and self.peers:
+            raise ValueError(
+                "peers apply to the primary role; a replica receives its "
+                "stream from whichever primary attaches it"
+            )
+        for peer in self.peers:
+            self._parse_peer(peer)
+
+    @staticmethod
+    def _parse_peer(peer: str) -> Tuple[str, int]:
+        host, separator, port = peer.rpartition(":")
+        if not separator or not host:
+            raise ValueError(
+                f"replication peer {peer!r} is not a 'host:port' address"
+            )
+        try:
+            return host, int(port)
+        except ValueError as error:
+            raise ValueError(
+                f"replication peer {peer!r} has a non-numeric port"
+            ) from error
+
+    def parsed_peers(self) -> Tuple[Tuple[str, int], ...]:
+        """The peers as ``(host, port)`` pairs ready for a socket transport."""
+        return tuple(self._parse_peer(peer) for peer in self.peers)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten for reporting / JSON."""
+        return {"role": self.role, "mode": self.mode, "peers": list(self.peers)}
+
+
+@dataclass(frozen=True)
+class DatabaseConfig:
+    """One validated, immutable description of a database deployment.
+
+    Validity rules (enforced at construction, nowhere else):
+
+    * ``method`` is one registry name, or a sequence of per-shard names
+      (which implies sharding, like passing ``shards=``);
+    * ``router`` / ``max_workers`` apply to sharded databases only;
+    * ``durable=True`` requires a ``wal_dir`` to log into;
+    * ``replication`` requires a ``wal_dir`` (it ships the WAL) and — for
+      database construction — the primary role.
+    """
+
+    method: Union[str, Tuple[str, ...]] = "ac"
+    dimensions: int = 2
+    shards: Optional[int] = None
+    router: "ShardRouter | str" = "hash"
+    max_workers: Optional[int] = None
+    cost: "Optional[CostParameters]" = None
+    backend_config: Optional[object] = None
+    durable: bool = False
+    wal_dir: Optional[Path] = None
+    fsync: bool = True
+    replication: Optional[ReplicationOptions] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.method, str):
+            object.__setattr__(self, "method", tuple(str(name) for name in self.method))
+            if not self.method:
+                raise ValueError("a sharded database needs at least one shard")
+            if self.shards is not None and self.shards != len(self.method):
+                raise ValueError(
+                    f"shards={self.shards} disagrees with {len(self.method)} method names"
+                )
+        if self.dimensions < 1:
+            raise ValueError("dimensions must be at least 1")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("a sharded database needs at least one shard")
+        if self.wal_dir is not None:
+            object.__setattr__(self, "wal_dir", Path(self.wal_dir))
+        if not self.sharded and (self.router != "hash" or self.max_workers is not None):
+            raise ValueError(
+                "router and max_workers apply to sharded databases only; "
+                "pass shards=N (or a sequence of method names)"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if self.durable and self.wal_dir is None:
+            raise ValueError("durable=True requires a wal_dir to log into")
+        if self.replication is not None and self.wal_dir is None:
+            raise ValueError(
+                "replication ships the write-ahead log; pass wal_dir=... "
+                "so there is a WAL to stream"
+            )
+
+    @property
+    def sharded(self) -> bool:
+        """True when this config builds a :class:`ShardedDatabase`."""
+        return self.shards is not None or not isinstance(self.method, str)
+
+    @property
+    def logged(self) -> bool:
+        """True when mutations are write-ahead logged (durable or replicated)."""
+        return self.wal_dir is not None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten for reporting / JSON (cost and backend_config summarised)."""
+        summary: Dict[str, object] = {}
+        for entry in fields(self):
+            value = getattr(self, entry.name)
+            if value is None:
+                continue
+            if entry.name == "replication":
+                assert isinstance(value, ReplicationOptions)
+                summary[entry.name] = value.as_dict()
+            elif entry.name in {"cost", "backend_config", "router"}:
+                summary[entry.name] = value if isinstance(value, str) else repr(value)
+            elif isinstance(value, Path):
+                summary[entry.name] = str(value)
+            elif isinstance(value, tuple):
+                summary[entry.name] = list(value)
+            else:
+                summary[entry.name] = value
+        return summary

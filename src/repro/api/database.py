@@ -36,6 +36,7 @@ from repro.geometry.box import HyperRectangle
 from repro.geometry.relations import SpatialRelation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.config import DatabaseConfig
     from repro.api.sharding import ShardRouter
     from repro.core.cost_model import CostParameters
     from repro.engine.matcher import MatchRecord, StreamingConfig, StreamingMatcher
@@ -47,9 +48,10 @@ class Database:
     """A spatial database: a backend plus persistence and streaming sessions.
 
     Construct one around an existing backend, or use the classmethod
-    constructors: :meth:`create` (empty, by registry name),
-    :meth:`from_dataset` (loaded the way the evaluation harness loads) and
-    :meth:`open` (recovered from a snapshot file).
+    constructors: :meth:`from_config` (the canonical one — builds whatever
+    a validated :class:`~repro.api.config.DatabaseConfig` describes),
+    :meth:`create` / :meth:`from_dataset` (keyword shims over it) and
+    :meth:`attach` (reopen any on-disk layout, sniffing which it is).
     """
 
     def __init__(self, backend: SpatialBackend) -> None:
@@ -63,6 +65,75 @@ class Database:
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config: "DatabaseConfig",
+        dataset: "Optional[Dataset]" = None,
+    ) -> "Database":
+        """Build the database a :class:`~repro.api.config.DatabaseConfig` describes.
+
+        This is the canonical constructor: the config has already validated
+        every cross-option rule (sharding options, durability, replication),
+        so this method only assembles — registry backend(s), optional
+        :class:`~repro.api.sharding.ShardedDatabase` composition, optional
+        :class:`~repro.api.durability.DurableBackend` /
+        :class:`~repro.api.replication.ReplicatedBackend` wrapping, and
+        socket attachment of any configured replica peers.
+
+        With *dataset* the backend is pre-loaded (and the dataset's
+        dimensionality wins over ``config.dimensions``); the load is
+        captured by the initial checkpoint, not logged op by op.
+        """
+        dimensions = dataset.dimensions if dataset is not None else config.dimensions
+        backend: SpatialBackend
+        if config.sharded:
+            from repro.api.sharding import ShardedDatabase
+
+            method = config.method if isinstance(config.method, str) else list(config.method)
+            backend = ShardedDatabase.create(
+                method,
+                dimensions,
+                shards=config.shards,
+                router=config.router,
+                cost=config.cost,
+                config=config.backend_config,
+                max_workers=config.max_workers,
+            )
+            if dataset is not None:
+                backend.bulk_load(dataset.iter_objects())
+        else:
+            assert isinstance(config.method, str)  # non-str method implies sharded
+            if dataset is not None:
+                backend = build_backend_for_dataset(
+                    config.method, dataset, config.cost, config.backend_config
+                )
+            else:
+                backend = create_backend(
+                    config.method, dimensions, cost=config.cost, config=config.backend_config
+                )
+        if config.replication is not None:
+            from repro.api.replication import ReplicatedBackend, SocketTransport
+
+            if config.replication.role != "primary":
+                raise ValueError(
+                    "from_config builds primaries; run a follower as a "
+                    "ReplicaNode behind a ReplicaServer and promote its "
+                    "directory with Database.attach()"
+                )
+            assert config.wal_dir is not None  # validated by DatabaseConfig
+            replicated = ReplicatedBackend.create(
+                backend, config.wal_dir, fsync=config.fsync, mode=config.replication.mode
+            )
+            for address in config.replication.parsed_peers():
+                replicated.attach_replica(SocketTransport(address))
+            backend = replicated
+        elif config.wal_dir is not None:
+            from repro.api.durability import DurableBackend
+
+            backend = DurableBackend.create(backend, config.wal_dir, fsync=config.fsync)
+        return cls(backend)
+
     @classmethod
     def create(
         cls,
@@ -91,36 +162,25 @@ class Database:
         write-ahead logged (one WAL per shard) and survives a crash;
         reopen with :meth:`recover` and checkpoint with
         :meth:`checkpoint`.  Durability requires a persistable backend.
-        """
-        if durable and wal_dir is None:
-            raise ValueError("durable=True requires a wal_dir to log into")
-        backend: SpatialBackend
-        if shards is not None or not isinstance(method, str):
-            from repro.api.sharding import ShardedDatabase
 
-            backend = ShardedDatabase.create(
-                method,
-                dimensions,
+        This is a keyword shim over :meth:`from_config`, which validates
+        the option combination in one place.
+        """
+        from repro.api.config import DatabaseConfig
+
+        return cls.from_config(
+            DatabaseConfig(
+                method=method if isinstance(method, str) else tuple(method),
+                dimensions=dimensions,
                 shards=shards,
                 router=router,
-                cost=cost,
-                config=config,
                 max_workers=max_workers,
+                cost=cost,
+                backend_config=config,
+                durable=durable,
+                wal_dir=None if wal_dir is None else Path(wal_dir),
             )
-        else:
-            if router != "hash" or max_workers is not None:
-                # Sharding-only options on an unsharded create would be
-                # silently discarded; fail instead of mislabeling the result.
-                raise ValueError(
-                    "router and max_workers apply to sharded databases only; "
-                    "pass shards=N (or a sequence of method names)"
-                )
-            backend = create_backend(method, dimensions, cost=cost, config=config)
-        if wal_dir is not None:
-            from repro.api.durability import DurableBackend
-
-            backend = DurableBackend.create(backend, wal_dir)
-        return cls(backend)
+        )
 
     @classmethod
     def from_dataset(
@@ -146,35 +206,61 @@ class Database:
         / ``wal_dir=`` wraps the loaded backend the way :meth:`create`
         does (the load itself is captured by the initial checkpoint, not
         logged operation by operation).
+
+        This is a keyword shim over :meth:`from_config`; ``shards=1``
+        keeps its historical meaning of "unsharded".
         """
-        if durable and wal_dir is None:
-            raise ValueError("durable=True requires a wal_dir to log into")
-        backend: SpatialBackend
-        if shards is not None and shards > 1:
-            from repro.api.sharding import ShardedDatabase
+        from repro.api.config import DatabaseConfig
 
-            backend = ShardedDatabase.create(
-                method,
-                dataset.dimensions,
-                shards=shards,
+        return cls.from_config(
+            DatabaseConfig(
+                method=method,
+                dimensions=dataset.dimensions,
+                shards=shards if shards is not None and shards > 1 else None,
                 router=router,
-                cost=cost,
-                config=config,
                 max_workers=max_workers,
-            )
-            backend.bulk_load(dataset.iter_objects())
-        else:
-            if router != "hash" or max_workers is not None:
-                raise ValueError(
-                    "router and max_workers apply to sharded databases only; "
-                    "pass shards >= 2"
-                )
-            backend = build_backend_for_dataset(method, dataset, cost, config)
-        if wal_dir is not None:
-            from repro.api.durability import DurableBackend
+                cost=cost,
+                backend_config=config,
+                durable=durable,
+                wal_dir=None if wal_dir is None else Path(wal_dir),
+            ),
+            dataset,
+        )
 
-            backend = DurableBackend.create(backend, wal_dir)
-        return cls(backend)
+    @classmethod
+    def attach(cls, path: "str | Path") -> "Database":
+        """Reopen whatever database layout lives at *path*.
+
+        Sniffs the on-disk layout and delegates to the matching
+        constructor, in order:
+
+        1. a **replica directory** (``REPLICA.json`` marker left by a
+           WAL-shipping follower) is *promoted* — the marker is removed
+           and the node recovers as a fresh primary, truncating any torn
+           unacknowledged WAL suffix;
+        2. a **durable directory** (``CHECKPOINT.json`` manifest) reopens
+           via :meth:`recover` — checkpoint load plus WAL replay;
+        3. a **sharded snapshot** (shard ``manifest.json``) reopens as a
+           :class:`~repro.api.sharding.ShardedDatabase`;
+        4. anything else is treated as a **plain snapshot** written by
+           :meth:`save`.
+
+        :meth:`open` and :meth:`recover` remain as documented delegates
+        for callers that know their layout and want a mismatch to fail
+        loudly instead of being sniffed around.
+        """
+        target = Path(path)
+        if not target.exists():
+            raise FileNotFoundError(f"no database at {target}")
+        from repro.api.replication import is_replica_directory, promote
+
+        if is_replica_directory(target):
+            return cls(promote(target))
+        from repro.api.durability import CHECKPOINT_MANIFEST_NAME
+
+        if (target / CHECKPOINT_MANIFEST_NAME).is_file():
+            return cls.recover(target)
+        return cls.open(target)
 
     @classmethod
     def open(cls, path: "str | Path", storage: "Optional[StorageBackend]" = None) -> "Database":
@@ -186,6 +272,9 @@ class Database:
         Snapshots are written only by backends advertising
         ``supports_persistence`` (currently the adaptive clustering
         index), so the recovered backend is always persistable.
+
+        This is the snapshot-layout delegate of :meth:`attach`; unlike
+        ``attach`` it refuses durable directories (use :meth:`recover`).
         """
         from repro.api.sharding import ShardedDatabase, is_sharded_snapshot
 
@@ -217,6 +306,8 @@ class Database:
         :class:`~repro.api.durability.DurableBackend` that keeps logging
         into the same directory.  See :mod:`repro.api.durability` for the
         crash-equivalence contract.
+
+        This is the durable-layout delegate of :meth:`attach`.
         """
         from repro.api.durability import DurableBackend
 
@@ -360,6 +451,13 @@ class Database:
         from repro.api.durability import DurableBackend
 
         return isinstance(self._backend, DurableBackend)
+
+    @property
+    def replicated(self) -> bool:
+        """True when the WAL can stream to follower replicas."""
+        from repro.api.replication import ReplicatedBackend
+
+        return isinstance(self._backend, ReplicatedBackend)
 
     # ------------------------------------------------------------------
     # Streaming sessions

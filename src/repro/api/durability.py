@@ -231,7 +231,7 @@ class DurableBackend(BackendBase):
         identically on the next attempt.
         """
         wal_dir = Path(wal_dir)
-        manifest = _read_manifest(wal_dir)
+        manifest = read_manifest(wal_dir)
         directory = wal_dir / str(manifest["directory"])
         layout = str(manifest["layout"])
         inner: SpatialBackend
@@ -245,7 +245,7 @@ class DurableBackend(BackendBase):
             raise ValueError(f"corrupt checkpoint manifest: unknown layout {layout!r}")
         next_gid = int(manifest["next_gid"])
 
-        pending = _read_pending(wal_dir)
+        pending = read_pending(wal_dir)
         if pending is not None and int(pending["gid"]) < next_gid:
             # Stale: the staged operation is already contained in the
             # checkpoint (the manifest's next_gid is the commit record).
@@ -273,10 +273,10 @@ class DurableBackend(BackendBase):
                     continue  # partial piece of the staged operation
                 if record.gid:
                     next_gid = max(next_gid, record.gid + 1)
-                _apply_record(target, record)
+                replay_record(target, record)
                 replayed += 1
         if pending is not None:
-            _apply_pending(inner, pending)
+            replay_pending(inner, pending)
             next_gid = max(next_gid, int(pending["gid"]) + 1)
 
         wals = [
@@ -318,6 +318,11 @@ class DurableBackend(BackendBase):
     def wal_paths(self) -> Tuple[Path, ...]:
         """The write-ahead log files, one per shard (one for a plain backend)."""
         return tuple(wal.path for wal in self._wals)
+
+    @property
+    def next_lsns(self) -> Tuple[int, ...]:
+        """Each shard's next WAL sequence number (its stream position)."""
+        return tuple(wal.next_lsn for wal in self._wals)
 
     @property
     def capabilities(self) -> Capabilities:
@@ -619,6 +624,7 @@ class DurableBackend(BackendBase):
                     for position in sorted(touched):
                         self._wals[position].sync()
                     self.stats.syncs += 1
+                self._after_sync(sorted(touched))
 
     def sync(self) -> None:
         """Force every buffered WAL record to stable storage now."""
@@ -626,6 +632,7 @@ class DurableBackend(BackendBase):
             wal.sync()
         self._touched.clear()
         self.stats.syncs += 1
+        self._after_sync(range(len(self._wals)))
 
     def close(self) -> None:
         """Flush and close the WAL handles (and the inner scatter pool)."""
@@ -692,13 +699,30 @@ class DurableBackend(BackendBase):
             for position in positions:
                 self._wals[position].sync()
             self.stats.syncs += 1
+        self._after_sync(positions)
 
     def _commit(self, position: int) -> None:
         if self._group_depth:
             self._touched.add(position)
-        elif self._fsync:
+            return
+        if self._fsync:
             self._wals[position].sync()
             self.stats.syncs += 1
+        self._after_sync((position,))
+
+    def _after_sync(self, positions: Iterable[int]) -> None:
+        """Hook: the WALs at *positions* just reached their acknowledgement point.
+
+        Called after the fsync (or, with ``fsync=False``, at the moment the
+        fsync would have been issued) of a single-record commit, a staged
+        multi-shard operation, an explicit :meth:`sync` and the outermost
+        :meth:`group_commit` exit — exactly the points where the backend is
+        about to acknowledge the covered operations as durable.  The
+        replication layer overrides this to ship the freshly durable frames
+        to followers (and, in semi-sync mode, to wait for their
+        acknowledgement) *before* the caller's acknowledgement resolves.
+        The base implementation does nothing.
+        """
 
     def _logged_apply(
         self,
@@ -733,7 +757,7 @@ class DurableBackend(BackendBase):
         """
         inner_copy = _copy.deepcopy(self._inner, memo)
         scratch = Path(tempfile.mkdtemp(prefix="repro-durable-copy-"))
-        duplicate = DurableBackend.create(
+        duplicate = type(self).create(
             inner_copy, scratch / "wal", fs=REAL_FS, fsync=self._fsync
         )
         # repro-lint: disable=RL001 -- GC cleanup of a scratch copy, not a durability commit path
@@ -772,7 +796,7 @@ def _wal_file_name(position: int) -> str:
     return f"wal-{position:03d}.log"
 
 
-def _read_manifest(wal_dir: Path) -> Dict[str, Any]:
+def read_manifest(wal_dir: Path) -> Dict[str, Any]:
     manifest_path = wal_dir / CHECKPOINT_MANIFEST_NAME
     if not manifest_path.is_file():
         raise ValueError(
@@ -791,7 +815,7 @@ def _read_manifest(wal_dir: Path) -> Dict[str, Any]:
     return dict(manifest)
 
 
-def _read_pending(wal_dir: Path) -> Optional[Dict[str, Any]]:
+def read_pending(wal_dir: Path) -> Optional[Dict[str, Any]]:
     pending_path = wal_dir / PENDING_OP_NAME
     if not pending_path.is_file():
         return None
@@ -804,7 +828,7 @@ def _read_pending(wal_dir: Path) -> Optional[Dict[str, Any]]:
     return dict(pending)
 
 
-def _apply_record(backend: SpatialBackend, record: WalRecord) -> None:
+def replay_record(backend: SpatialBackend, record: WalRecord) -> None:
     """Replay one WAL record against its shard (or the plain backend)."""
     if record.opcode == OP_INSERT:
         assert record.lows is not None and record.highs is not None
@@ -829,7 +853,7 @@ def _apply_record(backend: SpatialBackend, record: WalRecord) -> None:
         raise ValueError(f"unknown WAL opcode in record {record.lsn}: {record.opcode}")
 
 
-def _apply_pending(inner: SpatialBackend, pending: Dict[str, Any]) -> None:
+def replay_pending(inner: SpatialBackend, pending: Dict[str, Any]) -> None:
     """Re-apply a staged multi-shard operation whole, through normal routing."""
     op = str(pending.get("op"))
     if op == "bulk_load":

@@ -393,14 +393,25 @@ class AsyncDatabase:
         group = getattr(self._database.backend, "group_commit", None)
         if group is not None:
             self._deferred = []
+            commit_error: Optional[BaseException] = None
             try:
                 with group():
                     self._process_requests(batch)
+            except BaseException as error:  # noqa: B036 - crash injection raises BaseException
+                # The group exit itself failed: the tick's fsync — or, on a
+                # replicated backend, a follower acknowledgement — did not
+                # complete, so nothing processed this tick may be
+                # acknowledged as durable.
+                commit_error = error
             finally:
-                # The group block has fsynced; release the acknowledgements.
+                # The group block has exited; release the acknowledgements —
+                # as failures when the commit itself failed.
                 deferred, self._deferred = self._deferred, None
                 for future, result, error in deferred:
-                    self._dispatch(future, result, error)
+                    if commit_error is not None and error is None:
+                        self._stats.failed += 1
+                        error = commit_error
+                    self._dispatch(future, None if error is not None else result, error)
         else:
             self._process_requests(batch)
 

@@ -337,6 +337,9 @@ class ShardedDatabase(BackendBase):
         #: Lazily created, then reused across scatters (thread start-up on
         #: every query would rival small per-shard workloads).
         self._executor: Optional[ThreadPoolExecutor] = None
+        #: Per-shard read delegates (replication read routing); empty by
+        #: default, so plain sharded databases behave exactly as before.
+        self._read_delegates: Dict[int, Callable[[], Optional[SpatialBackend]]] = {}
         self._capabilities = self._derive_capabilities()
 
     # ------------------------------------------------------------------
@@ -612,21 +615,62 @@ class ShardedDatabase(BackendBase):
     # ------------------------------------------------------------------
     # Scatter-gather query execution
     # ------------------------------------------------------------------
-    def _scatter(self, operation: Callable[[SpatialBackend], _T]) -> List[_T]:
+    def set_read_delegate(
+        self, position: int, provider: Callable[[], Optional[SpatialBackend]]
+    ) -> None:
+        """Route shard *position*'s share of **reads** to a delegate backend.
+
+        *provider* is consulted at scatter time and returns the delegate —
+        typically a caught-up read replica of the shard — or ``None`` to
+        fall back to the local shard (read-your-writes: a provider must
+        return ``None`` whenever its replica lags the primary).  Mutations,
+        reorganization and persistence always run on the local shards;
+        only ``execute`` / ``execute_batch`` scatter to delegates.
+        """
+        if not 0 <= position < len(self._shards):
+            raise ValueError(
+                f"shard position {position} out of range for {len(self._shards)} shards"
+            )
+        self._read_delegates[int(position)] = provider
+
+    def clear_read_delegates(self) -> None:
+        """Drop every read delegate; reads scatter to the local shards again."""
+        self._read_delegates.clear()
+
+    def _read_targets(self) -> List[SpatialBackend]:
+        """The per-position backends queries scatter to (delegates applied)."""
+        if not self._read_delegates:
+            return self._shards
+        targets = list(self._shards)
+        for position, provider in self._read_delegates.items():
+            delegate = provider()
+            if delegate is not None:
+                targets[position] = delegate
+        return targets
+
+    def _scatter(
+        self,
+        operation: Callable[[SpatialBackend], _T],
+        targets: Optional[Sequence[SpatialBackend]] = None,
+    ) -> List[_T]:
         """Run *operation* on every shard, serially or on the thread pool.
 
         The pool is created once (bounded by ``max_workers`` and the shard
         count) and reused across scatters; gather order is always shard
         order, so merging is deterministic regardless of scheduling.
+        Reads pass their (possibly delegate-substituted) *targets*;
+        mutations scatter over the local shards.
         """
+        if targets is None:
+            targets = self._shards
         if self._max_workers is not None and self._max_workers > 1 and len(self._shards) > 1:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=min(self._max_workers, len(self._shards)),
                     thread_name_prefix="repro-shard",
                 )
-            return list(self._executor.map(operation, self._shards))
-        return [operation(shard) for shard in self._shards]
+            return list(self._executor.map(operation, targets))
+        return [operation(shard) for shard in targets]
 
     def close(self) -> None:
         """Shut down the scatter thread pool (no-op when serial or unused)."""
@@ -678,7 +722,9 @@ class ShardedDatabase(BackendBase):
                 f"query has {query.dimensions} dimensions, database expects "
                 f"{self._dimensions}"
             )
-        return self._merge(self._scatter(lambda shard: shard.execute(query, parsed)))
+        return self._merge(
+            self._scatter(lambda shard: shard.execute(query, parsed), self._read_targets())
+        )
 
     def execute_batch(
         self,
@@ -696,7 +742,9 @@ class ShardedDatabase(BackendBase):
                 )
         if not query_list:
             return []
-        per_shard = self._scatter(lambda shard: shard.execute_batch(query_list, parsed))
+        per_shard = self._scatter(
+            lambda shard: shard.execute_batch(query_list, parsed), self._read_targets()
+        )
         return [self._merge(row) for row in zip(*per_shard)]
 
     # ------------------------------------------------------------------

@@ -10,6 +10,7 @@ figures and tables from the terminal::
     repro-experiments pubsub-bench --subscriptions 5000 --events 2000
     repro-experiments serve-bench --clients 16 --shards 4 --router spatial
     repro-experiments wal-bench --objects 5000 --mutations 1500 --shards 2
+    repro-experiments repl-bench --objects 5000 --mutations 1500 --shards 2
 
 Every command prints a paper-style report (and optionally writes it to a
 file with ``--output``).  Method names are resolved through the backend
@@ -38,9 +39,11 @@ from repro.evaluation.experiments import (
     selectivity_sweep,
 )
 from repro.evaluation.durability import wal_durability_bench
+from repro.evaluation.replication import replication_bench
 from repro.evaluation.reporting import (
     format_durability_result,
     format_experiment_result,
+    format_replication_result,
     format_serving_result,
     format_streaming_result,
 )
@@ -332,6 +335,21 @@ def _run_wal_bench(args: argparse.Namespace):
     return wal_durability_bench(scenario=args.scenario, **kwargs)
 
 
+def _run_repl_bench(args: argparse.Namespace):
+    kwargs = _collect_kwargs(
+        args,
+        {
+            "objects": "objects",
+            "mutations": "mutations",
+            "batch_size": "batch_size",
+            "shards": "shards",
+            "router": "router",
+            "seed": "seed",
+        },
+    )
+    return replication_bench(scenario=args.scenario, **kwargs)
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
     "fig7": _run_fig7,
     "fig8": _run_fig8,
@@ -403,10 +421,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_wal_bench_arguments(wal)
     wal.set_defaults(runner=_run_wal_bench, formatter=format_durability_result)
+    repl = subparsers.add_parser(
+        "repl-bench",
+        help="replication benchmark: WAL-shipping write-path overhead "
+        "(semi-sync vs async vs durable-only), async catch-up lag, and "
+        "failover promotion latency",
+    )
+    _add_wal_bench_arguments(repl)
+    repl.set_defaults(runner=_run_repl_bench, formatter=format_replication_result)
     lint = subparsers.add_parser(
         "lint",
         help="check the repository invariants (seam discipline, capability "
-        "gating, determinism, fsync-before-ack) with the AST analyzer",
+        "gating, determinism, fsync-before-ack, replication-seam) with the "
+        "AST analyzer",
     )
     lint.add_argument(
         "paths",

@@ -9,6 +9,7 @@ clusters explored, fraction of objects verified).
 
 from repro.evaluation.metrics import MethodResult, ModeledCostModel, aggregate_executions
 from repro.evaluation.durability import DurabilityBenchResult, wal_durability_bench
+from repro.evaluation.replication import ReplicationBenchResult, replication_bench
 from repro.evaluation.harness import ExperimentHarness, MethodFactory, default_methods
 from repro.evaluation.experiments import (
     ExperimentRow,
@@ -24,6 +25,7 @@ from repro.evaluation.reporting import (
     format_data_access_table,
     format_durability_result,
     format_experiment_result,
+    format_replication_result,
     format_streaming_result,
     format_table,
     format_time_chart,
@@ -52,12 +54,15 @@ __all__ = [
     "format_table",
     "format_data_access_table",
     "format_durability_result",
+    "format_replication_result",
     "format_time_chart",
     "format_experiment_result",
     "format_streaming_result",
     "DurabilityBenchResult",
+    "ReplicationBenchResult",
     "StreamingBenchResult",
     "StreamingMethodResult",
     "pubsub_streaming_bench",
     "wal_durability_bench",
+    "replication_bench",
 ]

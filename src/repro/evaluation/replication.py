@@ -1,0 +1,238 @@
+"""Replication benchmark: shipping overhead, catch-up lag, failover time.
+
+``replication_bench`` answers the three questions the replication
+subsystem (:mod:`repro.api.replication`) raises operationally:
+
+* **What does shipping cost on the write path?**  The same group-committed
+  mutation stream runs against a durable-only database (the baseline: WAL
+  but no follower), a primary with a semi-sync follower (every commit
+  barrier waits for the follower's durable acknowledgement) and a primary
+  with an async follower (frames ship at the barrier, nobody waits).
+* **How far does an async follower lag, and how fast does it catch up?**
+  After the async stream the outstanding frame gap is measured, then an
+  explicit sync drains it and the catch-up time is reported.
+* **How fast is failover?**  The semi-sync primary is dropped, its
+  follower's directory is promoted — torn-tail truncation, checkpoint
+  load, WAL replay — and the promoted database must be query-equivalent
+  to the acknowledged primary state (full-sweep ids byte-identical); the
+  flag is part of the result and the benchmark gate asserts it.
+
+Everything runs over the in-process transport, so the numbers isolate the
+replication machinery (framing, acknowledgement barriers, follower apply)
+from network latency.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.config import DatabaseConfig, ReplicationOptions
+from repro.api.database import Database
+from repro.api.durability import DurableBackend
+from repro.api.replication import InProcessTransport, ReplicatedBackend, ReplicaNode, promote
+from repro.core.cost_model import CostParameters, StorageScenario, SystemCostConstants
+from repro.geometry.box import HyperRectangle
+from repro.workloads.uniform import generate_uniform_dataset
+
+
+@dataclass
+class ReplicationBenchResult:
+    """Result of one replication benchmark run."""
+
+    experiment_id: str
+    title: str
+    scenario: StorageScenario
+    parameters: Dict[str, object] = field(default_factory=dict)
+    #: Group-committed mutations per second by deployment.
+    durable_ops_per_s: float = 0.0
+    semi_sync_ops_per_s: float = 0.0
+    async_ops_per_s: float = 0.0
+    #: Async follower: outstanding WAL records after the stream, and the
+    #: time one explicit sync took to drain them.
+    async_lag_records: int = 0
+    catch_up_ms: float = 0.0
+    #: Failover: promotion latency and the promoted frame count.
+    failover_ms: float = 0.0
+    replicated_records: int = 0
+    #: True when the promoted follower is query-equivalent to the primary.
+    identical: bool = False
+
+    @property
+    def semi_sync_overhead(self) -> float:
+        """Slowdown factor of semi-sync acknowledgement vs durable-only."""
+        if self.semi_sync_ops_per_s <= 0.0:
+            return float("inf")
+        return self.durable_ops_per_s / self.semi_sync_ops_per_s
+
+    @property
+    def async_overhead(self) -> float:
+        """Slowdown factor of async shipping vs durable-only."""
+        if self.async_ops_per_s <= 0.0:
+            return float("inf")
+        return self.durable_ops_per_s / self.async_ops_per_s
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the result for reporting / JSON."""
+        return {
+            "experiment_id": self.experiment_id,
+            "scenario": self.scenario.value,
+            "parameters": dict(self.parameters),
+            "durable_ops_per_s": self.durable_ops_per_s,
+            "semi_sync_ops_per_s": self.semi_sync_ops_per_s,
+            "async_ops_per_s": self.async_ops_per_s,
+            "semi_sync_overhead": self.semi_sync_overhead,
+            "async_overhead": self.async_overhead,
+            "async_lag_records": self.async_lag_records,
+            "catch_up_ms": self.catch_up_ms,
+            "failover_ms": self.failover_ms,
+            "replicated_records": self.replicated_records,
+            "identical": self.identical,
+        }
+
+
+def _mutation_stream(count: int, dimensions: int, seed: int) -> List[Tuple[int, HyperRectangle]]:
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for offset in range(count):
+        lows = rng.random(dimensions) * 0.75
+        pairs.append(
+            (1_000_000 + offset, HyperRectangle(lows, np.minimum(lows + 0.2, 1.0)))
+        )
+    return pairs
+
+
+def _timed_group_inserts(database: Database, pairs, batch_size: int) -> float:
+    """Group-committed inserts (the serving cadence); returns elapsed seconds."""
+    backend = database.backend
+    assert isinstance(backend, DurableBackend)
+    start = time.perf_counter()
+    for begin in range(0, len(pairs), batch_size):
+        with backend.group_commit():
+            for object_id, box in pairs[begin : begin + batch_size]:
+                backend.insert(object_id, box)
+    return time.perf_counter() - start
+
+
+def _sweep(database: Database, dimensions: int) -> bytes:
+    return np.sort(database.execute(HyperRectangle.unit(dimensions)).ids).tobytes()
+
+
+def replication_bench(
+    scenario: "StorageScenario | str" = StorageScenario.MEMORY,
+    objects: int = 2_000,
+    mutations: int = 600,
+    batch_size: int = 64,
+    dimensions: int = 8,
+    shards: int = 2,
+    router: str = "hash",
+    seed: int = 0,
+    wal_dir: "str | Path | None" = None,
+    constants: Optional[SystemCostConstants] = None,
+) -> ReplicationBenchResult:
+    """Measure WAL-shipping overhead, async lag and failover latency.
+
+    A uniform dataset of *objects* boxes is loaded (captured by each
+    primary's initial checkpoint and shipped to its follower as the
+    bootstrap snapshot), then *mutations* single inserts run group-
+    committed against each deployment.  The semi-sync pair is then failed
+    over: the primary is dropped and the follower promoted.
+    """
+    if objects <= 0:
+        raise ValueError("objects must be positive")
+    if mutations <= 0:
+        raise ValueError("mutations must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if shards == 1 and router != "hash":
+        raise ValueError("router applies to sharded databases only; pass shards >= 2")
+    scenario = StorageScenario.parse(scenario)
+    cost = CostParameters.for_scenario(scenario, dimensions, constants)
+    dataset = generate_uniform_dataset(objects, dimensions, seed=seed, max_extent=0.4)
+    stream = _mutation_stream(mutations, dimensions, seed=seed + 1)
+
+    result = ReplicationBenchResult(
+        experiment_id=f"repl-bench-{scenario.value}",
+        title="WAL shipping: write-path overhead, async lag, failover",
+        scenario=scenario,
+        parameters={
+            "objects": objects,
+            "mutations": mutations,
+            "batch_size": batch_size,
+            "dimensions": dimensions,
+            "shards": shards,
+            "router": router,
+            "seed": seed,
+        },
+    )
+
+    def make_config(wal: Path, mode: Optional[str]) -> DatabaseConfig:
+        return DatabaseConfig(
+            method="ac",
+            dimensions=dimensions,
+            shards=shards if shards > 1 else None,
+            router=router if shards > 1 else "hash",
+            cost=cost,
+            wal_dir=wal,
+            replication=None if mode is None else ReplicationOptions(mode=mode),
+        )
+
+    scratch = None
+    if wal_dir is None:
+        scratch = tempfile.mkdtemp(prefix="repro-repl-bench-")
+        wal_dir = scratch
+    wal_dir = Path(wal_dir)
+    try:
+        # Baseline: durable, no follower.
+        durable_db = Database.from_config(make_config(wal_dir / "durable", None), dataset)
+        seconds = _timed_group_inserts(durable_db, stream, batch_size)
+        result.durable_ops_per_s = mutations / seconds if seconds else 0.0
+
+        # Semi-sync: every commit barrier waits for the follower's fsync.
+        semi_db = Database.from_config(make_config(wal_dir / "semi", "semi-sync"), dataset)
+        semi_backend = semi_db.backend
+        assert isinstance(semi_backend, ReplicatedBackend)
+        semi_node = ReplicaNode(wal_dir / "semi-replica")
+        semi_backend.attach_replica(InProcessTransport(semi_node))
+        seconds = _timed_group_inserts(semi_db, stream, batch_size)
+        result.semi_sync_ops_per_s = mutations / seconds if seconds else 0.0
+
+        # Async: frames ship at the barrier, acknowledgement is lazy.
+        async_db = Database.from_config(make_config(wal_dir / "async", "async"), dataset)
+        async_backend = async_db.backend
+        assert isinstance(async_backend, ReplicatedBackend)
+        async_node = ReplicaNode(wal_dir / "async-replica")
+        async_backend.attach_replica(InProcessTransport(async_node))
+        seconds = _timed_group_inserts(async_db, stream, batch_size)
+        result.async_ops_per_s = mutations / seconds if seconds else 0.0
+
+        shipped = sum(
+            async_node.durable_lsn(shard) for shard in range(async_node.n_shards)
+        )
+        result.async_lag_records = max(sum(async_backend.next_lsns) - shipped, 0)
+        start = time.perf_counter()
+        async_backend.sync()
+        result.catch_up_ms = (time.perf_counter() - start) * 1_000.0
+
+        # Failover: drop the semi-sync primary, promote its follower.
+        live_sweep = _sweep(semi_db, dimensions)
+        semi_backend.detach_replicas()
+        semi_node.close()
+        start = time.perf_counter()
+        promoted_backend = promote(semi_node.directory)
+        result.failover_ms = (time.perf_counter() - start) * 1_000.0
+        result.replicated_records = sum(promoted_backend.next_lsns)
+        promoted = Database(promoted_backend)
+        result.identical = _sweep(promoted, dimensions) == live_sweep
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return result

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.evaluation.durability import DurabilityBenchResult
+from repro.evaluation.replication import ReplicationBenchResult
 from repro.evaluation.experiments import ExperimentResult
 from repro.evaluation.serving import ServingBenchResult
 from repro.evaluation.streaming import StreamingBenchResult
@@ -311,6 +312,47 @@ def format_durability_result(result: DurabilityBenchResult) -> str:
         format_table(
             ["checkpoint ms", "recovery ms", "replayed", "replay rec/s", "identical"],
             recovery_rows,
+        ),
+    ]
+    return "\n".join(sections)
+
+
+def format_replication_result(result: ReplicationBenchResult) -> str:
+    """Full text report of one replication benchmark run."""
+    write_rows = [
+        ["durable, no follower", round(result.durable_ops_per_s, 1), "-"],
+        [
+            "semi-sync follower",
+            round(result.semi_sync_ops_per_s, 1),
+            f"{result.semi_sync_overhead:.2f}x",
+        ],
+        [
+            "async follower",
+            round(result.async_ops_per_s, 1),
+            f"{result.async_overhead:.2f}x",
+        ],
+    ]
+    failover_rows = [
+        [
+            result.async_lag_records,
+            round(result.catch_up_ms, 2),
+            round(result.failover_ms, 2),
+            result.replicated_records,
+            "yes" if result.identical else "NO",
+        ]
+    ]
+    sections = [
+        f"== {result.experiment_id}: {result.title} ==",
+        f"scenario: {result.scenario.value}",
+        f"parameters: {result.parameters}",
+        "",
+        "-- write path (group-committed single-object inserts) --",
+        format_table(["deployment", "ops/s", "overhead vs durable"], write_rows),
+        "",
+        "-- async lag and semi-sync failover --",
+        format_table(
+            ["async lag (records)", "catch-up ms", "failover ms", "replicated", "identical"],
+            failover_rows,
         ),
     ]
     return "\n".join(sections)

@@ -77,7 +77,7 @@ import struct
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import BinaryIO, List, Optional, Sequence, Tuple, Union
+from typing import BinaryIO, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -307,6 +307,52 @@ class WalScan:
         return self.start_lsn
 
 
+def _read_header(data: bytes, path: PathLike) -> Tuple[int, int]:
+    """Validate a WAL header; returns ``(dimensions, start_lsn)``."""
+    if len(data) < _HEADER.size:
+        raise ValueError(f"not a WAL file (no header): {path}")
+    magic, version, _reserved, dims, start_lsn = _HEADER.unpack_from(data, 0)
+    if magic != WAL_MAGIC:
+        raise ValueError(f"not a WAL file (bad magic): {path}")
+    if version != WAL_FORMAT_VERSION:
+        raise ValueError(f"unsupported WAL format version {version}: {path}")
+    return int(dims), int(start_lsn)
+
+
+def _scan_payloads(data: bytes, start_lsn: int) -> Tuple[List[bytes], int]:
+    """Split a WAL body into validated record payloads, stopping at the tail.
+
+    The one tolerant scanner behind both :func:`read_wal` (decoded records
+    for replay) and :func:`read_frames` (raw frames for replication): a
+    frame whose length runs past the file, whose CRC mismatches or whose
+    LSN breaks monotonicity ends the scan.  Returns the payloads and the
+    byte offset of the end of the last valid record.
+    """
+    payloads: List[bytes] = []
+    offset = _HEADER.size
+    good = offset
+    expected_lsn = start_lsn
+    while offset + _FRAME.size <= len(data):
+        length, crc = _FRAME.unpack_from(data, offset)
+        payload_start = offset + _FRAME.size
+        payload_end = payload_start + length
+        if payload_end > len(data):
+            break  # torn: the payload never fully hit the disk
+        payload = data[payload_start:payload_end]
+        if zlib.crc32(payload) != crc:
+            break  # torn: partially persisted or garbage bytes
+        if len(payload) < _PREFIX.size:
+            break  # torn: too short to carry even the record prefix
+        (lsn,) = struct.unpack_from("<Q", payload, 0)
+        if lsn != expected_lsn:
+            break  # torn: stale bytes from a previous generation of the file
+        payloads.append(payload)
+        expected_lsn += 1
+        offset = payload_end
+        good = offset
+    return payloads, good
+
+
 def read_wal(path: PathLike) -> WalScan:
     """Read a WAL file, tolerating (and reporting) a torn trailing record.
 
@@ -317,36 +363,85 @@ def read_wal(path: PathLike) -> WalScan:
     crashed append and excluded.
     """
     data = Path(path).read_bytes()
-    if len(data) < _HEADER.size:
-        raise ValueError(f"not a WAL file (no header): {path}")
-    magic, version, _reserved, dims, start_lsn = _HEADER.unpack_from(data, 0)
-    if magic != WAL_MAGIC:
-        raise ValueError(f"not a WAL file (bad magic): {path}")
-    if version != WAL_FORMAT_VERSION:
-        raise ValueError(f"unsupported WAL format version {version}: {path}")
-    records: List[WalRecord] = []
-    offset = _HEADER.size
-    good = offset
-    while offset + _FRAME.size <= len(data):
-        length, crc = _FRAME.unpack_from(data, offset)
-        payload_start = offset + _FRAME.size
-        payload_end = payload_start + length
-        if payload_end > len(data):
-            break  # torn: the payload never fully hit the disk
-        payload = data[payload_start:payload_end]
-        if zlib.crc32(payload) != crc:
-            break  # torn: partially persisted or garbage bytes
-        record = decode_payload(payload, dims)
-        expected_lsn = records[-1].lsn + 1 if records else start_lsn
-        if record.lsn != expected_lsn:
-            break  # torn: stale bytes from a previous generation of the file
-        records.append(record)
-        offset = payload_end
-        good = offset
+    dims, start_lsn = _read_header(data, path)
+    payloads, good = _scan_payloads(data, start_lsn)
+    records = tuple(decode_payload(payload, dims) for payload in payloads)
     return WalScan(
-        dimensions=int(dims),
-        start_lsn=int(start_lsn),
-        records=tuple(records),
+        dimensions=dims,
+        start_lsn=start_lsn,
+        records=records,
+        good_length=good,
+        torn=good < len(data),
+    )
+
+
+@dataclass(frozen=True)
+class FrameScan:
+    """Raw-frame view of a WAL file: the unit replication ships.
+
+    Each entry is ``(lsn, frame_bytes)`` where the frame bytes are the
+    exact on-disk framing (u32 length + u32 crc32 + payload), ready to be
+    re-appended verbatim on a follower with :meth:`WriteAheadLog.append_frame`.
+    """
+
+    dimensions: int
+    start_lsn: int
+    frames: Tuple[Tuple[int, bytes], ...]
+    good_length: int
+    torn: bool
+
+    @property
+    def next_lsn(self) -> int:
+        if self.frames:
+            return self.frames[-1][0] + 1
+        return self.start_lsn
+
+
+def frame_lsn(frame: bytes) -> int:
+    """LSN carried by one encoded frame (framing length check only)."""
+    if len(frame) < _FRAME.size + 8:
+        raise ValueError("WAL frame shorter than its framing")
+    (lsn,) = struct.unpack_from("<Q", frame, _FRAME.size)
+    return int(lsn)
+
+
+def decode_frame(frame: bytes, dims: int) -> WalRecord:
+    """Decode one shipped frame (CRC-verified) into a :class:`WalRecord`."""
+    if len(frame) < _FRAME.size + _PREFIX.size:
+        raise ValueError("WAL frame shorter than its framing")
+    length, crc = _FRAME.unpack_from(frame, 0)
+    payload = frame[_FRAME.size :]
+    if len(payload) != length:
+        raise ValueError(
+            f"WAL frame length field says {length} payload bytes, got {len(payload)}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise ValueError("WAL frame failed its CRC check")
+    return decode_payload(payload, dims)
+
+
+def read_frames(path: PathLike, *, min_lsn: int = 0) -> FrameScan:
+    """Re-read a WAL file as raw checksummed frames, LSN-tagged.
+
+    The replication catch-up path: a follower bootstraps from a checkpoint
+    plus the WAL tail, so frames with ``lsn < min_lsn`` (already contained
+    in the checkpoint cut) are excluded.  The same torn-tail rules as
+    :func:`read_wal` apply — a divergent unacknowledged suffix is simply
+    never returned.
+    """
+    data = Path(path).read_bytes()
+    dims, start_lsn = _read_header(data, path)
+    payloads, good = _scan_payloads(data, start_lsn)
+    frames: List[Tuple[int, bytes]] = []
+    for index, payload in enumerate(payloads):
+        lsn = start_lsn + index
+        if lsn < min_lsn:
+            continue
+        frames.append((lsn, _FRAME.pack(len(payload), zlib.crc32(payload)) + payload))
+    return FrameScan(
+        dimensions=dims,
+        start_lsn=start_lsn,
+        frames=tuple(frames),
         good_length=good,
         torn=good < len(data),
     )
@@ -379,6 +474,7 @@ class WriteAheadLog:
         self._dimensions = int(dimensions)
         self._fs = fs
         self._handle: Optional[BinaryIO] = None
+        self._observer: Optional[Callable[[int, bytes], None]] = None
         if create or not self._path.exists():
             self._write_fresh(start_lsn)
             self._next_lsn = start_lsn
@@ -454,7 +550,47 @@ class WriteAheadLog:
         lsn = self._next_lsn
         self._next_lsn += 1
         self._size += len(record)
+        if self._observer is not None:
+            self._observer(lsn, record)
         return lsn
+
+    def append_frame(self, frame: bytes) -> int:
+        """Append one already-encoded frame verbatim (the replication path).
+
+        A follower re-validates the framing before trusting the wire: the
+        length field must cover the frame exactly, the CRC must match, and
+        the payload's LSN must be exactly this writer's ``next_lsn`` — a
+        follower never accepts a gap, a rewind or a corrupted frame.
+        Returns the appended LSN; not durable until :meth:`sync`.
+        """
+        if len(frame) < _FRAME.size + _PREFIX.size:
+            raise ValueError("WAL frame shorter than its framing")
+        length, crc = _FRAME.unpack_from(frame, 0)
+        payload = frame[_FRAME.size :]
+        if len(payload) != length:
+            raise ValueError(
+                f"WAL frame length field says {length} payload bytes, got {len(payload)}"
+            )
+        if zlib.crc32(payload) != crc:
+            raise ValueError("WAL frame failed its CRC check")
+        (lsn,) = struct.unpack_from("<Q", payload, 0)
+        if lsn != self._next_lsn:
+            raise ValueError(f"out-of-order WAL frame: lsn {lsn}, expected {self._next_lsn}")
+        self._ensure_handle().write(frame)
+        self._next_lsn += 1
+        self._size += len(frame)
+        if self._observer is not None:
+            self._observer(lsn, frame)
+        return int(lsn)
+
+    def set_observer(self, observer: Optional[Callable[[int, bytes], None]]) -> None:
+        """Install a hook receiving every appended frame as ``(lsn, bytes)``.
+
+        The replication layer captures frames for shipping at the moment
+        they are framed — before any fsync — so the primary never has to
+        re-read its own log on the hot path.  Pass ``None`` to remove.
+        """
+        self._observer = observer
 
     def append_insert(self, object_id: int, lows: np.ndarray, highs: np.ndarray) -> int:
         return self.append(OP_INSERT, object_ids=(object_id,), lows=lows, highs=highs)

@@ -1,4 +1,4 @@
-"""Unit tests for the invariant rules (RL001-RL006).
+"""Unit tests for the invariant rules (RL001-RL007).
 
 Every rule is exercised four ways on small fixture modules written under
 a path where the rule applies: it fires on a violating snippet, stays
@@ -102,6 +102,22 @@ RULE_FIXTURES = {
             "    except ValueError:\n"
             "        return False\n"
             "    return True\n"
+        ),
+    ),
+    "RL007": dict(
+        path="repro/api/replication.py",
+        bad=(
+            "import socket\n\n\n"
+            "def ship(address, payload):\n"
+            "    connection = socket.create_connection(address)\n"
+            "    connection.sendall(payload)\n"
+        ),
+        flag_line=5,
+        good=(
+            "import socket\n\n\n"
+            "class SocketTransport:\n"
+            "    def connect(self, address):\n"
+            "        return socket.create_connection(address)\n"
         ),
     ),
 }
@@ -380,6 +396,51 @@ class TestExceptionHygiene:
             "    return True\n"
         )
         report = lint_snippet(tmp_path, "repro/engine/guard.py", source)
+        assert report.diagnostics == []
+
+
+class TestReplicationSeam:
+    """RL007: sockets in the transport layer, file writes through the seam."""
+
+    def test_socket_use_in_replica_server_is_exempt(self, tmp_path):
+        source = (
+            "import socket\n\n\n"
+            "class ReplicaServer:\n"
+            "    def listen(self, host, port):\n"
+            "        return socket.create_server((host, port))\n"
+        )
+        report = lint_snippet(tmp_path, "repro/api/replication.py", source)
+        assert report.diagnostics == []
+
+    def test_recv_helpers_are_exempt(self, tmp_path):
+        source = (
+            "import socket\n\n\n"
+            "def _recv_exact(connection: socket.socket, count):\n"
+            "    return connection.recv(count)\n"
+        )
+        report = lint_snippet(tmp_path, "repro/api/replication.py", source)
+        assert report.diagnostics == []
+
+    def test_raw_file_write_is_flagged(self, tmp_path):
+        source = "import os\n\n\ndef commit(path):\n    os.replace(path, path)\n"
+        report = lint_snippet(tmp_path, "repro/api/replication.py", source)
+        assert codes_of(report) == ["RL007"]
+
+    def test_seam_receiver_write_passes(self, tmp_path):
+        source = "def commit(self, path, data):\n    self._fs.write_file(path, data)\n"
+        report = lint_snippet(tmp_path, "repro/api/replication.py", source)
+        assert report.diagnostics == []
+
+    def test_read_only_open_is_allowed_write_open_is_not(self, tmp_path):
+        reader = 'def load(path):\n    with open(path, "rb") as handle:\n        return handle\n'
+        writer = 'def dump(path):\n    with open(path, "wb") as handle:\n        return handle\n'
+        assert lint_snippet(tmp_path, "repro/api/replication.py", reader).diagnostics == []
+        report = lint_snippet(tmp_path, "repro/api/replication.py", writer)
+        assert codes_of(report) == ["RL007"]
+
+    def test_other_api_modules_are_out_of_scope(self, tmp_path):
+        fixture = RULE_FIXTURES["RL007"]
+        report = lint_snippet(tmp_path, "repro/api/serving.py", fixture["bad"])
         assert report.diagnostics == []
 
 

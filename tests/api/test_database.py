@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.api import Database, QueryResult, UnsupportedOperation
+from repro.api import (
+    Database,
+    DatabaseConfig,
+    QueryResult,
+    ReplicationOptions,
+    UnsupportedOperation,
+)
 from repro.core.config import AdaptiveClusteringConfig
 from repro.core.cost_model import CostParameters
 from repro.engine import StreamingConfig, StreamingMatcher
@@ -125,3 +131,160 @@ class TestStreamingSessions:
         second = database.session()
         assert first is not second
         assert first.backend is second.backend
+
+
+class TestDatabaseConfig:
+    def test_defaults_describe_a_plain_backend(self):
+        config = DatabaseConfig(dimensions=DIMENSIONS)
+        assert not config.sharded and not config.logged
+        database = Database.from_config(config)
+        assert database.capabilities.name == "ac"
+        assert database.dimensions == DIMENSIONS
+
+    def test_method_sequence_implies_sharding(self):
+        config = DatabaseConfig(method=("ac", "ss"), dimensions=DIMENSIONS)
+        assert config.sharded
+        database = Database.from_config(config)
+        assert database.backend.n_shards == 2
+
+    def test_shard_count_must_agree_with_method_names(self):
+        with pytest.raises(ValueError, match="disagrees with 2 method names"):
+            DatabaseConfig(method=("ac", "ss"), shards=3)
+        with pytest.raises(ValueError, match="at least one shard"):
+            DatabaseConfig(method=())
+        with pytest.raises(ValueError, match="at least one shard"):
+            DatabaseConfig(shards=0)
+
+    def test_router_and_workers_apply_to_sharded_only(self):
+        with pytest.raises(ValueError, match="sharded databases only"):
+            DatabaseConfig(router="round-robin")
+        with pytest.raises(ValueError, match="sharded databases only"):
+            DatabaseConfig(max_workers=4)
+        assert DatabaseConfig(shards=2, max_workers=4).max_workers == 4
+
+    def test_logging_needs_a_wal_dir(self):
+        with pytest.raises(ValueError, match="requires a wal_dir"):
+            DatabaseConfig(durable=True)
+        with pytest.raises(ValueError, match="ships the write-ahead log"):
+            DatabaseConfig(replication=ReplicationOptions())
+
+    def test_replication_options_validate_role_mode_and_peers(self):
+        with pytest.raises(ValueError, match="unknown replication role"):
+            ReplicationOptions(role="observer")
+        with pytest.raises(ValueError, match="unknown replication mode"):
+            ReplicationOptions(mode="sync")
+        with pytest.raises(ValueError, match="peers apply to the primary role"):
+            ReplicationOptions(role="replica", peers=("db1:7000",))
+        with pytest.raises(ValueError, match="is not a 'host:port' address"):
+            ReplicationOptions(peers=("7000",))
+        with pytest.raises(ValueError, match="non-numeric port"):
+            ReplicationOptions(peers=("db1:wal",))
+        options = ReplicationOptions(peers=("db1:7000", "10.0.0.2:7001"))
+        assert options.parsed_peers() == (("db1", 7000), ("10.0.0.2", 7001))
+
+    def test_as_dict_flattens_for_reporting(self, tmp_path):
+        config = DatabaseConfig(
+            method=("ac", "ac"),
+            dimensions=DIMENSIONS,
+            wal_dir=tmp_path / "wal",
+            replication=ReplicationOptions(peers=("db1:7000",)),
+        )
+        summary = config.as_dict()
+        assert summary["method"] == ["ac", "ac"]
+        assert summary["wal_dir"] == str(tmp_path / "wal")
+        assert summary["replication"] == {
+            "role": "primary",
+            "mode": "semi-sync",
+            "peers": ["db1:7000"],
+        }
+        assert "shards" not in summary  # None entries are dropped
+
+    def test_from_config_builds_a_durable_database(self, tmp_path, rng):
+        config = DatabaseConfig(method="ac", dimensions=DIMENSIONS, wal_dir=tmp_path / "wal")
+        database = Database.from_config(config)
+        assert database.durable and not database.replicated
+        database.insert(7, make_box(rng))
+        recovered = Database.recover(tmp_path / "wal")
+        assert 7 in recovered
+
+    def test_from_config_builds_a_replicated_primary(self, tmp_path):
+        config = DatabaseConfig(
+            method="ac",
+            dimensions=DIMENSIONS,
+            wal_dir=tmp_path / "wal",
+            replication=ReplicationOptions(),
+        )
+        database = Database.from_config(config)
+        assert database.replicated and database.durable
+
+    def test_from_config_rejects_the_replica_role(self, tmp_path):
+        config = DatabaseConfig(
+            method="ac",
+            dimensions=DIMENSIONS,
+            wal_dir=tmp_path / "wal",
+            replication=ReplicationOptions(role="replica"),
+        )
+        with pytest.raises(ValueError, match="from_config builds primaries"):
+            Database.from_config(config)
+
+    def test_create_shim_matches_from_config(self):
+        via_kwargs = Database.create("ac", DIMENSIONS, shards=2, router="spatial")
+        via_config = Database.from_config(
+            DatabaseConfig(method="ac", dimensions=DIMENSIONS, shards=2, router="spatial")
+        )
+        assert via_kwargs.backend.n_shards == via_config.backend.n_shards == 2
+
+    def test_from_dataset_single_shard_stays_unsharded(self):
+        dataset = generate_uniform_dataset(50, DIMENSIONS, seed=4)
+        database = Database.from_dataset("ac", dataset, shards=1)
+        assert database.capabilities.name == "ac"
+        assert database.n_objects == 50
+
+
+class TestAttach:
+    def test_attach_plain_snapshot(self, database, tmp_path):
+        path = database.save(tmp_path / "db.npz")
+        attached = Database.attach(path)
+        everything = HyperRectangle.unit(DIMENSIONS)
+        assert sorted(attached.query(everything).tolist()) == sorted(
+            database.query(everything).tolist()
+        )
+
+    def test_attach_sharded_snapshot(self, rng, tmp_path):
+        database = Database.create("ac", DIMENSIONS, shards=2)
+        database.bulk_load((object_id, make_box(rng)) for object_id in range(40))
+        database.save(tmp_path / "sharded")
+        attached = Database.attach(tmp_path / "sharded")
+        assert attached.backend.n_shards == 2
+        assert attached.n_objects == 40
+
+    def test_attach_durable_directory(self, rng, tmp_path):
+        database = Database.create("ac", DIMENSIONS, wal_dir=tmp_path / "wal")
+        database.insert(11, make_box(rng))
+        attached = Database.attach(tmp_path / "wal")
+        assert attached.durable
+        assert 11 in attached
+
+    def test_attach_replica_directory_promotes(self, rng, tmp_path):
+        from repro.api import InProcessTransport, ReplicaNode, is_replica_directory
+
+        database = Database.from_config(
+            DatabaseConfig(
+                method="ac", dimensions=DIMENSIONS, wal_dir=tmp_path / "primary",
+                replication=ReplicationOptions(),
+            )
+        )
+        replica_dir = tmp_path / "replica"
+        database.backend.attach_replica(InProcessTransport(ReplicaNode(replica_dir)))
+        database.bulk_load((object_id, make_box(rng)) for object_id in range(20))
+        database.backend.detach_replicas()
+        assert is_replica_directory(replica_dir)
+
+        promoted = Database.attach(replica_dir)
+        assert promoted.replicated
+        assert not is_replica_directory(replica_dir)
+        assert sorted(promoted.query(HyperRectangle.unit(DIMENSIONS)).tolist()) == list(range(20))
+
+    def test_attach_missing_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no database at"):
+            Database.attach(tmp_path / "nowhere")

@@ -1,0 +1,491 @@
+"""Fault injection for replication: crash anywhere, promote, never diverge.
+
+Three systematic enumerations and a seeded fuzz, all built on the
+:class:`FaultyFS` crash machine from ``tests/conftest.py``:
+
+* **Primary-side pass** — the primary's filesystem seam (WAL appends,
+  fsyncs, checkpoint commits *and* the transport's
+  ``barrier:replication-send`` / ``barrier:replication-ack`` wire marks)
+  crashes at every enumerated operation index.  The follower's directory
+  is then promoted and its fingerprint must equal exactly the
+  acknowledged state or the single in-flight operation's post state —
+  semi-sync means an acknowledged operation is durable on the follower,
+  so nothing acknowledged may ever be missing.
+* **Follower-side pass** — the *replica's* seam crashes at every index
+  (bootstrap writes, shipped-frame appends, fsyncs).  The primary sees a
+  dead follower mid-request; promoting what the follower's disk actually
+  holds must land on the same pre-op/post-op boundary.
+* **Promotion pass** — promotion itself crashes at every index and is
+  re-run: it must be restartable to the identical state.
+
+The async-mode pass relaxes exactness to the documented guarantee: the
+promoted state is some *prefix* of the operation history.  The fuzz
+interleaves random mutations, checkpoints, reconnects and primary
+crashes with failover (promote the survivor, re-attach a fresh
+follower), failing with a replayable one-op-per-line log.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    InProcessTransport,
+    ReplicatedBackend,
+    ReplicaNode,
+    ReplicationError,
+    ShardedDatabase,
+    create_backend,
+    promote,
+)
+from repro.geometry.box import HyperRectangle
+
+DIMENSIONS = 3
+INITIAL_OBJECTS = 15
+
+SCENARIOS = [
+    pytest.param("plain", None, id="plain"),
+    pytest.param("sharded", 2, id="sharded-2-hash"),
+]
+
+
+def make_box(rng):
+    lows = rng.random(DIMENSIONS) * 0.7
+    return HyperRectangle(lows, np.minimum(lows + 0.25, 1.0))
+
+
+def make_pairs(count, seed, first_id=0):
+    rng = np.random.default_rng(seed)
+    return [(first_id + offset, make_box(rng)) for offset in range(count)]
+
+
+def build_inner(layout, shards):
+    if layout == "plain":
+        inner = create_backend("ac", DIMENSIONS)
+    else:
+        inner = ShardedDatabase.create("ac", DIMENSIONS, shards=shards, router="hash")
+    inner.bulk_load(make_pairs(INITIAL_OBJECTS, seed=100))
+    return inner
+
+
+def make_script():
+    """Deterministic ops touching every replicated record kind.
+
+    Single-record paths, the staged multi-shard paths (pending_put /
+    frames / pending_clear on the wire) and a mid-sequence checkpoint.
+    """
+    return [
+        ("insert", 200, make_pairs(1, seed=200, first_id=200)[0][1]),
+        ("delete", 3),
+        ("bulk_load", make_pairs(6, seed=210, first_id=210)),
+        ("delete_bulk", [0, 1, 210, 9_999]),
+        ("checkpoint",),
+        ("insert", 300, make_pairs(1, seed=300, first_id=300)[0][1]),
+        ("delete_bulk", [2, 4, 211]),
+        ("bulk_load", make_pairs(4, seed=310, first_id=310)),
+    ]
+
+
+def apply_op(db, op):
+    kind = op[0]
+    if kind == "insert":
+        db.insert(op[1], op[2])
+    elif kind == "delete":
+        db.delete(op[1])
+    elif kind == "bulk_load":
+        db.bulk_load(op[1])
+    elif kind == "delete_bulk":
+        db.delete_bulk(op[1])
+    elif kind == "checkpoint":
+        db.checkpoint()
+    else:  # pragma: no cover - script typo guard
+        raise ValueError(kind)
+
+
+def fingerprint(db):
+    """State identity: object count plus the full ascending id sweep."""
+    result = db.execute(HyperRectangle.unit(DIMENSIONS))
+    return (db.n_objects, tuple(sorted(result.ids.tolist())))
+
+
+def golden_run(layout, shards, script, tmp_path, faulty_fs_cls, mode):
+    """One counted crash-free run.
+
+    Returns the per-op fingerprint history plus the primary's and the
+    follower's filesystem op logs — the crash points the enumeration
+    passes replay one by one.
+    """
+    primary_fs = faulty_fs_cls()
+    node_fs = faulty_fs_cls()
+    primary = ReplicatedBackend.create(
+        build_inner(layout, shards), tmp_path / "golden-primary", fs=primary_fs, mode=mode
+    )
+    node = ReplicaNode(tmp_path / "golden-replica", fs=node_fs)
+    primary.attach_replica(InProcessTransport(node, fs=primary_fs))
+    fingerprints = [fingerprint(primary)]
+    for op in script:
+        apply_op(primary, op)
+        fingerprints.append(fingerprint(primary))
+    primary_log = list(primary_fs.op_log)
+    node_log = list(node_fs.op_log)
+    primary.close()
+    node.close()
+    return fingerprints, primary_log, node_log
+
+
+# ----------------------------------------------------------------------
+# Primary-side enumeration (WAL, checkpoint, and the wire barriers)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("layout, shards", SCENARIOS)
+def test_primary_crash_anywhere_promotes_to_the_acknowledged_state(
+    layout, shards, tmp_path, faulty_fs_cls, injected_crash_cls
+):
+    script = make_script()
+    fingerprints, op_log, _ = golden_run(
+        layout, shards, script, tmp_path, faulty_fs_cls, "semi-sync"
+    )
+    total_ops = len(op_log)
+    assert total_ops > 25, "the script must exercise a real spread of crash points"
+    wire_points = sum(1 for kind, _ in op_log if kind.startswith("barrier:replication"))
+    assert wire_points >= 4, "the wire barriers must be among the enumerated points"
+
+    checked = 0
+    for crash_at in range(total_ops):
+        op_kind = op_log[crash_at][0]
+        modes = ("none", "half", "all") if op_kind in ("write", "fsync") else ("none",)
+        for cache_mode in modes:
+            base = tmp_path / f"p{crash_at}-{cache_mode}"
+            fs = faulty_fs_cls(crash_at=crash_at, mode=cache_mode)
+            replica_dir = base / "replica"
+            applied = -2  # -2: inside create; -1: inside attach; >=0: ops done
+            try:
+                primary = ReplicatedBackend.create(
+                    build_inner(layout, shards), base / "primary", fs=fs, mode="semi-sync"
+                )
+                applied = -1
+                node = ReplicaNode(replica_dir, fs=faulty_fs_cls())
+                primary.attach_replica(InProcessTransport(node, fs=fs))
+                applied = 0
+                for position, op in enumerate(script):
+                    apply_op(primary, op)
+                    applied = position + 1
+            except injected_crash_cls:
+                pass
+            else:  # pragma: no cover - enumeration bug guard
+                pytest.fail(f"crash point {crash_at} ({op_kind}) never fired")
+            spec = f"crash_at={crash_at} ({op_kind}), cache={cache_mode}, applied={applied}"
+            try:
+                promoted = promote(replica_dir)
+            except (ValueError, FileNotFoundError, ReplicationError) as error:
+                assert applied < 0, f"promotion failed after {spec}: {error}"
+                continue
+            got = fingerprint(promoted)
+            promoted.close()
+            if applied < 0:
+                allowed = {fingerprints[0]}
+            else:
+                # Semi-sync exactness: everything acknowledged is on the
+                # follower; only the in-flight op may be absent.
+                allowed = {fingerprints[applied], fingerprints[applied + 1]}
+            assert got in allowed, (
+                f"DIVERGED at {spec}: promoted to {got[0]} objects;\n"
+                f"in-flight op: {script[applied] if 0 <= applied < len(script) else 'setup'}\n"
+                f"got ids: {got[1]}\nallowed: {sorted(allowed)}"
+            )
+            checked += 1
+    assert checked > total_ops * 0.5
+
+
+@pytest.mark.parametrize("layout, shards", [pytest.param("plain", None, id="plain")])
+def test_async_promotion_lands_on_a_prefix_of_history(
+    layout, shards, tmp_path, faulty_fs_cls, injected_crash_cls
+):
+    """Async mode only promises a prefix: the follower may lag, never invent.
+
+    Single stream only: with a sharded inner each shard's stream lags
+    independently, so the cross-shard state is a product of per-shard
+    prefixes rather than one global prefix (the semi-sync pass above is
+    what pins the cross-shard boundary).
+    """
+    script = make_script()
+    fingerprints, op_log, _ = golden_run(
+        layout, shards, script, tmp_path, faulty_fs_cls, "async"
+    )
+    prefixes = set(fingerprints)
+    for crash_at in range(0, len(op_log), 3):  # sampled: async adds no new machinery
+        base = tmp_path / f"a{crash_at}"
+        fs = faulty_fs_cls(crash_at=crash_at, mode="none")
+        replica_dir = base / "replica"
+        attached = False
+        try:
+            primary = ReplicatedBackend.create(
+                build_inner(layout, shards), base / "primary", fs=fs, mode="async"
+            )
+            node = ReplicaNode(replica_dir, fs=faulty_fs_cls())
+            primary.attach_replica(InProcessTransport(node, fs=fs))
+            attached = True
+            for op in script:
+                apply_op(primary, op)
+        except injected_crash_cls:
+            pass
+        try:
+            promoted = promote(replica_dir)
+        except (ValueError, FileNotFoundError, ReplicationError):
+            assert not attached
+            continue
+        got = fingerprint(promoted)
+        promoted.close()
+        assert got in prefixes, (
+            f"async promotion after crash_at={crash_at} landed outside the "
+            f"operation history: {got}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Follower-side enumeration
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("layout, shards", SCENARIOS)
+def test_follower_crash_anywhere_still_promotes_cleanly(
+    layout, shards, tmp_path, faulty_fs_cls, injected_crash_cls
+):
+    script = make_script()
+    fingerprints, _, node_log = golden_run(
+        layout, shards, script, tmp_path, faulty_fs_cls, "semi-sync"
+    )
+    node_total = len(node_log)
+    assert node_total > 10
+
+    checked = 0
+    for crash_at in range(node_total):
+        for cache_mode in ("none", "half"):
+            base = tmp_path / f"f{crash_at}-{cache_mode}"
+            replica_dir = base / "replica"
+            node_fs = faulty_fs_cls(crash_at=crash_at, mode=cache_mode)
+            primary = ReplicatedBackend.create(
+                build_inner(layout, shards), base / "primary", mode="semi-sync"
+            )
+            node = ReplicaNode(replica_dir, fs=node_fs)
+            applied = -1
+            try:
+                primary.attach_replica(InProcessTransport(node))
+                applied = 0
+                for position, op in enumerate(script):
+                    apply_op(primary, op)
+                    applied = position + 1
+            except injected_crash_cls:
+                pass
+            else:  # pragma: no cover - enumeration bug guard
+                pytest.fail(f"follower crash point {crash_at} never fired")
+            finally:
+                primary.detach_replicas()
+                primary.close()
+            spec = f"crash_at={crash_at}, cache={cache_mode}, applied={applied}"
+            try:
+                promoted = promote(replica_dir)
+            except (ValueError, FileNotFoundError, ReplicationError) as error:
+                assert applied < 0, f"promotion failed after {spec}: {error}"
+                continue
+            got = fingerprint(promoted)
+            promoted.close()
+            if applied < 0:
+                allowed = {fingerprints[0]}
+            else:
+                allowed = {fingerprints[applied], fingerprints[applied + 1]}
+            assert got in allowed, (
+                f"DIVERGED at follower {spec}: promoted to {got[0]} objects;\n"
+                f"got ids: {got[1]}\nallowed: {sorted(allowed)}"
+            )
+            checked += 1
+    assert checked > node_total * 0.5
+
+
+# ----------------------------------------------------------------------
+# Promotion is restartable under its own crashes
+# ----------------------------------------------------------------------
+def test_crash_during_promotion_is_restartable(tmp_path, faulty_fs_cls, injected_crash_cls):
+    primary = ReplicatedBackend.create(build_inner("sharded", 2), tmp_path / "primary")
+    node = ReplicaNode(tmp_path / "replica")
+    primary.attach_replica(InProcessTransport(node))
+    for op in make_script():
+        apply_op(primary, op)
+    expected = fingerprint(primary)
+    primary.close()
+    node.close()
+
+    counting = faulty_fs_cls()
+    golden_dir = tmp_path / "golden"
+    shutil.copytree(tmp_path / "replica", golden_dir)
+    golden = promote(golden_dir, fs=counting)
+    assert fingerprint(golden) == expected
+    golden.close()
+    assert counting.ops > 2
+
+    for crash_at in range(counting.ops):
+        target = tmp_path / f"promo-{crash_at}"
+        shutil.copytree(tmp_path / "replica", target)
+        with pytest.raises(injected_crash_cls):
+            promote(target, fs=faulty_fs_cls(crash_at=crash_at))
+        promoted = promote(target)
+        got = fingerprint(promoted)
+        promoted.close()
+        assert got == expected, (
+            f"re-promotion diverged after a crash at promotion op {crash_at}: "
+            f"got {got}, expected {expected}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Seeded crash / promote / reconnect fuzz
+# ----------------------------------------------------------------------
+FUZZ_CASES = [
+    pytest.param(layout, shards, seed, id=f"{name}-s{seed}")
+    for (layout, shards, name), seeds in (
+        (("plain", None, "plain"), (0, 1)),
+        (("sharded", 2, "sharded-2-hash"), (0, 1)),
+    )
+    for seed in seeds
+]
+
+FUZZ_STEPS = 30
+
+
+class OpLog:
+    """Operation recorder whose output is the replayable failure log."""
+
+    def __init__(self, header):
+        self.lines = [header]
+
+    def record(self, line):
+        self.lines.append(line)
+
+    def fail(self, message):
+        return "\n".join([*self.lines, message])
+
+
+def sweep_ids(backend):
+    return sorted(backend.execute(HyperRectangle.unit(DIMENSIONS)).ids.tolist())
+
+
+@pytest.mark.parametrize("layout, shards, seed", FUZZ_CASES)
+def test_crash_promote_reconnect_fuzz_never_loses_an_acknowledged_op(
+    layout, shards, seed, tmp_path, faulty_fs_cls, injected_crash_cls
+):
+    rng = np.random.default_rng(7_000 + seed)
+    log = OpLog(f"repl-fuzz layout={layout} shards={shards} seed={seed}")
+    fs = faulty_fs_cls()
+    primary = ReplicatedBackend.create(
+        build_inner(layout, shards), tmp_path / "gen-0", fs=fs, mode="semi-sync"
+    )
+    node = ReplicaNode(tmp_path / "replica-0")
+    primary.attach_replica(InProcessTransport(node, fs=fs))
+    replica_count = 1
+    alive = set(range(INITIAL_OBJECTS))
+    next_id = 1_000
+    failovers = generation = 0
+
+    def reconnect():
+        """Reattach the follower; bootstrap a fresh one if it fell behind."""
+        nonlocal node, replica_count
+        try:
+            primary.attach_replica(InProcessTransport(node, fs=fs))
+        except ReplicationError as error:
+            log.record(f"  reconnect refused ({error}); bootstrapping fresh")
+            node = ReplicaNode(tmp_path / f"replica-{replica_count}")
+            replica_count += 1
+            primary.attach_replica(InProcessTransport(node, fs=fs))
+
+    for step in range(FUZZ_STEPS):
+        choice = rng.random()
+        if choice < 0.35:
+            count = int(rng.integers(1, 5))
+            batch = [(next_id + offset, make_box(rng)) for offset in range(count)]
+            next_id += count
+            op = ("insert", [object_id for object_id, _ in batch])
+            post = alive | {object_id for object_id, _ in batch}
+
+            def runner(batch=batch):
+                if len(batch) > 1:
+                    primary.bulk_load(batch)
+                else:
+                    primary.insert(batch[0][0], batch[0][1])
+
+        elif choice < 0.55 and alive:
+            count = int(rng.integers(1, max(len(alive) // 3, 2)))
+            doomed = [int(x) for x in rng.choice(sorted(alive), size=count, replace=False)]
+            op = ("delete_bulk", doomed)
+            post = alive - set(doomed)
+
+            def runner(doomed=doomed):
+                primary.delete_bulk(doomed)
+
+        elif choice < 0.75:
+            op = ("checkpoint",)
+            post = set(alive)
+
+            def runner():
+                primary.checkpoint()
+
+        else:
+            op = ("reconnect",)
+            post = set(alive)
+
+            def runner():
+                # Disarm any lingering crash: an attach that dies halfway
+                # leaves no caught-up follower to fail over to (that path
+                # is pinned by the enumeration passes above).
+                fs.crash_at = None
+                primary.detach_replicas()
+                reconnect()
+
+        armed = op[0] != "reconnect" and rng.random() < 0.35
+        if armed:
+            fs.crash_at = fs.ops + int(rng.integers(0, 12))
+        log.record(f"step {step}: {op!r} crash_armed={armed}")
+        try:
+            runner()
+        except injected_crash_cls:
+            failovers += 1
+            generation += 1
+            # The primary machine is gone: fail over to the follower.
+            node.close()
+            promoted = promote(node.directory)
+            got = sweep_ids(promoted)
+            pre_ids, post_ids = sorted(alive), sorted(post)
+            if got != pre_ids and got != post_ids:
+                pytest.fail(
+                    log.fail(
+                        f"DIVERGED at failover (step {step} {op!r}): "
+                        f"promoted={got} pre={pre_ids} post={post_ids}"
+                    )
+                )
+            log.record(
+                f"step {step}: failover {generation}, promoted to "
+                f"{'post' if got == post_ids else 'pre'}-op state"
+            )
+            alive = set(got)
+            primary = promoted
+            fs = faulty_fs_cls()
+            node = ReplicaNode(tmp_path / f"replica-{replica_count}")
+            replica_count += 1
+            primary.attach_replica(InProcessTransport(node, fs=fs))
+        else:
+            alive = post
+        if primary.n_objects != len(alive):
+            pytest.fail(
+                log.fail(
+                    f"DIVERGED at step {step}: n_objects={primary.n_objects} "
+                    f"expected {len(alive)}"
+                )
+            )
+        follower_ids = sweep_ids(node.live_backend)
+        if follower_ids != sorted(alive):
+            pytest.fail(
+                log.fail(
+                    f"DIVERGED at step {step}: follower sweep "
+                    f"{follower_ids} != {sorted(alive)}"
+                )
+            )
+
+    assert sweep_ids(primary) == sorted(alive), log.fail("final sweep diverged")
+    assert failovers >= 1, log.fail("no failover fired; adjust the fuzz schedule")

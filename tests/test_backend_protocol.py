@@ -16,7 +16,10 @@ byte-identical ascending identifiers and exactly-summed work counters
 versus the unsharded single-backend run, through churn (delete +
 reinsert) and mid-batch reorganization.  ``DurableBackend`` wrappers
 (WAL-logged plain and sharded stores) run through every case too — the
-durability layer must be invisible to the protocol surface.
+durability layer must be invisible to the protocol surface — as do
+``ReplicatedBackend`` primaries streaming semi-sync to a live in-process
+follower, pinning that replication never leaks into query results or
+counters either.
 """
 
 import copy
@@ -68,7 +71,17 @@ DURABLE_VARIANTS = (
     "durable:sharded:spatial:ac+ac",
 )
 
-ALL_BACKEND_NAMES = tuple(registered_backends()) + SHARDED_VARIANTS + DURABLE_VARIANTS
+#: Replicated conformance variants: a primary with a live in-process
+#: follower attached, so every mutation actually ships (semi-sync) while
+#: the protocol surface stays indistinguishable from the plain backend.
+REPLICATED_VARIANTS = (
+    "replicated:ac",
+    "replicated:sharded:hash:ac+ac",
+)
+
+ALL_BACKEND_NAMES = (
+    tuple(registered_backends()) + SHARDED_VARIANTS + DURABLE_VARIANTS + REPLICATED_VARIANTS
+)
 
 #: One scratch root for every durable conformance store (cleaned at exit).
 _DURABLE_SCRATCH = tempfile.TemporaryDirectory(prefix="repro-conformance-wal-")
@@ -83,6 +96,14 @@ def parse_sharded_name(name):
 
 def make_backend(name, dimensions=DIMENSIONS):
     """Build a registry backend or one of the conformance variants."""
+    if name.startswith("replicated:"):
+        from repro.api import InProcessTransport, ReplicaNode, ReplicatedBackend
+
+        inner = make_backend(name.split(":", 1)[1], dimensions)
+        store = Path(_DURABLE_SCRATCH.name) / f"repl-{next(_DURABLE_COUNTER)}"
+        primary = ReplicatedBackend.create(inner, store / "primary")
+        primary.attach_replica(InProcessTransport(ReplicaNode(store / "follower")))
+        return primary
     if name.startswith("durable:"):
         from repro.api import DurableBackend
 
@@ -127,7 +148,7 @@ class TestProtocolSurface:
         assert isinstance(backend, SpatialBackend)
 
     def test_capabilities_identity(self, backend, backend_name):
-        if backend_name.startswith("durable:"):
+        if backend_name.startswith(("durable:", "replicated:")):
             # The durability wrapper adds no capabilities of its own: it
             # exposes the wrapped backend's descriptor untouched.
             assert backend.capabilities is backend.inner.capabilities
