@@ -1,0 +1,60 @@
+"""Paged-checkpoint gates: incremental commits must actually be incremental.
+
+The claim the paged store exists for is gated here (memory scenario,
+multi-cluster adaptive index, cluster-granularity churn): an incremental
+checkpoint taken after touching **at most 10% of the clusters** writes
+**at most 25% of the page bytes** of a full rewrite of the same state.
+The margin is deliberately wide — the touched clusters plus the re-routed
+reinserts plus page-size quantization cost well under 25% on an evenly
+clustered index — so the gate catches structural regressions (dirty
+tracking marking everything dirty, extent reuse breaking, compaction
+triggering at low churn), not layout micro-variance.
+
+Also gated: the final store reopens — eagerly and lazily — into a store
+whose full-sweep identifiers are byte-identical to the live index, and a
+100% churn commit compacts rather than growing the pagefile without
+bound.  Open latency is *reported*, not gated — it measures the disk.
+
+The object count has a floor below the global smoke scale: churn is
+sampled per cluster, so the index must actually have enough clusters for
+"10% of them" to be a meaningful slice.
+"""
+
+from benchmarks.conftest import scaled, write_report
+from repro.evaluation.pages import page_bench
+from repro.evaluation.reporting import format_pages_result
+
+OBJECTS = max(scaled(3_000, 6_000), 1_500)
+
+#: Acceptance gate: page bytes of an incremental commit at <=10% cluster
+#: churn, as a fraction of the full rewrite.
+BYTES_RATIO_CEILING = 0.25
+
+
+def test_incremental_checkpoint_writes_fraction_of_full(results_dir):
+    result = page_bench(objects=OBJECTS, churn_fractions=(0.01, 0.10, 1.0), seed=11)
+    write_report(results_dir, "page_bench", format_pages_result(result))
+
+    assert result.identical, "reopened paged store diverged from the live index"
+    assert result.n_clusters >= 5, (
+        f"only {result.n_clusters} clusters formed; the churn slices are "
+        "too coarse for the gate to mean anything"
+    )
+
+    by_churn = {row.churn: row for row in result.rows}
+    for churn in (0.01, 0.10):
+        row = by_churn[churn]
+        assert not row.compacted, f"low-churn ({churn:.0%}) commit fell back to compaction"
+        assert row.dirty_clusters < result.n_clusters
+        assert row.bytes_ratio <= BYTES_RATIO_CEILING, (
+            f"incremental commit at {churn:.0%} cluster churn wrote "
+            f"{row.bytes_ratio:.1%} of the full-rewrite bytes "
+            f"(ceiling {BYTES_RATIO_CEILING:.0%}): {row.incremental_bytes} "
+            f"vs {row.full_bytes} bytes"
+        )
+
+    # Full churn dirties everything: the commit must notice that carrying
+    # the dead generations is pointless and compact to the full rewrite.
+    full_churn = by_churn[1.0]
+    assert full_churn.compacted
+    assert full_churn.incremental_bytes == full_churn.full_bytes

@@ -1,4 +1,4 @@
-"""The repository's invariant rules (RL001-RL007).
+"""The repository's invariant rules (RL001-RL008).
 
 Each rule encodes a convention the codebase depends on but no stock tool
 enforces; every one of them has been violated at least once and caught
@@ -675,4 +675,81 @@ class ReplicationSeamRule(Rule):
             node,
             f"raw file operation '{operation}' outside the FileSystem seam; "
             "route it through the fs parameter so FaultyFS covers it",
+        )
+
+
+# ----------------------------------------------------------------------
+# RL008: binary packing stays in the codec modules
+# ----------------------------------------------------------------------
+@register_rule
+class BinaryCodecConfinementRule(Rule):
+    """Raw ``struct`` packing is confined to the binary codec modules.
+
+    The on-disk binary formats each live in exactly one module — the WAL
+    record framing in ``storage/wal.py``, the page/superblock codec in
+    ``storage/pages.py``, the replication wire frames in
+    ``api/replication.py``.  Every byte layout has a version field, a CRC
+    discipline and a reader that tolerates torn tails; a ``struct.pack``
+    sprinkled anywhere else creates a second, unversioned format that
+    recovery and repair cannot validate.  Modules outside the allowlist
+    compose the codecs instead of packing bytes themselves.
+    """
+
+    code = "RL008"
+    name = "binary-codec-confinement"
+    description = (
+        "raw struct packing/unpacking is confined to the binary codec "
+        "modules (storage/wal.py, storage/pages.py, api/replication.py); "
+        "everything else composes their encode/decode functions"
+    )
+
+    #: ``(package, file)`` pairs that own a binary format.
+    _CODEC_MODULES = frozenset(
+        {
+            ("storage", "wal.py"),
+            ("storage", "pages.py"),
+            ("api", "replication.py"),
+        }
+    )
+
+    def applies_to(self, path: PurePath) -> bool:
+        if not _in_repro(path):
+            return False
+        for package, filename in self._CODEC_MODULES:
+            if _adjacent(path.parts, "repro", package) and path.name == filename:
+                return False
+        return True
+
+    def check(self, tree: ast.Module, path: PurePath) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        rule = self
+
+        class Visitor(ast.NodeVisitor):
+            def visit_Import(self, node: ast.Import) -> None:
+                for alias in node.names:
+                    if alias.name == "struct" or alias.name.startswith("struct."):
+                        diagnostics.append(rule._flag(path, node, "import struct"))
+                self.generic_visit(node)
+
+            def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+                if node.module == "struct":
+                    diagnostics.append(rule._flag(path, node, "from struct import ..."))
+                self.generic_visit(node)
+
+            def visit_Attribute(self, node: ast.Attribute) -> None:
+                dotted = dotted_name(node)
+                if dotted.partition(".")[0] == "struct":
+                    diagnostics.append(rule._flag(path, node, dotted))
+                self.generic_visit(node)
+
+        Visitor().visit(tree)
+        return diagnostics
+
+    def _flag(self, path: PurePath, node: ast.AST, operation: str) -> Diagnostic:
+        return self.diagnostic(
+            path,
+            node,
+            f"raw binary packing ({operation!r}) outside the codec modules; "
+            "give the byte layout a home in storage/pages.py or storage/wal.py "
+            "and compose its encode/decode functions here",
         )

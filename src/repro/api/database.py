@@ -131,7 +131,13 @@ class Database:
         elif config.wal_dir is not None:
             from repro.api.durability import DurableBackend
 
-            backend = DurableBackend.create(backend, config.wal_dir, fsync=config.fsync)
+            backend = DurableBackend.create(
+                backend,
+                config.wal_dir,
+                fsync=config.fsync,
+                checkpoint_mode=config.checkpoint_mode,
+                keep_checkpoints=config.keep_checkpoints,
+            )
         return cls(backend)
 
     @classmethod
@@ -147,6 +153,8 @@ class Database:
         max_workers: Optional[int] = None,
         durable: bool = False,
         wal_dir: "str | Path | None" = None,
+        checkpoint_mode: str = "full",
+        keep_checkpoints: int = 1,
     ) -> "Database":
         """Create an empty database over the backend registered as *method*.
 
@@ -162,6 +170,10 @@ class Database:
         write-ahead logged (one WAL per shard) and survives a crash;
         reopen with :meth:`recover` and checkpoint with
         :meth:`checkpoint`.  Durability requires a persistable backend.
+        ``checkpoint_mode="paged"`` switches checkpoints to incremental
+        page-store commits (see :mod:`repro.storage.pagefile`);
+        ``keep_checkpoints`` retains that many superseded full-checkpoint
+        directories.
 
         This is a keyword shim over :meth:`from_config`, which validates
         the option combination in one place.
@@ -179,6 +191,8 @@ class Database:
                 backend_config=config,
                 durable=durable,
                 wal_dir=None if wal_dir is None else Path(wal_dir),
+                checkpoint_mode=checkpoint_mode,
+                keep_checkpoints=keep_checkpoints,
             )
         )
 
@@ -242,7 +256,9 @@ class Database:
            via :meth:`recover` — checkpoint load plus WAL replay;
         3. a **sharded snapshot** (shard ``manifest.json``) reopens as a
            :class:`~repro.api.sharding.ShardedDatabase`;
-        4. anything else is treated as a **plain snapshot** written by
+        4. a **paged store** (``SUPERBLOCK`` written by :meth:`save_paged`)
+           reopens lazily — cluster members load on first access;
+        5. anything else is treated as a **plain snapshot** written by
            :meth:`save`.
 
         :meth:`open` and :meth:`recover` remain as documented delegates
@@ -268,10 +284,12 @@ class Database:
 
         Dispatches on the snapshot layout: a directory holding a shard
         manifest reopens as a :class:`~repro.api.sharding.ShardedDatabase`;
-        a single snapshot file reopens the backend that wrote it.
-        Snapshots are written only by backends advertising
-        ``supports_persistence`` (currently the adaptive clustering
-        index), so the recovered backend is always persistable.
+        a paged store (``SUPERBLOCK`` present) reopens lazily through
+        :class:`~repro.storage.pagefile.PagedStore`; a single snapshot
+        file reopens the backend that wrote it.  Snapshots are written
+        only by backends advertising ``supports_persistence`` (currently
+        the adaptive clustering index), so the recovered backend is
+        always persistable.
 
         This is the snapshot-layout delegate of :meth:`attach`; unlike
         ``attach`` it refuses durable directories (use :meth:`recover`).
@@ -292,6 +310,12 @@ class Database:
                 f"{path} is a durable database directory; reopen it with "
                 "Database.recover()"
             )
+        from repro.storage.pagefile import PagedStore, is_paged_store
+
+        if is_paged_store(path):
+            # Lazy open: cluster member arrays stay on disk until the
+            # first query (or mutation) touches their cluster.
+            return cls(PagedStore.open(path).load_index(storage, lazy=True))
         from repro.core.persistence import load_index
 
         return cls(load_index(path, storage=storage))
@@ -422,6 +446,58 @@ class Database:
         """
         # repro-lint: disable=RL002 -- facade delegation: the backend raises UnsupportedOperation
         return self._backend.save(path, include_statistics=include_statistics)
+
+    def save_paged(
+        self,
+        path: "str | Path",
+        include_statistics: bool = True,
+        *,
+        compress: bool = True,
+    ) -> Path:
+        """Write (or incrementally update) a paged snapshot at *path*.
+
+        The first save creates a page store (see
+        :mod:`repro.storage.pagefile`); subsequent saves into the same
+        directory rewrite only the pages of clusters whose contents
+        changed.  Reopen with :meth:`open` / :meth:`attach` — the store
+        loads lazily, fetching each cluster's member arrays on first
+        access.  Sharded databases write one page store per shard behind
+        a manifest (see :meth:`ShardedDatabase.save_paged
+        <repro.api.sharding.ShardedDatabase.save_paged>`).
+
+        Paged snapshots serialize the adaptive index's cluster arrays, so
+        the backend (or every shard) must be an adaptive clustering
+        index; other persistable backends raise
+        :class:`~repro.api.protocol.UnsupportedOperation`.
+        """
+        from repro.api.durability import DurableBackend
+        from repro.api.protocol import UnsupportedOperation
+        from repro.api.sharding import ShardedDatabase
+        from repro.core.index import AdaptiveClusteringIndex
+        from repro.storage.pagefile import PagedStore, is_paged_store
+
+        target = self._backend
+        # repro-lint: disable=RL003 -- unwrapping the durability decorator, not probing capability
+        if isinstance(target, DurableBackend):
+            target = target.inner
+        # repro-lint: disable=RL003 -- dispatching on snapshot layout, not probing capability
+        if isinstance(target, ShardedDatabase):
+            return target.save_paged(
+                path, include_statistics=include_statistics, compress=compress
+            )
+        # repro-lint: disable=RL003 -- paged stores serialize the adaptive index's cluster
+        # arrays directly, so the concrete type is the contract
+        if not isinstance(target, AdaptiveClusteringIndex):
+            raise UnsupportedOperation(
+                "paged snapshots serialize adaptive-index cluster arrays; "
+                f"backend {self.capabilities.name!r} cannot write one"
+            )
+        if is_paged_store(path):
+            store = PagedStore.open(path, compress=compress)
+        else:
+            store = PagedStore.create(path, compress=compress)
+        store.commit(target, incremental=True, include_statistics=include_statistics)
+        return Path(path)
 
     def snapshot(self) -> object:
         """Structural snapshot of a persistable backend (capability-gated)."""

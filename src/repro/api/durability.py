@@ -73,9 +73,24 @@ import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.pagefile import CommitStats, PagedStore
 
 from repro.api.protocol import (
     BackendBase,
@@ -83,7 +98,7 @@ from repro.api.protocol import (
     QueryResult,
     SpatialBackend,
 )
-from repro.api.sharding import ShardedDatabase
+from repro.api.sharding import ShardedDatabase, router_from_manifest
 from repro.geometry.box import HyperRectangle
 from repro.geometry.relations import SpatialRelation
 from repro.storage.wal import (
@@ -108,6 +123,18 @@ PENDING_OP_NAME = "PENDING.json"
 
 #: Bump on any change to the manifest / pending-record layout.
 DURABILITY_FORMAT_VERSION = 1
+
+#: How :meth:`DurableBackend.checkpoint` persists the backend state.
+#: ``"full"`` snapshots everything into a fresh ``checkpoint-NNNNNN``
+#: directory; ``"paged"`` commits only the pages of clusters that changed
+#: since the last cut into a persistent per-shard page store (see
+#: :mod:`repro.storage.pagefile`).
+CHECKPOINT_MODES = ("full", "paged")
+
+
+def _paged_store_name(position: int) -> str:
+    """Directory name of shard *position*'s persistent page store."""
+    return f"pages-{position:03d}"
 
 
 @dataclass
@@ -156,6 +183,8 @@ class DurableBackend(BackendBase):
         wals: Sequence[WriteAheadLog],
         seq: int,
         next_gid: int,
+        checkpoint_mode: str = "full",
+        keep_checkpoints: int = 1,
     ) -> None:
         self._inner = inner
         self._wal_dir = Path(wal_dir)
@@ -166,6 +195,14 @@ class DurableBackend(BackendBase):
         self._next_gid = int(next_gid)
         self._group_depth = 0
         self._touched: Set[int] = set()
+        self._checkpoint_mode = _validate_checkpoint_mode(checkpoint_mode)
+        self._keep_checkpoints = _validate_keep_checkpoints(keep_checkpoints)
+        #: Persistent per-shard page stores (paged mode only); kept across
+        #: checkpoints so incremental commits diff against the last cut.
+        self._paged_stores: Optional[List["PagedStore"]] = None
+        #: Per-store commit statistics of the most recent paged checkpoint
+        #: (empty in full mode); benches read the page-byte counters here.
+        self.last_paged_commits: List["CommitStats"] = []
         self.stats = DurabilityStats()
 
     # ------------------------------------------------------------------
@@ -179,6 +216,8 @@ class DurableBackend(BackendBase):
         *,
         fs: FileSystem = REAL_FS,
         fsync: bool = True,
+        checkpoint_mode: str = "full",
+        keep_checkpoints: int = 1,
     ) -> "DurableBackend":
         """Make *inner* durable under *wal_dir* (fresh directory).
 
@@ -187,6 +226,15 @@ class DurableBackend(BackendBase):
         not already hold a durable database (recover that instead); an
         initial checkpoint of the (possibly pre-loaded) backend is
         committed immediately, so a complete checkpoint always exists.
+
+        ``checkpoint_mode="paged"`` checkpoints into persistent per-shard
+        page stores — incremental commits that rewrite only the pages of
+        clusters touched since the last cut.  Paged checkpoints snapshot
+        through the cluster arrays directly, so every checkpointed backend
+        must be an adaptive clustering index (or a sharded database of
+        them).  ``keep_checkpoints`` applies to full mode: that many of
+        the newest superseded ``checkpoint-NNNNNN`` directories survive
+        pruning (the default 1 keeps only the current one).
         """
         if not isinstance(inner, SpatialBackend):
             raise TypeError(
@@ -194,6 +242,10 @@ class DurableBackend(BackendBase):
                 "see repro.api.protocol"
             )
         inner.capabilities.require("persistence")
+        _validate_checkpoint_mode(checkpoint_mode)
+        _validate_keep_checkpoints(keep_checkpoints)
+        if checkpoint_mode == "paged":
+            _require_paged_targets(inner)
         wal_dir = Path(wal_dir)
         if (wal_dir / CHECKPOINT_MANIFEST_NAME).exists():
             raise ValueError(
@@ -208,7 +260,17 @@ class DurableBackend(BackendBase):
             )
             for position in range(count)
         ]
-        durable = cls(inner, wal_dir, fs=fs, fsync=fsync, wals=wals, seq=0, next_gid=1)
+        durable = cls(
+            inner,
+            wal_dir,
+            fs=fs,
+            fsync=fsync,
+            wals=wals,
+            seq=0,
+            next_gid=1,
+            checkpoint_mode=checkpoint_mode,
+            keep_checkpoints=keep_checkpoints,
+        )
         durable.checkpoint()
         return durable
 
@@ -219,6 +281,7 @@ class DurableBackend(BackendBase):
         *,
         fs: FileSystem = REAL_FS,
         fsync: bool = True,
+        keep_checkpoints: int = 1,
     ) -> "DurableBackend":
         """Recover a durable database from *wal_dir*.
 
@@ -229,18 +292,26 @@ class DurableBackend(BackendBase):
         Recovery is restartable: it mutates nothing durable before its
         final (atomic) checkpoint, so a crash *during* recovery recovers
         identically on the next attempt.
+
+        The checkpoint mode sticks to what the manifest records: a store
+        checkpointed in paged mode reopens its page stores (rolling back
+        any page-store generation newer than the committed one) and keeps
+        checkpointing incrementally.
         """
+        _validate_keep_checkpoints(keep_checkpoints)
         wal_dir = Path(wal_dir)
         manifest = read_manifest(wal_dir)
-        directory = wal_dir / str(manifest["directory"])
         layout = str(manifest["layout"])
         inner: SpatialBackend
+        stores: Optional[List[PagedStore]] = None
         if layout == "sharded":
-            inner = ShardedDatabase.open(directory)
+            inner = ShardedDatabase.open(wal_dir / str(manifest["directory"]))
         elif layout == "plain":
             from repro.core.persistence import load_index
 
-            inner = load_index(directory / "snapshot.npz")
+            inner = load_index(wal_dir / str(manifest["directory"]) / "snapshot.npz")
+        elif layout == "paged":
+            inner, stores = _open_paged_checkpoint(wal_dir, manifest, fs=fs)
         else:
             raise ValueError(f"corrupt checkpoint manifest: unknown layout {layout!r}")
         next_gid = int(manifest["next_gid"])
@@ -291,7 +362,10 @@ class DurableBackend(BackendBase):
             wals=wals,
             seq=int(manifest["seq"]),
             next_gid=next_gid,
+            checkpoint_mode="paged" if layout == "paged" else "full",
+            keep_checkpoints=keep_checkpoints,
         )
+        durable._paged_stores = stores
         durable.stats.replayed_records = replayed
         # Post-recovery checkpoint: commits the replayed state (pending
         # operation included — its gid is now below the manifest's
@@ -313,6 +387,16 @@ class DurableBackend(BackendBase):
     def wal_dir(self) -> Path:
         """Directory holding the WALs, checkpoints and commit manifest."""
         return self._wal_dir
+
+    @property
+    def checkpoint_mode(self) -> str:
+        """``"full"`` (directory snapshots) or ``"paged"`` (incremental pages)."""
+        return self._checkpoint_mode
+
+    @property
+    def keep_checkpoints(self) -> int:
+        """Superseded full checkpoints retained after each new commit."""
+        return self._keep_checkpoints
 
     @property
     def wal_paths(self) -> Tuple[Path, ...]:
@@ -517,7 +601,7 @@ class DurableBackend(BackendBase):
     def checkpoint(self) -> Path:
         """Commit an atomic checkpoint and reset the WALs to the new cut.
 
-        Protocol (the order is the correctness argument):
+        Full-mode protocol (the order is the correctness argument):
 
         1. snapshot the backend into ``checkpoint-NNNNNN.tmp`` (invisible
            to recovery: only the manifest makes a checkpoint real);
@@ -525,13 +609,24 @@ class DurableBackend(BackendBase):
         3. atomically replace ``CHECKPOINT.json`` — **the commit point** —
            recording the directory, each WAL's LSN cut and ``next_gid``;
         4. reset each WAL (atomic rename) to start at its cut;
-        5. delete superseded checkpoint directories.
+        5. delete superseded checkpoint directories beyond the configured
+           ``keep_checkpoints`` retention.
 
         A crash before step 3 leaves the previous checkpoint + full WALs; a
         crash after it leaves the new checkpoint + WALs whose stale records
         (``lsn < cut``) are filtered on replay.  Either way recovery sees a
         consistent cut.
+
+        Paged mode replaces steps 1–2 with an **incremental commit** into
+        each shard's persistent page store: only the pages of clusters
+        whose contents changed since the last cut are appended, and the
+        manifest records each store's committed generation.  A crash after
+        a store commit but before the manifest leaves the store one
+        generation ahead — recovery rolls it back to the generation the
+        manifest names.
         """
+        if self._checkpoint_mode == "paged":
+            return self._checkpoint_paged()
         seq = self._seq + 1
         name = f"checkpoint-{seq:06d}"
         tmp = self._wal_dir / (name + ".tmp")
@@ -576,9 +671,13 @@ class DurableBackend(BackendBase):
         self._seq = seq
         for wal, cut in zip(self._wals, cuts):
             wal.reset(cut)
-        for entry in sorted(self._wal_dir.glob("checkpoint-*")):
-            if entry.is_dir() and entry.name != name:
-                self._fs.rmtree(entry)
+        snapshots = [
+            entry
+            for entry in sorted(self._wal_dir.glob("checkpoint-*"))
+            if entry.is_dir() and not entry.name.endswith(".tmp")
+        ]
+        for entry in snapshots[: -self._keep_checkpoints]:
+            self._fs.rmtree(entry)
         self.stats.checkpoints += 1
         return final
 
@@ -599,6 +698,76 @@ class DurableBackend(BackendBase):
         else:
             # repro-lint: disable=RL002 -- create() required "persistence" on the inner backend
             self._inner.save(target, include_statistics=True)
+
+    def _checkpoint_paged(self) -> Path:
+        """Commit an incremental paged checkpoint and reset the WALs.
+
+        Each shard's persistent page store commits first (appending only
+        the pages of clusters whose content changed since its last
+        generation), then ``CHECKPOINT.json`` — still the single commit
+        point — records each store's committed generation alongside the
+        WAL cuts.  A crash between a store commit and the manifest leaves
+        that store one generation ahead; recovery rolls it back with
+        :meth:`~repro.storage.pagefile.PagedStore.open_generation`.
+        Superseded store generations are pruned only after the manifest is
+        durable, mirroring full mode's checkpoint-directory cleanup.
+        """
+        seq = self._seq + 1
+        stores = self._ensure_paged_stores()
+        targets = self._targets()
+        cuts = [wal.next_lsn for wal in self._wals]
+        commits: List[CommitStats] = []
+        for store, target in zip(stores, targets):
+            # _require_paged_targets pinned every target to an adaptive
+            # index at create/recover time.
+            commits.append(store.commit(target, incremental=True, prune=False))  # type: ignore[arg-type]
+        self._fs.barrier("checkpoint-payload")
+        manifest: Dict[str, Any] = {
+            "format_version": DURABILITY_FORMAT_VERSION,
+            "seq": seq,
+            "directory": stores[0].directory.name,
+            "layout": "paged",
+            "dimensions": self._inner.dimensions,
+            "n_objects": self._inner.n_objects,
+            "next_gid": self._next_gid,
+            "stores": [
+                {"directory": store.directory.name, "generation": store.generation}
+                for store in stores
+            ],
+            "wals": [
+                {"file": wal.path.name, "lsn": cut}
+                for wal, cut in zip(self._wals, cuts)
+            ],
+        }
+        if isinstance(self._inner, ShardedDatabase):
+            manifest["router"] = self._inner.router.manifest()
+        self._fs.write_file(
+            self._wal_dir / CHECKPOINT_MANIFEST_NAME,
+            (json.dumps(manifest, indent=2) + "\n").encode("utf-8"),
+        )
+        self._seq = seq
+        for wal, cut in zip(self._wals, cuts):
+            wal.reset(cut)
+        for store in stores:
+            store.prune()
+        self.last_paged_commits = commits
+        self.stats.checkpoints += 1
+        return stores[0].directory
+
+    def _ensure_paged_stores(self) -> List["PagedStore"]:
+        """The persistent per-shard page stores, opened or created once."""
+        from repro.storage.pagefile import PagedStore, is_paged_store
+
+        if self._paged_stores is None:
+            stores: List[PagedStore] = []
+            for position in range(len(self._wals)):
+                directory = self._wal_dir / _paged_store_name(position)
+                if is_paged_store(directory):
+                    stores.append(PagedStore.open(directory, fs=self._fs))
+                else:
+                    stores.append(PagedStore.create(directory, fs=self._fs))
+            self._paged_stores = stores
+        return self._paged_stores
 
     # ------------------------------------------------------------------
     # Group commit
@@ -758,7 +927,12 @@ class DurableBackend(BackendBase):
         inner_copy = _copy.deepcopy(self._inner, memo)
         scratch = Path(tempfile.mkdtemp(prefix="repro-durable-copy-"))
         duplicate = type(self).create(
-            inner_copy, scratch / "wal", fs=REAL_FS, fsync=self._fsync
+            inner_copy,
+            scratch / "wal",
+            fs=REAL_FS,
+            fsync=self._fsync,
+            checkpoint_mode=self._checkpoint_mode,
+            keep_checkpoints=self._keep_checkpoints,
         )
         # repro-lint: disable=RL001 -- GC cleanup of a scratch copy, not a durability commit path
         weakref.finalize(duplicate, shutil.rmtree, str(scratch), True)
@@ -794,6 +968,82 @@ class DurableBackend(BackendBase):
 # ----------------------------------------------------------------------
 def _wal_file_name(position: int) -> str:
     return f"wal-{position:03d}.log"
+
+
+def _validate_checkpoint_mode(mode: str) -> str:
+    if mode not in CHECKPOINT_MODES:
+        raise ValueError(
+            f"unknown checkpoint mode {mode!r}; expected one of "
+            f"{', '.join(CHECKPOINT_MODES)}"
+        )
+    return mode
+
+
+def _validate_keep_checkpoints(count: int) -> int:
+    if count < 1:
+        raise ValueError("keep_checkpoints must be at least 1")
+    return int(count)
+
+
+def _require_paged_targets(inner: SpatialBackend) -> None:
+    """Paged checkpoints snapshot cluster arrays — adaptive indexes only."""
+    from repro.core.index import AdaptiveClusteringIndex
+
+    targets = inner.shards if isinstance(inner, ShardedDatabase) else (inner,)
+    for position, target in enumerate(targets):
+        # repro-lint: disable=RL003 -- not probing capability: the paged store serializes
+        # the adaptive index's cluster arrays directly, so the concrete type is the contract
+        if not isinstance(target, AdaptiveClusteringIndex):
+            raise ValueError(
+                "checkpoint_mode='paged' requires adaptive clustering "
+                f"backends; shard {position} is "
+                f"{target.capabilities.name!r}"
+            )
+
+
+def _open_paged_checkpoint(
+    wal_dir: Path, manifest: Dict[str, Any], *, fs: FileSystem
+) -> Tuple[SpatialBackend, List["PagedStore"]]:
+    """Reopen the page stores a paged checkpoint manifest names.
+
+    Each store is rolled back (``resync=True``) to the generation the
+    manifest committed — a crash between a store commit and the manifest
+    leaves the store ahead, never behind.  Shards load lazily: WAL replay
+    and the post-recovery checkpoint only materialize what they touch.
+    """
+    from repro.storage.pagefile import PagedStore
+
+    entries = manifest.get("stores")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("corrupt checkpoint manifest: paged layout names no stores")
+    stores: List[PagedStore] = []
+    backends: List[SpatialBackend] = []
+    for entry in entries:
+        if not isinstance(entry, dict) or "directory" not in entry or "generation" not in entry:
+            raise ValueError(
+                "corrupt checkpoint manifest: paged store entry lacks "
+                "directory/generation"
+            )
+        directory = wal_dir / str(entry["directory"])
+        store = PagedStore.open_generation(
+            directory, int(entry["generation"]), fs=fs, resync=True
+        )
+        stores.append(store)
+        backends.append(store.load_index(lazy=True))
+    router_data = manifest.get("router")
+    if router_data is not None:
+        if not isinstance(router_data, dict):
+            raise ValueError("corrupt checkpoint manifest: malformed router entry")
+        inner: SpatialBackend = ShardedDatabase(
+            backends, router=router_from_manifest(router_data, len(backends))
+        )
+    elif len(backends) == 1:
+        inner = backends[0]
+    else:
+        raise ValueError(
+            "corrupt checkpoint manifest: multiple paged stores but no router"
+        )
+    return inner, stores
 
 
 def read_manifest(wal_dir: Path) -> Dict[str, Any]:

@@ -697,9 +697,19 @@ class ReplicatedBackend(DurableBackend):
         wals: Sequence[WriteAheadLog],
         seq: int,
         next_gid: int,
+        checkpoint_mode: str = "full",
+        keep_checkpoints: int = 1,
     ) -> None:
         super().__init__(
-            inner, wal_dir, fs=fs, fsync=fsync, wals=wals, seq=seq, next_gid=next_gid
+            inner,
+            wal_dir,
+            fs=fs,
+            fsync=fsync,
+            wals=wals,
+            seq=seq,
+            next_gid=next_gid,
+            checkpoint_mode=checkpoint_mode,
+            keep_checkpoints=keep_checkpoints,
         )
         self._mode: str = "semi-sync"
         self._links: List[_ReplicaLink] = []
@@ -723,10 +733,26 @@ class ReplicatedBackend(DurableBackend):
         fs: FileSystem = REAL_FS,
         fsync: bool = True,
         mode: str = "semi-sync",
+        checkpoint_mode: str = "full",
+        keep_checkpoints: int = 1,
     ) -> "ReplicatedBackend":
-        """Make *inner* a replicable durable primary under *wal_dir*."""
+        """Make *inner* a replicable durable primary under *wal_dir*.
+
+        Followers bootstrap from full checkpoint snapshots, so a primary
+        only supports ``checkpoint_mode="full"``.
+        """
         _validate_mode(mode)
-        backend = cast("ReplicatedBackend", super().create(inner, wal_dir, fs=fs, fsync=fsync))
+        if checkpoint_mode != "full":
+            raise ValueError(
+                "replication bootstraps followers from full checkpoint "
+                f"snapshots; checkpoint_mode={checkpoint_mode!r} is not replicable"
+            )
+        backend = cast(
+            "ReplicatedBackend",
+            super().create(
+                inner, wal_dir, fs=fs, fsync=fsync, keep_checkpoints=keep_checkpoints
+            ),
+        )
         backend._mode = mode
         return backend
 

@@ -420,21 +420,26 @@ class ShardedDatabase(BackendBase):
                 f"corrupt shard manifest {manifest_path}: shard_count "
                 f"{shard_count!r} disagrees with {len(entries)} shard entries"
             )
+        paged = manifest.get("layout") == "paged"
         shards: List[SpatialBackend] = []
         for position, entry in enumerate(entries):
-            if not isinstance(entry, dict) or "file" not in entry:
+            key = "dir" if paged else "file"
+            if not isinstance(entry, dict) or key not in entry:
                 raise ValueError(
                     f"corrupt shard manifest {manifest_path}: shard entry "
-                    f"{position} has no snapshot file"
+                    f"{position} has no snapshot {key}"
                 )
-            shard_file = path / str(entry["file"])
-            if not shard_file.is_file():
+            shard_file = path / str(entry[key])
+            if not paged and not shard_file.is_file():
                 raise ValueError(
                     f"missing shard snapshot {shard_file.name} (shard "
                     f"{position} of {len(entries)}) in {path}"
                 )
             try:
-                shard = _load_shard_snapshot(shard_file)
+                if paged:
+                    shard = _load_paged_shard(shard_file)
+                else:
+                    shard = _load_shard_snapshot(shard_file)
             except Exception as error:
                 raise ValueError(
                     f"corrupt shard snapshot {shard_file.name} (shard "
@@ -838,6 +843,84 @@ class ShardedDatabase(BackendBase):
             fs.remove(legacy)
         return path
 
+    def save_paged(
+        self,
+        path: "str | Path",
+        include_statistics: bool = True,
+        *,
+        compress: bool = True,
+        fs: FileSystem = REAL_FS,
+    ) -> Path:
+        """Write (or incrementally update) one page store per shard.
+
+        The layout mirrors :meth:`save` — a ``manifest.json`` commit point
+        over per-shard payloads — but each shard's payload is a
+        ``shard_NNN.pages`` directory managed by
+        :class:`~repro.storage.pagefile.PagedStore`: the first save writes
+        every page, later saves into the same *path* append only the pages
+        of clusters whose contents changed.  The manifest (tagged
+        ``layout: "paged"``) records each store's committed generation and
+        is rewritten last, so a crash mid-save leaves the previous
+        manifest pointing at the previous generations, which remain intact
+        in the append-only page files.  Reopen with :meth:`open` — paged
+        shards load lazily.
+
+        Paged stores serialize the adaptive index's cluster arrays, so
+        every shard must be an adaptive clustering index.
+        """
+        from repro.core.index import AdaptiveClusteringIndex
+        from repro.storage.pagefile import PagedStore, is_paged_store
+
+        self.capabilities.require("persistence")
+        for position, shard in enumerate(self._shards):
+            # repro-lint: disable=RL003 -- paged stores serialize the adaptive index's
+            # cluster arrays directly, so the concrete type is the contract
+            if not isinstance(shard, AdaptiveClusteringIndex):
+                raise ValueError(
+                    "paged snapshots serialize adaptive-index cluster "
+                    f"arrays; shard {position} is "
+                    f"{shard.capabilities.name!r}"
+                )
+        path = Path(path)
+        fs.mkdir(path)
+        entries: List[Dict[str, object]] = []
+        for position, shard in enumerate(self._shards):
+            directory = path / f"shard_{position:03d}.pages"
+            if is_paged_store(directory):
+                store = PagedStore.open(directory, compress=compress, fs=fs)
+            else:
+                store = PagedStore.create(directory, compress=compress, fs=fs)
+            store.commit(
+                shard,  # type: ignore[arg-type]  # pinned to AdaptiveClusteringIndex above
+                incremental=True,
+                include_statistics=include_statistics,
+            )
+            entries.append(
+                {
+                    "dir": directory.name,
+                    "method": shard.capabilities.name,
+                    "n_objects": shard.n_objects,
+                    "n_groups": shard.n_groups,
+                    "generation": store.generation,
+                }
+            )
+        manifest = {
+            "format_version": SHARD_MANIFEST_VERSION,
+            "kind": "sharded-database",
+            "layout": "paged",
+            "dimensions": self._dimensions,
+            "shard_count": len(self._shards),
+            "router": self._router.manifest(),
+            "include_statistics": include_statistics,
+            "shards": entries,
+        }
+        fs.barrier("sharded-save-commit")
+        fs.write_file(
+            path / SHARD_MANIFEST_NAME,
+            (json.dumps(manifest, indent=2) + "\n").encode("utf-8"),
+        )
+        return path
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"ShardedDatabase(shards={self.n_shards}, "
@@ -848,6 +931,15 @@ class ShardedDatabase(BackendBase):
 def is_sharded_snapshot(path: "str | Path") -> bool:
     """True when *path* is a directory written by :meth:`ShardedDatabase.save`."""
     return (Path(path) / SHARD_MANIFEST_NAME).is_file()
+
+
+def _load_paged_shard(directory: Path) -> SpatialBackend:
+    """Reopen one shard's page store, loading cluster members lazily."""
+    from repro.storage.pagefile import PagedStore, is_paged_store
+
+    if not is_paged_store(directory):
+        raise ValueError(f"no paged store at {directory}")
+    return PagedStore.open(directory).load_index(lazy=True)
 
 
 def _load_shard_snapshot(path: Path) -> SpatialBackend:

@@ -11,6 +11,8 @@ figures and tables from the terminal::
     repro-experiments serve-bench --clients 16 --shards 4 --router spatial
     repro-experiments wal-bench --objects 5000 --mutations 1500 --shards 2
     repro-experiments repl-bench --objects 5000 --mutations 1500 --shards 2
+    repro-experiments page-bench --objects 3000 --churn 0.01 0.1 1.0
+    repro-experiments repair /data/broken.pages /data/salvaged.pages
 
 Every command prints a paper-style report (and optionally writes it to a
 file with ``--output``).  Method names are resolved through the backend
@@ -43,10 +45,12 @@ from repro.evaluation.replication import replication_bench
 from repro.evaluation.reporting import (
     format_durability_result,
     format_experiment_result,
+    format_pages_result,
     format_replication_result,
     format_serving_result,
     format_streaming_result,
 )
+from repro.evaluation.pages import page_bench
 from repro.evaluation.serving import async_serving_bench
 from repro.evaluation.streaming import pubsub_streaming_bench
 
@@ -123,6 +127,34 @@ def _add_wal_bench_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--batch-size", type=int, default=None, help="mutations per group-commit fsync"
+    )
+    _add_run_arguments(parser)
+
+
+def _add_page_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_scenario_argument(parser)
+    parser.add_argument("--objects", type=int, default=None, help="indexed object count")
+    parser.add_argument(
+        "--page-size", type=int, default=None, help="page size of the benchmarked stores, bytes"
+    )
+    parser.add_argument(
+        "--division-factor",
+        type=int,
+        default=None,
+        help="clustering division factor (higher means more, smaller clusters)",
+    )
+    parser.add_argument(
+        "--churn",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="FRACTION",
+        help="cluster churn fractions to measure (default: 0.01 0.1 1.0)",
+    )
+    parser.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="write pages uncompressed (isolates the zlib cost)",
     )
     _add_run_arguments(parser)
 
@@ -335,6 +367,58 @@ def _run_wal_bench(args: argparse.Namespace):
     return wal_durability_bench(scenario=args.scenario, **kwargs)
 
 
+def _run_page_bench(args: argparse.Namespace):
+    kwargs = _collect_kwargs(
+        args,
+        {
+            "objects": "objects",
+            "page_size": "page_size",
+            "division_factor": "division_factor",
+            "seed": "seed",
+        },
+    )
+    if args.churn is not None:
+        kwargs["churn_fractions"] = tuple(args.churn)
+    if args.no_compress:
+        kwargs["compress"] = False
+    return page_bench(scenario=args.scenario, **kwargs)
+
+
+def _run_repair(args: argparse.Namespace) -> int:
+    """Salvage a damaged paged store; prints the report, returns exit status.
+
+    Like lint this is self-reporting: 0 means a lossless repair, 1 means
+    the salvage succeeded but objects were lost (some pages were beyond
+    saving), and unusable paths — no store, no readable manifest, an
+    occupied destination — raise :class:`ValueError` and exit 2 like
+    every other parameter error.
+    """
+    import json
+
+    from repro.recovery import repair_store
+
+    report = repair_store(args.source, args.destination, compress=not args.no_compress)
+    if args.format == "json":
+        rendered = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    else:
+        status = "lossless" if report.lossless else "LOSSY"
+        lines = [
+            f"repaired {report.source} -> {report.destination} ({status})",
+            f"  generation:  {report.generation}"
+            + ("  (superblock damaged; chosen by manifest scan)" if report.superblock_damaged else ""),
+            f"  clusters:    {report.clusters_recovered}/{report.clusters_total} recovered"
+            + (f", {report.clusters_damaged} stripped of members" if report.clusters_damaged else ""),
+            f"  objects:     {report.objects_recovered} recovered, {report.objects_lost} lost",
+            f"  pages:       {report.pages_scanned} scanned, {report.pages_corrupt} corrupt",
+        ]
+        rendered = "\n".join(lines)
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return 0 if report.lossless else 1
+
+
 def _run_repl_bench(args: argparse.Namespace):
     kwargs = _collect_kwargs(
         args,
@@ -429,6 +513,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_wal_bench_arguments(repl)
     repl.set_defaults(runner=_run_repl_bench, formatter=format_replication_result)
+    pages = subparsers.add_parser(
+        "page-bench",
+        help="paged-checkpoint benchmark: incremental vs full commit cost "
+        "at several cluster-churn levels, and lazy vs eager reopen",
+    )
+    _add_page_bench_arguments(pages)
+    pages.set_defaults(runner=_run_page_bench, formatter=format_pages_result)
+    repair = subparsers.add_parser(
+        "repair",
+        help="salvage every CRC-intact page of a damaged paged store into "
+        "a fresh consistent store (exit 0 lossless, 1 objects lost)",
+    )
+    repair.add_argument("source", help="directory of the damaged paged store")
+    repair.add_argument(
+        "destination", help="directory for the repaired store (must not hold one)"
+    )
+    repair.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="report format (default: human)",
+    )
+    repair.add_argument(
+        "--no-compress", action="store_true", help="write the repaired store uncompressed"
+    )
+    repair.add_argument("--output", type=str, default=None, help="write the report to this file")
+    repair.set_defaults(runner=_run_repair, formatter=None)
     lint = subparsers.add_parser(
         "lint",
         help="check the repository invariants (seam discipline, capability "
@@ -474,6 +585,8 @@ _POSITIVE_ARGUMENTS = (
     "clients",
     "shards",
     "mutations",
+    "page_size",
+    "division_factor",
 )
 _NON_NEGATIVE_ARGUMENTS = ("warmup", "cache_size", "max_delay_ms")
 _PROBABILITY_ARGUMENTS = ("subscribe_prob", "unsubscribe_prob", "repeat_prob")

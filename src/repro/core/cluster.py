@@ -111,6 +111,16 @@ class Cluster:
         self.creation_query = total_queries
         self.candidates.reset_query_counts()
 
+    def ensure_materialized(self) -> None:
+        """Load lazily-stored members, if any.
+
+        A no-op here: plain clusters always hold their members in memory.
+        :class:`~repro.storage.pagefile.LazyCluster` overrides this to
+        fetch its member arrays from the page file; callers that need the
+        candidate *object* statistics without touching ``self.store``
+        (the reorganizer, most notably) invoke it explicitly.
+        """
+
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------

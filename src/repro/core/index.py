@@ -1189,6 +1189,10 @@ class AdaptiveClusteringIndex(BackendBase):
         invalidates them wholesale so the next query rebuilds from scratch
         (cheaper than many incremental splices).
         """
+        # The reorganizer reads candidate object counts, which lazily
+        # loaded clusters only gain once their member arrays are resident.
+        for cluster in self._clusters.values():
+            cluster.ensure_materialized()
         had_matrix = self._signature_matrix is not None
         self._matrix_maintenance_suspended = True
         try:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.evaluation.durability import DurabilityBenchResult
+from repro.evaluation.pages import PageBenchResult
 from repro.evaluation.replication import ReplicationBenchResult
 from repro.evaluation.experiments import ExperimentResult
 from repro.evaluation.serving import ServingBenchResult
@@ -354,5 +355,55 @@ def format_replication_result(result: ReplicationBenchResult) -> str:
             ["async lag (records)", "catch-up ms", "failover ms", "replicated", "identical"],
             failover_rows,
         ),
+    ]
+    return "\n".join(sections)
+
+
+def format_pages_result(result: PageBenchResult) -> str:
+    """Full text report of one paged-checkpoint benchmark run."""
+    churn_rows = []
+    for row in result.rows:
+        churn_rows.append(
+            [
+                f"{row.churn:.0%}",
+                row.clusters_touched,
+                row.dirty_clusters,
+                round(row.full_ms, 2),
+                row.full_bytes,
+                round(row.incremental_ms, 2),
+                row.incremental_bytes,
+                f"{row.bytes_ratio:.1%}" + (" (compacted)" if row.compacted else ""),
+            ]
+        )
+    open_rows = [
+        [
+            round(result.open_eager_ms, 2),
+            round(result.open_lazy_ms, 2),
+            "yes" if result.identical else "NO",
+        ]
+    ]
+    sections = [
+        f"== {result.experiment_id}: {result.title} ==",
+        f"scenario: {result.scenario.value}",
+        f"parameters: {result.parameters}",
+        f"clusters: {result.n_clusters}",
+        "",
+        "-- checkpoint cost by cluster churn --",
+        format_table(
+            [
+                "churn",
+                "touched",
+                "dirty",
+                "full ms",
+                "full bytes",
+                "incr ms",
+                "incr bytes",
+                "incr/full",
+            ],
+            churn_rows,
+        ),
+        "",
+        "-- reopening the final store --",
+        format_table(["eager open ms", "lazy open ms", "identical"], open_rows),
     ]
     return "\n".join(sections)

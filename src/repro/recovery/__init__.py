@@ -1,0 +1,10 @@
+"""Salvage tooling for damaged paged stores.
+
+:mod:`repro.recovery.repair` walks a torn or corrupted paged store page
+by page, keeps everything whose checksums still hold, and writes a fresh
+consistent store — the engine behind the ``repro repair`` CLI subcommand.
+"""
+
+from repro.recovery.repair import RepairReport, repair_store
+
+__all__ = ["RepairReport", "repair_store"]

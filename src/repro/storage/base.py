@@ -111,6 +111,35 @@ class StorageBackend(abc.ABC):
                 self._charge_read(int(size))
 
     # ------------------------------------------------------------------
+    # Paged-store events
+    # ------------------------------------------------------------------
+    def on_pages_read(self, n_pages: int, n_bytes: int) -> None:
+        """A paged store fetched one blob extent of *n_pages* pages.
+
+        The extent's pages are contiguous, so the disk scenario prices
+        the fetch as one random access plus a sequential transfer.
+        """
+        if n_pages <= 0:
+            return
+        self.stats.page_reads += n_pages
+        self.stats.page_bytes_read += n_bytes
+        self._charge_page_read(n_pages, n_bytes)
+
+    def on_pages_written(self, n_pages: int, n_bytes: int) -> None:
+        """A paged-store commit appended *n_pages* pages in one pass."""
+        if n_pages <= 0:
+            return
+        self.stats.page_writes += n_pages
+        self.stats.page_bytes_written += n_bytes
+        self._charge_page_write(n_pages, n_bytes)
+
+    def _charge_page_read(self, n_pages: int, n_bytes: int) -> None:
+        """Charge one contiguous page fetch (no cost in the memory scenario)."""
+
+    def _charge_page_write(self, n_pages: int, n_bytes: int) -> None:
+        """Charge one contiguous page append (no cost in the memory scenario)."""
+
+    # ------------------------------------------------------------------
     # Scenario-specific cost accounting
     # ------------------------------------------------------------------
     @abc.abstractmethod

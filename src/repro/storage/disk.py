@@ -49,3 +49,14 @@ class SimulatedDisk(StorageBackend):
         self.stats.bytes_written += bytes_written
         self.stats.random_accesses += 1
         self.clock.charge(self._access_ms + bytes_written * self._transfer_ms_per_byte)
+
+    def _charge_page_read(self, n_pages: int, n_bytes: int) -> None:
+        # One blob extent is contiguous: a single seek, then sequential
+        # transfer of every page it spans.
+        self.stats.random_accesses += 1
+        self.clock.charge(self._access_ms + n_bytes * self._transfer_ms_per_byte)
+
+    def _charge_page_write(self, n_pages: int, n_bytes: int) -> None:
+        # Commits append at the end of the page file: one seek per pass.
+        self.stats.random_accesses += 1
+        self.clock.charge(self._access_ms + n_bytes * self._transfer_ms_per_byte)

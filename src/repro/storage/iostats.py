@@ -28,6 +28,14 @@ class IOStatistics:
         Cluster extents allocated.
     frees:
         Cluster extents released (merges, deletions).
+    page_reads:
+        Pages fetched from a paged store (lazy loads, eager opens).
+    page_writes:
+        Pages written by paged-store commits.
+    page_bytes_read:
+        Bytes covered by ``page_reads`` (page-size granular).
+    page_bytes_written:
+        Bytes covered by ``page_writes`` (page-size granular).
     """
 
     random_accesses: int = 0
@@ -37,6 +45,10 @@ class IOStatistics:
     cluster_relocations: int = 0
     allocations: int = 0
     frees: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    page_bytes_read: int = 0
+    page_bytes_written: int = 0
 
     def merge(self, other: "IOStatistics") -> "IOStatistics":
         """Return the element-wise sum of two statistics records."""
@@ -48,6 +60,10 @@ class IOStatistics:
             cluster_relocations=self.cluster_relocations + other.cluster_relocations,
             allocations=self.allocations + other.allocations,
             frees=self.frees + other.frees,
+            page_reads=self.page_reads + other.page_reads,
+            page_writes=self.page_writes + other.page_writes,
+            page_bytes_read=self.page_bytes_read + other.page_bytes_read,
+            page_bytes_written=self.page_bytes_written + other.page_bytes_written,
         )
 
     def reset(self) -> None:
@@ -59,6 +75,10 @@ class IOStatistics:
         self.cluster_relocations = 0
         self.allocations = 0
         self.frees = 0
+        self.page_reads = 0
+        self.page_writes = 0
+        self.page_bytes_read = 0
+        self.page_bytes_written = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dictionary (reporting / JSON)."""
@@ -70,4 +90,8 @@ class IOStatistics:
             "cluster_relocations": self.cluster_relocations,
             "allocations": self.allocations,
             "frees": self.frees,
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "page_bytes_read": self.page_bytes_read,
+            "page_bytes_written": self.page_bytes_written,
         }

@@ -1,0 +1,337 @@
+"""Page codec: fixed-size, checksummed, optionally compressed storage pages.
+
+This module is the binary half of the paged storage engine (the layout
+policy — page files, the page-table manifest, generations, lazy loads —
+lives in :mod:`repro.storage.pagefile`).  Every byte-level concern is
+confined here: page framing, CRC32 validation, zlib compression, the
+superblock, and the packing of NumPy cluster arrays into blob bytes.  The
+RL008 lint rule enforces that confinement — no other production module may
+use raw ``struct`` packing for on-disk page data.
+
+Page format (little-endian throughout)
+--------------------------------------
+
+A page file is a sequence of fixed-size pages (:data:`DEFAULT_PAGE_SIZE`
+bytes, configurable per store).  Each page starts with a 32-byte header::
+
+    magic    4 bytes   b"RPAG"
+    version  u16       PAGE_FORMAT_VERSION
+    flags    u16       bit 0: the owning blob is zlib-compressed
+    blob_id  u64       identifier of the blob this page belongs to
+    seq      u32       index of this page within its blob (0-based)
+    count    u32       total pages in the blob
+    length   u32       payload bytes carried by this page
+    crc32    u32       zlib.crc32 of the header (crc field zeroed) + payload
+
+followed by ``length`` payload bytes and zero padding up to the page size.
+The CRC covers the header itself so a page whose header bytes were torn —
+not just its payload — is detected and rejected.
+
+Blobs
+-----
+
+A *blob* is one logical byte string (a cluster's member arrays, say) split
+across ``ceil(len / payload_capacity)`` consecutive pages.  Compression is
+decided per blob: the blob bytes are deflated once, and kept compressed
+only when that actually saves pages.  A blob-level content CRC (over the
+*uncompressed* bytes) travels in the page-table manifest; it doubles as
+the dirty-detection fingerprint for incremental checkpoints.
+
+Superblock
+----------
+
+The superblock is a single small record naming the committed generation::
+
+    magic       4 bytes   b"RSUP"
+    version     u16       PAGE_FORMAT_VERSION
+    reserved    u16       0
+    page_size   u32       page size of the store
+    generation  u64       committed manifest generation
+    crc32       u32       zlib.crc32 of the preceding 20 bytes
+
+It is always replaced atomically (temp + fsync + rename through the
+filesystem seam), so a store directory either names its previous
+generation or its new one — never a torn superblock.
+
+Decode helpers in this module never raise on damaged input: they return
+``None`` so the repair scavenger can walk a torn store page by page and
+keep everything that still checks out.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Bump on any change to the page, blob or superblock layout.
+PAGE_FORMAT_VERSION = 1
+
+PAGE_MAGIC = b"RPAG"
+SUPER_MAGIC = b"RSUP"
+
+#: Default page size; stores may choose another power-of-two at creation.
+DEFAULT_PAGE_SIZE = 4096
+
+#: Minimum accepted page size (must fit the header plus some payload).
+MIN_PAGE_SIZE = 128
+
+#: Page flag bit 0: the owning blob's bytes are zlib-compressed.
+FLAG_COMPRESSED = 1
+
+# magic, version, flags, blob_id, seq, count, length, crc32
+_PAGE_HEADER = struct.Struct("<4sHHQIIII")
+# magic, version, reserved, page_size, generation, crc32
+_SUPERBLOCK = struct.Struct("<4sHHIQI")
+
+PAGE_HEADER_SIZE = _PAGE_HEADER.size
+SUPERBLOCK_SIZE = _SUPERBLOCK.size
+
+
+def payload_capacity(page_size: int) -> int:
+    """Payload bytes one page of *page_size* can carry."""
+    return page_size - PAGE_HEADER_SIZE
+
+
+def validate_page_size(page_size: int) -> int:
+    """Check a page size is usable; returns it unchanged."""
+    if page_size < MIN_PAGE_SIZE:
+        raise ValueError(f"page_size must be >= {MIN_PAGE_SIZE}, got {page_size}")
+    return int(page_size)
+
+
+def blob_crc(data: bytes) -> int:
+    """Content fingerprint of a blob's uncompressed bytes."""
+    return zlib.crc32(data)
+
+
+# ----------------------------------------------------------------------
+# Pages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DecodedPage:
+    """One page that passed magic, version and CRC validation."""
+
+    blob_id: int
+    seq: int
+    count: int
+    compressed: bool
+    payload: bytes
+
+
+def encode_page(
+    blob_id: int,
+    seq: int,
+    count: int,
+    payload: bytes,
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    compressed: bool = False,
+) -> bytes:
+    """Frame one page: header, payload, zero padding to *page_size*."""
+    if len(payload) > payload_capacity(page_size):
+        raise ValueError(
+            f"payload of {len(payload)} bytes exceeds the {payload_capacity(page_size)}-byte "
+            f"capacity of a {page_size}-byte page"
+        )
+    flags = FLAG_COMPRESSED if compressed else 0
+    unsummed = _PAGE_HEADER.pack(
+        PAGE_MAGIC, PAGE_FORMAT_VERSION, flags, blob_id, seq, count, len(payload), 0
+    )
+    crc = zlib.crc32(payload, zlib.crc32(unsummed))
+    header = _PAGE_HEADER.pack(
+        PAGE_MAGIC, PAGE_FORMAT_VERSION, flags, blob_id, seq, count, len(payload), crc
+    )
+    return header + payload + b"\x00" * (page_size - PAGE_HEADER_SIZE - len(payload))
+
+
+def decode_page(
+    buffer: bytes, offset: int = 0, *, page_size: int = DEFAULT_PAGE_SIZE
+) -> Optional[DecodedPage]:
+    """Validate and decode the page at *offset*; ``None`` if damaged.
+
+    Damage means anything a torn or corrupted write could leave behind: a
+    short page, a wrong magic or version, a length field exceeding the
+    page capacity, or a CRC mismatch over header + payload.
+    """
+    if offset + page_size > len(buffer):
+        return None
+    try:
+        magic, version, flags, blob_id, seq, count, length, crc = _PAGE_HEADER.unpack_from(
+            buffer, offset
+        )
+    except struct.error:  # pragma: no cover - guarded by the size check
+        return None
+    if magic != PAGE_MAGIC or version != PAGE_FORMAT_VERSION:
+        return None
+    if length > payload_capacity(page_size):
+        return None
+    payload = bytes(buffer[offset + PAGE_HEADER_SIZE : offset + PAGE_HEADER_SIZE + length])
+    unsummed = _PAGE_HEADER.pack(magic, version, flags, blob_id, seq, count, length, 0)
+    if zlib.crc32(payload, zlib.crc32(unsummed)) != crc:
+        return None
+    return DecodedPage(
+        blob_id=int(blob_id),
+        seq=int(seq),
+        count=int(count),
+        compressed=bool(flags & FLAG_COMPRESSED),
+        payload=payload,
+    )
+
+
+# ----------------------------------------------------------------------
+# Blobs
+# ----------------------------------------------------------------------
+def encode_blob(
+    blob_id: int,
+    data: bytes,
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    compress: bool = True,
+) -> Tuple[bytes, int, bool]:
+    """Split one blob into framed pages.
+
+    Compression is applied only when it saves at least one page — a blob
+    that deflates poorly is stored raw, so decode cost is never paid for
+    nothing.  An empty blob still occupies one page: its extent must be
+    CRC-checkable like any other.
+
+    Returns ``(page_bytes, n_pages, compressed)``.
+    """
+    capacity = payload_capacity(page_size)
+    stored = data
+    compressed = False
+    if compress and data:
+        deflated = zlib.compress(data, 6)
+        raw_pages = -(-len(data) // capacity)
+        deflated_pages = -(-len(deflated) // capacity)
+        if deflated_pages < raw_pages:
+            stored = deflated
+            compressed = True
+    count = max(1, -(-len(stored) // capacity))
+    pages: List[bytes] = []
+    for seq in range(count):
+        chunk = stored[seq * capacity : (seq + 1) * capacity]
+        pages.append(
+            encode_page(
+                blob_id, seq, count, chunk, page_size=page_size, compressed=compressed
+            )
+        )
+    return b"".join(pages), count, compressed
+
+
+def decode_blob(
+    buffer: bytes,
+    start_page: int,
+    page_count: int,
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    blob_id: Optional[int] = None,
+    expected_crc: Optional[int] = None,
+) -> Optional[bytes]:
+    """Reassemble one blob from *page_count* pages starting at *start_page*.
+
+    Every page must decode, belong to the expected blob and sit at its
+    expected sequence position; the reassembled bytes must match
+    *expected_crc* when given.  Returns the uncompressed blob bytes, or
+    ``None`` if any page (or the whole) fails validation — the caller
+    decides whether that is fatal (normal load) or a salvage loss (repair).
+    """
+    parts: List[bytes] = []
+    compressed = False
+    for seq in range(page_count):
+        page = decode_page(buffer, (start_page + seq) * page_size, page_size=page_size)
+        if page is None or page.seq != seq or page.count != page_count:
+            return None
+        if blob_id is not None and page.blob_id != blob_id:
+            return None
+        compressed = page.compressed
+        parts.append(page.payload)
+    stored = b"".join(parts)
+    if compressed:
+        try:
+            data = zlib.decompress(stored)
+        except zlib.error:
+            return None
+    else:
+        data = stored
+    if expected_crc is not None and blob_crc(data) != expected_crc:
+        return None
+    return data
+
+
+# ----------------------------------------------------------------------
+# Superblock
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Superblock:
+    """The committed state of a paged store directory."""
+
+    page_size: int
+    generation: int
+
+
+def encode_superblock(page_size: int, generation: int) -> bytes:
+    """Encode the superblock record naming *generation* as committed."""
+    body = _SUPERBLOCK.pack(SUPER_MAGIC, PAGE_FORMAT_VERSION, 0, page_size, generation, 0)
+    crc = zlib.crc32(body[:-4])
+    return _SUPERBLOCK.pack(SUPER_MAGIC, PAGE_FORMAT_VERSION, 0, page_size, generation, crc)
+
+
+def decode_superblock(data: bytes) -> Optional[Superblock]:
+    """Validate and decode a superblock; ``None`` if torn or corrupt."""
+    if len(data) < SUPERBLOCK_SIZE:
+        return None
+    try:
+        magic, version, _reserved, page_size, generation, crc = _SUPERBLOCK.unpack_from(data, 0)
+    except struct.error:  # pragma: no cover - guarded by the size check
+        return None
+    if magic != SUPER_MAGIC or version != PAGE_FORMAT_VERSION:
+        return None
+    if zlib.crc32(data[: SUPERBLOCK_SIZE - 4]) != crc:
+        return None
+    return Superblock(page_size=int(page_size), generation=int(generation))
+
+
+# ----------------------------------------------------------------------
+# Cluster-array blob packing
+# ----------------------------------------------------------------------
+def pack_ids(ids: np.ndarray) -> bytes:
+    """Pack member identifiers (i64) into blob bytes."""
+    return np.ascontiguousarray(ids, dtype=np.int64).tobytes()
+
+
+def unpack_ids(data: bytes) -> np.ndarray:
+    """Unpack an identifier blob back into an i64 array."""
+    if len(data) % 8 != 0:
+        raise ValueError(f"identifier blob of {len(data)} bytes is not a whole number of i64s")
+    return np.frombuffer(data, dtype=np.int64).copy()
+
+
+def pack_members(lows: np.ndarray, highs: np.ndarray) -> bytes:
+    """Pack member bounds (two f64 ``(n, dims)`` arrays) into blob bytes."""
+    if lows.shape != highs.shape:
+        raise ValueError(f"bounds shapes differ: {lows.shape} vs {highs.shape}")
+    return (
+        np.ascontiguousarray(lows, dtype=np.float64).tobytes()
+        + np.ascontiguousarray(highs, dtype=np.float64).tobytes()
+    )
+
+
+def unpack_members(data: bytes, dimensions: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Unpack a member-bounds blob back into ``(lows, highs)`` arrays."""
+    row_bytes = 8 * dimensions
+    if dimensions <= 0 or len(data) % (2 * row_bytes) != 0:
+        raise ValueError(
+            f"member blob of {len(data)} bytes does not hold whole "
+            f"{dimensions}-dimensional bound pairs"
+        )
+    n = len(data) // (2 * row_bytes)
+    lows = np.frombuffer(data, dtype=np.float64, count=n * dimensions).reshape(n, dimensions)
+    highs = np.frombuffer(
+        data, dtype=np.float64, count=n * dimensions, offset=n * row_bytes
+    ).reshape(n, dimensions)
+    return lows.copy(), highs.copy()

@@ -1,4 +1,4 @@
-"""Unit tests for the invariant rules (RL001-RL007).
+"""Unit tests for the invariant rules (RL001-RL008).
 
 Every rule is exercised four ways on small fixture modules written under
 a path where the rule applies: it fires on a violating snippet, stays
@@ -118,6 +118,20 @@ RULE_FIXTURES = {
             "class SocketTransport:\n"
             "    def connect(self, address):\n"
             "        return socket.create_connection(address)\n"
+        ),
+    ),
+    "RL008": dict(
+        path="repro/engine/framing.py",
+        bad=(
+            "def frame(payload):\n"
+            "    header = struct.pack('<I', len(payload))\n"
+            "    return header + payload\n"
+        ),
+        flag_line=2,
+        good=(
+            "from repro.storage.pages import encode_page\n\n\n"
+            "def frame(payload):\n"
+            "    return encode_page(payload)\n"
         ),
     ),
 }
@@ -471,3 +485,43 @@ class TestMetaDiagnostics:
         report = lint_snippet(tmp_path, "repro/engine/config.py", source)
         assert report.diagnostics == []
         assert report.suppressed == 0
+
+
+class TestBinaryCodecConfinement:
+    """RL008: raw struct packing stays in the codec modules."""
+
+    CODEC_SOURCE = (
+        "import struct\n\n\n"
+        "def encode(value):\n"
+        "    return struct.pack('<I', value)\n"
+    )
+
+    @pytest.mark.parametrize(
+        "relative",
+        [
+            "repro/storage/wal.py",
+            "repro/storage/pages.py",
+            "repro/api/replication.py",
+        ],
+    )
+    def test_codec_modules_are_exempt(self, tmp_path, relative):
+        report = lint_snippet(tmp_path, relative, self.CODEC_SOURCE, select=["RL008"])
+        assert report.diagnostics == []
+
+    def test_same_name_outside_repro_is_ignored(self, tmp_path):
+        report = lint_snippet(tmp_path, "scripts/framing.py", self.CODEC_SOURCE)
+        assert report.diagnostics == []
+
+    def test_import_and_every_use_are_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/engine/framing.py", self.CODEC_SOURCE)
+        assert codes_of(report) == ["RL008", "RL008"]
+        assert [d.line for d in report.diagnostics] == [1, 5]
+
+    def test_from_import_is_flagged(self, tmp_path):
+        source = "from struct import pack\n\n\ndef encode(value):\n    return pack('<I', value)\n"
+        report = lint_snippet(tmp_path, "repro/engine/framing.py", source)
+        assert codes_of(report) == ["RL008"]
+
+    def test_non_codec_storage_module_is_covered(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/storage/disk.py", self.CODEC_SOURCE)
+        assert codes_of(report) == ["RL008", "RL008"]

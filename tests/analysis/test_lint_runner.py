@@ -38,8 +38,8 @@ def write_module(tmp_path, relative, source):
 
 
 class TestRuleRegistry:
-    def test_all_seven_invariants_are_registered(self):
-        assert rule_codes() == frozenset({f"RL00{i}" for i in range(1, 8)})
+    def test_all_eight_invariants_are_registered(self):
+        assert rule_codes() == frozenset({f"RL00{i}" for i in range(1, 9)})
 
     def test_every_rule_carries_metadata(self):
         for code, rule_class in registered_rules().items():

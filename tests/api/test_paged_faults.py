@@ -1,0 +1,219 @@
+"""Fault injection for paged checkpoints and the salvage pass.
+
+Mirrors the ``tests/api/test_durability_faults.py`` golden-pass driver
+for ``checkpoint_mode="paged"``: a golden run of a fixed script counts
+every filesystem operation and records fingerprints at each operation
+boundary, then the crash passes rerun the script, crash at every
+operation index (under each applicable page-cache survival mode), and
+assert the recovered state is exactly the pre-op or post-op state.  The
+script deliberately crosses *two* paged checkpoints so the enumeration
+covers the incremental commit path — pagefile appends, manifest writes,
+the superblock flip, generation pruning, and the WAL reset — not just
+the initial full commit.
+
+The repair pass then crashes :func:`repro.recovery.repair_store` at
+every operation.  Repair never mutates the source, so the invariant is
+simpler: after any crash the source still repairs cleanly into a fresh
+destination, and a half-written destination is refused rather than
+silently reopened.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import DurableBackend, ShardedDatabase, create_backend
+from repro.geometry.box import HyperRectangle
+from repro.recovery import repair_store
+from repro.storage.pagefile import PagedStore
+
+DIMENSIONS = 3
+INITIAL_OBJECTS = 20
+
+SCENARIOS = [
+    pytest.param("plain", None, None, id="plain"),
+    pytest.param("sharded", 2, "spatial", id="sharded-2-spatial"),
+]
+
+
+def make_box(rng):
+    lows = rng.random(DIMENSIONS) * 0.7
+    return HyperRectangle(lows, np.minimum(lows + 0.25, 1.0))
+
+
+def make_pairs(count, seed, first_id=0):
+    rng = np.random.default_rng(seed)
+    return [(first_id + offset, make_box(rng)) for offset in range(count)]
+
+
+def build_inner(layout, shards, router):
+    if layout == "plain":
+        inner = create_backend("ac", DIMENSIONS)
+    else:
+        inner = ShardedDatabase.create("ac", DIMENSIONS, shards=shards, router=router)
+    inner.bulk_load(make_pairs(INITIAL_OBJECTS, seed=100))
+    return inner
+
+
+def make_script():
+    """Crosses two paged checkpoints with mutations between and after.
+
+    The first checkpoint writes every cluster (a fresh store); the second
+    is incremental over a small dirty set.  The tail mutations leave a
+    WAL segment to replay over whichever checkpoint survived.
+    """
+    return [
+        ("insert", 200, make_pairs(1, seed=200, first_id=200)[0][1]),
+        ("bulk_load", make_pairs(8, seed=210, first_id=210)),
+        ("checkpoint",),
+        ("delete", 3),
+        ("insert", 300, make_pairs(1, seed=300, first_id=300)[0][1]),
+        ("checkpoint",),
+        ("delete_bulk", [0, 1, 210, 9_999]),
+        ("bulk_load", make_pairs(4, seed=310, first_id=310)),
+    ]
+
+
+def apply_op(db, op):
+    kind = op[0]
+    if kind == "insert":
+        db.insert(op[1], op[2])
+    elif kind == "delete":
+        db.delete(op[1])
+    elif kind == "bulk_load":
+        db.bulk_load(op[1])
+    elif kind == "delete_bulk":
+        db.delete_bulk(op[1])
+    elif kind == "checkpoint":
+        db.checkpoint()
+    else:  # pragma: no cover - script typo guard
+        raise ValueError(kind)
+
+
+def fingerprint(db):
+    result = db.execute(HyperRectangle.unit(DIMENSIONS))
+    return (db.n_objects, tuple(sorted(result.ids.tolist())))
+
+
+@pytest.mark.parametrize("layout, shards, router", SCENARIOS)
+def test_every_crash_point_recovers_to_pre_or_post_state(
+    layout, shards, router, tmp_path, faulty_fs_cls, injected_crash_cls
+):
+    script = make_script()
+    golden_fs = faulty_fs_cls()
+    golden = DurableBackend.create(
+        build_inner(layout, shards, router),
+        tmp_path / "golden",
+        fs=golden_fs,
+        checkpoint_mode="paged",
+    )
+    fingerprints = [fingerprint(golden)]
+    for op in script:
+        apply_op(golden, op)
+        fingerprints.append(fingerprint(golden))
+    total_ops = golden_fs.ops
+    golden.close()
+    assert total_ops > 20, "the script must exercise a real spread of crash points"
+
+    checked = 0
+    for crash_at in range(total_ops):
+        op_kind = golden_fs.op_log[crash_at][0]
+        modes = ("none", "half", "all") if op_kind in ("write", "fsync") else ("none",)
+        for mode in modes:
+            wal_dir = tmp_path / f"crash-{crash_at}-{mode}"
+            fs = faulty_fs_cls(crash_at=crash_at, mode=mode)
+            applied = -1
+            try:
+                db = DurableBackend.create(
+                    build_inner(layout, shards, router),
+                    wal_dir,
+                    fs=fs,
+                    checkpoint_mode="paged",
+                )
+                applied = 0
+                for position, op in enumerate(script):
+                    apply_op(db, op)
+                    applied = position + 1
+            except injected_crash_cls:
+                pass
+            else:  # pragma: no cover - enumeration bug guard
+                pytest.fail(
+                    f"crash point {crash_at} ({op_kind}) never fired; the "
+                    "crash pass diverged from the golden pass"
+                )
+            spec = f"crash_at={crash_at} ({op_kind}), mode={mode}, applied={applied}"
+            try:
+                recovered = DurableBackend.recover(wal_dir)
+            except ValueError as error:
+                assert applied == -1, f"recovery failed after {spec}: {error}"
+                continue
+            assert recovered.checkpoint_mode == "paged", spec
+            got = fingerprint(recovered)
+            recovered.close()
+            if applied == -1:
+                allowed = {fingerprints[0]}
+            else:
+                allowed = {fingerprints[applied], fingerprints[applied + 1]}
+            assert got in allowed, (
+                f"DIVERGED at {spec}: recovered {got[0]} objects, expected "
+                f"pre-op {fingerprints[max(applied, 0)][0]} or post-op "
+                f"{fingerprints[min(max(applied, 0) + 1, len(script))][0]};\n"
+                f"in-flight op: {script[applied] if 0 <= applied < len(script) else 'create'}\n"
+                f"got ids:  {got[1]}\n"
+                f"allowed: {sorted(allowed)}"
+            )
+            checked += 1
+    assert checked > total_ops * 0.5
+
+
+# ----------------------------------------------------------------------
+# Crash during repair: the source survives, the torn destination is inert
+# ----------------------------------------------------------------------
+def test_every_repair_crash_point_leaves_source_repairable(
+    tmp_path, faulty_fs_cls, injected_crash_cls
+):
+    db = DurableBackend.create(
+        build_inner("plain", None, None),
+        tmp_path / "wal",
+        checkpoint_mode="paged",
+    )
+    db.bulk_load(make_pairs(40, seed=600, first_id=600))
+    db.checkpoint()
+    db.close()
+    source = tmp_path / "wal" / "pages-000"
+    expected = fingerprint(PagedStore.open(source).load_index())
+    source_bytes = sorted(
+        (entry.name, entry.read_bytes()) for entry in source.iterdir()
+    )
+
+    counting = faulty_fs_cls()
+    golden_report = repair_store(source, tmp_path / "golden", fs=counting)
+    assert golden_report.lossless
+    assert counting.ops > 5
+
+    for crash_at in range(counting.ops):
+        destination = tmp_path / f"torn-{crash_at}"
+        with pytest.raises(injected_crash_cls):
+            repair_store(
+                source, destination, fs=faulty_fs_cls(crash_at=crash_at)
+            )
+        # Repair reads the source and only writes the destination.
+        assert (
+            sorted((entry.name, entry.read_bytes()) for entry in source.iterdir())
+            == source_bytes
+        ), f"repair crash at op {crash_at} mutated the source store"
+        # A torn destination never reopens to a partial state: either no
+        # generation committed (the open is refused) or — if the crash
+        # fired after the superblock flip — it holds the full salvage.
+        try:
+            torn = PagedStore.open(destination)
+        except (FileNotFoundError, ValueError):
+            pass
+        else:
+            assert fingerprint(torn.load_index()) == expected, (
+                f"repair crash at op {crash_at} committed a partial generation"
+            )
+        # And a rerun into a fresh destination always completes.
+        retry = tmp_path / f"retry-{crash_at}"
+        report = repair_store(source, retry, fs=faulty_fs_cls())
+        assert report.lossless
+        assert fingerprint(PagedStore.open(retry).load_index()) == expected

@@ -17,8 +17,19 @@ class TestParser:
             "ablation-division-factor",
             "ablation-reorganization-period",
             "ablation-disk-access-time",
+            "page-bench",
         ):
             assert parser.parse_args([command]).command == command
+
+    def test_repair_takes_source_and_destination(self):
+        parser = build_parser()
+        args = parser.parse_args(["repair", "broken", "fixed", "--format", "json"])
+        assert args.command == "repair"
+        assert args.source == "broken"
+        assert args.destination == "fixed"
+        assert args.format == "json"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["repair", "broken"])  # destination is required
 
     def test_command_is_required(self):
         with pytest.raises(SystemExit):
@@ -209,6 +220,67 @@ class TestExecution:
         assert "'shards': 2" in capsys.readouterr().out
 
 
+    def test_page_bench_tiny_run(self, capsys, tmp_path):
+        output_file = tmp_path / "pages.txt"
+        exit_code = main(
+            [
+                "page-bench",
+                "--objects", "800",
+                "--division-factor", "12",
+                "--churn", "0.1", "1.0",
+                "--seed", "3",
+                "--output", str(output_file),
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "page-bench-memory" in printed
+        assert "incr/full" in printed
+        assert "lazy" in printed
+        assert "incr/full" in output_file.read_text()
+
+    def test_repair_human_run(self, capsys, tmp_path):
+        from repro.api import Database
+        from repro.geometry.box import HyperRectangle
+
+        database = Database.create("ac", 2)
+        database.bulk_load(
+            (object_id, HyperRectangle([0.08 * (object_id % 8), 0.1], [0.7, 0.8]))
+            for object_id in range(40)
+        )
+        source = database.save_paged(tmp_path / "store")
+        exit_code = main(["repair", str(source), str(tmp_path / "fixed")])
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "repaired" in printed
+        assert "lossless" in printed
+
+    def test_repair_json_run(self, capsys, tmp_path):
+        import json
+
+        from repro.api import Database
+        from repro.geometry.box import HyperRectangle
+
+        database = Database.create("ac", 2)
+        database.bulk_load(
+            (object_id, HyperRectangle([0.05 * (object_id % 9), 0.2], [0.6, 0.9]))
+            for object_id in range(30)
+        )
+        source = database.save_paged(tmp_path / "store")
+        exit_code = main(
+            ["repair", str(source), str(tmp_path / "fixed"), "--format", "json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lossless"] is True
+        assert payload["objects_recovered"] == 30
+
+    def test_repair_missing_source_exits_with_code_2(self, capsys, tmp_path):
+        exit_code = main(["repair", str(tmp_path / "nowhere"), str(tmp_path / "fixed")])
+        assert exit_code == 2
+        assert "no paged store" in capsys.readouterr().err
+
+
 class TestErrorPaths:
     """Bad parameter values exit non-zero with a message, not a traceback."""
 
@@ -242,6 +314,11 @@ class TestErrorPaths:
             ["wal-bench", "--objects", "-1"],
             ["wal-bench", "--batch-size", "0"],
             ["wal-bench", "--router", "spatial"],
+            ["page-bench", "--objects", "0"],
+            ["page-bench", "--page-size", "-8"],
+            ["page-bench", "--division-factor", "0"],
+            ["page-bench", "--churn", "0"],
+            ["page-bench", "--churn", "1.5"],
             # --durable over a method without snapshot persistence cannot
             # checkpoint; it must fail upfront, not deep in the bench.
             ["serve-bench", "--subscriptions", "50", "--requests", "5",

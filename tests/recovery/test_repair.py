@@ -1,0 +1,158 @@
+"""Unit tests of the salvage pass (``repro.recovery.repair_store``).
+
+The damage model is torn or corrupted *pages*: manifests are written
+atomically and the superblock is a single sector.  The tests pin the
+contract of each salvage layer — a clean store repairs losslessly, a
+corrupted page loses exactly its cluster's members and nothing else, a
+torn superblock falls back to the manifest scan, and sources with nothing
+to salvage (or an occupied destination) are refused with ``ValueError``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import AdaptiveClusteringIndex
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+from repro.recovery import repair_store
+from repro.storage.pagefile import SUPERBLOCK_NAME, PagedStore
+from repro.storage.pages import PAGE_HEADER_SIZE, decode_page
+
+DIMENSIONS = 2
+PAGE_SIZE = 512
+
+
+def build_clustered_index(objects=600, seed=0):
+    rng = np.random.default_rng(seed)
+    index = AdaptiveClusteringIndex(dimensions=DIMENSIONS)
+    for object_id in range(objects):
+        lows = rng.random(DIMENSIONS) * 0.8
+        index.insert(object_id, HyperRectangle(lows, np.minimum(lows + 0.05, 1.0)))
+    for _ in range(3):
+        for _query in range(150):
+            center = rng.random(DIMENSIONS) * 0.9
+            index.execute(
+                HyperRectangle(center, np.minimum(center + 0.05, 1.0)),
+                SpatialRelation.INTERSECTS,
+            )
+        index.reorganize()
+    assert index.n_clusters > 1
+    return index
+
+
+def commit_store(tmp_path, index, name="store"):
+    store = PagedStore.create(tmp_path / name, page_size=PAGE_SIZE)
+    store.commit(index, incremental=False)
+    return store
+
+
+def sweep(index):
+    result = index.execute(HyperRectangle.unit(DIMENSIONS), SpatialRelation.INTERSECTS)
+    return set(int(i) for i in result.ids)
+
+
+def corrupt_page(store, page_index):
+    """Flip bytes of one page; returns the cluster ids stored on it."""
+    path = store.pagefile_path
+    buffer = bytearray(path.read_bytes())
+    page = decode_page(bytes(buffer), page_index * PAGE_SIZE, page_size=PAGE_SIZE)
+    assert page is not None, "picked a page that is already damaged"
+    start = page_index * PAGE_SIZE
+    buffer[start : start + PAGE_HEADER_SIZE + 8] = b"\xde" * (PAGE_HEADER_SIZE + 8)
+    path.write_bytes(bytes(buffer))
+    return page.blob_id // 2  # both blob kinds map 2*cid / 2*cid+1
+
+
+def members_of(store, cluster_id):
+    (entry,) = [e for e in store.table.clusters if e.cluster_id == cluster_id]
+    return entry.n_objects
+
+
+class TestLossless:
+    def test_clean_store_repairs_losslessly(self, tmp_path):
+        index = build_clustered_index()
+        store = commit_store(tmp_path, index)
+        report = repair_store(store.directory, tmp_path / "fixed")
+        assert report.lossless
+        assert report.objects_recovered == index.n_objects
+        assert report.objects_lost == 0
+        assert report.pages_corrupt == 0
+        assert not report.superblock_damaged
+        restored = PagedStore.open(tmp_path / "fixed").load_index()
+        assert sweep(restored) == sweep(index)
+
+    def test_report_as_dict_round_trips_lossless_flag(self, tmp_path):
+        index = build_clustered_index()
+        store = commit_store(tmp_path, index)
+        report = repair_store(store.directory, tmp_path / "fixed")
+        payload = report.as_dict()
+        assert payload["lossless"] is True
+        assert payload["objects_recovered"] == index.n_objects
+
+
+class TestCorruptedPage:
+    def test_one_corrupt_page_loses_exactly_its_cluster(self, tmp_path):
+        index = build_clustered_index()
+        store = commit_store(tmp_path, index)
+        victim = corrupt_page(store, page_index=2)
+        lost = members_of(store, victim)
+
+        report = repair_store(store.directory, tmp_path / "fixed")
+        assert not report.lossless
+        assert report.clusters_damaged == 1
+        assert report.clusters_recovered == report.clusters_total - 1
+        assert report.objects_lost == lost
+        assert report.objects_recovered == index.n_objects - lost
+        assert report.pages_corrupt == 1
+
+        # The repaired store holds exactly the intact subset and reopens
+        # like any healthy paged store.
+        restored = PagedStore.open(tmp_path / "fixed").load_index()
+        victim_members = {
+            object_id
+            for object_id, cluster_id in index._object_locations.items()
+            if cluster_id == victim
+        }
+        assert sweep(restored) == sweep(index) - victim_members
+
+    def test_repaired_store_accepts_further_commits(self, tmp_path):
+        index = build_clustered_index()
+        store = commit_store(tmp_path, index)
+        corrupt_page(store, page_index=1)
+        repair_store(store.directory, tmp_path / "fixed")
+
+        reopened_store = PagedStore.open(tmp_path / "fixed")
+        restored = reopened_store.load_index()
+        restored.insert(9_000, HyperRectangle.unit(DIMENSIONS))
+        reopened_store.commit(restored, incremental=True)
+        assert 9_000 in sweep(PagedStore.open(tmp_path / "fixed").load_index())
+
+
+class TestSuperblockDamage:
+    def test_zeroed_superblock_falls_back_to_manifest_scan(self, tmp_path):
+        index = build_clustered_index()
+        store = commit_store(tmp_path, index)
+        (store.directory / SUPERBLOCK_NAME).write_bytes(b"\x00" * 24)
+        report = repair_store(store.directory, tmp_path / "fixed")
+        assert report.superblock_damaged
+        assert report.objects_recovered == index.n_objects
+        restored = PagedStore.open(tmp_path / "fixed").load_index()
+        assert sweep(restored) == sweep(index)
+
+
+class TestRefusals:
+    def test_missing_source_is_refused(self, tmp_path):
+        with pytest.raises(ValueError, match="no paged store"):
+            repair_store(tmp_path / "nowhere", tmp_path / "fixed")
+
+    def test_directory_without_manifest_is_refused(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ValueError, match="no readable page-table manifest"):
+            repair_store(tmp_path / "empty", tmp_path / "fixed")
+
+    def test_occupied_destination_is_refused(self, tmp_path):
+        index = build_clustered_index()
+        store = commit_store(tmp_path, index)
+        repair_store(store.directory, tmp_path / "fixed")
+        with pytest.raises(ValueError, match="already holds a paged store"):
+            repair_store(store.directory, tmp_path / "fixed")

@@ -1,6 +1,26 @@
-"""Unit tests for :mod:`repro.storage.iostats`."""
+"""Unit tests for :mod:`repro.storage.iostats` and paged-I/O accounting.
 
+The second half pins the seam the paged store charges through: every
+page read and write flows into :meth:`StorageBackend.on_pages_read` /
+``on_pages_written``, so :class:`SimulatedDisk` prices page traffic on
+its clock while :class:`MemoryStorage` merely counts it.
+"""
+
+import numpy as np
+
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters
+from repro.core.index import AdaptiveClusteringIndex
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+from repro.storage import storage_for_scenario
+from repro.storage.disk import SimulatedDisk
 from repro.storage.iostats import IOStatistics
+from repro.storage.memory import MemoryStorage
+from repro.storage.pagefile import PagedStore
+
+DIMENSIONS = 2
+PAGE_SIZE = 512
 
 
 class TestIOStatistics:
@@ -9,8 +29,17 @@ class TestIOStatistics:
         assert all(value == 0 for value in stats.as_dict().values())
 
     def test_merge_sums_counters(self):
-        a = IOStatistics(random_accesses=2, bytes_read=100, cluster_reads=3)
-        b = IOStatistics(random_accesses=1, bytes_written=50, allocations=2, frees=1)
+        a = IOStatistics(random_accesses=2, bytes_read=100, cluster_reads=3, page_reads=4)
+        b = IOStatistics(
+            random_accesses=1,
+            bytes_written=50,
+            allocations=2,
+            frees=1,
+            page_reads=1,
+            page_writes=6,
+            page_bytes_read=512,
+            page_bytes_written=3072,
+        )
         merged = a.merge(b)
         assert merged.random_accesses == 3
         assert merged.bytes_read == 100
@@ -18,18 +47,98 @@ class TestIOStatistics:
         assert merged.cluster_reads == 3
         assert merged.allocations == 2
         assert merged.frees == 1
+        assert merged.page_reads == 5
+        assert merged.page_writes == 6
+        assert merged.page_bytes_read == 512
+        assert merged.page_bytes_written == 3072
         # Operands unchanged.
         assert a.random_accesses == 2
         assert b.bytes_read == 0
 
     def test_reset(self):
-        stats = IOStatistics(random_accesses=5, cluster_relocations=2)
+        stats = IOStatistics(
+            random_accesses=5, cluster_relocations=2, page_reads=7, page_bytes_written=1024
+        )
         stats.reset()
         assert stats.random_accesses == 0
         assert stats.cluster_relocations == 0
+        assert stats.page_reads == 0
+        assert stats.page_bytes_written == 0
 
     def test_as_dict_keys(self):
         assert set(IOStatistics().as_dict()) == {
             "random_accesses", "bytes_read", "bytes_written", "cluster_reads",
             "cluster_relocations", "allocations", "frees",
+            "page_reads", "page_writes", "page_bytes_read", "page_bytes_written",
         }
+
+
+def build_index(scenario, objects=120, seed=0):
+    if scenario == "disk":
+        cost = CostParameters.disk_defaults(DIMENSIONS)
+    else:
+        cost = CostParameters.memory_defaults(DIMENSIONS)
+    index = AdaptiveClusteringIndex(config=AdaptiveClusteringConfig(cost=cost))
+    rng = np.random.default_rng(seed)
+    for object_id in range(objects):
+        lows = rng.random(DIMENSIONS) * 0.8
+        index.insert(object_id, HyperRectangle(lows, np.minimum(lows + 0.1, 1.0)))
+    return index
+
+
+def sweep(index):
+    result = index.execute(HyperRectangle.unit(DIMENSIONS), SpatialRelation.INTERSECTS)
+    return set(int(i) for i in result.ids)
+
+
+class TestPagedIOAccounting:
+    def test_commit_charges_page_writes_to_the_index_storage(self, tmp_path):
+        index = build_index("disk")
+        assert isinstance(index._storage, SimulatedDisk)
+        elapsed_before = index._storage.clock.elapsed_ms
+        accesses_before = index._storage.stats.random_accesses
+
+        store = PagedStore.create(tmp_path / "store", page_size=PAGE_SIZE)
+        stats = store.commit(index, incremental=False)
+
+        counters = index._storage.stats
+        assert counters.page_writes == stats.pages_written > 0
+        assert counters.page_bytes_written == stats.pages_written * PAGE_SIZE
+        # The disk scenario prices the commit: seeks plus transfer time.
+        assert counters.random_accesses > accesses_before
+        assert index._storage.clock.elapsed_ms > elapsed_before
+
+    def test_eager_load_charges_page_reads(self, tmp_path):
+        index = build_index("disk")
+        store = PagedStore.create(tmp_path / "store", page_size=PAGE_SIZE)
+        commit = store.commit(index, incremental=False)
+
+        storage = storage_for_scenario("disk", CostParameters.disk_defaults(DIMENSIONS))
+        PagedStore.open(tmp_path / "store").load_index(storage)
+        assert storage.stats.page_reads == commit.live_pages > 0
+        assert storage.stats.page_bytes_read == commit.live_pages * PAGE_SIZE
+        assert storage.clock.elapsed_ms > 0
+
+    def test_lazy_load_defers_member_page_reads(self, tmp_path):
+        index = build_index("disk")
+        store = PagedStore.create(tmp_path / "store", page_size=PAGE_SIZE)
+        commit = store.commit(index, incremental=False)
+
+        storage = storage_for_scenario("disk", CostParameters.disk_defaults(DIMENSIONS))
+        lazy = PagedStore.open(tmp_path / "store").load_index(storage, lazy=True)
+        deferred = storage.stats.page_reads
+        assert deferred < commit.live_pages
+
+        # Materialising every cluster pays exactly the remaining pages.
+        assert sweep(lazy) == sweep(index)
+        assert storage.stats.page_reads == commit.live_pages
+        assert storage.stats.page_bytes_read == commit.live_pages * PAGE_SIZE
+
+    def test_memory_scenario_counts_pages_without_charging_the_clock(self, tmp_path):
+        index = build_index("memory")
+        assert isinstance(index._storage, MemoryStorage)
+        store = PagedStore.create(tmp_path / "store", page_size=PAGE_SIZE)
+        elapsed_before = index._storage.clock.elapsed_ms
+        stats = store.commit(index, incremental=False)
+        assert index._storage.stats.page_writes == stats.pages_written > 0
+        assert index._storage.clock.elapsed_ms == elapsed_before

@@ -79,8 +79,20 @@ REPLICATED_VARIANTS = (
     "replicated:sharded:hash:ac+ac",
 )
 
+#: Paged-checkpoint conformance variants: the WAL wrapper committing into
+#: per-shard page stores instead of directory snapshots must be just as
+#: protocol-invisible as the full-checkpoint one.
+PAGED_VARIANTS = (
+    "paged:ac",
+    "paged:sharded:spatial:ac+ac",
+)
+
 ALL_BACKEND_NAMES = (
-    tuple(registered_backends()) + SHARDED_VARIANTS + DURABLE_VARIANTS + REPLICATED_VARIANTS
+    tuple(registered_backends())
+    + SHARDED_VARIANTS
+    + DURABLE_VARIANTS
+    + REPLICATED_VARIANTS
+    + PAGED_VARIANTS
 )
 
 #: One scratch root for every durable conformance store (cleaned at exit).
@@ -110,6 +122,12 @@ def make_backend(name, dimensions=DIMENSIONS):
         inner = make_backend(name.split(":", 1)[1], dimensions)
         wal_dir = Path(_DURABLE_SCRATCH.name) / f"store-{next(_DURABLE_COUNTER)}"
         return DurableBackend.create(inner, wal_dir)
+    if name.startswith("paged:"):
+        from repro.api import DurableBackend
+
+        inner = make_backend(name.split(":", 1)[1], dimensions)
+        wal_dir = Path(_DURABLE_SCRATCH.name) / f"paged-{next(_DURABLE_COUNTER)}"
+        return DurableBackend.create(inner, wal_dir, checkpoint_mode="paged")
     if name.startswith("sharded:"):
         router, methods = parse_sharded_name(name)
         return ShardedDatabase.create(methods, dimensions, router=router)
@@ -148,7 +166,7 @@ class TestProtocolSurface:
         assert isinstance(backend, SpatialBackend)
 
     def test_capabilities_identity(self, backend, backend_name):
-        if backend_name.startswith(("durable:", "replicated:")):
+        if backend_name.startswith(("durable:", "paged:", "replicated:")):
             # The durability wrapper adds no capabilities of its own: it
             # exposes the wrapped backend's descriptor untouched.
             assert backend.capabilities is backend.inner.capabilities
