@@ -1,0 +1,112 @@
+"""Tuning-advisor benchmarks: accuracy against the ablations, live migration.
+
+Three gates pin the advisor's contract:
+
+* the advisor's top-ranked ``division_factor`` and ``reorganization_period``
+  must land within one grid step of the value the matching ablation bench
+  measures fastest (the advisor is a cheap what-if replay of exactly that
+  measurement);
+* migrating a shard live must be indistinguishable from rebuilding it from
+  scratch — same objects, same ids, same work counters — while the sharded
+  database keeps returning byte-identical query results;
+* the full advise → migrate → measure loop must not make the deployment
+  slower in modeled query time.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import scaled, write_report
+from repro.api import ShardedDatabase, create_backend
+from repro.evaluation.reporting import format_advisor_accuracy, format_tuning_result
+from repro.evaluation.tuning import advisor_accuracy, tuning_bench
+from repro.workloads.queries import generate_query_workload
+from repro.workloads.uniform import generate_uniform_dataset
+
+OBJECTS = scaled(6_000, 100_000)
+QUERIES = max(scaled(25, 200), 10)
+WARMUP = {"division_factor": scaled(400, 500), "reorganization_period": scaled(600, 800)}
+
+
+@pytest.mark.benchmark(group="tuning")
+@pytest.mark.parametrize("parameter", ["division_factor", "reorganization_period"])
+def test_advisor_matches_measured_best_within_one_grid_step(
+    benchmark, results_dir, parameter
+):
+    """The advisor's pick tracks the measured-best ablation grid value."""
+
+    def run():
+        return advisor_accuracy(
+            parameter,
+            object_count=OBJECTS,
+            dimensions=16,
+            queries=QUERIES,
+            warmup_queries=WARMUP[parameter],
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report(results_dir, f"tuning_accuracy_{parameter}", format_advisor_accuracy(result))
+    assert result.grid_distance <= 1, (
+        f"advisor picked {parameter}={result.advised_best}, the ablation "
+        f"measured {result.measured_best} fastest — {result.grid_distance} "
+        "grid steps apart"
+    )
+
+
+@pytest.mark.benchmark(group="tuning")
+def test_migration_is_equivalent_to_a_rebuild(benchmark, results_dir):
+    """migrate_shard == drain + bulk_load from scratch, ids and counters."""
+    objects = scaled(3_000, 50_000)
+    dataset = generate_uniform_dataset(objects, 8, seed=31)
+    workload = generate_query_workload(dataset, count=30, target_selectivity=5e-3, seed=32)
+    database = ShardedDatabase.create("ss", 8, shards=3, router="spatial")
+    database.bulk_load(dataset.iter_objects())
+    database.execute_batch(workload.queries)
+    before = [
+        result.ids.tobytes() for result in database.execute_batch(workload.queries)
+    ]
+    rebuilt = create_backend("ac", 8)
+    rebuilt.bulk_load(list(database.shards[1].iter_objects()))
+
+    def run():
+        return database.migrate_shard(1, "ac")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    migrated = database.shards[1]
+    assert list(migrated.iter_objects()) == list(rebuilt.iter_objects())
+    for query in workload.queries:
+        ours, theirs = migrated.execute(query), rebuilt.execute(query)
+        assert np.array_equal(ours.ids, theirs.ids)
+        assert ours.execution.core_counters() == theirs.execution.core_counters()
+    after = [
+        result.ids.tobytes() for result in database.execute_batch(workload.queries)
+    ]
+    assert before == after
+    write_report(
+        results_dir,
+        "tuning_migration_equivalence",
+        "== tuning-migration-equivalence ==\n"
+        f"objects: {objects}, shards: 3, probes: {len(workload.queries)}\n"
+        "migrated shard == rebuilt-from-scratch shard (ids and counters), "
+        "database results byte-identical",
+    )
+
+
+@pytest.mark.benchmark(group="tuning")
+def test_tune_bench_does_not_regress_modeled_time(benchmark, results_dir):
+    """The applied recommendations keep (or improve) modeled query time."""
+
+    def run():
+        return tuning_bench(
+            object_count=OBJECTS,
+            dimensions=16,
+            shards=3,
+            queries=QUERIES,
+            warmup_queries=scaled(300, 400),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report(results_dir, "tuning_bench", format_tuning_result(result))
+    # Applying the advice must never make the modeled time worse than the
+    # untuned layout (small tolerance: the measurement replays real work).
+    assert result.after_avg_modeled_ms <= result.before_avg_modeled_ms * 1.05

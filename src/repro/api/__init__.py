@@ -20,7 +20,7 @@ against:
   with persistence and attached streaming sessions.
 """
 
-from repro.api.config import DatabaseConfig, ReplicationOptions
+from repro.api.config import AutoTuneOptions, DatabaseConfig, ReplicationOptions
 from repro.api.database import Database
 from repro.api.durability import DurabilityStats, DurableBackend
 from repro.api.protocol import (
@@ -65,12 +65,14 @@ from repro.api.sharding import (
     ShardedDatabase,
     ShardedSnapshot,
     ShardRouter,
+    ShardWorkloadAccount,
     SpatialShardRouter,
     create_router,
 )
 
 __all__ = [
     "AsyncDatabase",
+    "AutoTuneOptions",
     "BackendBase",
     "BackendSpec",
     "COST_COUNTERS",
@@ -91,6 +93,7 @@ __all__ = [
     "ServingConfig",
     "ServingStats",
     "ShardRouter",
+    "ShardWorkloadAccount",
     "ShardedDatabase",
     "ShardedSnapshot",
     "SocketTransport",

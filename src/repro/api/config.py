@@ -38,6 +38,65 @@ REPLICATION_ROLES = ("primary", "replica")
 
 
 @dataclass(frozen=True)
+class AutoTuneOptions:
+    """How the tuning advisor explores the per-shard design space.
+
+    Carried by :class:`DatabaseConfig` (``auto_tune=``) and consumed by
+    :meth:`Database.advise`: *methods* names the registry backends to
+    consider per shard, the two grids parameterise candidates that
+    advertise reorganization, and the sample caps bound the what-if
+    replay's cost (``None`` disables the cap — exact but expensive).
+    Advising is always report-only; applying a recommendation is an
+    explicit :meth:`Database.migrate_shard` call (or ``repro tune-bench``).
+    """
+
+    methods: Tuple[str, ...] = ("ac", "rs", "ss")
+    division_factors: Tuple[int, ...] = (2, 4, 8)
+    reorganization_periods: Tuple[int, ...] = (25, 100, 400)
+    sample_objects: Optional[int] = 2048
+    sample_queries: Optional[int] = 128
+    warmup_queries: int = 256
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "methods", tuple(str(name) for name in self.methods))
+        object.__setattr__(
+            self, "division_factors", tuple(int(value) for value in self.division_factors)
+        )
+        object.__setattr__(
+            self,
+            "reorganization_periods",
+            tuple(int(value) for value in self.reorganization_periods),
+        )
+        if not self.methods:
+            raise ValueError("auto-tune needs at least one candidate method")
+        if not self.division_factors or any(f < 2 for f in self.division_factors):
+            raise ValueError("division_factors must be a non-empty grid of values >= 2")
+        if not self.reorganization_periods or any(
+            p < 0 for p in self.reorganization_periods
+        ):
+            raise ValueError(
+                "reorganization_periods must be a non-empty grid of values >= 0"
+            )
+        if self.sample_objects is not None and self.sample_objects < 1:
+            raise ValueError("sample_objects must be positive (or None for no cap)")
+        if self.sample_queries is not None and self.sample_queries < 1:
+            raise ValueError("sample_queries must be positive (or None for no cap)")
+        if self.warmup_queries < 0:
+            raise ValueError("warmup_queries must be non-negative")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten for reporting / JSON."""
+        return {
+            "methods": list(self.methods),
+            "division_factors": list(self.division_factors),
+            "reorganization_periods": list(self.reorganization_periods),
+            "sample_objects": self.sample_objects,
+            "sample_queries": self.sample_queries,
+            "warmup_queries": self.warmup_queries,
+        }
+
+
+@dataclass(frozen=True)
 class ReplicationOptions:
     """How a durable database participates in WAL-shipping replication.
 
@@ -111,7 +170,9 @@ class DatabaseConfig:
       superseded full checkpoints survive pruning) shape durability
       checkpoints and therefore require a ``wal_dir``;
     * ``replication`` requires a ``wal_dir`` (it ships the WAL), full
-      checkpoint mode and — for database construction — the primary role.
+      checkpoint mode and — for database construction — the primary role;
+    * ``auto_tune`` options describe the per-shard tuning advisor and
+      therefore require a sharded config.
     """
 
     method: Union[str, Tuple[str, ...]] = "ac"
@@ -127,6 +188,7 @@ class DatabaseConfig:
     checkpoint_mode: str = "full"
     keep_checkpoints: int = 1
     replication: Optional[ReplicationOptions] = field(default=None)
+    auto_tune: Optional[AutoTuneOptions] = field(default=None)
 
     def __post_init__(self) -> None:
         if not isinstance(self.method, str):
@@ -177,6 +239,11 @@ class DatabaseConfig:
                 "replication bootstraps followers from full checkpoint "
                 "snapshots; checkpoint_mode='paged' is not replicable"
             )
+        if self.auto_tune is not None and not self.sharded:
+            raise ValueError(
+                "auto_tune describes the per-shard tuning advisor; pass "
+                "shards=N (or a sequence of method names)"
+            )
 
     @property
     def sharded(self) -> bool:
@@ -197,6 +264,9 @@ class DatabaseConfig:
                 continue
             if entry.name == "replication":
                 assert isinstance(value, ReplicationOptions)
+                summary[entry.name] = value.as_dict()
+            elif entry.name == "auto_tune":
+                assert isinstance(value, AutoTuneOptions)
                 summary[entry.name] = value.as_dict()
             elif entry.name in {"cost", "backend_config", "router"}:
                 summary[entry.name] = value if isinstance(value, str) else repr(value)

@@ -36,11 +36,12 @@ from repro.geometry.box import HyperRectangle
 from repro.geometry.relations import SpatialRelation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.api.config import DatabaseConfig
-    from repro.api.sharding import ShardRouter
+    from repro.api.config import AutoTuneOptions, DatabaseConfig
+    from repro.api.sharding import ShardedDatabase, ShardRouter
     from repro.core.cost_model import CostParameters
     from repro.engine.matcher import MatchRecord, StreamingConfig, StreamingMatcher
     from repro.storage import StorageBackend
+    from repro.tuning.advisor import TuningRecommendation
     from repro.workloads.datasets import Dataset
 
 
@@ -54,13 +55,19 @@ class Database:
     :meth:`attach` (reopen any on-disk layout, sniffing which it is).
     """
 
-    def __init__(self, backend: SpatialBackend) -> None:
+    def __init__(
+        self,
+        backend: SpatialBackend,
+        *,
+        auto_tune: "Optional[AutoTuneOptions]" = None,
+    ) -> None:
         if not isinstance(backend, SpatialBackend):
             raise TypeError(
                 "backend does not satisfy the SpatialBackend protocol; "
                 "see repro.api.protocol"
             )
         self._backend = backend
+        self._auto_tune = auto_tune
 
     # ------------------------------------------------------------------
     # Constructors
@@ -138,7 +145,7 @@ class Database:
                 checkpoint_mode=config.checkpoint_mode,
                 keep_checkpoints=config.keep_checkpoints,
             )
-        return cls(backend)
+        return cls(backend, auto_tune=config.auto_tune)
 
     @classmethod
     def create(
@@ -534,6 +541,99 @@ class Database:
         from repro.api.replication import ReplicatedBackend
 
         return isinstance(self._backend, ReplicatedBackend)
+
+    # ------------------------------------------------------------------
+    # Workload-aware per-shard tuning
+    # ------------------------------------------------------------------
+    @property
+    def auto_tune(self) -> "Optional[AutoTuneOptions]":
+        """The advisor options this database was configured with, if any."""
+        return self._auto_tune
+
+    def _sharded_backend(self, operation: str) -> "ShardedDatabase":
+        """The underlying :class:`ShardedDatabase`, unwrapping durability.
+
+        Raises :class:`~repro.api.protocol.UnsupportedOperation` when the
+        backend is not sharded — per-shard tuning has nothing to tune on a
+        single backend.
+        """
+        from repro.api.durability import DurableBackend
+        from repro.api.protocol import UnsupportedOperation
+        from repro.api.sharding import ShardedDatabase
+
+        target = self._backend
+        # repro-lint: disable=RL003 -- unwrapping the durability decorator, not probing capability
+        if isinstance(target, DurableBackend):
+            target = target.inner
+        # repro-lint: disable=RL003 -- dispatching on the sharded composite, not probing capability
+        if not isinstance(target, ShardedDatabase):
+            raise UnsupportedOperation(
+                f"{operation} requires a sharded database; create one with "
+                "Database.create(..., shards=N)"
+            )
+        return target
+
+    def advise(
+        self,
+        *,
+        options: "Optional[AutoTuneOptions]" = None,
+        cost: "Optional[CostParameters]" = None,
+        queries: Optional[Sequence[HyperRectangle]] = None,
+    ) -> "TuningRecommendation":
+        """Run the workload-aware tuning advisor over the shards (report-only).
+
+        Uses *options* when given, else the config's ``auto_tune`` options,
+        else the advisor defaults.  The recommendation is never applied
+        automatically — inspect the report, then call :meth:`migrate_shard`
+        (or ``repro tune-bench``) for the shards worth moving.
+        """
+        from repro.api.config import AutoTuneOptions
+        from repro.tuning.advisor import advise as run_advisor
+
+        target = self._sharded_backend("advise()")
+        settings = options or self._auto_tune or AutoTuneOptions()
+        return run_advisor(
+            target,
+            methods=settings.methods,
+            division_factors=settings.division_factors,
+            reorganization_periods=settings.reorganization_periods,
+            cost=cost,
+            queries=queries,
+            sample_objects=settings.sample_objects,
+            sample_queries=settings.sample_queries,
+            warmup_queries=settings.warmup_queries,
+        )
+
+    def migrate_shard(
+        self,
+        position: int,
+        method: str,
+        *,
+        cost: Optional[object] = None,
+        config: Optional[object] = None,
+    ) -> SpatialBackend:
+        """Rebuild one shard live on a new backend; returns the old backend.
+
+        Delegates to :meth:`ShardedDatabase.migrate_shard
+        <repro.api.sharding.ShardedDatabase.migrate_shard>`: the shard is
+        drained in deterministic order, bulk-loaded into a fresh registry
+        backend and swapped in place with the router untouched.  Durable
+        and replicated databases refuse — their WAL and checkpoints
+        describe the wrapped shards, so a swap behind the log would
+        diverge from what recovery rebuilds.
+        """
+        from repro.api.durability import DurableBackend
+        from repro.api.protocol import UnsupportedOperation
+
+        # repro-lint: disable=RL003 -- guarding the durability seam, not probing capability
+        if isinstance(self._backend, DurableBackend):
+            raise UnsupportedOperation(
+                "migrate_shard() on a durable database would swap a shard "
+                "behind its write-ahead log; checkpoint, migrate the plain "
+                "sharded database, then re-attach durability"
+            )
+        target = self._sharded_backend("migrate_shard()")
+        return target.migrate_shard(position, method, cost=cost, config=config)
 
     # ------------------------------------------------------------------
     # Streaming sessions

@@ -436,6 +436,10 @@ class DurableBackend(BackendBase):
         """The wrapped backend's storage view (persistence contract)."""
         return self._inner.storage  # type: ignore[attr-defined]
 
+    def iter_objects(self) -> Iterator[Tuple[int, HyperRectangle]]:
+        """Every stored object as ``(id, box)``; reads bypass the WAL."""
+        return self._inner.iter_objects()
+
     # ------------------------------------------------------------------
     # Logged mutations
     # ------------------------------------------------------------------

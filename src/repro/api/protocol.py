@@ -184,6 +184,8 @@ class SpatialBackend(Protocol):
 
     def delete_bulk(self, object_ids: Iterable[int]) -> int: ...
 
+    def iter_objects(self) -> Iterator[Tuple[int, HyperRectangle]]: ...
+
     def reorganize(self) -> object: ...
 
     def snapshot(self) -> object: ...
@@ -285,6 +287,19 @@ class BackendBase(ABC):
         vectorised variants.
         """
         return sum(1 for object_id in object_ids if self.delete(int(object_id)))
+
+    def iter_objects(self) -> Iterator[Tuple[int, HyperRectangle]]:
+        """Every stored object as ``(object_id, box)`` in ascending-id order.
+
+        The ascending-id contract makes the enumeration deterministic
+        regardless of the backend's internal layout, which is what lets a
+        shard be drained into a replacement backend
+        (:meth:`repro.api.sharding.ShardedDatabase.migrate_shard`) and
+        produce the same structure as a rebuild from scratch.
+        """
+        raise NotImplementedError(  # pragma: no cover - mixin contract
+            "backends must override iter_objects()"
+        )
 
     def reorganize(self) -> object:
         """Adapt the backend's structure to the observed query stream.

@@ -32,16 +32,20 @@ without noticing:
 
 from __future__ import annotations
 
+import heapq
 import json
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Callable,
+    Deque,
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -72,6 +76,10 @@ SHARD_MANIFEST_NAME = "manifest.json"
 
 #: Version tag written into every shard manifest (bump on layout changes).
 SHARD_MANIFEST_VERSION = 1
+
+#: Bounded window of recently executed query boxes the database retains for
+#: the tuning advisor's what-if replay (:meth:`ShardedDatabase.recent_queries`).
+RECENT_QUERY_WINDOW = 256
 
 _T = TypeVar("_T")
 _MASK64 = (1 << 64) - 1
@@ -278,6 +286,51 @@ class ShardedStorageView:
         )
 
 
+@dataclass(frozen=True)
+class ShardWorkloadAccount:
+    """What one shard has been asked to do since the last account reset.
+
+    Accumulated at gather time by :class:`ShardedDatabase`, one account per
+    shard position, so per-shard attribution survives the element-wise
+    counter merge of scatter-gather (the merged view in each
+    :class:`~repro.api.protocol.QueryResult` sums the shards and cannot be
+    un-mixed afterwards).  The tuning advisor reads these accounts to
+    characterise each shard's query/churn mix.
+    """
+
+    #: Queries scattered to the shard (every query reaches every shard).
+    queries: int = 0
+    #: Objects the router placed on the shard (``insert`` + ``bulk_load``).
+    inserts: int = 0
+    #: Objects removed from the shard (``delete`` + ``delete_bulk``).
+    deletes: int = 0
+    #: Element-wise sum of the shard's own :class:`QueryExecution` records.
+    execution: QueryExecution = field(default_factory=QueryExecution)
+
+    def with_queries(self, count: int, execution: QueryExecution) -> "ShardWorkloadAccount":
+        """This account plus *count* queries whose counters sum to *execution*."""
+        return replace(
+            self,
+            queries=self.queries + int(count),
+            execution=self.execution.merge(execution),
+        )
+
+    def with_churn(self, inserts: int = 0, deletes: int = 0) -> "ShardWorkloadAccount":
+        """This account plus a batch of routed mutations."""
+        return replace(
+            self, inserts=self.inserts + int(inserts), deletes=self.deletes + int(deletes)
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the account for reporting / JSON."""
+        return {
+            "queries": self.queries,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "execution": self.execution.as_dict(),
+        }
+
+
 # ----------------------------------------------------------------------
 # The sharded database
 # ----------------------------------------------------------------------
@@ -340,6 +393,12 @@ class ShardedDatabase(BackendBase):
         #: Per-shard read delegates (replication read routing); empty by
         #: default, so plain sharded databases behave exactly as before.
         self._read_delegates: Dict[int, Callable[[], Optional[SpatialBackend]]] = {}
+        #: Per-position workload accounts (gather-time attribution) and the
+        #: bounded ring of recent query boxes the tuning advisor replays.
+        self._accounts: List[ShardWorkloadAccount] = [
+            ShardWorkloadAccount() for _ in shard_list
+        ]
+        self._recent_queries: Deque[HyperRectangle] = deque(maxlen=RECENT_QUERY_WINDOW)
         self._capabilities = self._derive_capabilities()
 
     # ------------------------------------------------------------------
@@ -551,7 +610,9 @@ class ShardedDatabase(BackendBase):
         self._validate_box(obj)
         if object_id in self:
             raise KeyError(f"object {object_id} is already stored")
-        self._shards[self._router.shard_of(object_id, obj)].insert(object_id, obj)
+        target = self._router.shard_of(object_id, obj)
+        self._shards[target].insert(object_id, obj)
+        self._accounts[target] = self._accounts[target].with_churn(inserts=1)
 
     def bulk_load(self, objects: Iterable[Tuple[int, HyperRectangle]]) -> int:
         """Partition a batch by the router and bulk-load every shard once."""
@@ -568,9 +629,12 @@ class ShardedDatabase(BackendBase):
         for object_id, box in pairs:
             groups[self._router.shard_of(object_id, box)].append((object_id, box))
         loaded = 0
-        for shard, group in zip(self._shards, groups):
+        for position, group in enumerate(groups):
             if group:
-                loaded += shard.bulk_load(group)
+                loaded += self._shards[position].bulk_load(group)
+                self._accounts[position] = self._accounts[position].with_churn(
+                    inserts=len(group)
+                )
         return loaded
 
     def owner_of(self, object_id: int) -> Optional[int]:
@@ -593,7 +657,10 @@ class ShardedDatabase(BackendBase):
         owner = self.owner_of(int(object_id))
         if owner is None:
             return False
-        return self._shards[owner].delete(int(object_id))
+        removed = self._shards[owner].delete(int(object_id))
+        if removed:
+            self._accounts[owner] = self._accounts[owner].with_churn(deletes=1)
+        return removed
 
     def delete_bulk(self, object_ids: Iterable[int]) -> int:
         """Group a deletion batch by owning shard, one bulk delete per shard."""
@@ -603,9 +670,11 @@ class ShardedDatabase(BackendBase):
             if owner is not None:
                 groups[owner].append(int(object_id))
         removed = 0
-        for shard, group in zip(self._shards, groups):
+        for position, group in enumerate(groups):
             if group:
-                removed += int(shard.delete_bulk(group))
+                count = int(self._shards[position].delete_bulk(group))
+                removed += count
+                self._accounts[position] = self._accounts[position].with_churn(deletes=count)
         return removed
 
     def reorganize(self) -> List[object]:
@@ -616,6 +685,93 @@ class ShardedDatabase(BackendBase):
             for shard in self._shards
             if shard.capabilities.supports_reorganization
         ]
+
+    def iter_objects(self) -> Iterator[Tuple[int, HyperRectangle]]:
+        """Every stored object as ``(id, box)`` in ascending-id order.
+
+        Identifiers live on exactly one shard and every shard enumerates
+        ascending, so a lazy k-way merge yields the global order without
+        materialising the database.
+        """
+        return heapq.merge(
+            *(shard.iter_objects() for shard in self._shards),
+            key=lambda pair: pair[0],
+        )
+
+    # ------------------------------------------------------------------
+    # Workload accounting and live shard migration
+    # ------------------------------------------------------------------
+    def workload_accounts(self) -> Tuple[ShardWorkloadAccount, ...]:
+        """Per-shard workload accounts, in shard order.
+
+        Accounts are frozen snapshots: each scatter/mutation replaces the
+        stored account, so the returned tuple is stable even while the
+        database keeps serving.
+        """
+        return tuple(self._accounts)
+
+    def recent_queries(self) -> Tuple[HyperRectangle, ...]:
+        """The most recent query boxes (bounded window, oldest first).
+
+        Every query scatters to every shard, so one ring serves all
+        positions; the tuning advisor replays these against candidate
+        designs.
+        """
+        return tuple(self._recent_queries)
+
+    def reset_workload_accounts(self) -> None:
+        """Zero every workload account and drop the recent-query window."""
+        self._accounts = [ShardWorkloadAccount() for _ in self._shards]
+        self._recent_queries.clear()
+
+    def migrate_shard(
+        self,
+        position: int,
+        method: str,
+        *,
+        cost: Optional[object] = None,
+        config: Optional[object] = None,
+    ) -> SpatialBackend:
+        """Rebuild shard *position* live on a new backend; returns the old one.
+
+        The shard is drained through :meth:`SpatialBackend.iter_objects`
+        (deterministic ascending-id order), bulk-loaded into a fresh
+        registry-created backend, and swapped in place.  The router is
+        untouched — migration changes how one partition is *indexed*, never
+        how objects are *placed* — so merged query results are
+        byte-identical before and after, and identical to a shard rebuilt
+        from scratch with the same pairs (the migration-equivalence test
+        pins both).  The shard's workload account is kept: it describes
+        the partition's traffic, not the backend serving it.
+
+        Raises :class:`ValueError` when *position* is out of range and
+        :class:`RuntimeError` when the replacement backend reports a
+        different object count after the load (the swap does not happen;
+        the old shard keeps serving).
+        """
+        if not 0 <= position < len(self._shards):
+            raise ValueError(
+                f"shard position {position} out of range for {len(self._shards)} shards"
+            )
+        old = self._shards[position]
+        replacement = create_backend(
+            method,
+            self._dimensions,
+            cost=cost,  # type: ignore[arg-type]
+            config=config,  # type: ignore[arg-type]
+        )
+        loaded = replacement.bulk_load(old.iter_objects())
+        if loaded != old.n_objects or replacement.n_objects != old.n_objects:
+            raise RuntimeError(  # pragma: no cover - defensive
+                f"migration of shard {position} loaded {loaded} of "
+                f"{old.n_objects} objects"
+            )
+        self._shards[position] = replacement
+        # A read delegate replicates the *old* backend; routing reads to it
+        # after the swap would serve the pre-migration structure.
+        self._read_delegates.pop(position, None)
+        self._capabilities = self._derive_capabilities()
+        return old
 
     # ------------------------------------------------------------------
     # Scatter-gather query execution
@@ -727,9 +883,15 @@ class ShardedDatabase(BackendBase):
                 f"query has {query.dimensions} dimensions, database expects "
                 f"{self._dimensions}"
             )
-        return self._merge(
-            self._scatter(lambda shard: shard.execute(query, parsed), self._read_targets())
+        per_shard = self._scatter(
+            lambda shard: shard.execute(query, parsed), self._read_targets()
         )
+        for position, result in enumerate(per_shard):
+            self._accounts[position] = self._accounts[position].with_queries(
+                1, result.execution
+            )
+        self._recent_queries.append(query)
+        return self._merge(per_shard)
 
     def execute_batch(
         self,
@@ -750,6 +912,22 @@ class ShardedDatabase(BackendBase):
         per_shard = self._scatter(
             lambda shard: shard.execute_batch(query_list, parsed), self._read_targets()
         )
+        for position, results in enumerate(per_shard):
+            # An explicit length check: ``zip(*per_shard)`` below would
+            # silently truncate the gather to the shortest shard row,
+            # dropping results (and their counters) without a trace.
+            if len(results) != len(query_list):
+                raise RuntimeError(
+                    f"shard {position} returned {len(results)} results for "
+                    f"{len(query_list)} queries"
+                )
+            summed = QueryExecution()
+            for result in results:
+                summed = summed.merge(result.execution)
+            self._accounts[position] = self._accounts[position].with_queries(
+                len(query_list), summed
+            )
+        self._recent_queries.extend(query_list)
         return [self._merge(row) for row in zip(*per_shard)]
 
     # ------------------------------------------------------------------

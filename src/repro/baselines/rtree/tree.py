@@ -14,7 +14,7 @@ descriptor advertises no persistence and no reorganization.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -132,6 +132,22 @@ class RStarTree(BackendBase):
             yield node
             if not node.is_leaf:
                 stack.extend(node.children)
+
+    def iter_objects(self) -> Iterator[Tuple[int, HyperRectangle]]:
+        """Every indexed object as ``(id, box)`` in ascending-id order.
+
+        The order is independent of the tree shape, so draining one tree
+        and bulk-loading another reproduces the structure a from-scratch
+        rebuild would (the shard-migration contract).
+        """
+        leaves = [node for node in self.iter_nodes() if node.is_leaf and node.count]
+        if not leaves:
+            return
+        ids = np.concatenate([leaf.entry_ids() for leaf in leaves])
+        lows = np.concatenate([leaf.entry_lows() for leaf in leaves])
+        highs = np.concatenate([leaf.entry_highs() for leaf in leaves])
+        for row in np.argsort(ids, kind="stable"):
+            yield int(ids[row]), HyperRectangle(lows[row], highs[row])
 
     # ==================================================================
     # Insertion

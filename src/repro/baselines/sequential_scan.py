@@ -17,7 +17,7 @@ no structure to adapt or snapshot.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -135,6 +135,16 @@ class SequentialScan(BackendBase):
         for object_id in targets:
             del self._known_ids[object_id]
         return int(removed_ids.size)
+
+    def iter_objects(self) -> Iterator[Tuple[int, HyperRectangle]]:
+        """Every stored object as ``(id, box)`` in ascending-id order."""
+        ids = self._store.ids
+        if ids.size == 0:
+            return
+        lows = self._store.lows
+        highs = self._store.highs
+        for row in np.argsort(ids, kind="stable"):
+            yield int(ids[row]), HyperRectangle(lows[row], highs[row])
 
     # ------------------------------------------------------------------
     def execute(

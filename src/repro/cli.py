@@ -13,6 +13,8 @@ figures and tables from the terminal::
     repro-experiments repl-bench --objects 5000 --mutations 1500 --shards 2
     repro-experiments page-bench --objects 3000 --churn 0.01 0.1 1.0
     repro-experiments repair /data/broken.pages /data/salvaged.pages
+    repro-experiments advise --objects 6000 --shards 3 --format json
+    repro-experiments tune-bench --objects 6000 --shards 3
 
 Every command prints a paper-style report (and optionally writes it to a
 file with ``--output``).  Method names are resolved through the backend
@@ -49,10 +51,12 @@ from repro.evaluation.reporting import (
     format_replication_result,
     format_serving_result,
     format_streaming_result,
+    format_tuning_result,
 )
 from repro.evaluation.pages import page_bench
 from repro.evaluation.serving import async_serving_bench
 from repro.evaluation.streaming import pubsub_streaming_bench
+from repro.evaluation.tuning import tuning_bench
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +227,56 @@ def _add_pubsub_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="event interval width as a domain fraction (0 = point events)",
     )
     parser.add_argument("--warmup", type=int, default=None, help="warm-up events")
+    _add_run_arguments(parser)
+
+
+def _add_tuning_arguments(
+    parser: argparse.ArgumentParser, include_format: bool = False
+) -> None:
+    """Options of the advisor-shaped subcommands (advise, tune-bench)."""
+    _add_scenario_argument(parser)
+    _add_methods_argument(parser)
+    parser.add_argument("--objects", type=int, default=None, help="pre-loaded database size")
+    parser.add_argument("--dimensions", type=int, default=None, help="dataset dimensionality")
+    parser.add_argument(
+        "--shards", type=int, default=None, help="shards of the advised deployment (default 3)"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=None, help="observed workload queries (the replay window)"
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None, help="cyclic warm-up replays for adaptive candidates"
+    )
+    parser.add_argument(
+        "--division-factors",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="F",
+        help="division-factor grid for reorganizing candidates (default: 2 4 8)",
+    )
+    parser.add_argument(
+        "--reorg-periods",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="P",
+        help="reorganization-period grid for reorganizing candidates "
+        "(default: 25 100 400)",
+    )
+    parser.add_argument(
+        "--sample-objects",
+        type=int,
+        default=None,
+        help="per-shard object-sample cap of the what-if replay (default 2048)",
+    )
+    if include_format:
+        parser.add_argument(
+            "--format",
+            choices=["human", "json"],
+            default="human",
+            help="report format (default: human)",
+        )
     _add_run_arguments(parser)
 
 
@@ -419,6 +473,47 @@ def _run_repair(args: argparse.Namespace) -> int:
     return 0 if report.lossless else 1
 
 
+_TUNING_ARGUMENTS = {
+    "objects": "object_count",
+    "dimensions": "dimensions",
+    "shards": "shards",
+    "queries": "queries",
+    "warmup": "warmup_queries",
+    "division_factors": "division_factors",
+    "reorg_periods": "reorganization_periods",
+    "sample_objects": "sample_objects",
+    "seed": "seed",
+    "methods": "methods",
+}
+
+
+def _run_advise(args: argparse.Namespace) -> int:
+    """Report-only advisor run; prints the recommendation, applies nothing.
+
+    Self-reporting (like lint and repair) so ``--format json`` emits the
+    recommendation's JSON schema verbatim; always exits 0 — the advice is
+    the product, acting on it is ``tune-bench``'s (or the operator's) job.
+    """
+    kwargs = _collect_kwargs(args, _TUNING_ARGUMENTS)
+    result = tuning_bench(scenario=args.scenario, apply=False, **kwargs)
+    recommendation = result.recommendation
+    assert recommendation is not None
+    if args.format == "json":
+        rendered = recommendation.to_json()
+    else:
+        rendered = recommendation.to_human().rstrip("\n")
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return 0
+
+
+def _run_tune_bench(args: argparse.Namespace):
+    kwargs = _collect_kwargs(args, _TUNING_ARGUMENTS)
+    return tuning_bench(scenario=args.scenario, **kwargs)
+
+
 def _run_repl_bench(args: argparse.Namespace):
     kwargs = _collect_kwargs(
         args,
@@ -540,6 +635,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     repair.add_argument("--output", type=str, default=None, help="write the report to this file")
     repair.set_defaults(runner=_run_repair, formatter=None)
+    advise = subparsers.add_parser(
+        "advise",
+        help="workload-aware tuning advisor (report-only): profile a "
+        "seeded sharded deployment's workload and rank candidate designs "
+        "per shard; applies nothing",
+    )
+    _add_tuning_arguments(advise, include_format=True)
+    advise.set_defaults(runner=_run_advise, formatter=None)
+    tune = subparsers.add_parser(
+        "tune-bench",
+        help="tuning benchmark: advise a seeded sharded deployment, apply "
+        "the recommended migrations live, and measure the modeled "
+        "query-time before and after",
+    )
+    _add_tuning_arguments(tune)
+    tune.set_defaults(runner=_run_tune_bench, formatter=format_tuning_result)
     lint = subparsers.add_parser(
         "lint",
         help="check the repository invariants (seam discipline, capability "
@@ -587,6 +698,8 @@ _POSITIVE_ARGUMENTS = (
     "mutations",
     "page_size",
     "division_factor",
+    "dimensions",
+    "sample_objects",
 )
 _NON_NEGATIVE_ARGUMENTS = ("warmup", "cache_size", "max_delay_ms")
 _PROBABILITY_ARGUMENTS = ("subscribe_prob", "unsubscribe_prob", "repeat_prob")
@@ -605,6 +718,12 @@ def _validate_args(args: argparse.Namespace) -> None:
         value = getattr(args, name, None)
         if value is not None and not 0.0 <= value <= 1.0:
             raise ValueError(f"--{name.replace('_', '-')} must lie in [0, 1]")
+    factors = getattr(args, "division_factors", None)
+    if factors is not None and any(value < 2 for value in factors):
+        raise ValueError("--division-factors must all be at least 2")
+    periods = getattr(args, "reorg_periods", None)
+    if periods is not None and any(value < 0 for value in periods):
+        raise ValueError("--reorg-periods must all be non-negative")
     range_fraction = getattr(args, "range_fraction", None)
     if range_fraction is not None and not 0.0 <= range_fraction < 1.0:
         raise ValueError("--range-fraction must lie in [0, 1)")

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -416,6 +416,23 @@ class AdaptiveClusteringIndex(BackendBase):
             return None
         row = int(rows[0])
         return HyperRectangle(store.lows[row], store.highs[row])
+
+    def iter_objects(self) -> Iterator[Tuple[int, HyperRectangle]]:
+        """Every indexed object as ``(id, box)`` in ascending-id order.
+
+        The order is independent of the clustering layout, so draining one
+        index and bulk-loading another reproduces the same structure a
+        from-scratch rebuild would (the shard-migration contract).
+        """
+        stores = [self._clusters[cid].store for cid in sorted(self._clusters)]
+        stores = [store for store in stores if len(store)]
+        if not stores:
+            return
+        ids = np.concatenate([store.ids for store in stores])
+        lows = np.concatenate([store.lows for store in stores])
+        highs = np.concatenate([store.highs for store in stores])
+        for row in np.argsort(ids, kind="stable"):
+            yield int(ids[row]), HyperRectangle(lows[row], highs[row])
 
     def _select_insertion_cluster(self, obj: HyperRectangle) -> Cluster:
         """Matching cluster with the lowest access probability (Fig. 4, step 1)."""

@@ -186,11 +186,25 @@ class StreamStats:
     def latency_percentiles(
         self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)
     ) -> Dict[str, float]:
-        """Latency percentiles in milliseconds, keyed ``"p50"``-style."""
-        if not self.latencies_ms:
-            return {f"p{percentile:g}": 0.0 for percentile in percentiles}
+        """Latency percentiles in milliseconds, keyed ``"p50"``-style.
+
+        Every summary carries a ``"latency_window"`` entry — the number of
+        delivered events the percentiles describe — because a tail
+        percentile over a short window is only as meaningful as the window
+        is long (the p99 of three events is just their maximum).  An empty
+        window returns ``{"latency_window": 0}`` alone: no event has a
+        latency yet, and fabricated ``0.0`` percentiles would read as
+        "instantaneous", not "unmeasured".
+        """
+        window = len(self.latencies_ms)
+        summary: Dict[str, float] = {"latency_window": float(window)}
+        if window == 0:
+            return summary
         values = np.percentile(np.asarray(self.latencies_ms), list(percentiles))
-        return {f"p{percentile:g}": float(value) for percentile, value in zip(percentiles, values)}
+        summary.update(
+            {f"p{percentile:g}": float(value) for percentile, value in zip(percentiles, values)}
+        )
+        return summary
 
     def as_dict(self) -> Dict[str, object]:
         """Flatten the statistics for reporting / JSON."""

@@ -22,6 +22,7 @@ from repro.evaluation.experiments import (
     selectivity_sweep,
 )
 from repro.evaluation.reporting import (
+    format_advisor_accuracy,
     format_data_access_table,
     format_durability_result,
     format_experiment_result,
@@ -29,11 +30,18 @@ from repro.evaluation.reporting import (
     format_streaming_result,
     format_table,
     format_time_chart,
+    format_tuning_result,
 )
 from repro.evaluation.streaming import (
     StreamingBenchResult,
     StreamingMethodResult,
     pubsub_streaming_bench,
+)
+from repro.evaluation.tuning import (
+    AdvisorAccuracyResult,
+    TuningBenchResult,
+    advisor_accuracy,
+    tuning_bench,
 )
 
 __all__ = [
@@ -52,17 +60,23 @@ __all__ = [
     "ablation_reorganization_period",
     "ablation_disk_access_time",
     "format_table",
+    "format_advisor_accuracy",
     "format_data_access_table",
     "format_durability_result",
     "format_replication_result",
     "format_time_chart",
     "format_experiment_result",
     "format_streaming_result",
+    "format_tuning_result",
+    "AdvisorAccuracyResult",
     "DurabilityBenchResult",
     "ReplicationBenchResult",
     "StreamingBenchResult",
     "StreamingMethodResult",
+    "TuningBenchResult",
+    "advisor_accuracy",
     "pubsub_streaming_bench",
+    "tuning_bench",
     "wal_durability_bench",
     "replication_bench",
 ]

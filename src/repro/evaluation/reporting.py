@@ -10,6 +10,7 @@ from repro.evaluation.replication import ReplicationBenchResult
 from repro.evaluation.experiments import ExperimentResult
 from repro.evaluation.serving import ServingBenchResult
 from repro.evaluation.streaming import StreamingBenchResult
+from repro.evaluation.tuning import AdvisorAccuracyResult, TuningBenchResult
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -163,9 +164,11 @@ def format_streaming_result(result: StreamingBenchResult) -> str:
                 round(method.events_per_second, 1),
                 stats.batches,
                 round(stats.average_batch_size(), 1),
-                percentiles["p50"],
-                percentiles["p95"],
-                percentiles["p99"],
+                # Percentile keys are absent when the latency window is
+                # empty; render a dash rather than a misleading 0.0.
+                percentiles.get("p50", "-"),
+                percentiles.get("p95", "-"),
+                percentiles.get("p99", "-"),
                 stats.cache_hits,
                 stats.deduplicated,
             ]
@@ -405,5 +408,65 @@ def format_pages_result(result: PageBenchResult) -> str:
         "",
         "-- reopening the final store --",
         format_table(["eager open ms", "lazy open ms", "identical"], open_rows),
+    ]
+    return "\n".join(sections)
+
+
+def format_advisor_accuracy(result: AdvisorAccuracyResult) -> str:
+    """Text report of one advisor-vs-ablation accuracy comparison."""
+    rows: List[List[object]] = []
+    for value in result.grid:
+        measured = result.measured_by_value.get(value, float("nan"))
+        advised = result.advised_by_value.get(value, float("nan"))
+        marks = []
+        if value == result.measured_best:
+            marks.append("measured best")
+        if value == result.advised_best:
+            marks.append("advised best")
+        rows.append([value, round(measured, 4), round(advised, 4), ", ".join(marks)])
+    sections = [
+        f"== advisor accuracy: {result.parameter_name} ==",
+        f"parameters: {result.parameters}",
+        "",
+        format_table(
+            [result.parameter_name, "measured ms", "advised ms", ""],
+            rows,
+        ),
+        "",
+        f"grid distance: {result.grid_distance} "
+        f"(measured best {result.measured_best}, advised best {result.advised_best})",
+    ]
+    return "\n".join(sections)
+
+
+def format_tuning_result(result: TuningBenchResult) -> str:
+    """Full text report of one advise/migrate/measure tuning bench run."""
+    migration_rows: List[List[object]] = [
+        [entry["position"], entry["from"], entry["to"]] for entry in result.migrations
+    ]
+    sections = [
+        "== tuning bench: advise, migrate, measure ==",
+        f"scenario: {result.scenario}",
+        f"parameters: {result.parameters}",
+    ]
+    if result.recommendation is not None:
+        sections += ["", result.recommendation.to_human().rstrip("\n")]
+    sections += [
+        "",
+        "-- applied migrations --",
+        format_table(["shard", "from", "to"], migration_rows)
+        if migration_rows
+        else "(none: every shard already serves its top-ranked design)",
+        "",
+        format_table(
+            ["before ms/query", "after ms/query", "speedup"],
+            [
+                [
+                    round(result.before_avg_modeled_ms, 4),
+                    round(result.after_avg_modeled_ms, 4),
+                    round(result.improvement, 2),
+                ]
+            ],
+        ),
     ]
     return "\n".join(sections)

@@ -1,0 +1,318 @@
+"""Validation and benchmarking of the workload-aware tuning advisor.
+
+Two entry points close the loop the tuning package opens:
+
+* :func:`advisor_accuracy` pits the advisor against the ablation benches
+  (the repository's ground truth for the adaptive index's two knobs): the
+  ablation measures every grid value directly, the advisor ranks the same
+  grid from a what-if replay, and the result records how far apart — in
+  grid steps — their winners land.
+* :func:`tuning_bench` runs the full advise → migrate → measure story on a
+  sharded deployment: observe a seeded workload, ask the advisor, apply
+  its per-shard recommendations through live migration, and compare the
+  modeled query time before and after.
+
+Both are deterministic (seeded datasets and workloads, no clocks, no
+unseeded randomness) and are exercised at reduced scale by the gated
+``benchmarks/test_bench_tuning.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.sharding import ShardedDatabase
+from repro.core.cost_model import CostParameters, StorageScenario
+from repro.evaluation.experiments import (
+    ablation_division_factor,
+    ablation_reorganization_period,
+)
+from repro.evaluation.metrics import ModeledCostModel
+from repro.tuning.advisor import TuningRecommendation, advise, apply_recommendation
+from repro.workloads.queries import QueryWorkload, generate_query_workload
+from repro.workloads.uniform import generate_uniform_dataset
+
+#: The two adaptive-index knobs the ablation benches measure directly.
+TUNABLE_PARAMETERS = ("division_factor", "reorganization_period")
+
+
+@dataclass
+class AdvisorAccuracyResult:
+    """How the advisor's ranking compares with the measured ablation."""
+
+    #: The swept knob ("division_factor" or "reorganization_period").
+    parameter_name: str
+    #: The swept grid, in sweep order.
+    grid: Tuple[int, ...]
+    #: Grid value the ablation measured fastest (avg modeled ms, AC).
+    measured_best: int
+    #: Grid value the advisor ranked first.
+    advised_best: int
+    #: Measured avg modeled ms per grid value (ablation ground truth).
+    measured_by_value: Dict[int, float] = field(default_factory=dict)
+    #: Advisor what-if score per grid value.
+    advised_by_value: Dict[int, float] = field(default_factory=dict)
+    #: Experiment parameters, recorded for reproducibility.
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def grid_distance(self) -> int:
+        """Distance between the two winners, in grid steps."""
+        return abs(self.grid.index(self.advised_best) - self.grid.index(self.measured_best))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten for reporting / JSON."""
+        return {
+            "parameter_name": self.parameter_name,
+            "grid": list(self.grid),
+            "measured_best": self.measured_best,
+            "advised_best": self.advised_best,
+            "grid_distance": self.grid_distance,
+            "measured_by_value": {str(k): v for k, v in self.measured_by_value.items()},
+            "advised_by_value": {str(k): v for k, v in self.advised_by_value.items()},
+            "parameters": dict(self.parameters),
+        }
+
+
+def advisor_accuracy(
+    parameter: str = "division_factor",
+    values: Optional[Sequence[int]] = None,
+    scenario: "StorageScenario | str" = StorageScenario.MEMORY,
+    object_count: int = 10_000,
+    dimensions: int = 16,
+    target_selectivity: float = 5e-3,
+    queries: int = 40,
+    warmup_queries: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> AdvisorAccuracyResult:
+    """Compare the advisor's top pick with the measured-best grid value.
+
+    The ablation bench measures the grid directly (its defaults are
+    reproduced when *values*, *warmup_queries* and *seed* are left unset);
+    the advisor then ranks the same grid on the same dataset and workload,
+    replaying every object and every query (no subsampling), so the two
+    should agree up to measurement noise — the gated accuracy test allows
+    one grid step.
+    """
+    if parameter not in TUNABLE_PARAMETERS:
+        raise ValueError(
+            f"unknown tunable parameter {parameter!r}; expected one of "
+            f"{', '.join(TUNABLE_PARAMETERS)}"
+        )
+    if parameter == "division_factor":
+        grid = tuple(int(value) for value in (values or (2, 4, 8)))
+        warmup = 500 if warmup_queries is None else int(warmup_queries)
+        base_seed = 17 if seed is None else int(seed)
+        ablation = ablation_division_factor(
+            factors=grid,
+            scenario=scenario,
+            object_count=object_count,
+            dimensions=dimensions,
+            target_selectivity=target_selectivity,
+            queries=queries,
+            warmup_queries=warmup,
+            seed=base_seed,
+        )
+        division_factors: Tuple[int, ...] = grid
+        reorganization_periods: Tuple[int, ...] = (100,)
+    else:
+        grid = tuple(int(value) for value in (values or (25, 100, 400)))
+        warmup = 800 if warmup_queries is None else int(warmup_queries)
+        base_seed = 19 if seed is None else int(seed)
+        ablation = ablation_reorganization_period(
+            periods=grid,
+            scenario=scenario,
+            object_count=object_count,
+            dimensions=dimensions,
+            target_selectivity=target_selectivity,
+            queries=queries,
+            warmup_queries=warmup,
+            seed=base_seed,
+        )
+        division_factors = (4,)
+        reorganization_periods = grid
+    measured_series = ablation.series("AC")
+    measured_by_value = {
+        value: float(measured_series[index]) for index, value in enumerate(grid)
+    }
+    measured_best = min(grid, key=lambda value: measured_by_value[value])
+
+    # The advisor sees the same world: one shard holding the ablation
+    # dataset, the ablation workload as the replay, full fidelity.
+    cost = CostParameters.for_scenario(scenario, dimensions)
+    dataset = generate_uniform_dataset(object_count, dimensions, seed=base_seed)
+    workload = generate_query_workload(
+        dataset,
+        count=queries,
+        target_selectivity=target_selectivity,
+        seed=base_seed + 1,
+    )
+    database = ShardedDatabase.create("ac", dimensions, shards=1, cost=cost)
+    database.bulk_load(dataset.iter_objects())
+    recommendation = advise(
+        database,
+        methods=("ac",),
+        division_factors=division_factors,
+        reorganization_periods=reorganization_periods,
+        cost=cost,
+        queries=workload.queries,
+        relation=workload.relation,
+        sample_objects=None,
+        sample_queries=None,
+        warmup_queries=warmup,
+    )
+    ranked = recommendation.shards[0].ranked
+    advised_by_value = {
+        int(getattr(scored.design, parameter)): scored.modeled_time_ms
+        for scored in ranked
+    }
+    advised_best = int(getattr(recommendation.shards[0].best.design, parameter))
+    return AdvisorAccuracyResult(
+        parameter_name=parameter,
+        grid=grid,
+        measured_best=int(measured_best),
+        advised_best=advised_best,
+        measured_by_value=measured_by_value,
+        advised_by_value=advised_by_value,
+        parameters={
+            "scenario": StorageScenario.parse(scenario).value,
+            "object_count": object_count,
+            "dimensions": dimensions,
+            "target_selectivity": target_selectivity,
+            "queries": queries,
+            "warmup_queries": warmup,
+            "seed": base_seed,
+        },
+    )
+
+
+@dataclass
+class TuningBenchResult:
+    """Before/after measurement of applying the advisor's recommendations."""
+
+    #: Storage scenario the modeled times use.
+    scenario: str
+    #: Average modeled query time before any migration (ms/query).
+    before_avg_modeled_ms: float
+    #: Average modeled query time after the advised migrations (ms/query).
+    after_avg_modeled_ms: float
+    #: One entry per applied migration (position, from, to).
+    migrations: List[Dict[str, object]] = field(default_factory=list)
+    #: The advisor report the migrations came from.
+    recommendation: Optional[TuningRecommendation] = None
+    #: Bench parameters, recorded for reproducibility.
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        """Modeled-time speedup of the migrated layout (before / after)."""
+        if self.after_avg_modeled_ms <= 0:
+            return float("inf")
+        return self.before_avg_modeled_ms / self.after_avg_modeled_ms
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten for reporting / JSON."""
+        return {
+            "scenario": self.scenario,
+            "before_avg_modeled_ms": self.before_avg_modeled_ms,
+            "after_avg_modeled_ms": self.after_avg_modeled_ms,
+            "improvement": self.improvement,
+            "migrations": list(self.migrations),
+            "recommendation": (
+                self.recommendation.as_dict() if self.recommendation is not None else None
+            ),
+            "parameters": dict(self.parameters),
+        }
+
+
+def _measure_workload(
+    database: ShardedDatabase,
+    workload: QueryWorkload,
+    cost: CostParameters,
+    warmup_queries: int,
+) -> float:
+    """Average modeled ms/query of the workload, after a cyclic warm-up."""
+    queries = workload.queries
+    if warmup_queries > 0 and database.capabilities.supports_reorganization:
+        warmup = [queries[i % len(queries)] for i in range(warmup_queries)]
+        database.execute_batch(warmup, workload.relation)
+    results = database.execute_batch(queries, workload.relation)
+    model = ModeledCostModel(cost)
+    return float(np.mean([model.query_time_ms(result.execution) for result in results]))
+
+
+def tuning_bench(
+    scenario: "StorageScenario | str" = StorageScenario.MEMORY,
+    object_count: int = 6_000,
+    dimensions: int = 16,
+    shards: int = 3,
+    queries: int = 60,
+    warmup_queries: int = 300,
+    target_selectivity: float = 5e-3,
+    seed: int = 29,
+    methods: Sequence[str] = ("ac", "rs", "ss"),
+    division_factors: Sequence[int] = (2, 4, 8),
+    reorganization_periods: Sequence[int] = (25, 100, 400),
+    sample_objects: Optional[int] = 2048,
+    apply: bool = True,
+) -> TuningBenchResult:
+    """Advise a sharded deployment, apply the advice live, measure the effect.
+
+    The deployment deliberately starts on a uniform all-sequential-scan
+    layout — the configuration an operator gets without tuning — so the
+    advisor has headroom to find per-shard designs.  The same seeded
+    workload is measured before and after the migrations (with the same
+    warm-up policy, so adaptive backends are compared in steady state).
+    With ``apply=False`` the bench stops after the report (the CLI's
+    ``advise`` command path).
+    """
+    scenario = StorageScenario.parse(scenario)
+    cost = CostParameters.for_scenario(scenario, dimensions)
+    dataset = generate_uniform_dataset(object_count, dimensions, seed=seed)
+    workload = generate_query_workload(
+        dataset,
+        count=queries,
+        target_selectivity=target_selectivity,
+        seed=seed + 1,
+    )
+    database = ShardedDatabase.create(
+        ["ss"] * shards, dimensions, router="spatial", cost=cost
+    )
+    database.bulk_load(dataset.iter_objects())
+    before = _measure_workload(database, workload, cost, warmup_queries)
+    recommendation = advise(
+        database,
+        methods=methods,
+        division_factors=division_factors,
+        reorganization_periods=reorganization_periods,
+        cost=cost,
+        sample_objects=sample_objects,
+        sample_queries=None,
+        warmup_queries=warmup_queries,
+    )
+    migrations: List[Dict[str, object]] = []
+    after = before
+    if apply:
+        migrations = apply_recommendation(database, recommendation, cost=cost)
+        after = _measure_workload(database, workload, cost, warmup_queries)
+    return TuningBenchResult(
+        scenario=scenario.value,
+        before_avg_modeled_ms=before,
+        after_avg_modeled_ms=after,
+        migrations=migrations,
+        recommendation=recommendation,
+        parameters={
+            "object_count": object_count,
+            "dimensions": dimensions,
+            "shards": shards,
+            "queries": queries,
+            "warmup_queries": warmup_queries,
+            "target_selectivity": target_selectivity,
+            "seed": seed,
+            "sample_objects": sample_objects,
+            "applied": apply,
+        },
+    )

@@ -1,0 +1,40 @@
+"""Workload-aware per-shard tuning (ROADMAP: divergent per-shard designs).
+
+The package closes the loop between the statistics the system already
+collects and the knobs it already exposes:
+
+* :mod:`repro.tuning.profile` condenses each shard's workload account,
+  structure and I/O statistics into a :class:`ShardWorkloadProfile`;
+* :mod:`repro.tuning.advisor` replays the recorded query window against
+  candidate designs (backend choice plus the adaptive index's
+  ``division_factor`` / ``reorganization_period`` grid), scores them with
+  the paper's cost model, and ranks them into a
+  :class:`TuningRecommendation` — one divergent recommendation per shard.
+
+Apply a recommendation with
+:meth:`repro.api.sharding.ShardedDatabase.migrate_shard` (or
+``repro tune-bench`` from the CLI, which also measures the effect).
+"""
+
+from repro.tuning.advisor import (
+    CandidateDesign,
+    ScoredDesign,
+    ShardRecommendation,
+    TuningRecommendation,
+    advise,
+    apply_recommendation,
+    candidate_designs,
+)
+from repro.tuning.profile import ShardWorkloadProfile, profile_shards
+
+__all__ = [
+    "CandidateDesign",
+    "ScoredDesign",
+    "ShardRecommendation",
+    "ShardWorkloadProfile",
+    "TuningRecommendation",
+    "advise",
+    "apply_recommendation",
+    "candidate_designs",
+    "profile_shards",
+]

@@ -1,0 +1,436 @@
+"""The workload-aware tuning advisor: score candidate designs per shard.
+
+For every shard the advisor runs a deterministic what-if experiment: a
+sample of the shard's own objects is bulk-loaded into a candidate backend
+(one per registry method, expanded over the adaptive index's
+``division_factor`` / ``reorganization_period`` grid for methods that
+advertise reorganization), the recorded query window is replayed to warm
+adaptive candidates up, and the replay is then measured and scored with the
+paper's cost model (:class:`~repro.evaluation.metrics.ModeledCostModel`).
+Candidates are ranked per shard by modeled milliseconds per query, so the
+recommendations *diverge*: a point-query-heavy shard is steered to the
+R*-tree while a churn-heavy one gets adaptive clustering with a short
+reorganization period.
+
+The advisor holds no randomness and never reads a clock: object samples
+are strided, the replay window is the recorded query ring, and scores come
+from the deterministic work counters — the same ``advise`` call on the
+same database state always returns the same report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.protocol import SpatialBackend
+from repro.api.registry import backend_spec, create_backend
+from repro.api.sharding import ShardedDatabase
+from repro.core.config import AdaptiveClusteringConfig
+from repro.core.cost_model import CostParameters
+from repro.evaluation.metrics import ModeledCostModel
+from repro.geometry.box import HyperRectangle
+from repro.geometry.relations import SpatialRelation
+from repro.tuning.profile import ShardWorkloadProfile, profile_shards
+
+#: Default registry methods the advisor considers for every shard.
+DEFAULT_METHODS: Tuple[str, ...] = ("ac", "rs", "ss")
+#: Default division-factor grid (matches ``ablation_division_factor``).
+DEFAULT_DIVISION_FACTORS: Tuple[int, ...] = (2, 4, 8)
+#: Default reorganization-period grid (matches ``ablation_reorganization_period``).
+DEFAULT_REORGANIZATION_PERIODS: Tuple[int, ...] = (25, 100, 400)
+
+
+@dataclass(frozen=True)
+class CandidateDesign:
+    """One point of the per-shard design space.
+
+    ``division_factor`` / ``reorganization_period`` are ``None`` for
+    methods without a reorganization schedule (their design is the method
+    choice alone).
+    """
+
+    #: Canonical registry name of the backend ("ac", "rs", "ss").
+    method: str
+    division_factor: Optional[int] = None
+    reorganization_period: Optional[int] = None
+
+    def describe(self) -> str:
+        """Compact human-readable label, e.g. ``ac(f=4, p=100)`` or ``rs``."""
+        if self.division_factor is None and self.reorganization_period is None:
+            return self.method
+        return (
+            f"{self.method}(f={self.division_factor}, "
+            f"p={self.reorganization_period})"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "division_factor": self.division_factor,
+            "reorganization_period": self.reorganization_period,
+        }
+
+
+@dataclass(frozen=True)
+class ScoredDesign:
+    """A candidate design together with its measured what-if score."""
+
+    design: CandidateDesign
+    #: Average modeled query time over the replayed window (ms/query).
+    modeled_time_ms: float
+
+    def as_dict(self) -> Dict[str, object]:
+        summary = self.design.as_dict()
+        summary["modeled_time_ms"] = self.modeled_time_ms
+        return summary
+
+
+@dataclass(frozen=True)
+class ShardRecommendation:
+    """The ranked design space of one shard."""
+
+    profile: ShardWorkloadProfile
+    #: Scored candidates, best (lowest modeled time) first.
+    ranked: Tuple[ScoredDesign, ...]
+    #: Live estimate of the shard's current modeled ms/query, derived from
+    #: its workload account (``None`` when no queries were recorded).
+    #: Measured on the full shard, so compare it with the sampled what-if
+    #: scores only when the advisor ran without object subsampling.
+    current_modeled_time_ms: Optional[float] = None
+
+    @property
+    def best(self) -> ScoredDesign:
+        """The top-ranked candidate design."""
+        return self.ranked[0]
+
+    @property
+    def migration_suggested(self) -> bool:
+        """True when the top-ranked design differs from the serving one."""
+        best = self.best.design
+        profile = self.profile
+        if best.method != profile.method:
+            return True
+        if best.division_factor is not None and best.division_factor != profile.division_factor:
+            return True
+        return (
+            best.reorganization_period is not None
+            and best.reorganization_period != profile.reorganization_period
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "profile": self.profile.as_dict(),
+            "current_modeled_time_ms": self.current_modeled_time_ms,
+            "recommended": self.best.as_dict(),
+            "migration_suggested": self.migration_suggested,
+            "ranked": [scored.as_dict() for scored in self.ranked],
+        }
+
+
+@dataclass(frozen=True)
+class TuningRecommendation:
+    """The advisor's full report: one ranked recommendation per shard."""
+
+    shards: Tuple[ShardRecommendation, ...]
+    #: Storage scenario of the cost model the scores were computed with.
+    scenario: str
+    #: Advisor parameters (grids, sample sizes, replay length) recorded so
+    #: a report is reproducible from its JSON form.
+    parameters: Dict[str, object]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "n_shards": len(self.shards),
+            "parameters": dict(self.parameters),
+            "shards": [shard.as_dict() for shard in self.shards],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON document (schema documented in README)."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def to_human(self) -> str:
+        """The report as a compact fixed-width text table."""
+        lines = [
+            "Workload-aware tuning recommendation",
+            f"  scenario={self.scenario}  shards={len(self.shards)}  "
+            f"replay={self.parameters.get('replay_queries')} queries  "
+            f"warmup={self.parameters.get('warmup_queries')}  "
+            f"sample_objects={self.parameters.get('sample_objects')}",
+        ]
+        for shard in self.shards:
+            profile = shard.profile
+            lines.append("")
+            lines.append(
+                f"shard {profile.position}  [{profile.method}]  "
+                f"{profile.n_objects} objects, {profile.n_groups} groups, "
+                f"{profile.queries} queries, churn {profile.churn_ratio:.1%}"
+            )
+            if shard.current_modeled_time_ms is not None:
+                lines.append(
+                    f"  current live estimate: "
+                    f"{shard.current_modeled_time_ms:.4f} ms/query"
+                )
+            lines.append(f"  {'rank':>4}  {'design':<20}  modeled ms/query")
+            for rank, scored in enumerate(shard.ranked, start=1):
+                lines.append(
+                    f"  {rank:>4}  {scored.design.describe():<20}  "
+                    f"{scored.modeled_time_ms:.4f}"
+                )
+            verdict = (
+                f"migrate to {shard.best.design.describe()}"
+                if shard.migration_suggested
+                else f"keep {shard.best.design.describe()}"
+            )
+            lines.append(f"  -> {verdict}")
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Candidate enumeration and scoring
+# ----------------------------------------------------------------------
+def candidate_designs(
+    methods: Sequence[str],
+    dimensions: int,
+    cost: CostParameters,
+    division_factors: Sequence[int] = DEFAULT_DIVISION_FACTORS,
+    reorganization_periods: Sequence[int] = DEFAULT_REORGANIZATION_PERIODS,
+) -> List[CandidateDesign]:
+    """Enumerate the design space: methods × (parameter grid where tunable).
+
+    A method's capabilities decide whether the grid applies: backends
+    advertising ``supports_reorganization`` are expanded over the
+    ``division_factor`` × ``reorganization_period`` grid (their schedule is
+    configurable); the rest contribute a single design each.
+    """
+    designs: List[CandidateDesign] = []
+    for method in methods:
+        canonical = backend_spec(method).name
+        probe = create_backend(canonical, dimensions, cost=cost)
+        if probe.capabilities.supports_reorganization:
+            for factor in division_factors:
+                for period in reorganization_periods:
+                    designs.append(
+                        CandidateDesign(
+                            method=canonical,
+                            division_factor=int(factor),
+                            reorganization_period=int(period),
+                        )
+                    )
+        else:
+            designs.append(CandidateDesign(method=canonical))
+    return designs
+
+
+def build_design(
+    design: CandidateDesign, dimensions: int, cost: CostParameters
+) -> SpatialBackend:
+    """Instantiate an empty backend configured for *design*."""
+    if design.division_factor is None and design.reorganization_period is None:
+        return create_backend(design.method, dimensions, cost=cost)
+    config = AdaptiveClusteringConfig(
+        cost=cost,
+        division_factor=int(design.division_factor or 4),
+        reorganization_period=int(design.reorganization_period or 100),
+    )
+    return create_backend(design.method, dimensions, cost=cost, config=config)
+
+
+def _sample_pairs(
+    shard: SpatialBackend, sample_objects: Optional[int]
+) -> List[Tuple[int, HyperRectangle]]:
+    """A deterministic strided sample of the shard's objects."""
+    pairs = list(shard.iter_objects())
+    if sample_objects is None or len(pairs) <= sample_objects:
+        return pairs
+    rows = np.unique(
+        np.linspace(0, len(pairs) - 1, num=int(sample_objects)).round().astype(int)
+    )
+    return [pairs[int(row)] for row in rows]
+
+
+def _replay_cycle(
+    queries: Sequence[HyperRectangle], count: int
+) -> List[HyperRectangle]:
+    """The first *count* elements of the query window, cycled."""
+    replay: List[HyperRectangle] = []
+    while len(replay) < count:
+        replay.extend(queries[: count - len(replay)])
+    return replay
+
+
+def score_design(
+    design: CandidateDesign,
+    pairs: Sequence[Tuple[int, HyperRectangle]],
+    replay: Sequence[HyperRectangle],
+    cost: CostParameters,
+    dimensions: int,
+    relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    warmup_queries: int = 256,
+) -> ScoredDesign:
+    """Measure one design against one shard's sampled workload.
+
+    Adaptive candidates are warmed with *warmup_queries* cyclic replays
+    (letting the reorganization schedule adapt the clustering, exactly as
+    the ablation benches warm their subjects); static candidates skip the
+    warm-up, which cannot change them.  The score is the average modeled
+    query time over one final replay of the window.
+    """
+    backend = build_design(design, dimensions, cost)
+    backend.bulk_load(list(pairs))
+    if warmup_queries > 0 and backend.capabilities.supports_reorganization:
+        backend.execute_batch(_replay_cycle(replay, warmup_queries), relation)
+    results = backend.execute_batch(list(replay), relation)
+    model = ModeledCostModel(cost)
+    modeled = [model.query_time_ms(result.execution) for result in results]
+    return ScoredDesign(
+        design=design,
+        modeled_time_ms=float(np.mean(modeled)) if modeled else 0.0,
+    )
+
+
+def apply_recommendation(
+    database: ShardedDatabase,
+    recommendation: TuningRecommendation,
+    *,
+    cost: Optional[CostParameters] = None,
+) -> List[Dict[str, object]]:
+    """Migrate every shard whose recommendation suggests a different design.
+
+    Shards already serving their top-ranked design are left untouched.
+    Returns one ``{"position", "from", "to"}`` record per migration, in
+    shard order — the audit trail ``repro tune-bench`` reports.
+    """
+    migrations: List[Dict[str, object]] = []
+    for shard in recommendation.shards:
+        if not shard.migration_suggested:
+            continue
+        design = shard.best.design
+        config = None
+        if design.division_factor is not None or design.reorganization_period is not None:
+            config = AdaptiveClusteringConfig(
+                cost=cost
+                if cost is not None
+                else CostParameters.memory_defaults(database.dimensions),
+                division_factor=int(design.division_factor or 4),
+                reorganization_period=int(design.reorganization_period or 100),
+            )
+        position = shard.profile.position
+        database.migrate_shard(position, design.method, cost=cost, config=config)
+        migrations.append(
+            {
+                "position": position,
+                "from": shard.profile.method,
+                "to": design.describe(),
+            }
+        )
+    return migrations
+
+
+def advise(
+    database: ShardedDatabase,
+    *,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    division_factors: Sequence[int] = DEFAULT_DIVISION_FACTORS,
+    reorganization_periods: Sequence[int] = DEFAULT_REORGANIZATION_PERIODS,
+    cost: Optional[CostParameters] = None,
+    queries: Optional[Sequence[HyperRectangle]] = None,
+    relation: "SpatialRelation | str" = SpatialRelation.INTERSECTS,
+    sample_objects: Optional[int] = 2048,
+    sample_queries: Optional[int] = 128,
+    warmup_queries: int = 256,
+) -> TuningRecommendation:
+    """Rank candidate designs for every shard of *database*.
+
+    Parameters
+    ----------
+    database:
+        The sharded database to advise; its workload accounts and
+        recorded query window drive the profiles and the replay.
+    methods:
+        Registry names of the backends to consider per shard.
+    division_factors / reorganization_periods:
+        Parameter grid expanded for methods advertising reorganization.
+    cost:
+        Cost parameters to score with; defaults to the in-memory scenario
+        of the database's dimensionality.
+    queries:
+        Replay workload; defaults to the database's recorded recent-query
+        window.  Raises :class:`ValueError` when neither yields a query.
+    relation:
+        Spatial relation the replay executes with.
+    sample_objects:
+        Per-shard object-sample cap (strided, deterministic); ``None``
+        drains every object into every candidate — exact but expensive.
+    sample_queries:
+        Replay-window cap (most recent queries win); ``None`` replays the
+        full window.
+    warmup_queries:
+        Cyclic warm-up replays for adaptive candidates.
+    """
+    if cost is None:
+        cost = CostParameters.memory_defaults(database.dimensions)
+    window: Sequence[HyperRectangle] = (
+        list(queries) if queries is not None else list(database.recent_queries())
+    )
+    if not window:
+        raise ValueError(
+            "no queries to replay: the database has recorded none and none "
+            "were passed; run a workload first or pass queries=..."
+        )
+    if sample_queries is not None and len(window) > sample_queries:
+        window = list(window)[-int(sample_queries) :]
+    designs = candidate_designs(
+        methods,
+        database.dimensions,
+        cost,
+        division_factors=division_factors,
+        reorganization_periods=reorganization_periods,
+    )
+    model = ModeledCostModel(cost)
+    recommendations: List[ShardRecommendation] = []
+    for profile, shard in zip(profile_shards(database), database.shards):
+        pairs = _sample_pairs(shard, sample_objects)
+        scored = [
+            score_design(
+                design,
+                pairs,
+                window,
+                cost,
+                database.dimensions,
+                relation=relation,
+                warmup_queries=warmup_queries,
+            )
+            for design in designs
+        ]
+        # Stable sort: equal scores keep enumeration order, so reports are
+        # reproducible down to tie-breaking.
+        ranked = tuple(sorted(scored, key=lambda entry: entry.modeled_time_ms))
+        current: Optional[float] = None
+        if profile.queries > 0:
+            current = model.query_time_ms(profile.execution) / profile.queries
+        recommendations.append(
+            ShardRecommendation(
+                profile=profile,
+                ranked=ranked,
+                current_modeled_time_ms=current,
+            )
+        )
+    return TuningRecommendation(
+        shards=tuple(recommendations),
+        scenario=cost.scenario.value,
+        parameters={
+            "methods": [backend_spec(method).name for method in methods],
+            "division_factors": [int(value) for value in division_factors],
+            "reorganization_periods": [int(value) for value in reorganization_periods],
+            "sample_objects": sample_objects,
+            "replay_queries": len(window),
+            "warmup_queries": warmup_queries,
+            "relation": SpatialRelation.parse(relation).value,
+        },
+    )

@@ -1,0 +1,164 @@
+"""Per-shard workload profiles — what the tuning advisor observes.
+
+A :class:`ShardWorkloadProfile` condenses everything one shard's traffic
+and structure reveal about its workload: the query/churn mix from the
+gather-time :class:`~repro.api.sharding.ShardWorkloadAccount`, the summed
+:class:`~repro.core.statistics.QueryExecution` counters, the object and
+group counts, and — where the backend's capabilities advertise them — the
+reorganization schedule and the modeled I/O cost.  Everything is read
+through :class:`~repro.api.protocol.Capabilities` feature detection; the
+profiler never probes concrete backend types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.api.protocol import SpatialBackend
+from repro.api.sharding import ShardedDatabase, ShardWorkloadAccount
+from repro.core.statistics import QueryExecution
+
+
+@dataclass(frozen=True)
+class ShardWorkloadProfile:
+    """One shard's observed workload and structure, condensed for scoring."""
+
+    #: Shard position within the database.
+    position: int
+    #: Capability name of the backend currently serving the shard.
+    method: str
+    #: Objects stored on the shard.
+    n_objects: int
+    #: Explorable groups (clusters / tree nodes / 1) on the shard.
+    n_groups: int
+    #: Queries scattered to the shard since the last account reset.
+    queries: int
+    #: Objects the router placed on the shard since the last reset.
+    inserts: int
+    #: Objects removed from the shard since the last reset.
+    deletes: int
+    #: Element-wise sum of the shard's own execution counters.
+    execution: QueryExecution
+    #: Reorganization passes the shard has run (``None`` unless the
+    #: backend advertises ``supports_reorganization``).
+    reorganization_count: Optional[int] = None
+    #: Queries since the last reorganization pass (same gate).
+    queries_since_reorganization: Optional[int] = None
+    #: The shard's configured division factor (same gate; ``None`` when
+    #: the backend exposes no such knob).
+    division_factor: Optional[int] = None
+    #: The shard's configured reorganization period (same gate).
+    reorganization_period: Optional[int] = None
+    #: Modeled I/O time of the shard's storage backend (``None`` unless
+    #: the backend advertises ``supports_persistence``).
+    io_time_ms: Optional[float] = None
+    #: Raw I/O statistics of the storage backend (same gate).
+    io: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def churn(self) -> int:
+        """Mutations routed to the shard (inserts plus deletes)."""
+        return self.inserts + self.deletes
+
+    @property
+    def churn_ratio(self) -> float:
+        """Fraction of the shard's traffic that mutates it, in ``[0, 1]``."""
+        total = self.queries + self.churn
+        if total == 0:
+            return 0.0
+        return self.churn / total
+
+    @property
+    def avg_results(self) -> float:
+        """Average matches per query on this shard."""
+        if self.queries == 0:
+            return 0.0
+        return self.execution.results / self.queries
+
+    @property
+    def selectivity(self) -> float:
+        """Average fraction of the shard's objects a query matches."""
+        if self.n_objects == 0:
+            return 0.0
+        return self.avg_results / self.n_objects
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the profile for reporting / JSON."""
+        return {
+            "position": self.position,
+            "method": self.method,
+            "n_objects": self.n_objects,
+            "n_groups": self.n_groups,
+            "queries": self.queries,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "churn_ratio": self.churn_ratio,
+            "avg_results": self.avg_results,
+            "selectivity": self.selectivity,
+            "execution": self.execution.as_dict(),
+            "reorganization_count": self.reorganization_count,
+            "queries_since_reorganization": self.queries_since_reorganization,
+            "division_factor": self.division_factor,
+            "reorganization_period": self.reorganization_period,
+            "io_time_ms": self.io_time_ms,
+            "io": self.io,
+        }
+
+
+def profile_shard(
+    position: int, shard: SpatialBackend, account: ShardWorkloadAccount
+) -> ShardWorkloadProfile:
+    """Profile one shard from its backend and its workload account.
+
+    Capability-gated fields are read only when the backend advertises the
+    matching capability; absent knobs stay ``None`` (a sequential scan has
+    no reorganization schedule to report).
+    """
+    capabilities = shard.capabilities
+    reorganization_count: Optional[int] = None
+    queries_since_reorganization: Optional[int] = None
+    division_factor: Optional[int] = None
+    reorganization_period: Optional[int] = None
+    if capabilities.supports_reorganization:
+        reorganization_count = int(getattr(shard, "reorganization_count", 0))
+        queries_since_reorganization = int(
+            getattr(shard, "queries_since_reorganization", 0)
+        )
+        config = getattr(shard, "config", None)
+        factor = getattr(config, "division_factor", None)
+        period = getattr(config, "reorganization_period", None)
+        division_factor = int(factor) if factor is not None else None
+        reorganization_period = int(period) if period is not None else None
+    io_time_ms: Optional[float] = None
+    io: Optional[Dict[str, int]] = None
+    if capabilities.supports_persistence:
+        storage = shard.storage  # type: ignore[attr-defined]
+        io_time_ms = float(storage.io_time_ms)
+        io = dict(storage.stats.as_dict())
+    return ShardWorkloadProfile(
+        position=position,
+        method=capabilities.name,
+        n_objects=shard.n_objects,
+        n_groups=shard.n_groups,
+        queries=account.queries,
+        inserts=account.inserts,
+        deletes=account.deletes,
+        execution=account.execution,
+        reorganization_count=reorganization_count,
+        queries_since_reorganization=queries_since_reorganization,
+        division_factor=division_factor,
+        reorganization_period=reorganization_period,
+        io_time_ms=io_time_ms,
+        io=io,
+    )
+
+
+def profile_shards(database: ShardedDatabase) -> List[ShardWorkloadProfile]:
+    """Profile every shard of *database*, in shard order."""
+    accounts = database.workload_accounts()
+    return [
+        profile_shard(position, shard, accounts[position])
+        for position, shard in enumerate(database.shards)
+    ]

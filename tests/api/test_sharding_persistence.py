@@ -121,6 +121,58 @@ class TestRoundTrip:
         assert list(tmp_path.iterdir()) == []
 
 
+class TestStatisticsRoundTrip:
+    """Reorganization counters and candidate statistics survive both layouts.
+
+    The adaptive schedule state (``queries_since_reorganization`` /
+    ``reorganization_count``) and the per-cluster candidate query counts
+    feed the reorganization decisions and the tuning advisor's profiles; a
+    silent drop would reset every restored shard's schedule and skew the
+    first post-recovery recommendations.
+    """
+
+    def assert_statistics_match(self, recovered, sharded):
+        for restored, original in zip(recovered.shards, sharded.shards):
+            assert restored.total_queries == original.total_queries
+            assert (
+                restored.queries_since_reorganization
+                == original.queries_since_reorganization
+            )
+            assert restored.reorganization_count == original.reorganization_count
+            for cluster in original.clusters():
+                twin = restored.get_cluster(cluster.cluster_id)
+                assert twin is not None
+                assert twin.query_count == cluster.query_count
+                assert np.array_equal(
+                    twin.candidates.query_counts, cluster.candidates.query_counts
+                )
+
+    def test_generation_save_round_trips_reorganization_state(
+        self, sharded, snapshot_path
+    ):
+        assert any(shard.queries_since_reorganization > 0 for shard in sharded.shards)
+        self.assert_statistics_match(ShardedDatabase.open(snapshot_path), sharded)
+
+    def test_generation_save_can_drop_statistics_explicitly(self, sharded, tmp_path):
+        path = sharded.save(tmp_path / "bare.shards", include_statistics=False)
+        recovered = ShardedDatabase.open(path)
+        assert recovered.n_objects == sharded.n_objects
+        for shard in recovered.shards:
+            for cluster in shard.clusters():
+                assert cluster.candidates.query_counts.sum() == 0
+
+    def test_paged_save_round_trips_reorganization_state(self, sharded, tmp_path):
+        path = sharded.save_paged(tmp_path / "stats.pages")
+        self.assert_statistics_match(ShardedDatabase.open(path), sharded)
+
+    def test_paged_facade_attach_round_trips_reorganization_state(
+        self, sharded, tmp_path
+    ):
+        path = Database(sharded).save_paged(tmp_path / "attach.pages")
+        attached = Database.attach(path)
+        self.assert_statistics_match(attached.backend, sharded)
+
+
 class TestFailureModes:
     def test_missing_snapshot_directory(self, tmp_path):
         with pytest.raises(FileNotFoundError):

@@ -7,6 +7,7 @@ from repro.api import create_backend
 from repro.core.config import AdaptiveClusteringConfig
 from repro.core.cost_model import CostParameters
 from repro.engine import StreamingConfig, StreamingMatcher
+from repro.engine.matcher import StreamStats
 from repro.geometry.box import HyperRectangle
 from repro.geometry.relations import SpatialRelation
 from repro.workloads.pubsub import AttributeSpec, PublishSubscribeScenario
@@ -396,6 +397,36 @@ class TestStatistics:
         summary = stats.as_dict()
         assert summary["events"] == stats.events
         assert summary["total_execution"]["results"] >= 0
+
+    def test_percentiles_of_an_empty_window_report_only_the_window(self):
+        """No events: no fabricated 0.0 percentiles, just latency_window=0."""
+        stats = StreamStats()
+        assert stats.latency_percentiles() == {"latency_window": 0.0}
+        summary = stats.as_dict()
+        assert summary["latency_window"] == 0.0
+        assert "p50" not in summary
+
+    def test_percentiles_of_a_single_entry_window(self):
+        stats = StreamStats()
+        stats.latencies_ms.append(4.25)
+        percentiles = stats.latency_percentiles()
+        assert percentiles["latency_window"] == 1.0
+        assert percentiles["p50"] == percentiles["p95"] == percentiles["p99"] == 4.25
+
+    def test_percentiles_label_the_window_size(self, scenario, subscriptions):
+        """A short window's p99 is only as meaningful as the window is long
+        — the summary says how many events it describes."""
+        operations = scenario.generate_event_stream(8, subscriptions.ids)
+        matcher = StreamingMatcher(
+            build_backend("ss", subscriptions), StreamingConfig(max_batch_size=4)
+        )
+        matcher.run(operations)
+        stats = matcher.stats
+        percentiles = stats.latency_percentiles()
+        assert percentiles["latency_window"] == float(len(stats.latencies_ms))
+        assert percentiles["p99"] == pytest.approx(
+            float(np.percentile(np.asarray(stats.latencies_ms), 99.0))
+        )
 
     def test_average_batch_size(self, subscriptions):
         matcher = StreamingMatcher(
