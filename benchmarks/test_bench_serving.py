@@ -13,6 +13,8 @@ concurrent requests into ``execute_batch`` ticks.  The gate asserts that
   front-end exists for.
 """
 
+import os
+
 import pytest
 
 from benchmarks.conftest import scaled, write_report
@@ -30,6 +32,14 @@ CLIENTS = 32
 #: Measured ~1.6-1.8x on 1-core CI hardware at both full and smoke scale;
 #: the floor keeps headroom for scheduler noise.
 ASYNC_SPEEDUP_FLOOR = 1.2
+
+#: Process-executor gates (``--execution process --transport tcp``).  On a
+#: multi-core host the per-shard worker processes must deliver a real
+#: parallel win over the sequential in-process loop; on a single core no
+#: win is possible, so the gate only bounds the serialization + TCP + pipe
+#: overhead of the full remote stack.
+PROCESS_TCP_SPEEDUP_FLOOR = 1.5
+PROCESS_TCP_OVERHEAD_CEILING = 15.0
 
 
 @pytest.fixture(scope="module")
@@ -83,5 +93,48 @@ def test_async_serving_over_sharded_database(results_dir):
     write_report(
         results_dir,
         "async_serving_sharded",
+        format_serving_result(result),
+    )
+
+
+def test_process_execution_over_tcp(results_dir):
+    """`serve-bench --execution process --transport tcp` equivalence gate.
+
+    Remote clients drive shard-per-process workers through the TCP front
+    door; results must stay byte-identical to the sequential in-process
+    loop.  The throughput gate is hardware-aware: with two or more cores
+    the warm workers (spawned at bulk load, exercised by the warm-up
+    events before timing starts) must beat the sequential loop by
+    ``PROCESS_TCP_SPEEDUP_FLOOR``; on a single core the stack can only be
+    slower, so the gate bounds the overhead instead.
+    """
+    result = async_serving_bench(
+        subscriptions=max(SUBSCRIPTIONS // 4, 500),
+        requests=max(REQUESTS // 3, 200),
+        clients=8,
+        shards=2,
+        router="spatial",
+        execution="process",
+        transport="tcp",
+        warmup_events=100,
+        seed=13,
+        methods=["ac"],
+    )
+    method = result.results["AC"]
+    assert method.identical, "remote process-backed results diverged from sequential"
+    assert method.requests == max(REQUESTS // 3, 200)
+    if (os.cpu_count() or 1) >= 2:
+        assert method.speedup >= PROCESS_TCP_SPEEDUP_FLOOR, (
+            f"process/tcp serving speedup {method.speedup:.2f}x below the "
+            f"{PROCESS_TCP_SPEEDUP_FLOOR:.1f}x multi-core gate"
+        )
+    else:
+        assert method.speedup >= 1.0 / PROCESS_TCP_OVERHEAD_CEILING, (
+            f"process/tcp serving overhead {1.0 / method.speedup:.1f}x exceeds "
+            f"the {PROCESS_TCP_OVERHEAD_CEILING:.0f}x single-core ceiling"
+        )
+    write_report(
+        results_dir,
+        "serving_process_tcp",
         format_serving_result(result),
     )

@@ -78,7 +78,12 @@ class SeamDisciplineRule(Rule):
         parts = path.parts
         if _adjacent(parts, "repro", "storage"):
             return True
-        return _adjacent(parts, "repro", "api") and path.name in {"durability.py", "sharding.py"}
+        return _adjacent(parts, "repro", "api") and path.name in {
+            "durability.py",
+            "executor.py",
+            "server.py",
+            "sharding.py",
+        }
 
     def check(self, tree: ast.Module, path: PurePath) -> List[Diagnostic]:
         diagnostics: List[Diagnostic] = []
@@ -588,39 +593,48 @@ class ExceptionHygieneRule(Rule):
 # ----------------------------------------------------------------------
 @register_rule
 class ReplicationSeamRule(Rule):
-    """Replication I/O is confined to the transports and the FileSystem seam.
+    """Wire I/O is confined to the transports and the FileSystem seam.
 
-    ``api/replication.py`` touches two worlds the fault harness must be
-    able to interpose on: the *wire* (sockets) and the *disk* (replica
-    directories).  Raw socket calls are allowed only inside the transport
-    layer — :class:`SocketTransport`, :class:`ReplicaServer` and the two
-    ``_recv_*`` framing helpers they share — so every other component
-    (primary, node, promotion) stays transport-agnostic and testable over
-    the in-process transport.  Durability-critical file *writes* must flow
-    through the ``FileSystem`` seam exactly as in the durability layer
-    (RL001); a raw write would be invisible to ``FaultyFS`` and silently
-    escape the crash-point enumeration of the replication fault suite.
+    The wire-speaking api modules touch two worlds the fault harness must
+    be able to interpose on: the *wire* (sockets) and the *disk* (replica
+    directories).  Raw socket calls are allowed only inside each module's
+    transport layer — in ``replication.py`` that is
+    :class:`SocketTransport`, :class:`ReplicaServer` and the two
+    ``_recv_*`` framing helpers they share; in ``server.py`` it is the
+    blocking :class:`RemoteDatabase` client and its framing helpers (the
+    server side speaks asyncio streams) — so every other component stays
+    transport-agnostic and testable in process.  Durability-critical file
+    *writes* must flow through the ``FileSystem`` seam exactly as in the
+    durability layer (RL001); a raw write would be invisible to
+    ``FaultyFS`` and silently escape the crash-point enumeration of the
+    fault suites.
     """
 
     code = "RL007"
     name = "replication-seam"
     description = (
-        "in api/replication.py, raw socket use is confined to the transport "
-        "classes and file writes must go through the FileSystem seam"
+        "in api/replication.py and api/server.py, raw socket use is "
+        "confined to the transport scopes and file writes must go through "
+        "the FileSystem seam"
     )
 
-    #: The transport layer: the only scopes that may touch sockets.
-    _SOCKET_SCOPES = frozenset({"SocketTransport", "ReplicaServer", "_recv_exact", "_recv_message"})
+    #: Per file, the transport layer: the only scopes that may touch sockets.
+    _SOCKET_SCOPES = {
+        "replication.py": frozenset(
+            {"SocketTransport", "ReplicaServer", "_recv_exact", "_recv_message"}
+        ),
+        "server.py": frozenset({"RemoteDatabase", "_recv_exact", "_recv_frame"}),
+    }
     _OS_FUNCTIONS = SeamDisciplineRule._OS_FUNCTIONS
     _SHUTIL_FUNCTIONS = SeamDisciplineRule._SHUTIL_FUNCTIONS
     _PATH_METHODS = SeamDisciplineRule._PATH_METHODS
     _SEAM_RECEIVERS = SeamDisciplineRule._SEAM_RECEIVERS
 
     def applies_to(self, path: PurePath) -> bool:
-        return _adjacent(path.parts, "repro", "api") and path.name == "replication.py"
+        return _adjacent(path.parts, "repro", "api") and path.name in self._SOCKET_SCOPES
 
     def check(self, tree: ast.Module, path: PurePath) -> List[Diagnostic]:
-        transport_spans = self._transport_spans(tree)
+        transport_spans = self._transport_spans(tree, self._SOCKET_SCOPES[path.name])
         diagnostics: List[Diagnostic] = []
         rule = self
 
@@ -661,11 +675,13 @@ class ReplicationSeamRule(Rule):
         Visitor().visit(tree)
         return diagnostics
 
-    def _transport_spans(self, tree: ast.Module) -> List[Tuple[int, int]]:
+    def _transport_spans(
+        self, tree: ast.Module, scopes: "frozenset[str]"
+    ) -> List[Tuple[int, int]]:
         spans: List[Tuple[int, int]] = []
         for node in tree.body:
             if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
-                if node.name in self._SOCKET_SCOPES:
+                if node.name in scopes:
                     spans.append((node.lineno, node.end_lineno or node.lineno))
         return spans
 
@@ -685,22 +701,24 @@ class ReplicationSeamRule(Rule):
 class BinaryCodecConfinementRule(Rule):
     """Raw ``struct`` packing is confined to the binary codec modules.
 
-    The on-disk binary formats each live in exactly one module — the WAL
-    record framing in ``storage/wal.py``, the page/superblock codec in
+    The binary formats each live in exactly one module — the WAL record
+    framing in ``storage/wal.py``, the page/superblock codec in
     ``storage/pages.py``, the replication wire frames in
-    ``api/replication.py``.  Every byte layout has a version field, a CRC
-    discipline and a reader that tolerates torn tails; a ``struct.pack``
-    sprinkled anywhere else creates a second, unversioned format that
-    recovery and repair cannot validate.  Modules outside the allowlist
-    compose the codecs instead of packing bytes themselves.
+    ``api/replication.py``, the serving wire frames in ``api/server.py``.
+    Every byte layout has a version field, a CRC discipline and a reader
+    that tolerates torn tails; a ``struct.pack`` sprinkled anywhere else
+    creates a second, unversioned format that recovery and repair cannot
+    validate.  Modules outside the allowlist compose the codecs instead
+    of packing bytes themselves.
     """
 
     code = "RL008"
     name = "binary-codec-confinement"
     description = (
         "raw struct packing/unpacking is confined to the binary codec "
-        "modules (storage/wal.py, storage/pages.py, api/replication.py); "
-        "everything else composes their encode/decode functions"
+        "modules (storage/wal.py, storage/pages.py, api/replication.py, "
+        "api/server.py); everything else composes their encode/decode "
+        "functions"
     )
 
     #: ``(package, file)`` pairs that own a binary format.
@@ -709,6 +727,7 @@ class BinaryCodecConfinementRule(Rule):
             ("storage", "wal.py"),
             ("storage", "pages.py"),
             ("api", "replication.py"),
+            ("api", "server.py"),
         }
     )
 

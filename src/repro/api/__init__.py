@@ -23,6 +23,7 @@ against:
 from repro.api.config import AutoTuneOptions, DatabaseConfig, ReplicationOptions
 from repro.api.database import Database
 from repro.api.durability import DurabilityStats, DurableBackend
+from repro.api.executor import ProcessShardExecutor, ProcessShardProxy, WorkerCrashError
 from repro.api.protocol import (
     COST_COUNTERS,
     BackendBase,
@@ -53,6 +54,14 @@ from repro.api.replication import (
     is_replica_directory,
     promote,
 )
+from repro.api.server import (
+    DatabaseServer,
+    RemoteDatabase,
+    ServerHandle,
+    ServingError,
+    serve,
+    serve_in_thread,
+)
 from repro.api.serving import (
     AsyncDatabase,
     ServingConfig,
@@ -79,18 +88,24 @@ __all__ = [
     "Capabilities",
     "Database",
     "DatabaseConfig",
+    "DatabaseServer",
     "DurabilityStats",
     "DurableBackend",
     "HashShardRouter",
     "InProcessTransport",
+    "ProcessShardExecutor",
+    "ProcessShardProxy",
     "QueryResult",
+    "RemoteDatabase",
     "ReplicaNode",
     "ReplicaServer",
     "ReplicatedBackend",
     "ReplicationError",
     "ReplicationOptions",
     "ReplicationTransport",
+    "ServerHandle",
     "ServingConfig",
+    "ServingError",
     "ServingStats",
     "ShardRouter",
     "ShardWorkloadAccount",
@@ -100,6 +115,7 @@ __all__ = [
     "SpatialBackend",
     "SpatialShardRouter",
     "UnsupportedOperation",
+    "WorkerCrashError",
     "backend_spec",
     "build_backend_for_dataset",
     "choose_promotion_target",
@@ -112,5 +128,7 @@ __all__ = [
     "registered_backends",
     "resolve_method_label",
     "run_round_robin",
+    "serve",
+    "serve_in_thread",
     "serve_requests",
 ]

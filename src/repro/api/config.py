@@ -164,6 +164,7 @@ class DatabaseConfig:
     * ``method`` is one registry name, or a sequence of per-shard names
       (which implies sharding, like passing ``shards=``);
     * ``router`` / ``max_workers`` apply to sharded databases only;
+    * ``execution="process"`` (worker-process shards) requires sharding;
     * ``durable=True`` requires a ``wal_dir`` to log into;
     * ``checkpoint_mode`` ("full" directory snapshots, or "paged"
       incremental page-store commits) and ``keep_checkpoints`` (how many
@@ -180,6 +181,7 @@ class DatabaseConfig:
     shards: Optional[int] = None
     router: "ShardRouter | str" = "hash"
     max_workers: Optional[int] = None
+    execution: str = "thread"
     cost: "Optional[CostParameters]" = None
     backend_config: Optional[object] = None
     durable: bool = False
@@ -212,6 +214,16 @@ class DatabaseConfig:
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if self.execution not in ("thread", "process"):
+            raise ValueError(
+                f"unknown execution mode {self.execution!r}; expected "
+                "'thread' or 'process'"
+            )
+        if self.execution == "process" and not self.sharded:
+            raise ValueError(
+                "execution='process' hosts each shard in a worker process; "
+                "pass shards=N (or a sequence of method names)"
+            )
         if self.durable and self.wal_dir is None:
             raise ValueError("durable=True requires a wal_dir to log into")
         if self.checkpoint_mode not in ("full", "paged"):

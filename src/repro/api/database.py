@@ -68,6 +68,7 @@ class Database:
             )
         self._backend = backend
         self._auto_tune = auto_tune
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Constructors
@@ -106,6 +107,7 @@ class Database:
                 cost=config.cost,
                 config=config.backend_config,
                 max_workers=config.max_workers,
+                execution=config.execution,
             )
             if dataset is not None:
                 backend.bulk_load(dataset.iter_objects())
@@ -158,6 +160,7 @@ class Database:
         shards: Optional[int] = None,
         router: "ShardRouter | str" = "hash",
         max_workers: Optional[int] = None,
+        execution: str = "thread",
         durable: bool = False,
         wal_dir: "str | Path | None" = None,
         checkpoint_mode: str = "full",
@@ -194,6 +197,7 @@ class Database:
                 shards=shards,
                 router=router,
                 max_workers=max_workers,
+                execution=execution,
                 cost=cost,
                 backend_config=config,
                 durable=durable,
@@ -214,6 +218,7 @@ class Database:
         shards: Optional[int] = None,
         router: "ShardRouter | str" = "hash",
         max_workers: Optional[int] = None,
+        execution: str = "thread",
         durable: bool = False,
         wal_dir: "str | Path | None" = None,
     ) -> "Database":
@@ -240,6 +245,7 @@ class Database:
                 shards=shards if shards is not None and shards > 1 else None,
                 router=router,
                 max_workers=max_workers,
+                execution=execution,
                 cost=cost,
                 backend_config=config,
                 durable=durable,
@@ -541,6 +547,37 @@ class Database:
         from repro.api.replication import ReplicatedBackend
 
         return isinstance(self._backend, ReplicatedBackend)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (queries may still work but are unsupported)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release everything the backend stack holds open.
+
+        Cascades through whatever composition :meth:`from_config` built —
+        durability wrappers sync and close their WAL handles, a sharded
+        database shuts down its thread pool and joins any worker
+        processes.  Idempotent: calling it twice (or after ``with``-block
+        exit already closed the database) is a no-op, matching the
+        ``close()`` discipline of the wrapped layers.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        closer = getattr(self._backend, "close", None)
+        if callable(closer):
+            closer()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Workload-aware per-shard tuning

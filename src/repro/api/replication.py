@@ -250,6 +250,12 @@ class SocketTransport(ReplicationTransport):
         except OSError as error:
             self.close()
             raise ReplicationError(f"replication transport failed: {error}") from error
+        except ReplicationError:
+            # A truncated or malformed reply leaves the cached connection
+            # desynchronised mid-frame; drop it so the next request
+            # reconnects instead of reading garbage.
+            self.close()
+            raise
         if reply is None:
             self.close()
             raise ReplicationError("follower closed the connection mid-request")

@@ -223,15 +223,48 @@ class AsyncDatabase:
         return self
 
     async def close(self) -> None:
-        """Drain every queued request, then stop the worker."""
+        """Drain every queued request, then stop the worker.
+
+        Requests submitted after close begins fail fast with a
+        :class:`RuntimeError` (see :meth:`_submit`); every request already
+        queued when close was called still resolves.  A cleanly exiting
+        worker drains the queue itself before returning; if the worker
+        task died instead, its exception is contained until the queue has
+        been drained — each stranded future is failed with the worker's
+        error rather than left to hang a caller forever — and then
+        re-raised.
+        """
         if self._closed:
             return
         self._closed = True
         if self._worker is not None:
             assert self._queue is not None
-            await self._queue.put(None)
-            await self._worker
-            self._worker = None
+            worker, self._worker = self._worker, None
+            worker_error: Optional[BaseException] = None
+            if not worker.done():
+                await self._queue.put(None)
+            try:
+                await worker
+            except BaseException as error:  # noqa: B036 - workers can die with anything
+                worker_error = error
+            # Anything still queued means the worker died mid-serve (a
+            # clean exit drains before returning): resolve the stranded
+            # futures so their callers do not await forever.
+            while not self._queue.empty():
+                item = self._queue.get_nowait()
+                if item is None:
+                    continue
+                stranded = item[2]
+                _set_future_exception(
+                    stranded,
+                    worker_error
+                    if worker_error is not None
+                    else RuntimeError(
+                        "AsyncDatabase closed before this request was served"
+                    ),
+                )
+            if worker_error is not None:
+                raise worker_error
 
     async def __aenter__(self) -> "AsyncDatabase":
         return await self.start()
@@ -284,6 +317,13 @@ class AsyncDatabase:
             raise RuntimeError(
                 "AsyncDatabase is not serving; use 'async with AsyncDatabase(...)' "
                 "or call start()"
+            )
+        if self._worker.done():
+            # The worker task died; enqueueing would strand this future
+            # forever.  Fail fast — close() surfaces the worker's error.
+            raise RuntimeError(
+                "AsyncDatabase worker has stopped; close() the front-end "
+                "to surface its failure"
             )
         assert self._loop is not None and self._queue is not None
         future: "asyncio.Future[object]" = self._loop.create_future()

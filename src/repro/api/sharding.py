@@ -62,6 +62,7 @@ from repro.api.protocol import (
     QueryResult,
     SpatialBackend,
 )
+from repro.api.executor import ProcessShardExecutor
 from repro.api.registry import create_backend
 from repro.core.statistics import QueryExecution
 from repro.geometry.box import HyperRectangle
@@ -354,6 +355,13 @@ class ShardedDatabase(BackendBase):
         ``execute_batch`` scatter over a thread pool of at most this many
         workers; ``None`` (default) runs the shards serially.  Results are
         identical either way — gathering is deterministic.
+    execution:
+        ``"thread"`` (default) keeps the shards in-process.  ``"process"``
+        hosts each shard in its own worker process behind a
+        :class:`~repro.api.executor.ProcessShardExecutor`: queries fan out
+        to every worker at once through a shared-memory table, and results
+        are still gathered in shard order, so merged output is
+        byte-identical to the serial path.
     """
 
     CAPABILITIES = Capabilities(name="sharded", label="SH")
@@ -364,6 +372,7 @@ class ShardedDatabase(BackendBase):
         router: "ShardRouter | str" = "hash",
         *,
         max_workers: Optional[int] = None,
+        execution: str = "thread",
     ) -> None:
         shard_list = list(shards)
         if not shard_list:
@@ -383,6 +392,15 @@ class ShardedDatabase(BackendBase):
                 )
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if execution not in ("thread", "process"):
+            raise ValueError(
+                f"unknown execution mode {execution!r}; use 'thread' or 'process'"
+            )
+        self._execution = execution
+        self._process_executor: Optional[ProcessShardExecutor] = None
+        if execution == "process":
+            self._process_executor = ProcessShardExecutor(shard_list)
+            shard_list = self._process_executor.proxies
         self._shards: List[SpatialBackend] = shard_list
         self._dimensions = int(dimensions)
         self._router = create_router(router, len(shard_list))
@@ -415,6 +433,7 @@ class ShardedDatabase(BackendBase):
         cost: Optional[object] = None,
         config: Optional[object] = None,
         max_workers: Optional[int] = None,
+        execution: str = "thread",
     ) -> "ShardedDatabase":
         """Create empty shards through the backend registry.
 
@@ -436,7 +455,7 @@ class ShardedDatabase(BackendBase):
             create_backend(name, dimensions, cost=cost, config=config)  # type: ignore[arg-type]
             for name in names
         ]
-        return cls(backends, router=router, max_workers=max_workers)
+        return cls(backends, router=router, max_workers=max_workers, execution=execution)
 
     @classmethod
     def open(
@@ -444,6 +463,7 @@ class ShardedDatabase(BackendBase):
         path: "str | Path",
         *,
         max_workers: Optional[int] = None,
+        execution: str = "thread",
     ) -> "ShardedDatabase":
         """Recover a sharded database from a directory written by :meth:`save`.
 
@@ -516,7 +536,7 @@ class ShardedDatabase(BackendBase):
         if not isinstance(router_data, dict):
             raise ValueError(f"corrupt shard manifest {manifest_path}: no router entry")
         router = router_from_manifest(router_data, len(shards))
-        return cls(shards, router=router, max_workers=max_workers)
+        return cls(shards, router=router, max_workers=max_workers, execution=execution)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -535,6 +555,11 @@ class ShardedDatabase(BackendBase):
     def n_shards(self) -> int:
         """Number of member shards."""
         return len(self._shards)
+
+    @property
+    def execution(self) -> str:
+        """Execution mode: ``"thread"`` (in-process) or ``"process"``."""
+        return self._execution
 
     @property
     def router(self) -> ShardRouter:
@@ -766,12 +791,19 @@ class ShardedDatabase(BackendBase):
                 f"migration of shard {position} loaded {loaded} of "
                 f"{old.n_objects} objects"
             )
-        self._shards[position] = replacement
+        if self._process_executor is not None:
+            # Swap the worker slot; the returned shard is the replaced
+            # worker's state materialized as a plain in-process backend.
+            migrated = self._process_executor.replace(position, replacement)
+            self._shards[position] = self._process_executor.proxies[position]
+        else:
+            self._shards[position] = replacement
+            migrated = old
         # A read delegate replicates the *old* backend; routing reads to it
         # after the swap would serve the pre-migration structure.
         self._read_delegates.pop(position, None)
         self._capabilities = self._derive_capabilities()
-        return old
+        return migrated
 
     # ------------------------------------------------------------------
     # Scatter-gather query execution
@@ -834,14 +866,19 @@ class ShardedDatabase(BackendBase):
         return [operation(shard) for shard in targets]
 
     def close(self) -> None:
-        """Shut down the scatter thread pool (no-op when serial or unused)."""
+        """Release execution resources: the scatter thread pool and, in
+        process mode, every shard worker process (joined).  Idempotent."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._process_executor is not None:
+            self._process_executor.close()
 
     def __deepcopy__(self, memo: Dict[int, object]) -> "ShardedDatabase":
         """Deep-copy the shards and router; the thread pool is not copyable
-        (and must not be shared), so the copy starts with a fresh one."""
+        (and must not be shared), so the copy starts with a fresh one.  In
+        process mode each shard proxy materializes to a plain in-process
+        backend, so the copy always runs in thread mode."""
         import copy as _copy
 
         return ShardedDatabase(
@@ -883,9 +920,12 @@ class ShardedDatabase(BackendBase):
                 f"query has {query.dimensions} dimensions, database expects "
                 f"{self._dimensions}"
             )
-        per_shard = self._scatter(
-            lambda shard: shard.execute(query, parsed), self._read_targets()
-        )
+        targets = self._read_targets()
+        if self._process_executor is not None and targets is self._shards:
+            # Shared-memory fan-out: one request to every worker at once.
+            per_shard = self._process_executor.execute_all(query, parsed)
+        else:
+            per_shard = self._scatter(lambda shard: shard.execute(query, parsed), targets)
         for position, result in enumerate(per_shard):
             self._accounts[position] = self._accounts[position].with_queries(
                 1, result.execution
@@ -909,9 +949,13 @@ class ShardedDatabase(BackendBase):
                 )
         if not query_list:
             return []
-        per_shard = self._scatter(
-            lambda shard: shard.execute_batch(query_list, parsed), self._read_targets()
-        )
+        targets = self._read_targets()
+        if self._process_executor is not None and targets is self._shards:
+            per_shard = self._process_executor.execute_batch_all(query_list, parsed)
+        else:
+            per_shard = self._scatter(
+                lambda shard: shard.execute_batch(query_list, parsed), targets
+            )
         for position, results in enumerate(per_shard):
             # An explicit length check: ``zip(*per_shard)`` below would
             # silently truncate the gather to the shortest shard row,
@@ -1050,6 +1094,12 @@ class ShardedDatabase(BackendBase):
         from repro.storage.pagefile import PagedStore, is_paged_store
 
         self.capabilities.require("persistence")
+        if self._process_executor is not None:
+            raise ValueError(
+                "paged snapshots serialize the adaptive index's cluster "
+                "arrays in place, which worker-process shards do not "
+                "expose; use save() full snapshots in process mode"
+            )
         for position, shard in enumerate(self._shards):
             # repro-lint: disable=RL003 -- paged stores serialize the adaptive index's
             # cluster arrays directly, so the concrete type is the contract

@@ -9,6 +9,7 @@ figures and tables from the terminal::
     repro-experiments ablation-division-factor
     repro-experiments pubsub-bench --subscriptions 5000 --events 2000
     repro-experiments serve-bench --clients 16 --shards 4 --router spatial
+    repro-experiments serve --shards 3 --execution process --objects 10000 --port 8765
     repro-experiments wal-bench --objects 5000 --mutations 1500 --shards 2
     repro-experiments repl-bench --objects 5000 --mutations 1500 --shards 2
     repro-experiments page-bench --objects 3000 --churn 0.01 0.1 1.0
@@ -163,10 +164,61 @@ def _add_page_bench_arguments(parser: argparse.ArgumentParser) -> None:
     _add_run_arguments(parser)
 
 
+def _add_execution_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--execution",
+        choices=["thread", "process"],
+        default=None,
+        help="shard execution mode: in-process threads or one worker "
+        "process per shard (default: thread; process requires --shards)",
+    )
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options of the ``serve`` subcommand: what to serve, and where."""
+    parser.add_argument(
+        "--data",
+        type=str,
+        default=None,
+        help="serve an existing on-disk database layout (Database.attach); "
+        "mutually exclusive with the construction options below",
+    )
+    parser.add_argument(
+        "--method",
+        type=str,
+        default=None,
+        help="registry backend of a freshly built database (default: ac)",
+    )
+    parser.add_argument(
+        "--dimensions", type=int, default=None, help="dimensionality of a fresh database"
+    )
+    _add_sharding_arguments(parser)
+    _add_execution_argument(parser)
+    parser.add_argument(
+        "--objects",
+        type=int,
+        default=None,
+        help="pre-load a fresh database with this many uniform objects",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="random seed of the pre-load")
+    parser.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (default: 0, an ephemeral port)"
+    )
+
+
 def _add_serve_bench_arguments(parser: argparse.ArgumentParser) -> None:
     _add_scenario_argument(parser)
     _add_methods_argument(parser)
     _add_sharding_arguments(parser)
+    _add_execution_argument(parser)
+    parser.add_argument(
+        "--transport",
+        choices=["local", "tcp"],
+        default=None,
+        help="how clients reach the front-end: in-process asyncio tasks or "
+        "RemoteDatabase clients over a TCP DatabaseServer (default: local)",
+    )
     parser.add_argument(
         "--durable",
         action="store_true",
@@ -382,9 +434,58 @@ def _run_serve_bench(args: argparse.Namespace):
             "seed": "seed",
             "methods": "methods",
             "durable": "durable",
+            "execution": "execution",
+            "transport": "transport",
         },
     )
     return async_serving_bench(scenario=args.scenario, **kwargs)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Serve a database over TCP until interrupted (self-reporting).
+
+    ``--data`` reopens an existing on-disk layout; otherwise a fresh
+    database is built from the construction options (optionally pre-loaded
+    with uniform objects).  Prints ``serving on HOST:PORT`` once the
+    listener is up and blocks until Ctrl-C, then shuts down cleanly —
+    worker processes joined, WAL handles closed.
+    """
+    from repro.api.database import Database
+    from repro.api.server import serve
+
+    if args.data is not None:
+        if args.method or args.shards or args.router or args.execution or args.objects:
+            raise ValueError(
+                "--data serves an existing layout; the construction options "
+                "(--method, --shards, --router, --execution, --objects) "
+                "apply to a fresh database only"
+            )
+        database = Database.attach(args.data)
+    else:
+        database = Database.create(
+            resolve_method_label(args.method) if args.method else "ac",
+            args.dimensions if args.dimensions else 2,
+            shards=args.shards,
+            router=args.router if args.router else "hash",
+            execution=args.execution if args.execution else "thread",
+        )
+        if args.objects:
+            from repro.workloads.uniform import generate_uniform_dataset
+
+            dataset = generate_uniform_dataset(
+                args.objects,
+                database.dimensions,
+                seed=args.seed if args.seed is not None else 0,
+                max_extent=0.1,
+            )
+            database.bulk_load(dataset.iter_objects())
+
+    def announce(address) -> None:
+        print(f"serving on {address[0]}:{address[1]}", flush=True)
+
+    with database:
+        serve(database, host=args.host, port=args.port, on_ready=announce)
+    return 0
 
 
 def _run_lint(args: argparse.Namespace) -> int:
@@ -593,6 +694,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serve_bench_arguments(serve)
     serve.set_defaults(runner=_run_serve_bench, formatter=format_serving_result)
+    serve_cmd = subparsers.add_parser(
+        "serve",
+        help="serve a database over TCP: RemoteDatabase clients (or any "
+        "frame-speaking peer) connect to one shared micro-batching "
+        "front-end; Ctrl-C shuts down cleanly",
+    )
+    _add_serve_arguments(serve_cmd)
+    serve_cmd.set_defaults(runner=_run_serve, formatter=None)
     wal = subparsers.add_parser(
         "wal-bench",
         help="WAL durability benchmark: write-path overhead (plain vs "

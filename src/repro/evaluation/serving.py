@@ -135,6 +135,48 @@ def run_async_clients(
     return [np.sort(outcome.ids) for outcome in results], stats  # type: ignore[union-attr]
 
 
+def run_remote_clients(
+    database: Database,
+    queries: Sequence[HyperRectangle],
+    relation: SpatialRelation,
+    clients: int,
+    config: ServingConfig,
+) -> "tuple[List[np.ndarray], ServingStats]":
+    """Serve *queries* over TCP: :class:`RemoteDatabase` clients per thread.
+
+    Hosts a :class:`~repro.api.server.DatabaseServer` over *database* on a
+    background event-loop thread and deals the queries round-robin to
+    *clients* blocking :class:`~repro.api.server.RemoteDatabase` clients,
+    one per worker thread — the wire-protocol analogue of
+    :func:`run_async_clients`, measuring framing + socket overhead on top
+    of the same micro-batching front-end.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.api.server import RemoteDatabase, serve_in_thread
+
+    handle = serve_in_thread(database, config=config)
+    results: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * len(queries)
+    try:
+        address = handle.address
+
+        def run_client(offset: int) -> None:
+            with RemoteDatabase(address) as client:
+                for position in range(offset, len(queries), clients):
+                    outcome = client.query(queries[position], relation)
+                    results[position] = np.sort(outcome.ids)
+
+        with ThreadPoolExecutor(
+            max_workers=clients, thread_name_prefix="repro-remote-client"
+        ) as pool:
+            for future in [pool.submit(run_client, offset) for offset in range(clients)]:
+                future.result()
+        stats = handle.serving_stats
+    finally:
+        handle.stop()
+    return results, stats
+
+
 def async_serving_bench(
     scenario: "StorageScenario | str" = StorageScenario.MEMORY,
     subscriptions: int = 2_000,
@@ -152,6 +194,8 @@ def async_serving_bench(
     pubsub_scenario: Optional[PublishSubscribeScenario] = None,
     constants: Optional[SystemCostConstants] = None,
     durable: bool = False,
+    execution: str = "thread",
+    transport: str = "local",
 ) -> ServingBenchResult:
     """Benchmark the async front-end against a per-request serving loop.
 
@@ -170,6 +214,16 @@ def async_serving_bench(
     measured by ``wal-bench``, and the group-commit-per-tick behavior is
     pinned by ``tests/api/test_durability.py``.  Requires a persistable
     method ("AC").
+
+    ``execution="process"`` (requires ``shards >= 2``) serves the async
+    side from a process-backed sharded database — one worker process per
+    shard — while the sequential baseline stays a thread-mode deep copy
+    of the same loaded state, so the identity check doubles as a
+    process-executor conformance check.  ``transport="tcp"`` swaps the
+    in-process asyncio clients for blocking
+    :class:`~repro.api.server.RemoteDatabase` clients over a
+    :class:`~repro.api.server.DatabaseServer`, adding wire framing and
+    socket hops to the measured path.
     """
     if subscriptions <= 0:
         raise ValueError("subscriptions must be positive")
@@ -185,6 +239,17 @@ def async_serving_bench(
         )
     if warmup_events < 0:
         raise ValueError("warmup_events must be non-negative")
+    if execution not in ("thread", "process"):
+        raise ValueError(
+            f"unknown execution mode {execution!r}; use 'thread' or 'process'"
+        )
+    if execution == "process" and shards < 2:
+        raise ValueError(
+            "execution='process' hosts each shard in a worker process; "
+            "pass shards >= 2"
+        )
+    if transport not in ("local", "tcp"):
+        raise ValueError(f"unknown transport {transport!r}; use 'local' or 'tcp'")
     scenario = StorageScenario.parse(scenario)
     pubsub = pubsub_scenario or apartment_ads_scenario(seed=seed)
     cost = CostParameters.for_scenario(scenario, pubsub.dimensions, constants)
@@ -218,6 +283,8 @@ def async_serving_bench(
             "warmup_events": warmup_events,
             "seed": seed,
             "durable": durable,
+            "execution": execution,
+            "transport": transport,
         },
     )
     names = list(methods) if methods is not None else registered_backends()
@@ -230,6 +297,7 @@ def async_serving_bench(
             shards=shards if shards > 1 else None,
             router=router,
             max_workers=max_workers,
+            execution=execution,
         )
         if durable and not database.capabilities.supports_persistence:
             raise ValueError(
@@ -240,10 +308,15 @@ def async_serving_bench(
             database.query_batch(warmup.queries, warmup.relation)
             database.query_batch([warmup.queries[0]], warmup.relation)
 
+        # The sequential oracle is always a thread-mode deep copy of the
+        # loaded state (a deepcopy of a process-backed database
+        # materializes its worker shards locally); the async side keeps
+        # the original, so execution="process" actually measures the
+        # worker-process fan-out.
+        sequential_db = copy.deepcopy(database)
+        async_db = database if execution == "process" else copy.deepcopy(database)
         scratch: Optional[str] = None
         try:
-            sequential_db = copy.deepcopy(database)
-            async_db = copy.deepcopy(database)
             if durable:
                 import tempfile
                 from pathlib import Path
@@ -263,12 +336,17 @@ def async_serving_bench(
             )
             sequential_seconds = time.perf_counter() - start
 
+            run_clients = run_remote_clients if transport == "tcp" else run_async_clients
             start = time.perf_counter()
-            served, stats = run_async_clients(
+            served, stats = run_clients(
                 async_db, workload.queries, workload.relation, clients, config
             )
             async_seconds = time.perf_counter() - start
         finally:
+            sequential_db.close()
+            if async_db is not database:
+                async_db.close()
+            database.close()
             if scratch is not None:
                 import shutil
 

@@ -229,8 +229,8 @@ class TestSeamDiscipline:
 
     def test_api_durability_and_sharding_are_in_scope(self, tmp_path):
         fixture = RULE_FIXTURES["RL001"]
-        for name in ("durability.py", "sharding.py"):
-            report = lint_snippet(tmp_path, f"repro/api/{name}", fixture["bad"])
+        for name in ("durability.py", "executor.py", "server.py", "sharding.py"):
+            report = lint_snippet(tmp_path, f"repro/api/{name}", fixture["bad"], select=["RL001"])
             assert codes_of(report) == ["RL001"], name
 
 
@@ -457,6 +457,43 @@ class TestReplicationSeam:
         report = lint_snippet(tmp_path, "repro/api/serving.py", fixture["bad"])
         assert report.diagnostics == []
 
+    def test_server_client_and_recv_helpers_are_exempt(self, tmp_path):
+        source = (
+            "import socket\n\n\n"
+            "class RemoteDatabase:\n"
+            "    def _connect(self, address):\n"
+            "        return socket.create_connection(address)\n\n\n"
+            "def _recv_exact(connection: socket.socket, count):\n"
+            "    return connection.recv(count)\n\n\n"
+            "def _recv_frame(connection):\n"
+            "    return _recv_exact(connection, 8)\n"
+        )
+        report = lint_snippet(tmp_path, "repro/api/server.py", source)
+        assert report.diagnostics == []
+
+    def test_stray_socket_use_in_server_is_flagged(self, tmp_path):
+        fixture = RULE_FIXTURES["RL007"]
+        report = lint_snippet(tmp_path, "repro/api/server.py", fixture["bad"])
+        assert codes_of(report) == ["RL007"]
+
+    def test_transport_scopes_are_per_file(self, tmp_path):
+        # SocketTransport is a replication.py scope; in server.py the same
+        # class name buys no exemption (and vice versa for RemoteDatabase).
+        transport = (
+            "import socket\n\n\n"
+            "class SocketTransport:\n"
+            "    def connect(self, address):\n"
+            "        return socket.create_connection(address)\n"
+        )
+        client = (
+            "import socket\n\n\n"
+            "class RemoteDatabase:\n"
+            "    def connect(self, address):\n"
+            "        return socket.create_connection(address)\n"
+        )
+        assert codes_of(lint_snippet(tmp_path, "repro/api/server.py", transport)) == ["RL007"]
+        assert codes_of(lint_snippet(tmp_path, "repro/api/replication.py", client)) == ["RL007"]
+
 
 class TestMetaDiagnostics:
     """RL000: problems with the lint pass itself."""
@@ -502,6 +539,7 @@ class TestBinaryCodecConfinement:
             "repro/storage/wal.py",
             "repro/storage/pages.py",
             "repro/api/replication.py",
+            "repro/api/server.py",
         ],
     )
     def test_codec_modules_are_exempt(self, tmp_path, relative):

@@ -288,3 +288,41 @@ class TestAttach:
     def test_attach_missing_path(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="no database at"):
             Database.attach(tmp_path / "nowhere")
+
+
+class TestLifecycle:
+    def test_context_manager_closes_the_whole_stack(self, rng, tmp_path):
+        """`with Database(...)` tears down WAL handles and shard worker
+        processes on exit; close() stays idempotent and re-entrant."""
+        import os
+
+        database = Database.create(
+            "ac",
+            DIMENSIONS,
+            shards=2,
+            execution="process",
+            wal_dir=tmp_path / "wal",
+        )
+        with database:
+            database.bulk_load((object_id, make_box(rng)) for object_id in range(40))
+            pids = [shard.worker_pid for shard in database.backend.inner.shards]
+            assert all(pid is not None for pid in pids)
+            assert not database.closed
+        assert database.closed
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        # close() after __exit__ is a no-op, not an error.
+        database.close()
+        database.close()
+        # The WAL directory was finalized cleanly: attach recovers the data.
+        attached = Database.attach(tmp_path / "wal")
+        assert attached.n_objects == 40
+        attached.close()
+
+    def test_close_without_closable_backend_is_fine(self):
+        database = Database.create("ac", DIMENSIONS)
+        assert not database.closed
+        database.close()
+        assert database.closed
+        database.close()

@@ -1,0 +1,200 @@
+"""Lifecycle and fault-injection tests for :class:`ProcessShardExecutor`.
+
+The executor's crash contract: a worker found dead at request time fails
+*that request only* with a structured :class:`WorkerCrashError` naming
+the shard and operation, leaves no trace of the failed request on any
+shard, and the next request restarts the worker from ``baseline +
+oplog``.  ``test_kill_worker_at_every_request_index`` enumerates a
+worker kill before every fan-out request in a fixed script and pins the
+survivors byte-identical to an untouched thread-mode oracle.
+"""
+
+import os
+import signal
+import time
+from copy import deepcopy
+
+import numpy as np
+import pytest
+
+from repro.api import ShardedDatabase, WorkerCrashError
+from repro.geometry.box import HyperRectangle
+
+DIMENSIONS = 3
+N_SHARDS = 2
+
+
+def make_boxes(count, seed=0):
+    rng = np.random.default_rng(seed)
+    boxes = []
+    for _ in range(count):
+        lows = rng.random(DIMENSIONS) * 0.7
+        extents = rng.random(DIMENSIONS) * 0.25
+        boxes.append(HyperRectangle(lows, np.minimum(lows + extents, 1.0)))
+    return boxes
+
+
+def make_pair():
+    """A process-backed database plus a thread-mode oracle, identically loaded."""
+    process_db = ShardedDatabase.create(
+        ["ac"] * N_SHARDS, DIMENSIONS, router="hash", execution="process"
+    )
+    oracle = ShardedDatabase.create(
+        ["ac"] * N_SHARDS, DIMENSIONS, router="hash", execution="thread"
+    )
+    pairs = list(enumerate(make_boxes(100, seed=1)))
+    process_db.bulk_load(pairs)
+    oracle.bulk_load(pairs)
+    return process_db, oracle
+
+
+def kill_worker(database, shard):
+    """SIGKILL shard *shard*'s worker and wait until it is observably dead."""
+    pid = database.shards[shard].worker_pid
+    assert pid is not None, "worker must be running before it can be killed"
+    os.kill(pid, signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    while database.shards[shard].worker_pid is not None:
+        assert time.monotonic() < deadline, "killed worker never became dead"
+        time.sleep(0.01)
+    return pid
+
+
+def run_step(database, step):
+    """Run one script step; returns comparable bytes + counters."""
+    kind = payload = None
+    kind, payload = step
+    if kind == "query":
+        result = database.execute(payload)
+        return [(result.ids.tobytes(), result.execution.core_counters())]
+    batch = database.execute_batch(payload)
+    return [(result.ids.tobytes(), result.execution.core_counters()) for result in batch]
+
+
+#: Fan-out request script: five single queries and one batch, so the kill
+#: enumeration covers both shared-memory operations.
+def make_script():
+    queries = make_boxes(5, seed=2)
+    steps = [("query", query) for query in queries]
+    steps.insert(3, ("batch", make_boxes(4, seed=3)))
+    return steps
+
+
+class TestKillEnumeration:
+    @pytest.mark.parametrize("kill_index", range(6))
+    def test_kill_worker_at_every_request_index(self, kill_index):
+        """Killing a worker before request *k* fails request *k* only.
+
+        The failed request names the dead shard, leaves no trace, and
+        every other request in the script stays byte-identical to the
+        thread-mode oracle — including the retried request *k* itself,
+        served by the restarted worker.
+        """
+        script = make_script()
+        victim = kill_index % N_SHARDS
+        database, oracle = make_pair()
+        try:
+            for index, step in enumerate(script):
+                if index == kill_index:
+                    killed_pid = kill_worker(database, victim)
+                    with pytest.raises(WorkerCrashError) as crash:
+                        run_step(database, step)
+                    assert crash.value.shard == victim
+                    assert f"shard {victim}" in str(crash.value)
+                    # The retried request is served by a fresh worker and
+                    # is indistinguishable from the oracle's run: the
+                    # failed request left no trace on any shard.
+                    assert run_step(database, step) == run_step(oracle, step)
+                    assert database.shards[victim].worker_pid not in (None, killed_pid)
+                else:
+                    assert run_step(database, step) == run_step(oracle, step)
+                if index == 1:
+                    box = make_boxes(1, seed=4)[0]
+                    database.insert(1_000, box)
+                    oracle.insert(1_000, box)
+                if index == 4:
+                    assert database.delete(7) is oracle.delete(7) is True
+            assert database.n_objects == oracle.n_objects
+        finally:
+            database.close()
+            oracle.close()
+
+    def test_dead_worker_fails_logged_operation_and_rolls_back(self):
+        """A mutation sent to a dead worker errors cleanly and is undone."""
+        database, oracle = make_pair()
+        try:
+            victim = 0
+            before = database.shards[victim].n_objects
+            kill_worker(database, victim)
+            with pytest.raises(WorkerCrashError) as crash:
+                database.shards[victim].insert(2_000, make_boxes(1, seed=5)[0])
+            assert crash.value.shard == victim
+            assert crash.value.operation == "insert"
+            # The restarted worker reconstructs the pre-failure state.
+            assert database.shards[victim].n_objects == before
+            assert 2_000 not in database.shards[victim]
+            everything = HyperRectangle.unit(DIMENSIONS)
+            assert (
+                database.execute(everything).ids.tobytes()
+                == oracle.execute(everything).ids.tobytes()
+            )
+        finally:
+            database.close()
+            oracle.close()
+
+
+class TestLifecycle:
+    def test_workers_spawn_on_first_use(self):
+        database = ShardedDatabase.create(
+            ["ac"] * N_SHARDS, DIMENSIONS, router="hash", execution="process"
+        )
+        try:
+            assert database.execution == "process"
+            assert all(shard.worker_pid is None for shard in database.shards)
+            database.bulk_load(list(enumerate(make_boxes(20, seed=6))))
+            pids = [shard.worker_pid for shard in database.shards]
+            assert all(pid is not None and pid != os.getpid() for pid in pids)
+            assert len(set(pids)) == N_SHARDS
+        finally:
+            database.close()
+
+    def test_close_joins_workers_and_is_idempotent(self):
+        database, oracle = make_pair()
+        oracle.close()
+        pids = [shard.worker_pid for shard in database.shards]
+        assert all(pid is not None for pid in pids)
+        database.close()
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        assert all(shard.worker_pid is None for shard in database.shards)
+        database.close()  # idempotent
+
+    def test_request_after_close_raises(self):
+        database, oracle = make_pair()
+        oracle.close()
+        database.close()
+        with pytest.raises(RuntimeError):
+            database.execute(HyperRectangle.unit(DIMENSIONS))
+
+    def test_deepcopy_materializes_to_thread_mode(self):
+        database, oracle = make_pair()
+        try:
+            everything = HyperRectangle.unit(DIMENSIONS)
+            database.execute(everything)
+            oracle.execute(everything)
+            clone = deepcopy(database)
+            try:
+                assert clone.execution == "thread"
+                query = make_boxes(1, seed=7)[0]
+                assert (
+                    clone.execute(query).ids.tobytes()
+                    == oracle.execute(query).ids.tobytes()
+                )
+            finally:
+                clone.close()
+            # The original keeps serving through its workers.
+            assert database.execute(everything).ids.size == database.n_objects
+        finally:
+            database.close()
+            oracle.close()

@@ -533,3 +533,54 @@ class TestSocketTransport:
         primary = make_primary(tmp_path)
         with pytest.raises(ReplicationError, match="replication transport failed"):
             primary.attach_replica(SocketTransport(address))
+
+    def test_truncated_reply_surfaces_replication_error(self):
+        """A peer dying mid-reply-frame yields ReplicationError — never a raw
+        struct.error or ConnectionResetError — and drops the cached
+        connection so the next request reconnects instead of reading
+        garbage."""
+        import socket
+        import struct
+        import threading
+
+        with socket.create_server(("127.0.0.1", 0)) as listener:
+
+            def half_reply():
+                connection, _peer = listener.accept()
+                with connection:
+                    connection.recv(1 << 16)  # the request
+                    # Promise a 100-byte message, deliver ten bytes, vanish.
+                    connection.sendall(struct.pack("<I", 100) + b"z" * 10)
+
+            thread = threading.Thread(target=half_reply, daemon=True)
+            thread.start()
+            transport = SocketTransport(listener.getsockname())
+            with pytest.raises(ReplicationError):
+                transport.request({"kind": "status"})
+            # The desynchronised connection was dropped.
+            assert transport._connection is None
+            thread.join(timeout=10.0)
+
+    def test_peer_vanishing_mid_frame_keeps_the_server_serving(self, tmp_path):
+        """A client that dies mid-request-frame costs only its own
+        connection: the server closes it and keeps serving followers."""
+        import socket
+        import struct
+
+        primary = make_primary(tmp_path)
+        node = ReplicaNode(tmp_path / "replica")
+        with ReplicaServer(node) as server:
+            rogue = socket.create_connection(server.address)
+            try:
+                rogue.settimeout(10.0)
+                rogue.sendall(struct.pack("<I", 128) + b"x" * 30)
+                rogue.shutdown(socket.SHUT_WR)
+                assert rogue.recv(1) == b""  # dropped, no reply, no crash
+            finally:
+                rogue.close()
+            primary.attach_replica(SocketTransport(server.address))
+            primary.bulk_load(make_pairs(10, seed=31))
+            assert sweep(node.live_backend) == sweep(primary)
+            primary.detach_replicas()
+        primary.close()
+        node.close()

@@ -337,6 +337,57 @@ class TestLifecycle:
 
         asyncio.run(main())
 
+    def test_close_races_a_concurrent_submitter(self, database):
+        """Every request enqueued before close() resolves with a real result;
+        the racing submitter eventually gets a clean RuntimeError — never a
+        hang, never a stranded future."""
+
+        async def main():
+            served = await AsyncDatabase(database).start()
+            queued = [
+                asyncio.ensure_future(served.query(HyperRectangle.unit(DIMENSIONS)))
+                for _ in range(25)
+            ]
+
+            async def submitter():
+                outcomes = []
+                while True:
+                    try:
+                        outcomes.append(await served.query(HyperRectangle.unit(DIMENSIONS)))
+                    except RuntimeError as error:
+                        outcomes.append(error)
+                        return outcomes
+
+            racer = asyncio.ensure_future(submitter())
+            await asyncio.sleep(0)  # let the racer enqueue at least once
+            await served.close()
+            outcomes = await racer
+            settled = await asyncio.gather(*queued, return_exceptions=True)
+            return outcomes, settled
+
+        outcomes, settled = asyncio.run(main())
+        assert all(isinstance(item, QueryResult) for item in settled)
+        assert isinstance(outcomes[-1], RuntimeError)
+        assert "AsyncDatabase" in str(outcomes[-1])
+        assert all(isinstance(item, QueryResult) for item in outcomes[:-1])
+
+    def test_submit_after_worker_death_fails_fast(self, database):
+        """A died worker task fails new submissions immediately instead of
+        stranding their futures; close() surfaces the worker's error."""
+
+        async def main():
+            served = await AsyncDatabase(database).start()
+            # Simulate the worker task dying out from under the front-end.
+            worker = served._worker
+            worker.cancel()
+            await asyncio.sleep(0)
+            with pytest.raises(RuntimeError, match="worker has stopped"):
+                await served.query(HyperRectangle.unit(DIMENSIONS))
+            with pytest.raises(asyncio.CancelledError):
+                await served.close()
+
+        asyncio.run(main())
+
 
 class TestServeRequests:
     def test_mixed_request_stream(self, database):

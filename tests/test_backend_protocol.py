@@ -19,7 +19,9 @@ reinsert) and mid-batch reorganization.  ``DurableBackend`` wrappers
 durability layer must be invisible to the protocol surface — as do
 ``ReplicatedBackend`` primaries streaming semi-sync to a live in-process
 follower, pinning that replication never leaks into query results or
-counters either.
+counters either.  ``proc:sharded:*`` variants run the same matrix with
+``execution="process"``, so each shard lives in a worker process and the
+executor must be protocol-invisible too.
 """
 
 import copy
@@ -87,12 +89,21 @@ PAGED_VARIANTS = (
     "paged:sharded:spatial:ac+ac",
 )
 
+#: Process-executor conformance variants: each shard hosted in a worker
+#: process (``execution="process"``) must be indistinguishable from the
+#: in-process thread executor, across both routers and mixed backends.
+PROC_VARIANTS = (
+    "proc:sharded:hash:ac+ac",
+    "proc:sharded:spatial:ac+ss+rs",
+)
+
 ALL_BACKEND_NAMES = (
     tuple(registered_backends())
     + SHARDED_VARIANTS
     + DURABLE_VARIANTS
     + REPLICATED_VARIANTS
     + PAGED_VARIANTS
+    + PROC_VARIANTS
 )
 
 #: One scratch root for every durable conformance store (cleaned at exit).
@@ -101,9 +112,16 @@ _DURABLE_COUNTER = itertools.count()
 
 
 def parse_sharded_name(name):
-    """``"sharded:hash:ac+rs"`` → ``("hash", ["ac", "rs"])``."""
-    _, router, methods = name.split(":")
+    """``"[proc:]sharded:hash:ac+rs"`` → ``("hash", ["ac", "rs"])``."""
+    _, router, methods = name.removeprefix("proc:").split(":")
     return router, methods.split("+")
+
+
+def close_backend(backend):
+    """Release executor resources (worker processes, thread pools)."""
+    closer = getattr(backend, "close", None)
+    if callable(closer):
+        closer()
 
 
 def make_backend(name, dimensions=DIMENSIONS):
@@ -128,9 +146,10 @@ def make_backend(name, dimensions=DIMENSIONS):
         inner = make_backend(name.split(":", 1)[1], dimensions)
         wal_dir = Path(_DURABLE_SCRATCH.name) / f"paged-{next(_DURABLE_COUNTER)}"
         return DurableBackend.create(inner, wal_dir, checkpoint_mode="paged")
-    if name.startswith("sharded:"):
+    if name.startswith(("sharded:", "proc:sharded:")):
         router, methods = parse_sharded_name(name)
-        return ShardedDatabase.create(methods, dimensions, router=router)
+        execution = "process" if name.startswith("proc:") else "thread"
+        return ShardedDatabase.create(methods, dimensions, router=router, execution=execution)
     return create_backend(name, dimensions)
 
 
@@ -151,7 +170,9 @@ def backend_name(request):
 
 @pytest.fixture
 def backend(backend_name):
-    return make_backend(backend_name)
+    instance = make_backend(backend_name)
+    yield instance
+    close_backend(instance)
 
 
 @pytest.fixture
@@ -172,7 +193,7 @@ class TestProtocolSurface:
             assert backend.capabilities is backend.inner.capabilities
             assert backend.capabilities.supports_persistence is True
             return
-        if backend_name.startswith("sharded:"):
+        if backend_name.startswith(("sharded:", "proc:sharded:")):
             # Sharded capabilities are derived from the members: persistence
             # and bulk deletion need every shard, reorganization any shard,
             # and the composite populates the union of member counters.
@@ -256,17 +277,23 @@ class TestLifecycleRoundTrips:
     def test_delete_bulk_equals_delete_loop(self, backend_name):
         bulk = make_backend(backend_name)
         loop = make_backend(backend_name)
-        pairs = list(enumerate(make_boxes(90, seed=3)))
-        for object_id, box in pairs:
-            bulk.insert(object_id, box)
-            loop.insert(object_id, box)
-        doomed = list(range(0, 90, 3))
-        assert bulk.delete_bulk(doomed) == sum(1 for object_id in doomed if loop.delete(object_id))
-        for relation in RELATIONS:
-            for query in make_boxes(15, seed=4):
-                assert sorted(bulk.query(query, relation).tolist()) == sorted(
-                    loop.query(query, relation).tolist()
-                )
+        try:
+            pairs = list(enumerate(make_boxes(90, seed=3)))
+            for object_id, box in pairs:
+                bulk.insert(object_id, box)
+                loop.insert(object_id, box)
+            doomed = list(range(0, 90, 3))
+            assert bulk.delete_bulk(doomed) == sum(
+                1 for object_id in doomed if loop.delete(object_id)
+            )
+            for relation in RELATIONS:
+                for query in make_boxes(15, seed=4):
+                    assert sorted(bulk.query(query, relation).tolist()) == sorted(
+                        loop.query(query, relation).tolist()
+                    )
+        finally:
+            close_backend(bulk)
+            close_backend(loop)
 
 
 class TestExecutionEquivalence:
